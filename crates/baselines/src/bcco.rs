@@ -1,0 +1,1015 @@
+//! BCCO-BST: Bronson, Casper, Chafi & Olukotun, *A Practical Concurrent
+//! Binary Search Tree* (PPoPP 2010).
+//!
+//! A lock-based, **partially external**, relaxed-balance AVL tree:
+//!
+//! * Reads descend optimistically, hand-over-hand, validating a per-node
+//!   *version* word after each link read instead of taking locks.
+//! * Deleting a key whose node has two children only clears its value
+//!   (the node becomes a *routing* node); nodes with at most one child
+//!   are physically unlinked under the locks of parent and node.
+//! * Balancing is relaxed: writers leave the tree within one rotation of
+//!   AVL shape and a bottom-up `fix_height_and_rebalance` pass repairs
+//!   heights and applies rotations under local locks only.
+//!
+//! ## Simplification vs. the original
+//!
+//! Bronson et al. split version changes into *growing* (ignorable by
+//! readers) and *shrinking* (must invalidate). We use a single
+//! `CHANGING` bit plus a change counter for both, which is strictly more
+//! conservative: readers retry in a few cases where the original could
+//! continue. This preserves the algorithm's structure and correctness
+//! and costs a little read-side throughput — noted in EXPERIMENTS.md.
+//!
+//! Keys are `u64`. Nodes are freed on `Drop` (everything stays reachable
+//! because unlinked nodes are leaked, per the paper-evaluation regime).
+
+use nmbst_sync::{Backoff, RawSpinLock};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicPtr, AtomicU64, Ordering};
+
+const UNLINKED: u64 = 1;
+const CHANGING: u64 = 2;
+const VERSION_STEP: u64 = 4;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dir {
+    Left,
+    Right,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    /// Optimistic validation failed somewhere above; restart from root.
+    Retry,
+    /// Operation completed; the set changed.
+    Changed,
+    /// Operation completed; the set was already in the desired state.
+    Unchanged,
+}
+
+struct Node {
+    key: u64,
+    /// `true` = member; `false` = routing node (logically absent).
+    present: AtomicBool,
+    height: AtomicI32,
+    version: AtomicU64,
+    parent: AtomicPtr<Node>,
+    left: AtomicPtr<Node>,
+    right: AtomicPtr<Node>,
+    lock: RawSpinLock,
+}
+
+impl Node {
+    fn alloc(key: u64, present: bool, parent: *mut Node) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            present: AtomicBool::new(present),
+            height: AtomicI32::new(1),
+            version: AtomicU64::new(0),
+            parent: AtomicPtr::new(parent),
+            left: AtomicPtr::new(ptr::null_mut()),
+            right: AtomicPtr::new(ptr::null_mut()),
+            lock: RawSpinLock::new(),
+        }))
+    }
+
+    #[inline]
+    fn child(&self, dir: Dir) -> &AtomicPtr<Node> {
+        match dir {
+            Dir::Left => &self.left,
+            Dir::Right => &self.right,
+        }
+    }
+
+    /// Marks the start of a structural change that shrinks this node's
+    /// subtree. Must hold the node's lock.
+    #[inline]
+    fn begin_change(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert_eq!(v & (CHANGING | UNLINKED), 0);
+        self.version.store(v | CHANGING, Ordering::Release);
+    }
+
+    /// Ends the change, invalidating every optimistic reader that passed
+    /// through during it.
+    #[inline]
+    fn end_change(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert_eq!(v & CHANGING, CHANGING);
+        self.version
+            .store((v & !CHANGING) + VERSION_STEP, Ordering::Release);
+    }
+
+    #[inline]
+    fn is_unlinked(&self) -> bool {
+        self.version.load(Ordering::Acquire) & UNLINKED != 0
+    }
+}
+
+#[inline]
+fn height_of(node: *mut Node) -> i32 {
+    if node.is_null() {
+        0
+    } else {
+        // SAFETY: nodes live until tree drop (unlinked ones leak).
+        unsafe { (*node).height.load(Ordering::Relaxed) }
+    }
+}
+
+#[inline]
+fn dir_of(key: u64, node_key: u64) -> Dir {
+    if key < node_key {
+        Dir::Left
+    } else {
+        Dir::Right
+    }
+}
+
+/// Bronson et al.'s optimistic lock-based AVL over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_baselines::bcco::BccoTree;
+///
+/// let t = BccoTree::new();
+/// assert!(t.insert(5));
+/// assert!(t.contains(&5));
+/// assert!(t.remove(&5));
+/// assert!(!t.contains(&5));
+/// ```
+pub struct BccoTree {
+    /// Sentinel above the root: never rotated, never unlinked, version
+    /// permanently 0. The real root is `holder.right`.
+    holder: *mut Node,
+}
+
+// SAFETY: shared mutation follows the lock + version protocol.
+unsafe impl Send for BccoTree {}
+unsafe impl Sync for BccoTree {}
+
+impl BccoTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BccoTree {
+            holder: Node::alloc(0, false, ptr::null_mut()),
+        }
+    }
+
+    fn wait_until_not_changing(node: *mut Node) {
+        let backoff = Backoff::new();
+        // SAFETY: leaked-node regime.
+        while unsafe { (*node).version.load(Ordering::Acquire) } & CHANGING != 0 {
+            backoff.snooze();
+        }
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &u64) -> bool {
+        loop {
+            match self.attempt_get(*key, self.holder, Dir::Right, 0) {
+                Outcome::Retry => continue,
+                Outcome::Changed => return true,
+                Outcome::Unchanged => return false,
+            }
+        }
+    }
+
+    /// Hand-over-hand optimistic descent (the paper's `attemptGet`).
+    /// `Changed` = found & present; `Unchanged` = absent.
+    fn attempt_get(&self, key: u64, node: *mut Node, dir: Dir, node_ovl: u64) -> Outcome {
+        // SAFETY throughout: leaked-node regime — any pointer read from a
+        // live link stays dereferenceable for the tree's lifetime.
+        unsafe {
+            loop {
+                let child = (*node).child(dir).load(Ordering::Acquire);
+                if (*node).version.load(Ordering::Acquire) != node_ovl {
+                    return Outcome::Retry;
+                }
+                if child.is_null() {
+                    return Outcome::Unchanged;
+                }
+                let child_key = (*child).key;
+                if child_key == key {
+                    // Keys never move in BCCO; the value read linearizes
+                    // on its own.
+                    return if (*child).present.load(Ordering::Acquire) {
+                        Outcome::Changed
+                    } else {
+                        Outcome::Unchanged
+                    };
+                }
+                let child_ovl = (*child).version.load(Ordering::Acquire);
+                if child_ovl & CHANGING != 0 {
+                    Self::wait_until_not_changing(child);
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if child_ovl & UNLINKED != 0 {
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue; // re-read the (changed) child link
+                }
+                if child != (*node).child(dir).load(Ordering::Acquire) {
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if (*node).version.load(Ordering::Acquire) != node_ovl {
+                    return Outcome::Retry;
+                }
+                match self.attempt_get(key, child, dir_of(key, child_key), child_ovl) {
+                    Outcome::Retry => continue,
+                    done => return done,
+                }
+            }
+        }
+    }
+
+    /// Adds `key`; `true` iff it was absent.
+    pub fn insert(&self, key: u64) -> bool {
+        loop {
+            match self.attempt_put(key, self.holder, Dir::Right, 0) {
+                Outcome::Retry => continue,
+                o => return o == Outcome::Changed,
+            }
+        }
+    }
+
+    fn attempt_put(&self, key: u64, node: *mut Node, dir: Dir, node_ovl: u64) -> Outcome {
+        // SAFETY throughout: leaked-node regime; locks serialize writers.
+        unsafe {
+            loop {
+                let child = (*node).child(dir).load(Ordering::Acquire);
+                if (*node).version.load(Ordering::Acquire) != node_ovl {
+                    return Outcome::Retry;
+                }
+                if child.is_null() {
+                    // Try to attach a new leaf here under the lock.
+                    crate::stats::record_lock();
+                    (*node).lock.lock();
+                    if (*node).version.load(Ordering::Relaxed) != node_ovl {
+                        (*node).lock.unlock();
+                        return Outcome::Retry;
+                    }
+                    if (*node).child(dir).load(Ordering::Relaxed).is_null() {
+                        let fresh = Node::alloc(key, true, node);
+                        (*node).child(dir).store(fresh, Ordering::Release);
+                        (*node).lock.unlock();
+                        self.fix_height_and_rebalance(node);
+                        return Outcome::Changed;
+                    }
+                    // A child appeared; descend into it next iteration.
+                    (*node).lock.unlock();
+                    continue;
+                }
+                let child_key = (*child).key;
+                if child_key == key {
+                    // Found the key's node: resurrect if routing.
+                    crate::stats::record_lock();
+                    (*child).lock.lock();
+                    if (*child).is_unlinked() {
+                        (*child).lock.unlock();
+                        return Outcome::Retry;
+                    }
+                    let was = (*child).present.load(Ordering::Relaxed);
+                    (*child).present.store(true, Ordering::Release);
+                    (*child).lock.unlock();
+                    return if was {
+                        Outcome::Unchanged
+                    } else {
+                        Outcome::Changed
+                    };
+                }
+                let child_ovl = (*child).version.load(Ordering::Acquire);
+                if child_ovl & CHANGING != 0 {
+                    Self::wait_until_not_changing(child);
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if child_ovl & UNLINKED != 0 {
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if child != (*node).child(dir).load(Ordering::Acquire) {
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if (*node).version.load(Ordering::Acquire) != node_ovl {
+                    return Outcome::Retry;
+                }
+                match self.attempt_put(key, child, dir_of(key, child_key), child_ovl) {
+                    Outcome::Retry => continue,
+                    done => return done,
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; `true` iff it was present.
+    pub fn remove(&self, key: &u64) -> bool {
+        loop {
+            match self.attempt_remove(*key, self.holder, Dir::Right, 0) {
+                Outcome::Retry => continue,
+                o => return o == Outcome::Changed,
+            }
+        }
+    }
+
+    fn attempt_remove(&self, key: u64, node: *mut Node, dir: Dir, node_ovl: u64) -> Outcome {
+        // SAFETY throughout: leaked-node regime.
+        unsafe {
+            loop {
+                let child = (*node).child(dir).load(Ordering::Acquire);
+                if (*node).version.load(Ordering::Acquire) != node_ovl {
+                    return Outcome::Retry;
+                }
+                if child.is_null() {
+                    return Outcome::Unchanged; // absent
+                }
+                let child_key = (*child).key;
+                if child_key == key {
+                    match self.attempt_rm_node(node, child) {
+                        Outcome::Retry => {
+                            if (*node).version.load(Ordering::Acquire) != node_ovl {
+                                return Outcome::Retry;
+                            }
+                            continue;
+                        }
+                        done => return done,
+                    }
+                }
+                let child_ovl = (*child).version.load(Ordering::Acquire);
+                if child_ovl & CHANGING != 0 {
+                    Self::wait_until_not_changing(child);
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if child_ovl & UNLINKED != 0 {
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if child != (*node).child(dir).load(Ordering::Acquire) {
+                    if (*node).version.load(Ordering::Acquire) != node_ovl {
+                        return Outcome::Retry;
+                    }
+                    continue;
+                }
+                if (*node).version.load(Ordering::Acquire) != node_ovl {
+                    return Outcome::Retry;
+                }
+                match self.attempt_remove(key, child, dir_of(key, child_key), child_ovl) {
+                    Outcome::Retry => continue,
+                    done => return done,
+                }
+            }
+        }
+    }
+
+    /// Removes node `n` (key match) under `parent`: logical delete if it
+    /// has two children (partially external), physical unlink otherwise.
+    fn attempt_rm_node(&self, parent: *mut Node, n: *mut Node) -> Outcome {
+        // SAFETY throughout: leaked-node regime; locks serialize writers.
+        unsafe {
+            if !(*n).left.load(Ordering::Acquire).is_null()
+                && !(*n).right.load(Ordering::Acquire).is_null()
+            {
+                // Two children: just clear the value (node turns routing).
+                crate::stats::record_lock();
+                (*n).lock.lock();
+                if (*n).is_unlinked() {
+                    (*n).lock.unlock();
+                    return Outcome::Retry;
+                }
+                let was = (*n).present.load(Ordering::Relaxed);
+                (*n).present.store(false, Ordering::Release);
+                (*n).lock.unlock();
+                return if was {
+                    Outcome::Changed
+                } else {
+                    Outcome::Unchanged
+                };
+            }
+            // ≤ 1 child: unlink under parent + node locks.
+            crate::stats::record_lock();
+            (*parent).lock.lock();
+            if (*parent).is_unlinked() || (*n).parent.load(Ordering::Acquire) != parent {
+                (*parent).lock.unlock();
+                return Outcome::Retry;
+            }
+            crate::stats::record_lock();
+            (*n).lock.lock();
+            let was = (*n).present.load(Ordering::Relaxed);
+            if !was {
+                (*n).lock.unlock();
+                (*parent).lock.unlock();
+                return Outcome::Unchanged;
+            }
+            let left = (*n).left.load(Ordering::Relaxed);
+            let right = (*n).right.load(Ordering::Relaxed);
+            if left.is_null() || right.is_null() {
+                // Still unlinkable: splice out.
+                Self::unlink_locked(parent, n);
+                (*n).lock.unlock();
+                (*parent).lock.unlock();
+                self.fix_height_and_rebalance(parent);
+            } else {
+                // Gained a second child meanwhile: logical delete.
+                (*n).present.store(false, Ordering::Release);
+                (*n).lock.unlock();
+                (*parent).lock.unlock();
+            }
+            Outcome::Changed
+        }
+    }
+
+    /// Splices `n` (≤ 1 child) out from under `parent`. Both locked.
+    unsafe fn unlink_locked(parent: *mut Node, n: *mut Node) {
+        // SAFETY: caller holds both locks; `n.parent == parent` verified.
+        unsafe {
+            let left = (*n).left.load(Ordering::Relaxed);
+            let right = (*n).right.load(Ordering::Relaxed);
+            let splice = if left.is_null() { right } else { left };
+            (*n).begin_change();
+            if (*parent).left.load(Ordering::Relaxed) == n {
+                (*parent).left.store(splice, Ordering::Release);
+            } else {
+                debug_assert_eq!((*parent).right.load(Ordering::Relaxed), n);
+                (*parent).right.store(splice, Ordering::Release);
+            }
+            if !splice.is_null() {
+                (*splice).parent.store(parent, Ordering::Release);
+            }
+            // UNLINKED supersedes the CHANGING window.
+            (*n).version.store(UNLINKED, Ordering::Release);
+            (*n).present.store(false, Ordering::Release);
+        }
+    }
+
+    // --- relaxed AVL repair ------------------------------------------
+
+    /// Walks up from `node`, repairing heights, unlinking empty routing
+    /// nodes, and rotating out-of-balance nodes, with local locks only.
+    fn fix_height_and_rebalance(&self, mut node: *mut Node) {
+        // SAFETY throughout: leaked-node regime.
+        unsafe {
+            let budget = Backoff::new();
+            while !node.is_null() && node != self.holder {
+                if (*node).is_unlinked() {
+                    return;
+                }
+                let left = (*node).left.load(Ordering::Acquire);
+                let right = (*node).right.load(Ordering::Acquire);
+                let h_l = height_of(left);
+                let h_r = height_of(right);
+                let routing_unlinkable =
+                    !(*node).present.load(Ordering::Acquire) && (left.is_null() || right.is_null());
+                let imbalanced = (h_l - h_r).abs() > 1;
+                let wanted = 1 + h_l.max(h_r);
+                let height_stale = wanted != (*node).height.load(Ordering::Relaxed);
+
+                if routing_unlinkable || imbalanced {
+                    // Needs parent participation.
+                    let parent = (*node).parent.load(Ordering::Acquire);
+                    if parent.is_null() {
+                        return;
+                    }
+                    crate::stats::record_lock();
+                    (*parent).lock.lock();
+                    if (*parent).is_unlinked() || (*node).parent.load(Ordering::Acquire) != parent {
+                        (*parent).lock.unlock();
+                        budget.snooze();
+                        continue; // stale parent; retry
+                    }
+                    crate::stats::record_lock();
+                    (*node).lock.lock();
+                    let next = self.rebalance_locked(parent, node);
+                    (*node).lock.unlock();
+                    (*parent).lock.unlock();
+                    node = next;
+                } else if height_stale {
+                    crate::stats::record_lock();
+                    (*node).lock.lock();
+                    let l = height_of((*node).left.load(Ordering::Relaxed));
+                    let r = height_of((*node).right.load(Ordering::Relaxed));
+                    let w = 1 + l.max(r);
+                    let changed = w != (*node).height.load(Ordering::Relaxed);
+                    if changed {
+                        (*node).height.store(w, Ordering::Release);
+                    }
+                    let parent = (*node).parent.load(Ordering::Relaxed);
+                    (*node).lock.unlock();
+                    if !changed {
+                        return;
+                    }
+                    node = parent;
+                } else {
+                    return; // nothing required
+                }
+            }
+        }
+    }
+
+    /// With `parent` and `node` locked: unlink an empty routing node or
+    /// perform one rotation step. Returns the next node to repair.
+    unsafe fn rebalance_locked(&self, parent: *mut Node, node: *mut Node) -> *mut Node {
+        // SAFETY: caller holds both locks.
+        unsafe {
+            if (*node).is_unlinked() {
+                return parent;
+            }
+            let left = (*node).left.load(Ordering::Relaxed);
+            let right = (*node).right.load(Ordering::Relaxed);
+            if !(*node).present.load(Ordering::Relaxed) && (left.is_null() || right.is_null()) {
+                Self::unlink_locked(parent, node);
+                return parent;
+            }
+            let h_l = height_of(left);
+            let h_r = height_of(right);
+            if h_l - h_r > 1 {
+                self.rotate_toward_right(parent, node, left)
+            } else if h_r - h_l > 1 {
+                self.rotate_toward_left(parent, node, right)
+            } else {
+                let w = 1 + h_l.max(h_r);
+                if w != (*node).height.load(Ordering::Relaxed) {
+                    (*node).height.store(w, Ordering::Release);
+                    parent
+                } else {
+                    ptr::null_mut()
+                }
+            }
+        }
+    }
+
+    /// Right-rotation step for a left-heavy `node` (locked, with locked
+    /// `parent`); locks `n_l` (and `n_l_r` for the double case).
+    unsafe fn rotate_toward_right(
+        &self,
+        parent: *mut Node,
+        node: *mut Node,
+        n_l: *mut Node,
+    ) -> *mut Node {
+        // SAFETY: caller holds parent+node locks; n_l non-null because
+        // the left height is ≥ 2.
+        unsafe {
+            crate::stats::record_lock();
+            (*n_l).lock.lock();
+            let h_r = height_of((*node).right.load(Ordering::Relaxed));
+            let h_l = (*n_l).height.load(Ordering::Relaxed);
+            if h_l - h_r <= 1 {
+                (*n_l).lock.unlock();
+                return node; // situation changed; re-examine
+            }
+            let n_l_l = (*n_l).left.load(Ordering::Relaxed);
+            let n_l_r = (*n_l).right.load(Ordering::Relaxed);
+            if height_of(n_l_l) >= height_of(n_l_r) {
+                Self::rotate_right_locked(parent, node, n_l);
+                let next = Self::post_rotation_fixup(parent, node, n_l);
+                (*n_l).lock.unlock();
+                next
+            } else {
+                // Left-right shape: first rotate `n_l` leftward (with
+                // `node` acting as its parent), then let the outer loop
+                // redo the right rotation.
+                crate::stats::record_lock();
+                (*n_l_r).lock.lock();
+                Self::rotate_left_locked(node, n_l, n_l_r);
+                (*n_l_r).lock.unlock();
+                (*n_l).lock.unlock();
+                node
+            }
+        }
+    }
+
+    /// Mirror image of [`rotate_toward_right`].
+    unsafe fn rotate_toward_left(
+        &self,
+        parent: *mut Node,
+        node: *mut Node,
+        n_r: *mut Node,
+    ) -> *mut Node {
+        // SAFETY: see rotate_toward_right.
+        unsafe {
+            crate::stats::record_lock();
+            (*n_r).lock.lock();
+            let h_l = height_of((*node).left.load(Ordering::Relaxed));
+            let h_r = (*n_r).height.load(Ordering::Relaxed);
+            if h_r - h_l <= 1 {
+                (*n_r).lock.unlock();
+                return node;
+            }
+            let n_r_r = (*n_r).right.load(Ordering::Relaxed);
+            let n_r_l = (*n_r).left.load(Ordering::Relaxed);
+            if height_of(n_r_r) >= height_of(n_r_l) {
+                Self::rotate_left_locked(parent, node, n_r);
+                let next = Self::post_rotation_fixup(parent, node, n_r);
+                (*n_r).lock.unlock();
+                next
+            } else {
+                crate::stats::record_lock();
+                (*n_r_l).lock.lock();
+                Self::rotate_right_locked(node, n_r, n_r_l);
+                (*n_r_l).lock.unlock();
+                (*n_r).lock.unlock();
+                node
+            }
+        }
+    }
+
+    /// After a rotation that hoisted `pivot` above `node` under
+    /// `parent`: decide where repair continues. The rotated pair's
+    /// heights were recomputed inside the rotation, but either may still
+    /// be imbalanced (relaxed balance), and `parent`'s height is now
+    /// possibly stale — so re-examine in that order.
+    ///
+    /// # Safety
+    ///
+    /// All three nodes are locked by the caller.
+    unsafe fn post_rotation_fixup(
+        parent: *mut Node,
+        node: *mut Node,
+        pivot: *mut Node,
+    ) -> *mut Node {
+        // SAFETY: caller holds the locks; heights are fresh.
+        unsafe {
+            let bal = |n: *mut Node| {
+                height_of((*n).left.load(Ordering::Relaxed))
+                    - height_of((*n).right.load(Ordering::Relaxed))
+            };
+            if bal(node).abs() > 1 {
+                node
+            } else if bal(pivot).abs() > 1 {
+                pivot
+            } else {
+                parent
+            }
+        }
+    }
+
+    /// Classic right rotation; `parent`, `node`, `n_l` locked. `node`
+    /// shrinks, so it gets the CHANGING window.
+    unsafe fn rotate_right_locked(parent: *mut Node, node: *mut Node, n_l: *mut Node) {
+        // SAFETY: caller holds all three locks.
+        unsafe {
+            (*node).begin_change();
+            let n_l_r = (*n_l).right.load(Ordering::Relaxed);
+            (*node).left.store(n_l_r, Ordering::Release);
+            if !n_l_r.is_null() {
+                (*n_l_r).parent.store(node, Ordering::Release);
+            }
+            (*n_l).right.store(node, Ordering::Release);
+            (*node).parent.store(n_l, Ordering::Release);
+            if (*parent).left.load(Ordering::Relaxed) == node {
+                (*parent).left.store(n_l, Ordering::Release);
+            } else {
+                debug_assert_eq!((*parent).right.load(Ordering::Relaxed), node);
+                (*parent).right.store(n_l, Ordering::Release);
+            }
+            (*n_l).parent.store(parent, Ordering::Release);
+            let h_node = 1 + height_of((*node).left.load(Ordering::Relaxed))
+                .max(height_of((*node).right.load(Ordering::Relaxed)));
+            (*node).height.store(h_node, Ordering::Release);
+            let h_nl = 1 + height_of((*n_l).left.load(Ordering::Relaxed)).max(h_node);
+            (*n_l).height.store(h_nl, Ordering::Release);
+            (*node).end_change();
+        }
+    }
+
+    /// Classic left rotation; `parent`, `node`, `n_r` locked.
+    unsafe fn rotate_left_locked(parent: *mut Node, node: *mut Node, n_r: *mut Node) {
+        // SAFETY: caller holds all three locks.
+        unsafe {
+            (*node).begin_change();
+            let n_r_l = (*n_r).left.load(Ordering::Relaxed);
+            (*node).right.store(n_r_l, Ordering::Release);
+            if !n_r_l.is_null() {
+                (*n_r_l).parent.store(node, Ordering::Release);
+            }
+            (*n_r).left.store(node, Ordering::Release);
+            (*node).parent.store(n_r, Ordering::Release);
+            if (*parent).left.load(Ordering::Relaxed) == node {
+                (*parent).left.store(n_r, Ordering::Release);
+            } else {
+                debug_assert_eq!((*parent).right.load(Ordering::Relaxed), node);
+                (*parent).right.store(n_r, Ordering::Release);
+            }
+            (*n_r).parent.store(parent, Ordering::Release);
+            let h_node = 1 + height_of((*node).left.load(Ordering::Relaxed))
+                .max(height_of((*node).right.load(Ordering::Relaxed)));
+            (*node).height.store(h_node, Ordering::Release);
+            let h_nr = 1 + height_of((*n_r).right.load(Ordering::Relaxed)).max(h_node);
+            (*n_r).height.store(h_nr, Ordering::Release);
+            (*node).end_change();
+        }
+    }
+
+    // --- inspection ---------------------------------------------------
+
+    /// Visits present keys in ascending order (weakly consistent; exact
+    /// at quiescence).
+    pub fn for_each(&self, mut f: impl FnMut(u64)) {
+        // SAFETY: leaked-node regime.
+        unsafe {
+            let mut stack: Vec<(*mut Node, bool)> = Vec::new();
+            let root = (*self.holder).right.load(Ordering::Acquire);
+            if !root.is_null() {
+                stack.push((root, false));
+            }
+            while let Some((n, expanded)) = stack.pop() {
+                if expanded {
+                    if (*n).present.load(Ordering::Acquire) {
+                        f((*n).key);
+                    }
+                    let r = (*n).right.load(Ordering::Acquire);
+                    if !r.is_null() {
+                        stack.push((r, false));
+                    }
+                } else {
+                    stack.push((n, true));
+                    let l = (*n).left.load(Ordering::Acquire);
+                    if !l.is_null() {
+                        stack.push((l, false));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of present keys (weakly consistent traversal).
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        self.for_each(|_| n += 1);
+        n
+    }
+
+    /// Validates BST order, parent links, and the relaxed height bound
+    /// at quiescence (exclusive access). Returns the number of present
+    /// keys.
+    pub fn check_invariants(&mut self) -> Result<usize, String> {
+        // SAFETY: exclusive access.
+        unsafe {
+            let mut present = 0;
+            let root = (*self.holder).right.load(Ordering::Relaxed);
+            let mut stack: Vec<(*mut Node, u64, u64, *mut Node)> = Vec::new();
+            if !root.is_null() {
+                stack.push((root, 0, u64::MAX, self.holder));
+            }
+            while let Some((n, low, high, parent)) = stack.pop() {
+                let k = (*n).key;
+                if !(low..=high).contains(&k) {
+                    return Err(format!("key {k} outside ({low}, {high})"));
+                }
+                if (*n).parent.load(Ordering::Relaxed) != parent {
+                    return Err(format!("stale parent pointer at key {k}"));
+                }
+                if (*n).is_unlinked() {
+                    return Err(format!("unlinked node {k} still reachable"));
+                }
+                if (*n).version.load(Ordering::Relaxed) & CHANGING != 0 {
+                    return Err(format!("node {k} mid-change at quiescence"));
+                }
+                if (*n).present.load(Ordering::Relaxed) {
+                    present += 1;
+                }
+                let l = (*n).left.load(Ordering::Relaxed);
+                let r = (*n).right.load(Ordering::Relaxed);
+                let h = (*n).height.load(Ordering::Relaxed);
+                if h != 1 + height_of(l).max(height_of(r)) {
+                    // Relaxed balance: heights may be stale but only while
+                    // a repair pass is pending; at test quiescence every
+                    // writer finished its repair pass, so flag it.
+                    return Err(format!("stale height at key {k}"));
+                }
+                if !l.is_null() {
+                    if k == 0 {
+                        return Err("left child under key 0".into());
+                    }
+                    stack.push((l, low, k - 1, n));
+                }
+                if !r.is_null() {
+                    stack.push((r, k + 1, high, n));
+                }
+            }
+            Ok(present)
+        }
+    }
+}
+
+impl Default for BccoTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for BccoTree {
+    fn drop(&mut self) {
+        // Reachable nodes only; unlinked nodes leak (paper regime).
+        let mut stack = vec![self.holder];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access; reachable nodes are live boxes.
+            let node = unsafe { Box::from_raw(n) };
+            stack.push(node.left.load(Ordering::Relaxed));
+            stack.push(node.right.load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl std::fmt::Debug for BccoTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BccoTree").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let t = BccoTree::new();
+        assert!(!t.contains(&5));
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut t = BccoTree::new();
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            assert!(t.insert(k));
+        }
+        assert!(!t.insert(50));
+        // Two-children delete → routing node.
+        assert!(t.remove(&50));
+        assert!(!t.contains(&50));
+        // Resurrection through a routing node.
+        assert!(t.insert(50));
+        assert!(t.contains(&50));
+        assert!(t.remove(&50));
+        // Leaf deletes.
+        assert!(t.remove(&10));
+        assert!(t.remove(&30));
+        assert!(!t.contains(&10));
+        let live = t.check_invariants().unwrap();
+        assert_eq!(live, 4);
+    }
+
+    #[test]
+    fn rebalances_sorted_inserts() {
+        let mut t = BccoTree::new();
+        const N: u64 = 4096;
+        for k in 1..=N {
+            assert!(t.insert(k));
+        }
+        t.check_invariants().unwrap();
+        // AVL-ish: height must be O(log n), far below the degenerate N.
+        // SAFETY: exclusive access.
+        let root_height = unsafe {
+            let root = (*t.holder).right.load(Ordering::Relaxed);
+            (*root).height.load(Ordering::Relaxed)
+        };
+        assert!(
+            root_height <= 2 * (64 - (N.leading_zeros() as i32)),
+            "height {root_height} not logarithmic"
+        );
+    }
+
+    /// Height of the reachable root; exclusive access.
+    fn root_height(t: &BccoTree) -> i32 {
+        // SAFETY: exclusive access in tests.
+        unsafe {
+            let root = (*t.holder).right.load(Ordering::Relaxed);
+            if root.is_null() {
+                0
+            } else {
+                (*root).height.load(Ordering::Relaxed)
+            }
+        }
+    }
+
+    #[test]
+    fn single_rotations_restore_balance() {
+        // Left-left shape (rotate right) and right-right (rotate left).
+        for keys in [[30u64, 20, 10], [10, 20, 30]] {
+            let mut t = BccoTree::new();
+            for k in keys {
+                assert!(t.insert(k));
+            }
+            t.check_invariants().unwrap();
+            assert_eq!(root_height(&t), 2, "3 keys must form a perfect tree");
+        }
+    }
+
+    #[test]
+    fn double_rotations_restore_balance() {
+        // Left-right shape and right-left shape force the two-step
+        // (child-then-parent) rotation path.
+        for keys in [[30u64, 10, 20], [10, 30, 20]] {
+            let mut t = BccoTree::new();
+            for k in keys {
+                assert!(t.insert(k));
+            }
+            t.check_invariants().unwrap();
+            assert_eq!(root_height(&t), 2, "double rotation must flatten {keys:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_model_check() {
+        let mut model = std::collections::BTreeSet::new();
+        let mut t = BccoTree::new();
+        let mut x = 0x853C49E6748FEA9Bu64;
+        for _ in 0..6000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 128 + 1;
+            match x % 3 {
+                0 => assert_eq!(t.insert(k), model.insert(k), "insert {k}"),
+                1 => assert_eq!(t.remove(&k), model.remove(&k), "remove {k}"),
+                _ => assert_eq!(t.contains(&k), model.contains(&k), "contains {k}"),
+            }
+        }
+        assert_eq!(t.check_invariants().unwrap(), model.len());
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        const THREADS: usize = 8;
+        const OPS: usize = 6_000;
+        const SPACE: u64 = 64;
+        let mut t = BccoTree::new();
+        let ins: Vec<AtomicUsize> = (0..SPACE).map(|_| AtomicUsize::new(0)).collect();
+        let del: Vec<AtomicUsize> = (0..SPACE).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            let t = &t;
+            let ins = &ins;
+            let del = &del;
+            for tid in 0..THREADS {
+                s.spawn(move || {
+                    let mut x = 0xD1B54A32D192ED03u64 ^ (tid as u64) << 23;
+                    for _ in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % SPACE + 1;
+                        if x & 2 == 0 {
+                            if t.insert(k) {
+                                ins[(k - 1) as usize].fetch_add(1, O::Relaxed);
+                            }
+                        } else if t.remove(&k) {
+                            del[(k - 1) as usize].fetch_add(1, O::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let live = t.check_invariants().unwrap();
+        let mut expected = 0;
+        for k in 1..=SPACE {
+            let i = ins[(k - 1) as usize].load(O::Relaxed);
+            let d = del[(k - 1) as usize].load(O::Relaxed);
+            assert!(i == d || i == d + 1, "key {k}: {i} ins vs {d} del");
+            let present = i == d + 1;
+            assert_eq!(t.contains(&k), present, "membership of {k}");
+            expected += usize::from(present);
+        }
+        assert_eq!(live, expected);
+    }
+
+    #[test]
+    fn concurrent_inserts_stay_balanced() {
+        let mut t = BccoTree::new();
+        std::thread::scope(|s| {
+            let t = &t;
+            for tid in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        t.insert(tid * 2000 + i + 1);
+                    }
+                });
+            }
+        });
+        t.check_invariants().unwrap();
+        assert_eq!(t.count(), 8000);
+    }
+}

@@ -1,0 +1,650 @@
+//! EFRB-BST: Ellen, Fataourou, Ruppert & van Breugel, *Non-Blocking
+//! Binary Search Trees* (PODC 2010).
+//!
+//! A lock-free **external** BST, like NM-BST — but coordination happens
+//! at *node* granularity: each internal node carries an `update` word
+//! packing a state (`CLEAN`, `IFLAG`, `DFLAG`, `MARK`) with a pointer to
+//! an Info record describing the operation that owns the node.
+//!
+//! Cost profile (Table 1): an uncontended insert allocates **4** objects
+//! (new leaf, copy of the sibling leaf, new internal, IInfo record) and
+//! executes **3** CAS (iflag, ichild, iunflag); a delete allocates **1**
+//! object (DInfo) and executes **4** CAS (dflag, mark, dchild, dunflag).
+//! Contrast with NM-BST's 2/1 and 0/3 — this gap, and the wider
+//! conflict window (a delete "locks" both parent and grandparent), are
+//! what Figure 4 measures.
+//!
+//! Keys are `u64` below [`EfrbTree::MAX_KEY`]; two values are reserved
+//! for the sentinels. Removed nodes and Info records are leaked, per the
+//! paper's evaluation setup.
+
+use crate::stats;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+const CLEAN: usize = 0;
+const IFLAG: usize = 1;
+const DFLAG: usize = 2;
+const MARK: usize = 3;
+const STATE_MASK: usize = 3;
+
+const INF1: u64 = u64::MAX - 1;
+const INF2: u64 = u64::MAX;
+
+#[inline]
+fn pack(info: usize, state: usize) -> usize {
+    debug_assert_eq!(info & STATE_MASK, 0);
+    info | state
+}
+
+#[inline]
+fn state_of(update: usize) -> usize {
+    update & STATE_MASK
+}
+
+#[inline]
+fn info_of(update: usize) -> usize {
+    update & !STATE_MASK
+}
+
+#[repr(align(8))]
+struct Node {
+    key: u64,
+    update: AtomicUsize,
+    left: AtomicPtr<Node>,
+    right: AtomicPtr<Node>,
+}
+
+impl Node {
+    fn leaf(key: u64) -> *mut Node {
+        stats::record_alloc();
+        Box::into_raw(Box::new(Node {
+            key,
+            update: AtomicUsize::new(CLEAN),
+            left: AtomicPtr::new(ptr::null_mut()),
+            right: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+
+    fn internal(key: u64, left: *mut Node, right: *mut Node) -> *mut Node {
+        stats::record_alloc();
+        Box::into_raw(Box::new(Node {
+            key,
+            update: AtomicUsize::new(CLEAN),
+            left: AtomicPtr::new(left),
+            right: AtomicPtr::new(right),
+        }))
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left.load(Ordering::Acquire).is_null()
+    }
+}
+
+/// Insert descriptor: "replace leaf `l` under `p` with `new_internal`".
+#[repr(align(8))]
+struct IInfo {
+    p: *mut Node,
+    l: *mut Node,
+    new_internal: *mut Node,
+}
+
+/// Delete descriptor: "unlink `p` and `l` from under `gp`; `p` was
+/// observed with update word `pupdate`".
+#[repr(align(8))]
+struct DInfo {
+    gp: *mut Node,
+    p: *mut Node,
+    l: *mut Node,
+    pupdate: usize,
+}
+
+fn alloc_iinfo(p: *mut Node, l: *mut Node, new_internal: *mut Node) -> usize {
+    stats::record_alloc();
+    Box::into_raw(Box::new(IInfo { p, l, new_internal })) as usize
+}
+
+fn alloc_dinfo(gp: *mut Node, p: *mut Node, l: *mut Node, pupdate: usize) -> usize {
+    stats::record_alloc();
+    Box::into_raw(Box::new(DInfo { gp, p, l, pupdate })) as usize
+}
+
+/// The result of a search: the last three nodes on the access path and
+/// the update words read *before* following the respective child links.
+struct SearchResult {
+    gp: *mut Node,
+    p: *mut Node,
+    l: *mut Node,
+    pupdate: usize,
+    gpupdate: usize,
+}
+
+/// Ellen et al.'s lock-free external BST over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_baselines::efrb::EfrbTree;
+///
+/// let t = EfrbTree::new();
+/// assert!(t.insert(5));
+/// assert!(!t.insert(5));
+/// assert!(t.contains(&5));
+/// assert!(t.remove(&5));
+/// assert!(!t.contains(&5));
+/// ```
+pub struct EfrbTree {
+    root: *mut Node,
+}
+
+// SAFETY: shared mutation is mediated by the algorithm's CAS protocol.
+unsafe impl Send for EfrbTree {}
+unsafe impl Sync for EfrbTree {}
+
+impl EfrbTree {
+    /// Largest key storable (two values reserved for sentinels).
+    pub const MAX_KEY: u64 = INF1 - 1;
+
+    /// Creates an empty tree: `root(∞₂)` over `leaf(∞₁)`, `leaf(∞₂)`.
+    pub fn new() -> Self {
+        let l1 = Node::leaf(INF1);
+        let l2 = Node::leaf(INF2);
+        EfrbTree {
+            root: Node::internal(INF2, l1, l2),
+        }
+    }
+
+    fn search(&self, key: u64) -> SearchResult {
+        let mut gp = ptr::null_mut();
+        let mut p = ptr::null_mut();
+        let mut gpupdate = CLEAN;
+        let mut pupdate = CLEAN;
+        let mut l = self.root;
+        // SAFETY: nodes are never freed while the tree lives (removed
+        // nodes are leaked), so every pointer read from a live edge
+        // remains dereferenceable.
+        unsafe {
+            while !(*l).is_leaf() {
+                gp = p;
+                p = l;
+                gpupdate = pupdate;
+                // Read the update word *before* the child pointer: the
+                // proof of lock-freedom relies on this order.
+                pupdate = (*p).update.load(Ordering::Acquire);
+                l = if key < (*p).key {
+                    (*p).left.load(Ordering::Acquire)
+                } else {
+                    (*p).right.load(Ordering::Acquire)
+                };
+            }
+        }
+        SearchResult {
+            gp,
+            p,
+            l,
+            pupdate,
+            gpupdate,
+        }
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &u64) -> bool {
+        debug_assert!(*key <= Self::MAX_KEY);
+        let s = self.search(*key);
+        // SAFETY: leaked-node regime (see `search`).
+        unsafe { (*s.l).key == *key }
+    }
+
+    /// Adds `key`; `true` iff it was absent.
+    pub fn insert(&self, key: u64) -> bool {
+        assert!(key <= Self::MAX_KEY, "key collides with sentinel range");
+        loop {
+            let s = self.search(key);
+            // SAFETY: leaked-node regime.
+            let (l_key, p) = unsafe { ((*s.l).key, s.p) };
+            if l_key == key {
+                return false;
+            }
+            if state_of(s.pupdate) != CLEAN {
+                self.help(s.pupdate);
+                continue;
+            }
+            // Four allocations: new leaf, sibling copy, internal, IInfo.
+            let new_leaf = Node::leaf(key);
+            let sibling_copy = Node::leaf(l_key);
+            let new_internal = if key < l_key {
+                Node::internal(l_key, new_leaf, sibling_copy)
+            } else {
+                Node::internal(key, sibling_copy, new_leaf)
+            };
+            let op = alloc_iinfo(p, s.l, new_internal);
+            stats::record_cas();
+            // iflag
+            // SAFETY: p is a live internal node.
+            match unsafe { &(*p).update }.compare_exchange(
+                s.pupdate,
+                pack(op, IFLAG),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.help_insert(op);
+                    return true;
+                }
+                Err(current) => {
+                    // Scratch nodes are leaked (paper regime); help the
+                    // interfering operation and retry.
+                    self.help(current);
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; `true` iff it was present.
+    pub fn remove(&self, key: &u64) -> bool {
+        let key = *key;
+        debug_assert!(key <= Self::MAX_KEY);
+        loop {
+            let s = self.search(key);
+            // SAFETY: leaked-node regime.
+            if unsafe { (*s.l).key } != key {
+                return false;
+            }
+            if state_of(s.gpupdate) != CLEAN {
+                self.help(s.gpupdate);
+                continue;
+            }
+            if state_of(s.pupdate) != CLEAN {
+                self.help(s.pupdate);
+                continue;
+            }
+            // One allocation: the DInfo record.
+            let op = alloc_dinfo(s.gp, s.p, s.l, s.pupdate);
+            stats::record_cas();
+            // dflag
+            // SAFETY: a finite-key leaf sits at depth ≥ 2, so gp is a
+            // live internal node.
+            match unsafe { &(*s.gp).update }.compare_exchange(
+                s.gpupdate,
+                pack(op, DFLAG),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if self.help_delete(op) {
+                        return true;
+                    }
+                }
+                Err(current) => self.help(current),
+            }
+        }
+    }
+
+    /// Dispatches help to whatever operation owns `update`.
+    fn help(&self, update: usize) {
+        match state_of(update) {
+            IFLAG => self.help_insert(info_of(update)),
+            MARK => self.help_marked(info_of(update)),
+            DFLAG => {
+                self.help_delete(info_of(update));
+            }
+            _ => {}
+        }
+    }
+
+    fn help_insert(&self, op: usize) {
+        // SAFETY: Info records are leaked, hence always dereferenceable;
+        // `op` came from an IFLAG word, so it is an IInfo.
+        let info = unsafe { &*(op as *const IInfo) };
+        self.cas_child(info.p, info.l, info.new_internal);
+        stats::record_cas();
+        // iunflag
+        // SAFETY: leaked-node regime.
+        let _ = unsafe { &(*info.p).update }.compare_exchange(
+            pack(op, IFLAG),
+            pack(op, CLEAN),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The second phase of a delete: mark the parent, then physically
+    /// splice. Returns `false` if the mark failed and the delete must
+    /// back off and retry from a fresh search.
+    fn help_delete(&self, op: usize) -> bool {
+        // SAFETY: `op` came from a DFLAG/MARK word → DInfo; leaked.
+        let info = unsafe { &*(op as *const DInfo) };
+        stats::record_cas();
+        // mark
+        // SAFETY: leaked-node regime.
+        let res = unsafe { &(*info.p).update }.compare_exchange(
+            info.pupdate,
+            pack(op, MARK),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        match res {
+            Ok(_) => {
+                self.help_marked(op);
+                true
+            }
+            Err(current) if current == pack(op, MARK) => {
+                // Another helper marked it for this same operation.
+                self.help_marked(op);
+                true
+            }
+            Err(current) => {
+                // The parent is owned by someone else: help them, then
+                // undo our grandparent flag (backtrack CAS).
+                self.help(current);
+                stats::record_cas();
+                // SAFETY: leaked-node regime.
+                let _ = unsafe { &(*info.gp).update }.compare_exchange(
+                    pack(op, DFLAG),
+                    pack(op, CLEAN),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                false
+            }
+        }
+    }
+
+    /// Physically splices out `p` and `l`, hoisting the sibling.
+    fn help_marked(&self, op: usize) {
+        // SAFETY: see `help_delete`.
+        let info = unsafe { &*(op as *const DInfo) };
+        // SAFETY: leaked-node regime.
+        let other = unsafe {
+            if (*info.p).right.load(Ordering::Acquire) == info.l {
+                (*info.p).left.load(Ordering::Acquire)
+            } else {
+                (*info.p).right.load(Ordering::Acquire)
+            }
+        };
+        self.cas_child(info.gp, info.p, other);
+        stats::record_cas();
+        // dunflag
+        // SAFETY: leaked-node regime.
+        let _ = unsafe { &(*info.gp).update }.compare_exchange(
+            pack(op, DFLAG),
+            pack(op, CLEAN),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The physical child swing (ichild / dchild).
+    fn cas_child(&self, parent: *mut Node, old: *mut Node, new: *mut Node) {
+        stats::record_cas();
+        // SAFETY: leaked-node regime; `new` subtree keys lie strictly on
+        // one side of `parent.key`, so `new.key` picks the correct side.
+        unsafe {
+            let field = if (*new).key < (*parent).key {
+                &(*parent).left
+            } else {
+                &(*parent).right
+            };
+            let _ = field.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
+        }
+    }
+
+    /// Visits every key in ascending order (weakly consistent).
+    pub fn for_each(&self, mut f: impl FnMut(u64)) {
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            // SAFETY: leaked-node regime.
+            unsafe {
+                if (*n).is_leaf() {
+                    if (*n).key < INF1 {
+                        f((*n).key);
+                    }
+                } else {
+                    stack.push((*n).right.load(Ordering::Acquire));
+                    stack.push((*n).left.load(Ordering::Acquire));
+                }
+            }
+        }
+    }
+
+    /// Number of keys via weakly consistent traversal.
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        self.for_each(|_| n += 1);
+        n
+    }
+
+    /// Validates external-BST shape and ordering (exclusive access).
+    pub fn check_invariants(&mut self) -> Result<usize, String> {
+        let mut user = 0;
+        let mut stack: Vec<(*mut Node, u64, u64)> = vec![(self.root, 0, u64::MAX)];
+        while let Some((n, low, high)) = stack.pop() {
+            // SAFETY: exclusive access; reachable nodes are live.
+            unsafe {
+                let k = (*n).key;
+                if !(low..=high).contains(&k) {
+                    return Err(format!("key {k} outside ({low}, {high})"));
+                }
+                let l = (*n).left.load(Ordering::Relaxed);
+                let r = (*n).right.load(Ordering::Relaxed);
+                match (l.is_null(), r.is_null()) {
+                    (true, true) => {
+                        if k < INF1 {
+                            user += 1;
+                        }
+                    }
+                    (false, false) => {
+                        if k == 0 {
+                            return Err("internal key 0 cannot separate".into());
+                        }
+                        stack.push((l, low, k - 1));
+                        stack.push((r, k, high));
+                    }
+                    _ => return Err("non-external node (exactly one child)".into()),
+                }
+            }
+        }
+        Ok(user)
+    }
+}
+
+impl Default for EfrbTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for EfrbTree {
+    fn drop(&mut self) {
+        // Frees the *reachable* tree. Unlinked nodes and Info records
+        // are intentionally leaked (paper's no-reclamation regime).
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access; reachable nodes are live boxes.
+            let node = unsafe { Box::from_raw(n) };
+            stack.push(node.left.load(Ordering::Relaxed));
+            stack.push(node.right.load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl std::fmt::Debug for EfrbTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EfrbTree").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+impl EfrbTree {
+    /// Test hook: performs only the grandparent-flag (dflag) step of a
+    /// delete and stops — a deleter stalled mid-protocol. Returns `true`
+    /// if the flag was planted.
+    fn stall_delete_after_dflag(&self, key: u64) -> bool {
+        loop {
+            let s = self.search(key);
+            // SAFETY: leaked-node regime.
+            if unsafe { (*s.l).key } != key {
+                return false;
+            }
+            if state_of(s.gpupdate) != CLEAN || state_of(s.pupdate) != CLEAN {
+                return false; // someone else owns the region
+            }
+            let op = alloc_dinfo(s.gp, s.p, s.l, s.pupdate);
+            // SAFETY: leaked-node regime.
+            if unsafe { &(*s.gp).update }
+                .compare_exchange(
+                    s.gpupdate,
+                    pack(op, DFLAG),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_granularity_forces_helping_figure5() {
+        // §5 / Figure 5 mirror of nmbst's
+        // `edge_granularity_gives_independent_progress_figure5`: EFRB
+        // coordinates at *node* granularity, so a delete stalled after
+        // flagging the grandparent blocks any other modify operation in
+        // that neighbourhood until it is helped **to completion** —
+        // deleting the tree sibling cannot proceed independently.
+        let t = EfrbTree::new();
+        assert!(t.insert(10));
+        assert!(t.insert(20));
+        assert!(t.stall_delete_after_dflag(10));
+        assert!(t.contains(&10), "stalled delete not yet linearized");
+        // The sibling delete must first finish the stalled delete of 10
+        // (its grandparent owns the region), then remove 20.
+        assert!(t.remove(&20));
+        assert!(
+            !t.contains(&10),
+            "EFRB forced the stalled delete to completion — the paper's \
+             node-vs-edge granularity contrast"
+        );
+        assert!(!t.contains(&20));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = EfrbTree::new();
+        assert!(!t.contains(&5));
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut t = EfrbTree::new();
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            assert!(t.insert(k));
+        }
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            assert!(t.contains(&k));
+        }
+        assert!(!t.insert(50));
+        assert!(t.remove(&50));
+        assert!(!t.remove(&50));
+        assert!(!t.contains(&50));
+        assert_eq!(t.check_invariants().unwrap(), 6);
+    }
+
+    #[test]
+    fn ascending_and_descending_sequences() {
+        let mut t = EfrbTree::new();
+        for k in 1..200u64 {
+            assert!(t.insert(k));
+        }
+        for k in (1..200u64).rev() {
+            assert!(t.remove(&k));
+        }
+        assert_eq!(t.check_invariants().unwrap(), 0);
+    }
+
+    #[test]
+    fn ordered_traversal() {
+        let t = EfrbTree::new();
+        for k in [9u64, 3, 7, 1, 5] {
+            t.insert(k);
+        }
+        let mut seen = Vec::new();
+        t.for_each(|k| seen.push(k));
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn sequential_model_check() {
+        let mut model = std::collections::BTreeSet::new();
+        let mut t = EfrbTree::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 128;
+            match x % 3 {
+                0 => assert_eq!(t.insert(k), model.insert(k)),
+                1 => assert_eq!(t.remove(&k), model.remove(&k)),
+                _ => assert_eq!(t.contains(&k), model.contains(&k)),
+            }
+        }
+        assert_eq!(t.check_invariants().unwrap(), model.len());
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        const THREADS: usize = 8;
+        const OPS: usize = 8_000;
+        const SPACE: u64 = 64;
+        let mut t = EfrbTree::new();
+        let ins: Vec<AtomicUsize> = (0..SPACE).map(|_| AtomicUsize::new(0)).collect();
+        let del: Vec<AtomicUsize> = (0..SPACE).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            let t = &t;
+            let ins = &ins;
+            let del = &del;
+            for tid in 0..THREADS {
+                s.spawn(move || {
+                    let mut x = 0x243F6A8885A308D3u64 ^ (tid as u64);
+                    for _ in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % SPACE;
+                        if x & 2 == 0 {
+                            if t.insert(k) {
+                                ins[k as usize].fetch_add(1, O::Relaxed);
+                            }
+                        } else if t.remove(&k) {
+                            del[k as usize].fetch_add(1, O::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let total = t.check_invariants().unwrap();
+        let mut expected = 0;
+        for k in 0..SPACE {
+            let i = ins[k as usize].load(O::Relaxed);
+            let d = del[k as usize].load(O::Relaxed);
+            assert!(i == d || i == d + 1, "key {k}: {i} ins vs {d} del");
+            let present = i == d + 1;
+            assert_eq!(t.contains(&k), present);
+            expected += usize::from(present);
+        }
+        assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,747 @@
+//! HJ-BST: Howley & Jones, *A Non-Blocking Internal Binary Search Tree*
+//! (SPAA 2012).
+//!
+//! An **internal** BST: every node carries a real key, so search paths
+//! are shorter than in external trees — the reason HJ wins the paper's
+//! read-dominated, large-key-space panels of Figure 4. The price is paid
+//! on deletion: removing a key whose node has two children *relocates*
+//! the successor's key into it with a multi-step, helped operation
+//! record protocol (`RelocateOp`), and physically unlinking any node
+//! takes a `ChildCASOp` through the parent.
+//!
+//! Each node's `op` word packs an operation-record pointer with a state
+//! (`NONE`, `MARK`, `CHILDCAS`, `RELOCATE`). Child words pack a pointer
+//! with a *null bit*: a logically null child that still remembers the
+//! old address, so that stale CASes fail.
+//!
+//! Keys are relocated with a CAS on the key word itself, which is why
+//! this baseline (like the authors' C implementation) requires
+//! word-sized keys: `u64`, strictly positive (0 is the root sentinel).
+//! Removed nodes and operation records are leaked (paper regime).
+
+use crate::stats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const NONE: usize = 0;
+const MARK: usize = 1;
+const CHILDCAS: usize = 2;
+const RELOCATE: usize = 3;
+const STATE_MASK: usize = 3;
+
+const ONGOING: usize = 0;
+const SUCCESSFUL: usize = 1;
+const FAILED: usize = 2;
+
+const NULL_BIT: usize = 1;
+
+#[inline]
+fn flag(op: usize, state: usize) -> usize {
+    (op & !STATE_MASK) | state
+}
+
+#[inline]
+fn get_state(op: usize) -> usize {
+    op & STATE_MASK
+}
+
+#[inline]
+fn unflag(op: usize) -> usize {
+    op & !STATE_MASK
+}
+
+#[inline]
+fn is_null(child: usize) -> bool {
+    child == 0 || child & NULL_BIT != 0
+}
+
+#[inline]
+fn set_null(child: usize) -> usize {
+    child | NULL_BIT
+}
+
+#[repr(align(8))]
+struct Node {
+    key: AtomicU64,
+    op: AtomicUsize,
+    left: AtomicUsize,
+    right: AtomicUsize,
+}
+
+impl Node {
+    fn alloc(key: u64) -> *mut Node {
+        stats::record_alloc();
+        Box::into_raw(Box::new(Node {
+            key: AtomicU64::new(key),
+            op: AtomicUsize::new(NONE),
+            left: AtomicUsize::new(0),
+            right: AtomicUsize::new(0),
+        }))
+    }
+}
+
+/// "Swing `dest`'s `is_left` child from `expected` to `update`."
+#[repr(align(8))]
+struct ChildCasOp {
+    is_left: bool,
+    expected: usize,
+    update: usize,
+}
+
+/// "Move `replace_key` into `dest` (whose op word was `dest_op`),
+/// removing `remove_key`."
+#[repr(align(8))]
+struct RelocateOp {
+    state: AtomicUsize,
+    dest: *mut Node,
+    dest_op: usize,
+    remove_key: u64,
+    replace_key: u64,
+}
+
+fn alloc_child_cas(is_left: bool, expected: usize, update: usize) -> usize {
+    stats::record_alloc();
+    Box::into_raw(Box::new(ChildCasOp {
+        is_left,
+        expected,
+        update,
+    })) as usize
+}
+
+fn alloc_relocate(dest: *mut Node, dest_op: usize, remove_key: u64, replace_key: u64) -> usize {
+    stats::record_alloc();
+    Box::into_raw(Box::new(RelocateOp {
+        state: AtomicUsize::new(ONGOING),
+        dest,
+        dest_op,
+        remove_key,
+        replace_key,
+    })) as usize
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FindResult {
+    Found,
+    NotFoundL,
+    NotFoundR,
+    Abort,
+}
+
+struct FindState {
+    pred: *mut Node,
+    pred_op: usize,
+    curr: *mut Node,
+    curr_op: usize,
+}
+
+/// Howley & Jones's lock-free internal BST over positive `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_baselines::hj::HjTree;
+///
+/// let t = HjTree::new();
+/// assert!(t.insert(5));
+/// assert!(t.contains(&5));
+/// assert!(t.remove(&5));
+/// assert!(!t.contains(&5));
+/// ```
+pub struct HjTree {
+    root: *mut Node,
+}
+
+// SAFETY: shared mutation is mediated by the algorithm's CAS protocol.
+unsafe impl Send for HjTree {}
+unsafe impl Sync for HjTree {}
+
+impl HjTree {
+    /// Creates an empty tree (root sentinel with key 0; real content
+    /// hangs off its right child).
+    pub fn new() -> Self {
+        HjTree {
+            root: Node::alloc(0),
+        }
+    }
+
+    /// The find routine (HJ Figure 4): descends from `aux_root`, helping
+    /// any flagged operation it encounters, and validates that the last
+    /// right-turn node's op word is unchanged (the guard against keys
+    /// that relocated past us).
+    fn find(&self, key: u64, aux_root: *mut Node) -> (FindResult, FindState) {
+        // SAFETY throughout: removed nodes/records are leaked, so every
+        // pointer read from a live word stays dereferenceable.
+        unsafe {
+            'retry: loop {
+                let mut result = FindResult::NotFoundR;
+                let mut curr = aux_root;
+                let mut curr_op = (*curr).op.load(Ordering::Acquire);
+                if get_state(curr_op) != NONE {
+                    if aux_root == self.root {
+                        // Only child-CAS ops can own the root.
+                        self.help_child_cas(unflag(curr_op), curr);
+                        continue 'retry;
+                    }
+                    return (
+                        FindResult::Abort,
+                        FindState {
+                            pred: std::ptr::null_mut(),
+                            pred_op: 0,
+                            curr,
+                            curr_op,
+                        },
+                    );
+                }
+                let mut pred = std::ptr::null_mut();
+                let mut pred_op = 0;
+                let mut last_right = curr;
+                let mut last_right_op = curr_op;
+                let mut next = (*curr).right.load(Ordering::Acquire);
+                while !is_null(next) {
+                    pred = curr;
+                    pred_op = curr_op;
+                    curr = next as *mut Node;
+                    curr_op = (*curr).op.load(Ordering::Acquire);
+                    if get_state(curr_op) != NONE {
+                        self.help(pred, pred_op, curr, curr_op);
+                        continue 'retry;
+                    }
+                    let curr_key = (*curr).key.load(Ordering::Acquire);
+                    match key.cmp(&curr_key) {
+                        std::cmp::Ordering::Less => {
+                            result = FindResult::NotFoundL;
+                            next = (*curr).left.load(Ordering::Acquire);
+                        }
+                        std::cmp::Ordering::Greater => {
+                            result = FindResult::NotFoundR;
+                            next = (*curr).right.load(Ordering::Acquire);
+                            last_right = curr;
+                            last_right_op = curr_op;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            result = FindResult::Found;
+                            break;
+                        }
+                    }
+                }
+                if result != FindResult::Found
+                    && last_right_op != (*last_right).op.load(Ordering::Acquire)
+                {
+                    continue 'retry;
+                }
+                if (*curr).op.load(Ordering::Acquire) != curr_op {
+                    continue 'retry;
+                }
+                return (
+                    result,
+                    FindState {
+                        pred,
+                        pred_op,
+                        curr,
+                        curr_op,
+                    },
+                );
+            }
+        }
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &u64) -> bool {
+        debug_assert!(*key > 0, "key 0 is the root sentinel");
+        matches!(self.find(*key, self.root).0, FindResult::Found)
+    }
+
+    /// Adds `key` (must be > 0); `true` iff it was absent.
+    pub fn insert(&self, key: u64) -> bool {
+        assert!(key > 0, "key 0 is the root sentinel");
+        loop {
+            let (result, st) = self.find(key, self.root);
+            if result == FindResult::Found {
+                return false;
+            }
+            let new_node = Node::alloc(key) as usize;
+            let is_left = result == FindResult::NotFoundL;
+            // SAFETY: leaked-node regime.
+            let old = unsafe {
+                if is_left {
+                    (*st.curr).left.load(Ordering::Acquire)
+                } else {
+                    (*st.curr).right.load(Ordering::Acquire)
+                }
+            };
+            let cas_op = alloc_child_cas(is_left, old, new_node);
+            stats::record_cas();
+            // SAFETY: leaked-node regime.
+            let won = unsafe { &(*st.curr).op }
+                .compare_exchange(
+                    st.curr_op,
+                    flag(cas_op, CHILDCAS),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok();
+            if won {
+                self.help_child_cas(cas_op, st.curr);
+                return true;
+            }
+            // Lost the op word; scratch node and record are leaked.
+        }
+    }
+
+    /// Removes `key`; `true` iff it was present. Linearizes at the mark
+    /// (≤ 1 child) or at the successful relocation (2 children).
+    pub fn remove(&self, key: &u64) -> bool {
+        let key = *key;
+        debug_assert!(key > 0);
+        loop {
+            let (result, st) = self.find(key, self.root);
+            if result != FindResult::Found {
+                return false;
+            }
+            // SAFETY: leaked-node regime.
+            let (left, right) = unsafe {
+                (
+                    (*st.curr).left.load(Ordering::Acquire),
+                    (*st.curr).right.load(Ordering::Acquire),
+                )
+            };
+            if is_null(left) || is_null(right) {
+                // At most one child: mark, then splice through the parent.
+                stats::record_cas();
+                // SAFETY: leaked-node regime.
+                let marked = unsafe { &(*st.curr).op }
+                    .compare_exchange(
+                        st.curr_op,
+                        flag(st.curr_op, MARK),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok();
+                if marked {
+                    self.help_marked(st.pred, st.pred_op, st.curr);
+                    return true;
+                }
+            } else {
+                // Two children: relocate the successor's key into `curr`.
+                let (result2, st2) = self.find(key, st.curr);
+                // SAFETY: leaked-node regime.
+                if result2 == FindResult::Abort
+                    || unsafe { (*st.curr).op.load(Ordering::Acquire) } != st.curr_op
+                {
+                    continue;
+                }
+                // SAFETY: leaked-node regime.
+                let replace_key = unsafe { (*st2.curr).key.load(Ordering::Acquire) };
+                let reloc = alloc_relocate(st.curr, st.curr_op, key, replace_key);
+                stats::record_cas();
+                // SAFETY: leaked-node regime.
+                let won = unsafe { &(*st2.curr).op }
+                    .compare_exchange(
+                        st2.curr_op,
+                        flag(reloc, RELOCATE),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok();
+                if won && self.help_relocate(reloc, st2.pred, st2.pred_op, st2.curr) {
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn help(&self, pred: *mut Node, pred_op: usize, curr: *mut Node, curr_op: usize) {
+        match get_state(curr_op) {
+            CHILDCAS => self.help_child_cas(unflag(curr_op), curr),
+            RELOCATE => {
+                self.help_relocate(unflag(curr_op), pred, pred_op, curr);
+            }
+            MARK => self.help_marked(pred, pred_op, curr),
+            _ => {}
+        }
+    }
+
+    fn help_child_cas(&self, op: usize, dest: *mut Node) {
+        // SAFETY: `op` was packed with CHILDCAS, so it is a leaked
+        // ChildCasOp; `dest` is a live node.
+        unsafe {
+            let o = &*(op as *const ChildCasOp);
+            let field = if o.is_left {
+                &(*dest).left
+            } else {
+                &(*dest).right
+            };
+            stats::record_cas();
+            let _ =
+                field.compare_exchange(o.expected, o.update, Ordering::AcqRel, Ordering::Acquire);
+            stats::record_cas();
+            let _ = (*dest).op.compare_exchange(
+                flag(op, CHILDCAS),
+                flag(op, NONE),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+        }
+    }
+
+    /// The relocation protocol (HJ Figure 6). `curr` is the node whose
+    /// op word carries the RELOCATE flag (the successor being emptied).
+    fn help_relocate(
+        &self,
+        op: usize,
+        pred: *mut Node,
+        mut pred_op: usize,
+        curr: *mut Node,
+    ) -> bool {
+        // SAFETY: `op` is a leaked RelocateOp; nodes are leaked.
+        unsafe {
+            let o = &*(op as *const RelocateOp);
+            let mut seen_state = o.state.load(Ordering::Acquire);
+            if seen_state == ONGOING {
+                // Try to own the destination's op word.
+                stats::record_cas();
+                let seen_op = match (*o.dest).op.compare_exchange(
+                    o.dest_op,
+                    flag(op, RELOCATE),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(old) => old,
+                    Err(old) => old,
+                };
+                if seen_op == o.dest_op || seen_op == flag(op, RELOCATE) {
+                    stats::record_cas();
+                    let _ = o.state.compare_exchange(
+                        ONGOING,
+                        SUCCESSFUL,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    seen_state = SUCCESSFUL;
+                } else {
+                    stats::record_cas();
+                    seen_state = match o.state.compare_exchange(
+                        ONGOING,
+                        FAILED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => FAILED,
+                        Err(s) => s,
+                    };
+                }
+            }
+            if seen_state == SUCCESSFUL {
+                // Swap the key into the destination and release it.
+                stats::record_cas();
+                let _ = (*o.dest).key.compare_exchange(
+                    o.remove_key,
+                    o.replace_key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                stats::record_cas();
+                let _ = (*o.dest).op.compare_exchange(
+                    flag(op, RELOCATE),
+                    flag(op, NONE),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+            let result = seen_state == SUCCESSFUL;
+            if o.dest == curr {
+                return result;
+            }
+            // Release (or mark for removal) the successor node.
+            stats::record_cas();
+            let _ = (*curr).op.compare_exchange(
+                flag(op, RELOCATE),
+                flag(op, if result { MARK } else { NONE }),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            if result {
+                if o.dest == pred {
+                    pred_op = flag(op, NONE);
+                }
+                self.help_marked(pred, pred_op, curr);
+            }
+            result
+        }
+    }
+
+    /// Physically splices a marked node out through its parent.
+    fn help_marked(&self, pred: *mut Node, pred_op: usize, curr: *mut Node) {
+        // SAFETY: leaked-node regime.
+        unsafe {
+            let left = (*curr).left.load(Ordering::Acquire);
+            let right = (*curr).right.load(Ordering::Acquire);
+            let new_ref = if is_null(left) {
+                if is_null(right) {
+                    // No children: install a null-flagged pointer that
+                    // still remembers `curr`, so stale CASes fail.
+                    set_null(curr as usize)
+                } else {
+                    right
+                }
+            } else {
+                left
+            };
+            let is_left = (*pred).left.load(Ordering::Acquire) == curr as usize;
+            let cas_op = alloc_child_cas(is_left, curr as usize, new_ref);
+            stats::record_cas();
+            if (*pred)
+                .op
+                .compare_exchange(
+                    pred_op,
+                    flag(cas_op, CHILDCAS),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.help_child_cas(cas_op, pred);
+            }
+        }
+    }
+
+    /// Visits keys in ascending order (weakly consistent; exact at
+    /// quiescence). Marked (logically deleted) nodes are skipped.
+    pub fn for_each(&self, mut f: impl FnMut(u64)) {
+        // In-order DFS; (node, children_done) frames.
+        let mut stack: Vec<(usize, bool)> = Vec::new();
+        // SAFETY: leaked-node regime.
+        unsafe {
+            let first = (*self.root).right.load(Ordering::Acquire);
+            if !is_null(first) {
+                stack.push((first, false));
+            }
+            while let Some((n, expanded)) = stack.pop() {
+                let node = n as *mut Node;
+                if expanded {
+                    if get_state((*node).op.load(Ordering::Acquire)) != MARK {
+                        f((*node).key.load(Ordering::Acquire));
+                    }
+                    let right = (*node).right.load(Ordering::Acquire);
+                    if !is_null(right) {
+                        stack.push((right, false));
+                    }
+                } else {
+                    stack.push((n, true));
+                    let left = (*node).left.load(Ordering::Acquire);
+                    if !is_null(left) {
+                        stack.push((left, false));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of keys via weakly consistent traversal.
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        self.for_each(|_| n += 1);
+        n
+    }
+
+    /// Validates BST ordering at quiescence (exclusive access); returns
+    /// the number of live (unmarked) keys.
+    pub fn check_invariants(&mut self) -> Result<usize, String> {
+        let mut live = 0;
+        let mut stack: Vec<(usize, u64, u64)> = Vec::new();
+        // SAFETY: exclusive access; leaked-node regime.
+        unsafe {
+            let first = (*self.root).right.load(Ordering::Relaxed);
+            if !is_null(first) {
+                stack.push((first, 1, u64::MAX));
+            }
+            while let Some((n, low, high)) = stack.pop() {
+                let node = n as *mut Node;
+                let k = (*node).key.load(Ordering::Relaxed);
+                if !(low..=high).contains(&k) {
+                    return Err(format!("key {k} outside ({low}, {high})"));
+                }
+                let state = get_state((*node).op.load(Ordering::Relaxed));
+                if state == CHILDCAS || state == RELOCATE {
+                    return Err(format!("unresolved operation on node {k} at quiescence"));
+                }
+                if state != MARK {
+                    live += 1;
+                }
+                let left = (*node).left.load(Ordering::Relaxed);
+                let right = (*node).right.load(Ordering::Relaxed);
+                if !is_null(left) {
+                    if k == 0 {
+                        return Err("left child under key 0".into());
+                    }
+                    stack.push((left, low, k - 1));
+                }
+                if !is_null(right) {
+                    stack.push((right, k + 1, high));
+                }
+            }
+        }
+        Ok(live)
+    }
+}
+
+impl Default for HjTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for HjTree {
+    fn drop(&mut self) {
+        // Frees the reachable tree only; unlinked nodes and operation
+        // records are leaked (paper regime).
+        let mut stack = vec![self.root as usize];
+        while let Some(n) = stack.pop() {
+            if is_null(n) && n != self.root as usize {
+                continue;
+            }
+            // SAFETY: exclusive access; reachable nodes are live boxes.
+            let node = unsafe { Box::from_raw(n as *mut Node) };
+            let l = node.left.load(Ordering::Relaxed);
+            let r = node.right.load(Ordering::Relaxed);
+            if !is_null(l) {
+                stack.push(l);
+            }
+            if !is_null(r) {
+                stack.push(r);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for HjTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HjTree").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let t = HjTree::new();
+        assert!(!t.contains(&1));
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut t = HjTree::new();
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            assert!(t.insert(k));
+        }
+        assert!(!t.insert(25));
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            assert!(t.contains(&k));
+        }
+        // Leaf removal.
+        assert!(t.remove(&10));
+        assert!(!t.contains(&10));
+        // One-child removal.
+        assert!(t.remove(&25));
+        assert!(!t.contains(&25));
+        assert!(t.contains(&30));
+        // Two-children removal (relocation).
+        assert!(t.remove(&50));
+        assert!(!t.contains(&50));
+        for k in [75u64, 30, 60, 90] {
+            assert!(t.contains(&k), "lost {k}");
+        }
+        assert_eq!(t.check_invariants().unwrap(), 4);
+    }
+
+    #[test]
+    fn remove_root_key_repeatedly() {
+        let mut t = HjTree::new();
+        for k in 1..=31u64 {
+            t.insert(k);
+        }
+        // Remove in an order that forces many relocations.
+        for k in [16u64, 8, 24, 4, 12, 20, 28, 2, 6] {
+            assert!(t.remove(&k), "remove {k}");
+            assert!(!t.contains(&k));
+        }
+        assert_eq!(t.check_invariants().unwrap(), 31 - 9);
+    }
+
+    #[test]
+    fn ordered_traversal() {
+        let t = HjTree::new();
+        for k in [9u64, 3, 7, 1, 5] {
+            t.insert(k);
+        }
+        let mut seen = Vec::new();
+        t.for_each(|k| seen.push(k));
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn sequential_model_check() {
+        let mut model = std::collections::BTreeSet::new();
+        let mut t = HjTree::new();
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for _ in 0..6000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 128 + 1;
+            match x % 3 {
+                0 => assert_eq!(t.insert(k), model.insert(k), "insert {k}"),
+                1 => assert_eq!(t.remove(&k), model.remove(&k), "remove {k}"),
+                _ => assert_eq!(t.contains(&k), model.contains(&k), "contains {k}"),
+            }
+        }
+        assert_eq!(t.check_invariants().unwrap(), model.len());
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        const THREADS: usize = 8;
+        const OPS: usize = 6_000;
+        const SPACE: u64 = 64;
+        let mut t = HjTree::new();
+        let ins: Vec<AtomicUsize> = (0..SPACE).map(|_| AtomicUsize::new(0)).collect();
+        let del: Vec<AtomicUsize> = (0..SPACE).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            let t = &t;
+            let ins = &ins;
+            let del = &del;
+            for tid in 0..THREADS {
+                s.spawn(move || {
+                    let mut x = 0x9E3779B97F4A7C15u64 ^ (tid as u64) << 17;
+                    for _ in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % SPACE + 1;
+                        if x & 2 == 0 {
+                            if t.insert(k) {
+                                ins[(k - 1) as usize].fetch_add(1, O::Relaxed);
+                            }
+                        } else if t.remove(&k) {
+                            del[(k - 1) as usize].fetch_add(1, O::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let live = t.check_invariants().unwrap();
+        let mut expected = 0;
+        for k in 1..=SPACE {
+            let i = ins[(k - 1) as usize].load(O::Relaxed);
+            let d = del[(k - 1) as usize].load(O::Relaxed);
+            assert!(i == d || i == d + 1, "key {k}: {i} ins vs {d} del");
+            let present = i == d + 1;
+            assert_eq!(t.contains(&k), present, "membership of {k}");
+            expected += usize::from(present);
+        }
+        assert_eq!(live, expected);
+    }
+}

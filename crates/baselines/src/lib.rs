@@ -1,0 +1,45 @@
+//! Comparator implementations from the paper's evaluation (§4).
+//!
+//! The paper benchmarks NM-BST against three concurrent BSTs; all three
+//! are implemented here from their original papers, plus a trivially
+//! correct coarse-locked reference:
+//!
+//! * [`efrb::EfrbTree`] — Ellen, Fataourou, Ruppert & van Breugel,
+//!   *Non-Blocking Binary Search Trees* (PODC 2010). Lock-free
+//!   **external** BST that coordinates by flagging/marking *nodes* with
+//!   pointers to Info records.
+//! * [`hj::HjTree`] — Howley & Jones, *A Non-Blocking Internal Binary
+//!   Search Tree* (SPAA 2012). Lock-free **internal** BST using
+//!   operation records (child-CAS and relocation), where deleting an
+//!   interior key relocates its successor's key.
+//! * [`bcco::BccoTree`] — Bronson, Casper, Chafi & Olukotun, *A
+//!   Practical Concurrent Binary Search Tree* (PPoPP 2010). Lock-based
+//!   partially external relaxed-balance AVL with optimistic
+//!   hand-over-hand version validation.
+//! * [`locked::LockedBTreeSet`] — `std::collections::BTreeSet` behind a
+//!   single mutex; the sanity baseline every concurrent structure must
+//!   beat past one thread.
+//!
+//! # Fidelity notes
+//!
+//! * Keys are `u64` (non-zero for [`hj::HjTree`]), matching the integer
+//!   keys of the paper's C implementations. HJ relocation swaps keys
+//!   with a CAS, which fundamentally requires word-sized keys.
+//! * Like the paper's evaluation harness ("no memory reclamation is
+//!   performed in any of the implementations"), the lock-free baselines
+//!   **leak removed nodes and operation records** for their lifetime;
+//!   `Drop` frees only what is still reachable. The production-grade
+//!   reclaiming tree is the point of the `nmbst` crate, not of these
+//!   comparators.
+//! * With `feature = "instrument"`, per-thread counters record the
+//!   allocations and atomic instructions per operation — the quantities
+//!   of Table 1.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bcco;
+pub mod efrb;
+pub mod hj;
+pub mod locked;
+pub mod stats;

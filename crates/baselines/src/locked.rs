@@ -1,0 +1,91 @@
+//! The coarse-locked reference: `BTreeSet` behind one mutex.
+//!
+//! Not in the paper's evaluation, but the natural sanity baseline: any
+//! concurrent tree must beat it as soon as there is parallelism, and at
+//! one thread it bounds how much the lock-free machinery costs.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// A `BTreeSet<u64>` serialized by a single mutex.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_baselines::locked::LockedBTreeSet;
+///
+/// let s = LockedBTreeSet::new();
+/// assert!(s.insert(1));
+/// assert!(s.contains(&1));
+/// assert!(s.remove(&1));
+/// ```
+#[derive(Debug, Default)]
+pub struct LockedBTreeSet {
+    inner: Mutex<BTreeSet<u64>>,
+}
+
+impl LockedBTreeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `key`; `true` iff it was absent.
+    pub fn insert(&self, key: u64) -> bool {
+        self.inner.lock().insert(key)
+    }
+
+    /// Removes `key`; `true` iff it was present.
+    pub fn remove(&self, key: &u64) -> bool {
+        self.inner.lock().remove(key)
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &u64) -> bool {
+        self.inner.lock().contains(key)
+    }
+
+    /// Number of keys.
+    pub fn count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Visits keys in ascending order under the lock.
+    pub fn for_each(&self, mut f: impl FnMut(u64)) {
+        for &k in self.inner.lock().iter() {
+            f(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let s = LockedBTreeSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(&3));
+        assert!(s.remove(&3));
+        assert!(!s.remove(&3));
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let s = LockedBTreeSet::new();
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..1000 {
+                        assert!(s.insert(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count(), 4000);
+    }
+}

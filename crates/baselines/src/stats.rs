@@ -1,0 +1,108 @@
+//! Per-thread cost counters for the baselines (Table 1).
+//!
+//! Mirrors `nmbst::stats`: thread-local `Cell`s, compiled to nothing
+//! without `feature = "instrument"`.
+
+use std::cell::Cell;
+
+/// Counter snapshot for baseline operations.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// CAS instructions executed.
+    pub cas: u64,
+    /// Shared objects allocated (nodes *and* operation records).
+    pub allocs: u64,
+    /// Lock acquisitions (BCCO only; the lock-free baselines take none).
+    pub locks: u64,
+}
+
+impl BaselineStats {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &BaselineStats) -> BaselineStats {
+        BaselineStats {
+            cas: self.cas.saturating_sub(earlier.cas),
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            locks: self.locks.saturating_sub(earlier.locks),
+        }
+    }
+}
+
+#[cfg(feature = "instrument")]
+thread_local! {
+    static STATS: Cell<BaselineStats> =
+        const { Cell::new(BaselineStats { cas: 0, allocs: 0, locks: 0 }) };
+}
+
+/// Records one CAS.
+#[inline]
+pub fn record_cas() {
+    #[cfg(feature = "instrument")]
+    STATS.with(|s| {
+        let mut v = s.get();
+        v.cas += 1;
+        s.set(v);
+    });
+}
+
+/// Records one shared-object allocation.
+#[inline]
+pub fn record_alloc() {
+    #[cfg(feature = "instrument")]
+    STATS.with(|s| {
+        let mut v = s.get();
+        v.allocs += 1;
+        s.set(v);
+    });
+}
+
+/// Records one lock acquisition.
+#[inline]
+pub fn record_lock() {
+    #[cfg(feature = "instrument")]
+    STATS.with(|s| {
+        let mut v = s.get();
+        v.locks += 1;
+        s.set(v);
+    });
+}
+
+/// Current thread's counters (zeros without `instrument`).
+#[inline]
+pub fn snapshot() -> BaselineStats {
+    #[cfg(feature = "instrument")]
+    {
+        STATS.with(|s| s.get())
+    }
+    #[cfg(not(feature = "instrument"))]
+    {
+        BaselineStats::default()
+    }
+}
+
+/// Resets the current thread's counters.
+#[inline]
+pub fn reset() {
+    #[cfg(feature = "instrument")]
+    STATS.with(|s| s.set(BaselineStats::default()));
+}
+
+#[allow(dead_code)]
+fn _keep_cell(_: Cell<u8>) {}
+
+#[cfg(all(test, feature = "instrument"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_reset() {
+        reset();
+        record_cas();
+        record_alloc();
+        record_alloc();
+        let s = snapshot();
+        assert_eq!(s.cas, 1);
+        assert_eq!(s.allocs, 2);
+        reset();
+        assert_eq!(snapshot(), BaselineStats::default());
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation: BTS (`fetch_or`) vs CAS-only tagging.
+//!
+//! §6: "our algorithm can be easily modified to use only compare-and-swap
+//! instructions." This bench quantifies what the BTS buys: the cleanup
+//! routine's tag step is the only difference between the two variants,
+//! exercised hardest by a write-dominated workload on a tiny key space
+//! (maximal delete/helping traffic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmbst_harness::adapter::{ConcurrentSet, NmCasOnly, NmLeaky};
+use nmbst_harness::prepopulate;
+use nmbst_harness::rng::XorShift64Star;
+use nmbst_harness::workload::{OpKind, Workload};
+use std::time::Duration;
+
+const OPS_PER_ITER: u64 = 4_000;
+
+fn run_batch<S: ConcurrentSet>(set: &S, threads: usize, key_range: u64, seed: u64) {
+    let w = Workload::WRITE_DOMINATED;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let set = &set;
+            s.spawn(move || {
+                let mut rng = XorShift64Star::from_stream(seed, t as u64);
+                for _ in 0..OPS_PER_ITER / threads as u64 {
+                    let key = 1 + rng.next_bounded(key_range);
+                    match w.pick(&mut rng) {
+                        OpKind::Insert => {
+                            std::hint::black_box(set.insert(key));
+                        }
+                        _ => {
+                            std::hint::black_box(set.remove(key));
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bts_vs_cas");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_ITER));
+    for key_range in [128u64, 1024] {
+        for threads in [1usize, 4] {
+            let nm = NmLeaky::make();
+            prepopulate(&nm, key_range, 7);
+            group.bench_with_input(
+                BenchmarkId::new("fetch_or", format!("{key_range}keys/{threads}t")),
+                &(),
+                |b, _| {
+                    let mut round = 0;
+                    b.iter(|| {
+                        round += 1;
+                        run_batch(&nm, threads, key_range, round);
+                    });
+                },
+            );
+            let cas = NmCasOnly::make();
+            prepopulate(&cas, key_range, 7);
+            group.bench_with_input(
+                BenchmarkId::new("cas_loop", format!("{key_range}keys/{threads}t")),
+                &(),
+                |b, _| {
+                    let mut round = 0;
+                    b.iter(|| {
+                        round += 1;
+                        run_batch(&cas, threads, key_range, round);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_bts, bench);
+criterion_main!(ablation_bts);

@@ -1,0 +1,84 @@
+//! Ablation: chain removal — "multiple leaf nodes may be removed from
+//! the tree in a single step" (§5, fifth point; Figure 2).
+//!
+//! An adversarial delete-heavy workload on a tiny key space makes
+//! overlapping deletes common, so splices regularly excise whole chains.
+//! With `instrument` counters (enabled for this crate) we report, per
+//! thread configuration, how many nodes each successful splice unlinked
+//! on average — the direct evidence of the mechanism — alongside the
+//! usual throughput measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmbst::stats;
+use nmbst_harness::adapter::{ConcurrentSet, NmLeaky};
+use nmbst_harness::prepopulate;
+use nmbst_harness::rng::XorShift64Star;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const OPS_PER_ITER: u64 = 4_000;
+const KEY_RANGE: u64 = 64;
+
+/// Delete-then-reinsert churn; returns (splices, unlinked, cleanups).
+fn churn(set: &NmLeaky, threads: usize, seed: u64, totals: &Mutex<(u64, u64, u64)>) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let set = &set;
+            s.spawn(move || {
+                let before = stats::snapshot();
+                let mut rng = XorShift64Star::from_stream(seed, t as u64);
+                for _ in 0..OPS_PER_ITER / threads as u64 {
+                    let key = 1 + rng.next_bounded(KEY_RANGE);
+                    if rng.next_u64() & 1 == 0 {
+                        std::hint::black_box(set.remove(&key));
+                    } else {
+                        std::hint::black_box(set.insert(key));
+                    }
+                }
+                let d = stats::snapshot().since(&before);
+                let mut g = totals.lock().unwrap();
+                g.0 += d.splices;
+                g.1 += d.unlinked;
+                g.2 += d.cleanups;
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chain_removal");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_ITER));
+
+    for threads in [1usize, 2, 4, 8] {
+        let set = NmLeaky::make();
+        prepopulate(&set, KEY_RANGE, 11);
+        let totals = Mutex::new((0u64, 0u64, 0u64));
+        group.bench_with_input(
+            BenchmarkId::new("churn", format!("{threads}t")),
+            &(),
+            |b, _| {
+                let mut round = 0;
+                b.iter(|| {
+                    round += 1;
+                    churn(&set, threads, round, &totals);
+                });
+            },
+        );
+        let (splices, unlinked, cleanups) = *totals.lock().unwrap();
+        if splices > 0 {
+            println!(
+                "chain_removal/{threads}t: {:.3} nodes unlinked per splice \
+                 ({splices} splices, {cleanups} cleanup calls)",
+                unlinked as f64 / splices as f64
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_chains, bench);
+criterion_main!(ablation_chains);

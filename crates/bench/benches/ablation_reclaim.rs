@@ -1,0 +1,86 @@
+//! Ablation: what does *real* memory reclamation cost?
+//!
+//! The paper's evaluation leaks everything ("no memory reclamation is
+//! performed in any of the implementations"). A shipping library
+//! cannot, so this bench measures NM-BST under the paper's `Leaky`
+//! regime against the same tree running our from-scratch epoch-based
+//! reclaimer — the pin/unpin per operation plus deferred-free batches
+//! on the delete path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmbst_harness::adapter::{ConcurrentSet, NmEbr, NmLeaky};
+use nmbst_harness::prepopulate;
+use nmbst_harness::rng::XorShift64Star;
+use nmbst_harness::workload::{OpKind, Workload};
+use std::time::Duration;
+
+const OPS_PER_ITER: u64 = 4_000;
+const KEY_RANGE: u64 = 10_000;
+
+fn run_batch<S: ConcurrentSet>(set: &S, threads: usize, workload: Workload, seed: u64) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let set = &set;
+            s.spawn(move || {
+                let mut rng = XorShift64Star::from_stream(seed, t as u64);
+                for _ in 0..OPS_PER_ITER / threads as u64 {
+                    let key = 1 + rng.next_bounded(KEY_RANGE);
+                    match workload.pick(&mut rng) {
+                        OpKind::Search => {
+                            std::hint::black_box(set.contains(key));
+                        }
+                        OpKind::Insert => {
+                            std::hint::black_box(set.insert(key));
+                        }
+                        OpKind::Delete => {
+                            std::hint::black_box(set.remove(key));
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reclamation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_ITER));
+    for workload in [Workload::WRITE_DOMINATED, Workload::READ_DOMINATED] {
+        for threads in [1usize, 4] {
+            let leaky = NmLeaky::make();
+            prepopulate(&leaky, KEY_RANGE, 9);
+            group.bench_with_input(
+                BenchmarkId::new("leaky", format!("{}/{}t", workload.name, threads)),
+                &(),
+                |b, _| {
+                    let mut round = 0;
+                    b.iter(|| {
+                        round += 1;
+                        run_batch(&leaky, threads, workload, round);
+                    });
+                },
+            );
+            let ebr = NmEbr::make();
+            prepopulate(&ebr, KEY_RANGE, 9);
+            group.bench_with_input(
+                BenchmarkId::new("ebr", format!("{}/{}t", workload.name, threads)),
+                &(),
+                |b, _| {
+                    let mut round = 0;
+                    b.iter(|| {
+                        round += 1;
+                        run_batch(&ebr, threads, workload, round);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_reclaim, bench);
+criterion_main!(ablation_reclaim);

@@ -1,0 +1,82 @@
+//! Criterion version of **Figure 4** (scaled down so `cargo bench`
+//! completes quickly; the full-fidelity sweep is the `figure4` binary).
+//!
+//! Measures the time for a fixed batch of mixed operations on a
+//! pre-populated tree, for every algorithm × workload at a mid-size key
+//! range, at 1 and 2 threads. Criterion reports throughput in
+//! elements/second, directly comparable across algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmbst_baselines::{bcco::BccoTree, efrb::EfrbTree, hj::HjTree, locked::LockedBTreeSet};
+use nmbst_harness::adapter::{ConcurrentSet, NmLeaky};
+use nmbst_harness::prepopulate;
+use nmbst_harness::rng::XorShift64Star;
+use nmbst_harness::workload::{OpKind, Workload};
+use std::time::Duration;
+
+const KEY_RANGE: u64 = 10_000;
+const OPS_PER_ITER: u64 = 4_000;
+
+/// Runs `OPS_PER_ITER` operations split across `threads` workers.
+fn run_batch<S: ConcurrentSet>(set: &S, threads: usize, workload: Workload, seed: u64) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let set = &set;
+            s.spawn(move || {
+                let mut rng = XorShift64Star::from_stream(seed, t as u64);
+                for _ in 0..OPS_PER_ITER / threads as u64 {
+                    let key = 1 + rng.next_bounded(KEY_RANGE);
+                    match workload.pick(&mut rng) {
+                        OpKind::Search => {
+                            std::hint::black_box(set.contains(key));
+                        }
+                        OpKind::Insert => {
+                            std::hint::black_box(set.insert(key));
+                        }
+                        OpKind::Delete => {
+                            std::hint::black_box(set.remove(key));
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_algo<S: ConcurrentSet>(c: &mut Criterion, threads: usize) {
+    let mut group = c.benchmark_group(format!("fig4/{}threads", threads));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(OPS_PER_ITER));
+    for workload in Workload::FIGURE4 {
+        let set = S::make();
+        prepopulate(&set, KEY_RANGE, 0x5EED);
+        group.bench_with_input(
+            BenchmarkId::new(S::label(), workload.name),
+            &workload,
+            |b, &w| {
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    run_batch(&set, threads, w, round);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for threads in [1usize, 2] {
+        bench_algo::<NmLeaky>(c, threads);
+        bench_algo::<BccoTree>(c, threads);
+        bench_algo::<EfrbTree>(c, threads);
+        bench_algo::<HjTree>(c, threads);
+        bench_algo::<LockedBTreeSet>(c, threads);
+    }
+}
+
+criterion_group!(fig4, benches);
+criterion_main!(fig4);

@@ -1,0 +1,86 @@
+//! Criterion companion to **Table 1**: uncontended single-op latency of
+//! insert and delete for each lock-free algorithm, plus (printed once)
+//! the measured allocation/atomic counts the table reports.
+//!
+//! The counts are the real Table 1 content (regenerated exactly by the
+//! `table1` binary and asserted in `tests/table1_counts.rs`); the
+//! latency numbers here show the counts' downstream effect.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmbst::NmTreeSet;
+use nmbst_baselines::{efrb::EfrbTree, hj::HjTree};
+use nmbst_harness::table1::{render_table1, table1_rows};
+use nmbst_reclaim::Leaky;
+use std::time::Duration;
+
+/// Odd keys 1..2000 in a shuffled (but deterministic) order, so the
+/// pre-populated trees are random-shaped rather than degenerate spines —
+/// otherwise the latency comparison measures path length, not the
+/// per-operation costs this bench is about.
+fn shuffled_odd_keys() -> Vec<u64> {
+    let mut keys: Vec<u64> = (1..2000u64).step_by(2).collect();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for i in (1..keys.len()).rev() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        keys.swap(i, (x % (i as u64 + 1)) as usize);
+    }
+    keys
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    // Print the measured Table 1 once, so `cargo bench` output contains
+    // the actual reproduction artifact.
+    println!("\n{}", render_table1(&table1_rows()));
+
+    let mut group = c.benchmark_group("table1/uncontended_modify_pair");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("NM-BST", |b| {
+        let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+        for k in shuffled_odd_keys() {
+            set.insert(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 2) % 2000;
+            std::hint::black_box(set.insert(k + 2));
+            std::hint::black_box(set.remove(&(k + 2)));
+        });
+    });
+
+    group.bench_function("EFRB-BST", |b| {
+        let set = EfrbTree::new();
+        for k in shuffled_odd_keys() {
+            set.insert(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 2) % 2000;
+            std::hint::black_box(set.insert(k + 2));
+            std::hint::black_box(set.remove(&(k + 2)));
+        });
+    });
+
+    group.bench_function("HJ-BST", |b| {
+        let set = HjTree::new();
+        for k in shuffled_odd_keys() {
+            set.insert(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 2) % 2000;
+            std::hint::black_box(set.insert(k + 2));
+            std::hint::black_box(set.remove(&(k + 2)));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(table1, bench_uncontended);
+criterion_main!(table1);

@@ -1,0 +1,110 @@
+//! Regenerates **Figure 4** of the paper: throughput of NM-BST vs
+//! BCCO-BST vs EFRB-BST vs HJ-BST across key-space sizes (rows),
+//! workload mixes (columns) and thread counts (x-axis).
+//!
+//! ```text
+//! NMBST_SECS=30 NMBST_RUNS=3 NMBST_THREADS=1,2,4,8,16,32,64,128,256 \
+//! NMBST_KEYS=1000,10000,100000,1000000 \
+//!     cargo run --release -p nmbst-bench --bin figure4
+//! ```
+//!
+//! Prints one table per (key range, workload) panel and a combined CSV
+//! at the end for plotting. All implementations run with no memory
+//! reclamation (NM uses the `Leaky` reclaimer), matching §4's setup.
+
+use nmbst_baselines::{bcco::BccoTree, efrb::EfrbTree, hj::HjTree};
+use nmbst_bench::SweepConfig;
+use nmbst_harness::adapter::{ConcurrentSet, NmLeaky};
+use nmbst_harness::chart::{render_chart, Series};
+use nmbst_harness::report::{fmt_mops, Table};
+use nmbst_harness::{mean_mops, BenchConfig, Workload};
+
+fn cell<S: ConcurrentSet>(cfg: &SweepConfig, threads: usize, keys: u64, w: Workload) -> f64 {
+    let bench = BenchConfig {
+        threads,
+        key_range: keys,
+        workload: w,
+        duration: cfg.duration,
+        seed: cfg.seed,
+        dist: cfg.dist,
+    };
+    mean_mops::<S>(&bench, cfg.runs)
+}
+
+fn main() {
+    let cfg = SweepConfig::from_env();
+    eprintln!(
+        "figure4 sweep: {:?}s/cell x{} runs, threads {:?}, keys {:?}",
+        cfg.duration.as_secs_f64(),
+        cfg.runs,
+        cfg.threads,
+        cfg.key_ranges
+    );
+
+    let mut csv = Table::new(vec![
+        "key_range",
+        "workload",
+        "threads",
+        "algorithm",
+        "mops",
+    ]);
+
+    for &keys in &cfg.key_ranges {
+        for w in Workload::FIGURE4 {
+            println!("\n== key range {keys} | {} ==", w.name);
+            let mut table = Table::new(vec!["threads", "NM-BST", "BCCO-BST", "EFRB-BST", "HJ-BST"]);
+            let mut series: Vec<Series> = ["NM-BST", "BCCO-BST", "EFRB-BST", "HJ-BST"]
+                .iter()
+                .map(|l| Series {
+                    label: l.to_string(),
+                    values: Vec::new(),
+                })
+                .collect();
+            for &t in &cfg.threads {
+                let nm = cell::<NmLeaky>(&cfg, t, keys, w);
+                let bcco = cell::<BccoTree>(&cfg, t, keys, w);
+                let efrb = cell::<EfrbTree>(&cfg, t, keys, w);
+                let hj = cell::<HjTree>(&cfg, t, keys, w);
+                for (name, v) in [
+                    ("NM-BST", nm),
+                    ("BCCO-BST", bcco),
+                    ("EFRB-BST", efrb),
+                    ("HJ-BST", hj),
+                ] {
+                    csv.push_row(vec![
+                        keys.to_string(),
+                        w.name.to_string(),
+                        t.to_string(),
+                        name.to_string(),
+                        format!("{v:.4}"),
+                    ]);
+                }
+                table.push_row(vec![
+                    t.to_string(),
+                    fmt_mops(nm),
+                    fmt_mops(bcco),
+                    fmt_mops(efrb),
+                    fmt_mops(hj),
+                ]);
+                for (s, v) in series.iter_mut().zip([nm, bcco, efrb, hj]) {
+                    s.values.push(v);
+                }
+            }
+            println!("{}", table.render());
+            println!("(Mops/s; higher is better)\n");
+            let x_labels: Vec<String> = cfg.threads.iter().map(|t| t.to_string()).collect();
+            println!(
+                "{}",
+                render_chart(
+                    &format!("Mops/s vs threads — {keys} keys, {}", w.name),
+                    &x_labels,
+                    &series,
+                    12
+                )
+            );
+        }
+    }
+
+    println!("\n== combined CSV ==");
+    print!("{}", csv.to_csv());
+}

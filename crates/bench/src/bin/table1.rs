@@ -1,0 +1,26 @@
+//! Regenerates **Table 1** of the paper: objects allocated and atomic
+//! instructions executed per modify operation, in the absence of
+//! contention and with no memory reclamation.
+//!
+//! ```text
+//! cargo run --release -p nmbst-bench --bin table1
+//! ```
+//!
+//! The `nmbst-bench` crate enables the `instrument` features, so the
+//! counters are live. The paper's expected values are printed alongside
+//! the measurements; the same numbers are asserted exactly in
+//! `tests/table1_counts.rs`.
+
+use nmbst_harness::table1::{render_table1, table1_rows};
+
+fn main() {
+    let rows = table1_rows();
+    println!("Table 1 — measured per-operation costs (uncontended):\n");
+    println!("{}", render_table1(&rows));
+    println!("Paper's Table 1 for reference:");
+    println!("  Ellen et al.     : insert 4 objects / 3 atomics, delete 1 object  / 4 atomics");
+    println!(
+        "  Howley & Jones   : insert 2 objects / 3 atomics, delete 1 object  / up to 9 atomics"
+    );
+    println!("  This work (NM)   : insert 2 objects / 1 atomic,  delete 0 objects / 3 atomics");
+}

@@ -1,0 +1,76 @@
+//! # nmbst — Fast Concurrent Lock-Free Binary Search Trees
+//!
+//! A faithful, production-grade Rust implementation of the lock-free
+//! external binary search tree of **Natarajan & Mittal, "Fast Concurrent
+//! Lock-Free Binary Search Trees", PPoPP 2014**.
+//!
+//! ## The algorithm in one paragraph
+//!
+//! The tree is *external*: user keys live only in leaves; internal nodes
+//! route. Conflicting operations coordinate by **marking edges, not
+//! nodes**: two bits stolen from each child pointer distinguish a
+//! *flagged* edge (its head leaf is being deleted) from a *tagged* edge
+//! (its tail is being spliced out while its head is hoisted). An insert
+//! publishes a two-node subtree with a **single CAS**; a delete
+//! linearizes with one CAS (flagging the victim's incoming edge) and
+//! physically splices with one BTS plus one CAS at the *ancestor* — the
+//! deepest node above the victim whose incoming edge is untagged — which
+//! can excise an entire chain of logically deleted nodes in one step.
+//! There are no operation descriptors, helping never allocates, and only
+//! deletes are ever helped.
+//!
+//! ## Entry points
+//!
+//! * [`NmTreeSet`] — the paper's dictionary ADT (search/insert/delete).
+//! * [`NmTreeMap`] — the same tree carrying a value per key.
+//!
+//! Both are generic over the memory-reclamation scheme (this paper
+//! assumes a garbage-collected world; we default to the from-scratch
+//! epoch-based reclaimer in [`nmbst_reclaim`]):
+//!
+//! ```
+//! use nmbst::NmTreeSet;
+//! use nmbst_reclaim::Leaky;
+//!
+//! // Production: epoch-reclaimed (default type parameter).
+//! let set: NmTreeSet<u64> = NmTreeSet::new();
+//! set.insert(1);
+//!
+//! // Paper-faithful benchmark mode: leak instead of reclaiming.
+//! let bench_set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+//! bench_set.insert(1);
+//! ```
+//!
+//! ## Concurrency guarantees
+//!
+//! All operations are linearizable (§3.3 of the paper; exercised by the
+//! `nmbst-lincheck` history checker in this workspace) and lock-free:
+//! some operation always completes in a finite number of steps,
+//! regardless of stalled threads.
+//!
+//! ## Instrumentation
+//!
+//! With `feature = "instrument"`, per-thread counters in [`stats`]
+//! record allocations and atomic instructions per operation, which is
+//! how this workspace regenerates Table 1 of the paper (insert: 2
+//! allocations, 1 CAS; delete: 0 allocations, 3 atomics — uncontended).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod key;
+mod node;
+mod packed;
+mod serde_impls;
+mod set;
+pub mod stats;
+mod tree;
+
+pub use key::Key;
+pub use packed::TagMode;
+pub use set::NmTreeSet;
+pub use tree::{NmTreeMap, TreeShape};
+
+// Re-export the reclamation entry points users need to name the tree's
+// type parameter.
+pub use nmbst_reclaim::{Ebr, Leaky, Reclaim};

@@ -1,0 +1,241 @@
+//! Tree nodes.
+//!
+//! §3.2: "A tree node in our algorithm consists of three fields: key,
+//! left and right." We add a value slot (`None` in routing/internal
+//! nodes) so the same node type backs both the set and the map front
+//! ends, at zero size cost for sets (`V = ()`).
+//!
+//! The tree is *external*: user keys live only in leaves; internal nodes
+//! route. A node is a leaf iff its child edges are null; internal nodes
+//! always have exactly two children.
+
+use crate::key::Key;
+use crate::packed::{AtomicEdge, Edge};
+use crate::stats;
+
+/// A tree node. Never exposed to users; alignment ≥ 8 guarantees the two
+/// low address bits used as edge marks are zero.
+#[repr(align(8))]
+pub(crate) struct Node<K, V> {
+    pub(crate) key: Key<K>,
+    /// `Some` only in leaves created by `insert`; sentinel leaves and
+    /// internal nodes carry `None`.
+    pub(crate) value: Option<V>,
+    pub(crate) left: AtomicEdge<Node<K, V>>,
+    pub(crate) right: AtomicEdge<Node<K, V>>,
+}
+
+// SAFETY: nodes move between threads via the tree's synchronization
+// (publication by CAS, retirement to the reclaimer); the raw child words
+// carry no ownership that would make this unsound beyond what `K`/`V`
+// themselves require.
+unsafe impl<K: Send, V: Send> Send for Node<K, V> {}
+unsafe impl<K: Sync, V: Sync> Sync for Node<K, V> {}
+
+impl<K, V> Node<K, V> {
+    /// Heap-allocates a leaf node. Counted as one object allocation.
+    pub(crate) fn new_leaf(key: Key<K>, value: Option<V>) -> *mut Node<K, V> {
+        stats::record_alloc();
+        Box::into_raw(Box::new(Node {
+            key,
+            value,
+            left: AtomicEdge::null(),
+            right: AtomicEdge::null(),
+        }))
+    }
+
+    /// Heap-allocates an internal (routing) node with unmarked edges to
+    /// the given children. Counted as one object allocation.
+    pub(crate) fn new_internal(
+        key: Key<K>,
+        left: *mut Node<K, V>,
+        right: *mut Node<K, V>,
+    ) -> *mut Node<K, V> {
+        stats::record_alloc();
+        Box::into_raw(Box::new(Node {
+            key,
+            value: None,
+            left: AtomicEdge::to(left),
+            right: AtomicEdge::to(right),
+        }))
+    }
+
+    /// `true` if this node is a leaf (null children).
+    ///
+    /// Stable under concurrency: leaves never grow children and internal
+    /// nodes never lose them ("an internal node always stays an internal
+    /// node and a leaf node always stays a leaf node", §3.3).
+    #[inline]
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.left.load().ptr().is_null()
+    }
+
+    /// The child edge a search for `user_key` follows from this node
+    /// (left iff `user_key < self.key`).
+    #[inline]
+    pub(crate) fn child_for(&self, user_key: &K) -> &AtomicEdge<Node<K, V>>
+    where
+        K: Ord,
+    {
+        if self.key.user_goes_left(user_key) {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+
+    /// Both child edges ordered as (followed, sibling) for `user_key`.
+    #[inline]
+    pub(crate) fn child_and_sibling_for(&self, user_key: &K) -> EdgePair<'_, K, V>
+    where
+        K: Ord,
+    {
+        if self.key.user_goes_left(user_key) {
+            (&self.left, &self.right)
+        } else {
+            (&self.right, &self.left)
+        }
+    }
+}
+
+/// A node's two child edges, ordered (followed, sibling) for some key.
+pub(crate) type EdgePair<'a, K, V> = (&'a AtomicEdge<Node<K, V>>, &'a AtomicEdge<Node<K, V>>);
+
+/// The two permanent sentinel internal nodes (Figure 3) plus the three
+/// sentinel leaves of an empty tree.
+///
+/// ```text
+///        R (∞₂)
+///       /      \
+///    S (∞₁)    leaf ∞₂
+///    /     \
+/// leaf ∞₀  leaf ∞₁
+/// ```
+///
+/// `R` and `S` are never removed and none of their outgoing edges is
+/// ever marked, so the seek record's four pointers are always defined.
+pub(crate) fn sentinel_tree<K, V>() -> *mut Node<K, V> {
+    let leaf0 = Node::new_leaf(Key::Inf0, None);
+    let leaf1 = Node::new_leaf(Key::Inf1, None);
+    let leaf2 = Node::new_leaf(Key::Inf2, None);
+    let s = Node::new_internal(Key::Inf1, leaf0, leaf1);
+    Node::new_internal(Key::Inf2, s, leaf2)
+}
+
+/// Frees an entire subtree. Iterative (explicit stack): a degenerate
+/// tree built by sorted inserts is a linked list, and recursion would
+/// overflow on large ones.
+///
+/// # Safety
+///
+/// Caller must have exclusive access to the subtree and every node in it
+/// must be a live `Box` allocation not owned elsewhere (in particular,
+/// not also pending in a reclaimer bag — retired nodes are unreachable
+/// from the root, so walking from the root never sees them).
+pub(crate) unsafe fn free_subtree<K, V>(root: *mut Node<K, V>) {
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if node.is_null() {
+            continue;
+        }
+        // SAFETY: per the function contract the node is uniquely owned.
+        let mut boxed = unsafe { Box::from_raw(node) };
+        stack.push(boxed.left.load_mut().ptr());
+        stack.push(boxed.right.load_mut().ptr());
+        // `boxed` drops here, freeing key and value.
+    }
+}
+
+/// An `Edge` pointing at `node`, unmarked. Convenience for expected
+/// CAS values.
+#[inline]
+pub(crate) fn clean_edge<K, V>(node: *mut Node<K, V>) -> Edge<Node<K, V>> {
+    Edge::clean(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_alignment_leaves_mark_bits_free() {
+        assert!(std::mem::align_of::<Node<u64, ()>>() >= 8);
+        assert!(std::mem::align_of::<Node<u8, u8>>() >= 8);
+    }
+
+    #[test]
+    fn leaf_and_internal_classification() {
+        let leaf = Node::<i64, ()>::new_leaf(Key::Fin(5), Some(()));
+        let leaf2 = Node::<i64, ()>::new_leaf(Key::Fin(9), Some(()));
+        let internal = Node::new_internal(Key::Fin(9), leaf, leaf2);
+        unsafe {
+            assert!((*leaf).is_leaf());
+            assert!(!(*internal).is_leaf());
+            free_subtree(internal);
+        }
+    }
+
+    #[test]
+    fn child_routing() {
+        let l = Node::<i64, ()>::new_leaf(Key::Fin(1), None);
+        let r = Node::<i64, ()>::new_leaf(Key::Fin(10), None);
+        let n = Node::new_internal(Key::Fin(10), l, r);
+        unsafe {
+            assert_eq!((*n).child_for(&3).load().ptr(), l);
+            assert_eq!((*n).child_for(&10).load().ptr(), r); // equal goes right
+            assert_eq!((*n).child_for(&42).load().ptr(), r);
+            let (c, s) = (*n).child_and_sibling_for(&3);
+            assert_eq!(c.load().ptr(), l);
+            assert_eq!(s.load().ptr(), r);
+            free_subtree(n);
+        }
+    }
+
+    #[test]
+    fn sentinel_tree_shape() {
+        let root: *mut Node<i64, ()> = sentinel_tree();
+        unsafe {
+            assert_eq!((*root).key, Key::Inf2);
+            let s = (*root).left.load().ptr();
+            let r_leaf = (*root).right.load().ptr();
+            assert_eq!((*s).key, Key::Inf1);
+            assert_eq!((*r_leaf).key, Key::Inf2);
+            assert!((*r_leaf).is_leaf());
+            let l0 = (*s).left.load().ptr();
+            let l1 = (*s).right.load().ptr();
+            assert_eq!((*l0).key, Key::Inf0);
+            assert_eq!((*l1).key, Key::Inf1);
+            assert!((*l0).is_leaf() && (*l1).is_leaf());
+            free_subtree(root);
+        }
+    }
+
+    #[test]
+    fn free_subtree_runs_destructors() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a = Node::<i64, D>::new_leaf(Key::Fin(1), Some(D(Arc::clone(&drops))));
+        let b = Node::<i64, D>::new_leaf(Key::Fin(2), Some(D(Arc::clone(&drops))));
+        let n = Node::new_internal(Key::Fin(2), a, b);
+        unsafe { free_subtree(n) };
+        assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn free_subtree_handles_degenerate_depth() {
+        // A left-spine of 100k internal nodes must not overflow the stack.
+        let mut node = Node::<u64, ()>::new_leaf(Key::Fin(0), None);
+        for i in 1..100_000u64 {
+            let leaf = Node::new_leaf(Key::Fin(i), None);
+            node = Node::new_internal(Key::Fin(i), node, leaf);
+        }
+        unsafe { free_subtree(node) };
+    }
+}

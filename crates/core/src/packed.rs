@@ -1,0 +1,374 @@
+//! Packed edge words: a child pointer with the paper's `flag` and `tag`
+//! bits stolen from its low-order bits.
+//!
+//! §3.2: "we steal two bits from each child address stored at a node".
+//! Tree nodes are aligned to at least 8 bytes, so bits 0 and 1 of any
+//! node address are guaranteed zero and can carry the edge marks:
+//!
+//! * bit 0 — **flag**: the head (leaf) node of this edge is being
+//!   deleted; both tail and head will leave the tree.
+//! * bit 1 — **tag**: only the tail node of this edge is being removed;
+//!   the head is hoisted to the tail's ancestor.
+//!
+//! A marked edge is immutable: no CAS with an unmarked expected value can
+//! succeed on it, which is the entire coordination mechanism of the
+//! algorithm — there are no operation descriptors.
+//!
+//! All bit algebra lives here; the tree logic above deals only in the
+//! typed [`Edge`] snapshot and the typed transitions on [`AtomicEdge`].
+
+use crate::stats;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const FLAG: usize = 1 << 0;
+const TAG: usize = 1 << 1;
+const MARKS: usize = FLAG | TAG;
+const ADDR: usize = !MARKS;
+
+/// How the cleanup routine sets the tag bit (§2: the BTS instruction;
+/// §6: "our algorithm can be easily modified to use only compare-and-swap
+/// instructions"). Both variants are provided so the substitution can be
+/// benchmarked (ablation bench `ablation_bts`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TagMode {
+    /// One `fetch_or` — compiles to a single locked RMW (`lock or`),
+    /// the moral equivalent of the paper's bit-test-and-set.
+    #[default]
+    FetchOr,
+    /// A CAS loop: read, set bit, compare-exchange, retry on failure.
+    CasLoop,
+}
+
+/// An immutable snapshot of an edge word: `(flag, tag, address)`.
+pub struct Edge<N> {
+    word: usize,
+    _node: PhantomData<*mut N>,
+}
+
+impl<N> Clone for Edge<N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<N> Copy for Edge<N> {}
+
+impl<N> Edge<N> {
+    /// An unmarked edge to `ptr`.
+    #[inline]
+    pub fn clean(ptr: *mut N) -> Self {
+        debug_assert_eq!(ptr as usize & MARKS, 0, "node under-aligned");
+        Edge {
+            word: ptr as usize,
+            _node: PhantomData,
+        }
+    }
+
+    /// An edge to `ptr` with explicit marks (used when splicing copies
+    /// the flag of the hoisted edge, Algorithm 4 line 108).
+    #[inline]
+    pub fn with_marks(flag: bool, tag: bool, ptr: *mut N) -> Self {
+        debug_assert_eq!(ptr as usize & MARKS, 0, "node under-aligned");
+        Edge {
+            word: ptr as usize | (flag as usize * FLAG) | (tag as usize * TAG),
+            _node: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn from_word(word: usize) -> Self {
+        Edge {
+            word,
+            _node: PhantomData,
+        }
+    }
+
+    /// The node this edge points to (marks removed). Null only for the
+    /// child edges of leaf nodes.
+    #[inline]
+    pub fn ptr(self) -> *mut N {
+        (self.word & ADDR) as *mut N
+    }
+
+    /// The flag bit: the head leaf of this edge is being deleted.
+    #[inline]
+    pub fn flag(self) -> bool {
+        self.word & FLAG != 0
+    }
+
+    /// The tag bit: the tail node of this edge is being removed.
+    #[inline]
+    pub fn tag(self) -> bool {
+        self.word & TAG != 0
+    }
+
+    /// `true` if the edge carries either mark.
+    #[inline]
+    pub fn marked(self) -> bool {
+        self.word & MARKS != 0
+    }
+
+    /// The same edge with the flag bit set.
+    #[inline]
+    pub fn flagged(self) -> Self {
+        Edge::from_word(self.word | FLAG)
+    }
+}
+
+impl<N> PartialEq for Edge<N> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.word == other.word
+    }
+}
+impl<N> Eq for Edge<N> {}
+
+impl<N> std::fmt::Debug for Edge<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Edge({:#x}, flag={}, tag={})",
+            self.ptr() as usize,
+            self.flag(),
+            self.tag()
+        )
+    }
+}
+
+/// A mutable edge: one atomic word holding `(flag, tag, address)`.
+///
+/// This is a child field of a tree node (`left` or `right`). The typed
+/// operations below are the *only* transitions the algorithm performs.
+pub struct AtomicEdge<N> {
+    word: AtomicUsize,
+    _node: PhantomData<*mut N>,
+}
+
+// SAFETY: the edge itself is just an atomic word; what may be done with
+// the pointer it encodes is governed by the tree's (unsafe) internals,
+// which impose their own `Send`/`Sync` bounds on node contents.
+unsafe impl<N> Send for AtomicEdge<N> {}
+unsafe impl<N> Sync for AtomicEdge<N> {}
+// SAFETY: `Edge` is a plain-old-data snapshot of the word.
+unsafe impl<N> Send for Edge<N> {}
+unsafe impl<N> Sync for Edge<N> {}
+
+impl<N> AtomicEdge<N> {
+    /// A null edge (child field of a leaf).
+    #[inline]
+    pub fn null() -> Self {
+        AtomicEdge {
+            word: AtomicUsize::new(0),
+            _node: PhantomData,
+        }
+    }
+
+    /// An unmarked edge to `ptr`.
+    #[inline]
+    pub fn to(ptr: *mut N) -> Self {
+        debug_assert_eq!(ptr as usize & MARKS, 0, "node under-aligned");
+        AtomicEdge {
+            word: AtomicUsize::new(ptr as usize),
+            _node: PhantomData,
+        }
+    }
+
+    /// Atomically reads the edge.
+    #[inline]
+    pub fn load(&self) -> Edge<N> {
+        Edge::from_word(self.word.load(Ordering::Acquire))
+    }
+
+    /// Reads the edge non-atomically; requires exclusive access.
+    #[inline]
+    pub fn load_mut(&mut self) -> Edge<N> {
+        Edge::from_word(*self.word.get_mut())
+    }
+
+    /// Plain store for unpublished nodes (insert builds its subtree
+    /// before the publishing CAS releases it).
+    #[inline]
+    pub fn store_unsynchronized(&self, edge: Edge<N>) {
+        self.word.store(edge.word, Ordering::Relaxed);
+    }
+
+    /// The general CAS on an edge word. Counted as one atomic
+    /// instruction under `feature = "instrument"`.
+    ///
+    /// Returns `Ok(())` on success and the observed edge on failure.
+    #[inline]
+    pub fn compare_exchange(&self, expected: Edge<N>, new: Edge<N>) -> Result<(), Edge<N>> {
+        stats::record_cas();
+        self.word
+            .compare_exchange(expected.word, new.word, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| ())
+            .map_err(Edge::from_word)
+    }
+
+    /// Sets the tag bit (the paper's BTS on the sibling edge, Algorithm 4
+    /// line 106). Always succeeds; idempotent under helping. Counted as
+    /// one atomic instruction.
+    #[inline]
+    pub fn set_tag(&self, mode: TagMode) {
+        match mode {
+            TagMode::FetchOr => {
+                stats::record_bts();
+                self.word.fetch_or(TAG, Ordering::AcqRel);
+            }
+            TagMode::CasLoop => loop {
+                let current = self.word.load(Ordering::Acquire);
+                if current & TAG != 0 {
+                    break;
+                }
+                stats::record_cas();
+                if self
+                    .word
+                    .compare_exchange_weak(
+                        current,
+                        current | TAG,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+            },
+        }
+    }
+}
+
+impl<N> std::fmt::Debug for AtomicEdge<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.load().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_node(align8: usize) -> *mut u64 {
+        (align8 * 8) as *mut u64
+    }
+
+    #[test]
+    fn clean_edge_roundtrip() {
+        let p = fake_node(123);
+        let e = Edge::clean(p);
+        assert_eq!(e.ptr(), p);
+        assert!(!e.flag());
+        assert!(!e.tag());
+        assert!(!e.marked());
+    }
+
+    #[test]
+    fn marks_do_not_disturb_address() {
+        let p = fake_node(77);
+        for (f, t) in [(false, false), (true, false), (false, true), (true, true)] {
+            let e = Edge::with_marks(f, t, p);
+            assert_eq!(e.ptr(), p);
+            assert_eq!(e.flag(), f);
+            assert_eq!(e.tag(), t);
+            assert_eq!(e.marked(), f || t);
+        }
+    }
+
+    #[test]
+    fn flagged_sets_only_flag() {
+        let p = fake_node(9);
+        let e = Edge::clean(p).flagged();
+        assert!(e.flag());
+        assert!(!e.tag());
+        assert_eq!(e.ptr(), p);
+    }
+
+    #[test]
+    fn cas_succeeds_on_expected_value() {
+        let p = fake_node(1);
+        let q = fake_node(2);
+        let a = AtomicEdge::to(p);
+        assert!(a.compare_exchange(Edge::clean(p), Edge::clean(q)).is_ok());
+        assert_eq!(a.load().ptr(), q);
+    }
+
+    #[test]
+    fn cas_fails_on_marked_edge() {
+        let p = fake_node(1);
+        let q = fake_node(2);
+        let a = AtomicEdge::to(p);
+        a.set_tag(TagMode::FetchOr);
+        let err = a
+            .compare_exchange(Edge::clean(p), Edge::clean(q))
+            .unwrap_err();
+        assert!(err.tag());
+        assert_eq!(err.ptr(), p);
+        // A marked edge is frozen: its address can never change again.
+        assert_eq!(a.load().ptr(), p);
+    }
+
+    #[test]
+    fn flag_cas_is_the_injection_step() {
+        let p = fake_node(4);
+        let a = AtomicEdge::to(p);
+        let clean = Edge::clean(p);
+        assert!(a.compare_exchange(clean, clean.flagged()).is_ok());
+        assert!(a.load().flag());
+        // Second injection on the same edge fails (duplicate delete).
+        assert!(a.compare_exchange(clean, clean.flagged()).is_err());
+    }
+
+    #[test]
+    fn tag_modes_agree() {
+        for mode in [TagMode::FetchOr, TagMode::CasLoop] {
+            let p = fake_node(6);
+            let a = AtomicEdge::to(p);
+            a.set_tag(mode);
+            let e = a.load();
+            assert!(e.tag());
+            assert!(!e.flag());
+            assert_eq!(e.ptr(), p);
+            // Idempotent.
+            a.set_tag(mode);
+            assert_eq!(a.load(), e);
+        }
+    }
+
+    #[test]
+    fn tag_preserves_flag() {
+        let p = fake_node(3);
+        let a = AtomicEdge::to(p);
+        let clean = Edge::clean(p);
+        a.compare_exchange(clean, clean.flagged()).unwrap();
+        a.set_tag(TagMode::FetchOr);
+        let e = a.load();
+        assert!(e.flag() && e.tag());
+    }
+
+    #[test]
+    fn null_edge() {
+        let a: AtomicEdge<u64> = AtomicEdge::null();
+        assert!(a.load().ptr().is_null());
+        assert!(!a.load().marked());
+    }
+
+    #[test]
+    fn concurrent_taggers_idempotent() {
+        let p = fake_node(11);
+        let a = AtomicEdge::to(p);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        a.set_tag(TagMode::FetchOr);
+                        a.set_tag(TagMode::CasLoop);
+                    }
+                });
+            }
+        });
+        let e = a.load();
+        assert!(e.tag());
+        assert!(!e.flag());
+        assert_eq!(e.ptr(), p);
+    }
+}

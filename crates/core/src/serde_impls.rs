@@ -1,0 +1,173 @@
+//! Optional `serde` support (`feature = "serde"`).
+//!
+//! Maps serialize as maps, sets as sequences, both in ascending key
+//! order via the weakly consistent traversal — serialize under
+//! quiescence (or accept a weakly consistent snapshot, like other
+//! concurrent collections).
+
+#![cfg(feature = "serde")]
+
+use crate::{NmTreeMap, NmTreeSet};
+use nmbst_reclaim::Reclaim;
+use serde::de::{MapAccess, SeqAccess, Visitor};
+use serde::ser::{SerializeMap, SerializeSeq};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::marker::PhantomData;
+
+impl<K, V, R> Serialize for NmTreeMap<K, V, R>
+where
+    K: Ord + Send + Sync + Serialize + 'static,
+    V: Send + Sync + Serialize + 'static,
+    R: Reclaim,
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(None)?;
+        let mut error = None;
+        self.for_each(|k, v| {
+            if error.is_none() {
+                if let Err(e) = map.serialize_entry(k, v) {
+                    error = Some(e);
+                }
+            }
+        });
+        match error {
+            Some(e) => Err(e),
+            None => map.end(),
+        }
+    }
+}
+
+impl<'de, K, V, R> Deserialize<'de> for NmTreeMap<K, V, R>
+where
+    K: Ord + Clone + Send + Sync + Deserialize<'de> + 'static,
+    V: Send + Sync + Deserialize<'de> + 'static,
+    R: Reclaim,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        type Marker<K, V, R> = PhantomData<(K, V, fn() -> R)>;
+        struct MapVisitor<K, V, R>(Marker<K, V, R>);
+        impl<'de, K, V, R> Visitor<'de> for MapVisitor<K, V, R>
+        where
+            K: Ord + Clone + Send + Sync + Deserialize<'de> + 'static,
+            V: Send + Sync + Deserialize<'de> + 'static,
+            R: Reclaim,
+        {
+            type Value = NmTreeMap<K, V, R>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut access: A) -> Result<Self::Value, A::Error> {
+                let map = NmTreeMap::new();
+                while let Some((k, v)) = access.next_entry()? {
+                    map.insert(k, v);
+                }
+                Ok(map)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<K, R> Serialize for NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + Serialize + 'static,
+    R: Reclaim,
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(None)?;
+        let mut error = None;
+        self.for_each(|k| {
+            if error.is_none() {
+                if let Err(e) = seq.serialize_element(k) {
+                    error = Some(e);
+                }
+            }
+        });
+        match error {
+            Some(e) => Err(e),
+            None => seq.end(),
+        }
+    }
+}
+
+impl<'de, K, R> Deserialize<'de> for NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + Deserialize<'de> + 'static,
+    R: Reclaim,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct SetVisitor<K, R>(PhantomData<(K, fn() -> R)>);
+        impl<'de, K, R> Visitor<'de> for SetVisitor<K, R>
+        where
+            K: Ord + Clone + Send + Sync + Deserialize<'de> + 'static,
+            R: Reclaim,
+        {
+            type Value = NmTreeSet<K, R>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence of keys")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut access: A) -> Result<Self::Value, A::Error> {
+                let set = NmTreeSet::new();
+                while let Some(k) = access.next_element()? {
+                    set.insert(k);
+                }
+                Ok(set)
+            }
+        }
+        deserializer.deserialize_seq(SetVisitor(PhantomData))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NmTreeMap, NmTreeSet};
+    use nmbst_reclaim::Ebr;
+
+    #[test]
+    fn map_roundtrip_json() {
+        let map: NmTreeMap<u32, String, Ebr> = (0..20).map(|k| (k, format!("v{k}"))).collect();
+        let json = serde_json::to_string(&map).unwrap();
+        let back: NmTreeMap<u32, String, Ebr> = serde_json::from_str(&json).unwrap();
+        for k in 0..20 {
+            assert_eq!(back.get(&k), Some(format!("v{k}")));
+        }
+        assert_eq!(back.count(), 20);
+    }
+
+    #[test]
+    fn map_serializes_in_key_order() {
+        let map: NmTreeMap<u32, u32, Ebr> = [(3, 30), (1, 10), (2, 20)].into_iter().collect();
+        let json = serde_json::to_string(&map).unwrap();
+        assert_eq!(json, r#"{"1":10,"2":20,"3":30}"#);
+    }
+
+    #[test]
+    fn set_roundtrip_json() {
+        let set: NmTreeSet<i64, Ebr> = [5, -3, 9, 0].into_iter().collect();
+        let json = serde_json::to_string(&set).unwrap();
+        assert_eq!(json, "[-3,0,5,9]");
+        let mut back: NmTreeSet<i64, Ebr> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.keys(), vec![-3, 0, 5, 9]);
+    }
+
+    #[test]
+    fn empty_collections() {
+        let map: NmTreeMap<u8, u8, Ebr> = NmTreeMap::new();
+        assert_eq!(serde_json::to_string(&map).unwrap(), "{}");
+        let set: NmTreeSet<u8, Ebr> = NmTreeSet::new();
+        assert_eq!(serde_json::to_string(&set).unwrap(), "[]");
+        let back: NmTreeSet<u8, Ebr> = serde_json::from_str("[]").unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_in_input_keep_first() {
+        let back: NmTreeSet<u8, Ebr> = serde_json::from_str("[1,1,2]").unwrap();
+        assert_eq!(back.count(), 2);
+    }
+}

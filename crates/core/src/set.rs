@@ -1,0 +1,206 @@
+//! The set front end: the paper's dictionary ADT of §2 verbatim.
+
+use crate::tree::NmTreeMap;
+use nmbst_reclaim::{Ebr, Reclaim};
+
+/// A concurrent lock-free ordered set — the exact abstract data type the
+/// paper implements (§2): `search`, `insert`, `delete` over unique keys.
+///
+/// A thin wrapper over [`NmTreeMap<K, ()>`](NmTreeMap), so sets pay no
+/// space for values.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst::NmTreeSet;
+///
+/// let set: NmTreeSet<u64> = NmTreeSet::new();
+/// assert!(set.insert(7));
+/// assert!(!set.insert(7)); // duplicate: set unchanged
+/// assert!(set.contains(&7));
+/// assert!(set.remove(&7));
+/// assert!(!set.remove(&7));
+/// ```
+pub struct NmTreeSet<K, R: Reclaim = Ebr> {
+    map: NmTreeMap<K, (), R>,
+}
+
+impl<K, R> NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        NmTreeSet {
+            map: NmTreeMap::new(),
+        }
+    }
+
+    /// Creates an empty set with an explicit
+    /// [`TagMode`](crate::TagMode) (see the `ablation_bts` bench).
+    pub fn with_tag_mode(mode: crate::TagMode) -> Self {
+        NmTreeSet {
+            map: NmTreeMap::with_tag_mode(mode),
+        }
+    }
+
+    /// The paper's *insert*: adds `key`; returns `true` iff the set
+    /// changed (the key was absent). Lock-free; one CAS to publish.
+    #[inline]
+    pub fn insert(&self, key: K) -> bool {
+        self.map.insert(key, ())
+    }
+
+    /// The paper's *delete*: removes `key`; returns `true` iff the set
+    /// changed (the key was present). Lock-free; one CAS to linearize.
+    #[inline]
+    pub fn remove(&self, key: &K) -> bool {
+        self.map.remove(key)
+    }
+
+    /// The paper's *search*: `true` iff `key` is present. One
+    /// root-to-leaf descent, no retries.
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains(key)
+    }
+
+    /// Visits every key in ascending order, weakly consistent (see
+    /// [`NmTreeMap::for_each`]).
+    pub fn for_each(&self, mut f: impl FnMut(&K)) {
+        self.map.for_each(|k, _| f(k));
+    }
+
+    /// Visits every key inside `range` in ascending order, pruning
+    /// subtrees that cannot intersect it (see
+    /// [`NmTreeMap::range_for_each`]).
+    pub fn range_for_each<Q: std::ops::RangeBounds<K>>(&self, range: Q, mut f: impl FnMut(&K)) {
+        self.map.range_for_each(range, |k, _| f(k));
+    }
+
+    /// The smallest key, or `None` if empty (weakly consistent).
+    pub fn first(&self) -> Option<K> {
+        self.map.first().map(|(k, _)| k)
+    }
+
+    /// The largest key, or `None` if empty (weakly consistent).
+    pub fn last(&self) -> Option<K> {
+        self.map.last().map(|(k, _)| k)
+    }
+
+    /// Number of keys via a weakly consistent traversal.
+    pub fn count(&self) -> usize {
+        self.map.count()
+    }
+
+    /// `true` if a weakly consistent traversal saw no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Exact number of keys (exclusive access).
+    pub fn len(&mut self) -> usize {
+        self.map.len()
+    }
+
+    /// All keys in ascending order (exact snapshot; exclusive access).
+    pub fn keys(&mut self) -> Vec<K> {
+        self.map.keys()
+    }
+
+    /// Removes every key (exclusive access).
+    pub fn clear(&mut self) {
+        self.map.clear()
+    }
+
+    /// Validates structural invariants (exclusive access); see
+    /// [`NmTreeMap::check_invariants`].
+    pub fn check_invariants(&mut self) -> Result<crate::TreeShape, String> {
+        self.map.check_invariants()
+    }
+
+    /// Hands this thread's retired nodes to the collector (see
+    /// [`NmTreeMap::flush`]).
+    pub fn flush(&self) {
+        self.map.flush()
+    }
+
+    /// Access to the underlying map (advanced uses: pinning, tag-mode
+    /// experiments).
+    pub fn as_map(&self) -> &NmTreeMap<K, (), R> {
+        &self.map
+    }
+}
+
+impl<K, R> Default for NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, R> std::fmt::Debug for NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NmTreeSet").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics() {
+        let set: NmTreeSet<i32> = NmTreeSet::new();
+        assert!(set.insert(1));
+        assert!(set.insert(2));
+        assert!(!set.insert(1));
+        assert!(set.contains(&1));
+        assert!(!set.contains(&3));
+        assert!(set.remove(&1));
+        assert!(!set.remove(&1));
+        assert!(!set.contains(&1));
+    }
+
+    #[test]
+    fn for_each_ordered() {
+        let set: NmTreeSet<i32> = NmTreeSet::new();
+        for k in [5, 3, 8, 1, 9] {
+            set.insert(k);
+        }
+        let mut seen = Vec::new();
+        set.for_each(|k| seen.push(*k));
+        assert_eq!(seen, vec![1, 3, 5, 8, 9]);
+    }
+
+    #[test]
+    fn len_keys_clear() {
+        let mut set: NmTreeSet<i32> = NmTreeSet::new();
+        for k in 0..10 {
+            set.insert(k);
+        }
+        assert_eq!(set.len(), 10);
+        assert_eq!(set.keys(), (0..10).collect::<Vec<_>>());
+        set.clear();
+        assert_eq!(set.len(), 0);
+        assert!(set.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn works_with_string_keys() {
+        let set: NmTreeSet<String> = NmTreeSet::new();
+        assert!(set.insert("banana".into()));
+        assert!(set.insert("apple".into()));
+        assert!(set.contains(&"apple".to_string()));
+        assert!(set.remove(&"banana".to_string()));
+        assert!(!set.contains(&"banana".to_string()));
+    }
+}

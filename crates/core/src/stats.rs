@@ -1,0 +1,208 @@
+//! Per-thread operation cost counters (Table 1 instrumentation).
+//!
+//! Table 1 of the paper compares lock-free BSTs by the *number of objects
+//! allocated* and the *number of atomic instructions executed* per
+//! uncontended modify operation. With `feature = "instrument"` this
+//! module counts exactly those events on the current thread; without the
+//! feature every recording function is a no-op that compiles away, so the
+//! default build pays nothing.
+//!
+//! The counters are thread-local `Cell`s, not atomics: instrumentation
+//! must not add atomic traffic to the operations being measured.
+
+use std::cell::Cell;
+
+/// A snapshot of the current thread's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// CAS instructions executed (successful or not).
+    pub cas: u64,
+    /// BTS (`fetch_or`) instructions executed.
+    pub bts: u64,
+    /// Shared objects (tree nodes) allocated.
+    pub allocs: u64,
+    /// Nodes retired (handed to the reclaimer).
+    pub retires: u64,
+    /// Invocations of the cleanup routine.
+    pub cleanups: u64,
+    /// Seek phases executed.
+    pub seeks: u64,
+    /// Nodes physically unlinked by this thread's successful splices.
+    pub unlinked: u64,
+    /// Successful splice CASes (each may unlink a whole chain).
+    pub splices: u64,
+}
+
+impl OpStats {
+    /// Total atomic read-modify-write instructions (CAS + BTS).
+    pub fn atomics(&self) -> u64 {
+        self.cas + self.bts
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            cas: self.cas.saturating_sub(earlier.cas),
+            bts: self.bts.saturating_sub(earlier.bts),
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            retires: self.retires.saturating_sub(earlier.retires),
+            cleanups: self.cleanups.saturating_sub(earlier.cleanups),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            unlinked: self.unlinked.saturating_sub(earlier.unlinked),
+            splices: self.splices.saturating_sub(earlier.splices),
+        }
+    }
+}
+
+#[cfg(feature = "instrument")]
+thread_local! {
+    static STATS: Cell<OpStats> = const { Cell::new(OpStats {
+        cas: 0, bts: 0, allocs: 0, retires: 0,
+        cleanups: 0, seeks: 0, unlinked: 0, splices: 0,
+    }) };
+}
+
+macro_rules! bump {
+    ($field:ident $(, $n:expr)?) => {
+        #[cfg(feature = "instrument")]
+        STATS.with(|s| {
+            let mut v = s.get();
+            v.$field += 1 $( - 1 + $n)?;
+            s.set(v);
+        });
+    };
+}
+
+/// Records one CAS instruction.
+#[inline]
+pub fn record_cas() {
+    bump!(cas);
+}
+
+/// Records one BTS instruction.
+#[inline]
+pub fn record_bts() {
+    bump!(bts);
+}
+
+/// Records one shared-object allocation.
+#[inline]
+pub fn record_alloc() {
+    bump!(allocs);
+}
+
+/// Records one node retirement.
+#[inline]
+pub fn record_retire() {
+    bump!(retires);
+}
+
+/// Records one cleanup invocation.
+#[inline]
+pub fn record_cleanup() {
+    bump!(cleanups);
+}
+
+/// Records one seek phase.
+#[inline]
+pub fn record_seek() {
+    bump!(seeks);
+}
+
+/// Records a successful splice that unlinked `n` nodes.
+#[inline]
+pub fn record_splice(n: u64) {
+    let _ = n;
+    bump!(splices);
+    bump!(unlinked, n);
+}
+
+/// Returns the current thread's counters.
+///
+/// Always available; without `feature = "instrument"` the result is all
+/// zeros.
+#[inline]
+pub fn snapshot() -> OpStats {
+    #[cfg(feature = "instrument")]
+    {
+        STATS.with(|s| s.get())
+    }
+    #[cfg(not(feature = "instrument"))]
+    {
+        OpStats::default()
+    }
+}
+
+/// Resets the current thread's counters to zero.
+#[inline]
+pub fn reset() {
+    #[cfg(feature = "instrument")]
+    STATS.with(|s| s.set(OpStats::default()));
+}
+
+// Silence the unused warning for the non-instrumented build.
+#[allow(dead_code)]
+fn _keep_cell_import(_: Cell<u8>) {}
+
+#[cfg(all(test, feature = "instrument"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        record_cas();
+        record_cas();
+        record_bts();
+        record_alloc();
+        record_splice(3);
+        let s = snapshot();
+        assert_eq!(s.cas, 2);
+        assert_eq!(s.bts, 1);
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.atomics(), 3);
+        assert_eq!(s.splices, 1);
+        assert_eq!(s.unlinked, 3);
+        reset();
+        assert_eq!(snapshot(), OpStats::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        reset();
+        record_cas();
+        let before = snapshot();
+        record_cas();
+        record_bts();
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.cas, 1);
+        assert_eq!(delta.bts, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        reset();
+        record_cas();
+        std::thread::spawn(|| {
+            assert_eq!(snapshot().cas, 0);
+            record_cas();
+            assert_eq!(snapshot().cas, 1);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(snapshot().cas, 1);
+    }
+}
+
+#[cfg(all(test, not(feature = "instrument")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instrumentation_reports_zeros() {
+        record_cas();
+        record_bts();
+        record_alloc();
+        assert_eq!(snapshot(), OpStats::default());
+    }
+}

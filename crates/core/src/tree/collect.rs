@@ -1,0 +1,167 @@
+//! Standard collection traits and bulk operations.
+
+use super::NmTreeMap;
+use crate::set::NmTreeSet;
+use nmbst_reclaim::Reclaim;
+
+impl<K, V, R> FromIterator<(K, V)> for NmTreeMap<K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Builds a map from pairs. Duplicate keys keep the **first**
+    /// occurrence (inserts of existing keys are rejected, per the
+    /// algorithm's dictionary semantics).
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let map = NmTreeMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K, V, R> Extend<(K, V)> for NmTreeMap<K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K, R> FromIterator<K> for NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let set = NmTreeSet::new();
+        for k in iter {
+            set.insert(k);
+        }
+        set
+    }
+}
+
+impl<K, R> Extend<K> for NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Removes every key for which `pred` returns `false`.
+    ///
+    /// Requires exclusive access (it is a compound read-then-remove, so
+    /// offering it concurrently would invite TOCTOU misuse); each
+    /// removal still goes through the normal lock-free path.
+    pub fn retain(&mut self, mut pred: impl FnMut(&K, &V) -> bool) {
+        let mut doomed = Vec::new();
+        self.for_each(|k, v| {
+            if !pred(k, v) {
+                doomed.push(k.clone());
+            }
+        });
+        for k in &doomed {
+            self.remove(k);
+        }
+    }
+}
+
+impl<K, R> NmTreeSet<K, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Removes every key for which `pred` returns `false` (exclusive
+    /// access; see [`NmTreeMap::retain`]).
+    pub fn retain(&mut self, mut pred: impl FnMut(&K) -> bool) {
+        let mut doomed = Vec::new();
+        self.for_each(|k| {
+            if !pred(k) {
+                doomed.push(k.clone());
+            }
+        });
+        for k in &doomed {
+            self.remove(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NmTreeMap, NmTreeSet};
+    use nmbst_reclaim::Ebr;
+
+    #[test]
+    fn from_iterator_set() {
+        let mut set: NmTreeSet<i32, Ebr> = (0..10).collect();
+        assert_eq!(set.len(), 10);
+        assert_eq!(set.keys(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_iterator_map_keeps_first_duplicate() {
+        let map: NmTreeMap<i32, &str, Ebr> = [(1, "first"), (2, "two"), (1, "second")]
+            .into_iter()
+            .collect();
+        assert_eq!(map.get(&1), Some("first"));
+        assert_eq!(map.get(&2), Some("two"));
+    }
+
+    #[test]
+    fn extend_set_and_map() {
+        let mut set: NmTreeSet<i32, Ebr> = NmTreeSet::new();
+        set.extend(0..5);
+        set.extend(3..8); // overlap is fine
+        assert_eq!(set.len(), 8);
+
+        let mut map: NmTreeMap<i32, i32, Ebr> = NmTreeMap::new();
+        map.extend((0..5).map(|k| (k, k * k)));
+        assert_eq!(map.get(&4), Some(16));
+    }
+
+    #[test]
+    fn retain_set() {
+        let mut set: NmTreeSet<i32, Ebr> = (0..20).collect();
+        set.retain(|k| k % 3 == 0);
+        assert_eq!(set.keys(), vec![0, 3, 6, 9, 12, 15, 18]);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retain_map_uses_values() {
+        let mut map: NmTreeMap<i32, i32, Ebr> = (0..10).map(|k| (k, k * 10)).collect();
+        map.retain(|_, v| *v >= 50);
+        let mut keys = Vec::new();
+        map.for_each(|k, _| keys.push(*k));
+        assert_eq!(keys, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn retain_everything_and_nothing() {
+        let mut set: NmTreeSet<i32, Ebr> = (0..10).collect();
+        set.retain(|_| true);
+        assert_eq!(set.len(), 10);
+        set.retain(|_| false);
+        assert_eq!(set.len(), 0);
+        set.check_invariants().unwrap();
+    }
+}

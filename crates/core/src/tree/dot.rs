@@ -1,0 +1,124 @@
+//! Graphviz export for debugging and documentation.
+
+use super::NmTreeMap;
+use crate::key::Key;
+use nmbst_reclaim::Reclaim;
+use std::fmt::Write as _;
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + std::fmt::Debug + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Renders the tree as a Graphviz `digraph` (exclusive access).
+    ///
+    /// Internal nodes are ellipses, leaves boxes, sentinels grey; marked
+    /// edges (impossible at quiescence, but this method is also useful
+    /// from whitebox tests staging in-flight states) render dashed with
+    /// their flag/tag annotation.
+    ///
+    /// ```
+    /// use nmbst::NmTreeMap;
+    ///
+    /// let mut map: NmTreeMap<u32, ()> = NmTreeMap::new();
+    /// map.insert(5, ());
+    /// let dot = map.to_dot();
+    /// assert!(dot.starts_with("digraph nmbst {"));
+    /// assert!(dot.contains("Fin(5)"));
+    /// ```
+    pub fn to_dot(&mut self) -> String {
+        let mut out = String::from("digraph nmbst {\n  node [fontname=\"monospace\"];\n");
+        // SAFETY: exclusive access for the whole walk.
+        unsafe {
+            let mut stack = vec![self.root];
+            while let Some(n) = stack.pop() {
+                if n.is_null() {
+                    continue;
+                }
+                let id = n as usize;
+                let (label, sentinel) = match &(*n).key {
+                    Key::Fin(k) => (format!("Fin({k:?})"), false),
+                    Key::Inf0 => ("inf0".to_string(), true),
+                    Key::Inf1 => ("inf1".to_string(), true),
+                    Key::Inf2 => ("inf2".to_string(), true),
+                };
+                let leaf = (*n).is_leaf();
+                let _ = writeln!(
+                    out,
+                    "  n{id} [label=\"{label}\" shape={}{}];",
+                    if leaf { "box" } else { "ellipse" },
+                    if sentinel {
+                        " style=filled fillcolor=lightgrey"
+                    } else {
+                        ""
+                    }
+                );
+                for (side, edge) in [("L", (*n).left.load_mut()), ("R", (*n).right.load_mut())] {
+                    let child = edge.ptr();
+                    if child.is_null() {
+                        continue;
+                    }
+                    let marks = match (edge.flag(), edge.tag()) {
+                        (false, false) => String::new(),
+                        (f, t) => format!(
+                            " style=dashed color=red label=\"{}{}\"",
+                            if f { "F" } else { "" },
+                            if t { "T" } else { "" }
+                        ),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  n{id} -> n{} [taillabel=\"{side}\"{marks}];",
+                        child as usize
+                    );
+                    stack.push(child);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NmTreeMap;
+    use nmbst_reclaim::Ebr;
+
+    #[test]
+    fn empty_tree_dot_has_sentinels() {
+        let mut m: NmTreeMap<u32, (), Ebr> = NmTreeMap::new();
+        let dot = m.to_dot();
+        assert_eq!(dot.matches("inf0").count(), 1);
+        assert_eq!(dot.matches("inf1").count(), 2); // S and its right leaf
+        assert_eq!(dot.matches("inf2").count(), 2); // R and its right leaf
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn populated_tree_lists_all_keys() {
+        let mut m: NmTreeMap<u32, (), Ebr> = NmTreeMap::new();
+        for k in [4, 2, 6] {
+            m.insert(k, ());
+        }
+        let dot = m.to_dot();
+        for k in [4, 2, 6] {
+            assert!(dot.contains(&format!("Fin({k})")), "missing {k}\n{dot}");
+        }
+        // External tree: node count = 5 sentinels + 3 leaves + 3 internals.
+        assert_eq!(dot.matches("shape=box").count(), 3 + 3);
+    }
+
+    #[test]
+    fn no_marked_edges_at_quiescence() {
+        let mut m: NmTreeMap<u32, (), Ebr> = NmTreeMap::new();
+        for k in 0..20 {
+            m.insert(k, ());
+        }
+        for k in 0..10 {
+            m.remove(&k);
+        }
+        assert!(!m.to_dot().contains("dashed"));
+    }
+}

@@ -1,0 +1,151 @@
+//! The lock-free external BST (the paper's Algorithm 1–4).
+
+mod collect;
+mod dot;
+mod range;
+mod read;
+mod seek;
+mod validate;
+mod whitebox;
+mod write;
+
+pub use validate::TreeShape;
+
+pub(crate) use seek::SeekRecord;
+
+use crate::node::{self, Node};
+use crate::packed::TagMode;
+use nmbst_reclaim::{Ebr, Reclaim};
+use std::marker::PhantomData;
+
+/// A concurrent lock-free ordered map backed by the Natarajan–Mittal
+/// external binary search tree.
+///
+/// * `search`/`get`/`contains` are wait-free with respect to other
+///   readers and lock-free overall.
+/// * `insert` publishes with **one** CAS; `remove` needs one CAS to
+///   linearize (flagging the victim's incoming edge) and two more atomic
+///   instructions (a BTS and a CAS) to physically splice — the costs of
+///   Table 1.
+/// * Conflicts are coordinated purely through two bits stolen from child
+///   pointers; there are no operation descriptor objects and helping
+///   never allocates.
+///
+/// The tree is generic over the reclamation scheme `R`
+/// ([`Ebr`](nmbst_reclaim::Ebr) by default;
+/// [`Leaky`](nmbst_reclaim::Leaky) reproduces the paper's no-reclamation
+/// evaluation mode).
+///
+/// Keys follow the paper's dictionary semantics: duplicates are
+/// rejected, `insert` returns whether the key set changed, and values
+/// are immutable once inserted (no in-place update operation exists in
+/// the algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use nmbst::NmTreeMap;
+///
+/// let map: NmTreeMap<u64, &str> = NmTreeMap::new();
+/// assert!(map.insert(3, "three"));
+/// assert!(!map.insert(3, "again")); // duplicate key rejected
+/// assert_eq!(map.get(&3), Some("three"));
+/// assert!(map.remove(&3));
+/// assert_eq!(map.get(&3), None);
+/// ```
+pub struct NmTreeMap<K, V, R: Reclaim = Ebr> {
+    /// The permanent sentinel root `R` (key ∞₂); see
+    /// [`node::sentinel_tree`].
+    pub(crate) root: *mut Node<K, V>,
+    pub(crate) reclaim: R,
+    pub(crate) tag_mode: TagMode,
+    /// The tree logically owns its nodes.
+    _own: PhantomData<Box<Node<K, V>>>,
+}
+
+// SAFETY: all shared mutation goes through atomic edges; nodes move
+// between threads (retirement / value reads), hence `Send + Sync` on both
+// parameters.
+unsafe impl<K: Send + Sync, V: Send + Sync, R: Reclaim> Send for NmTreeMap<K, V, R> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, R: Reclaim> Sync for NmTreeMap<K, V, R> {}
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::with_tag_mode(TagMode::default())
+    }
+
+    /// Creates an empty map using the given [`TagMode`] for the cleanup
+    /// routine's tag step (BTS vs CAS-only; see §6 and the `ablation_bts`
+    /// bench).
+    pub fn with_tag_mode(tag_mode: TagMode) -> Self {
+        NmTreeMap {
+            root: node::sentinel_tree(),
+            reclaim: R::new(),
+            tag_mode,
+            _own: PhantomData,
+        }
+    }
+
+    /// Pins the current thread, returning a guard other read methods can
+    /// amortize over (see [`with_value`](Self::with_value)).
+    pub fn pin(&self) -> R::Guard<'_> {
+        self.reclaim.pin()
+    }
+
+    /// Makes this thread's retired nodes eligible for reclamation
+    /// without waiting for thread exit (see
+    /// [`Reclaim::flush`]).
+    pub fn flush(&self) {
+        self.reclaim.flush();
+    }
+
+    /// The sentinel routing node `S` (key ∞₁): the left child of `R`.
+    /// Its incoming edge is never marked.
+    #[inline]
+    pub(crate) fn s_node(&self) -> *mut Node<K, V> {
+        // SAFETY: `root` is always the live sentinel `R`, whose left edge
+        // is never marked and always points at the live sentinel `S`.
+        unsafe { (*self.root).left.load().ptr() }
+    }
+}
+
+impl<K, V, R> Default for NmTreeMap<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, R: Reclaim> Drop for NmTreeMap<K, V, R> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node still reachable from the
+        // root. Nodes already retired are unreachable from the root and
+        // are freed by the reclaimer's own drop.
+        // SAFETY: `&mut self` gives exclusive ownership of the reachable
+        // subtree.
+        unsafe { node::free_subtree(self.root) };
+    }
+}
+
+impl<K, V, R> std::fmt::Debug for NmTreeMap<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NmTreeMap")
+            .field("tag_mode", &self.tag_mode)
+            .finish_non_exhaustive()
+    }
+}

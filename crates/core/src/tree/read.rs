@@ -1,0 +1,150 @@
+//! Read-only operations: search (Algorithm 2, lines 34–39), value access
+//! and weakly consistent traversal.
+
+use super::NmTreeMap;
+use crate::key::Key;
+use nmbst_reclaim::Reclaim;
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// `true` if `key` is in the map. Linearizable; never blocks and
+    /// never restarts: a search is one root-to-leaf descent.
+    pub fn contains(&self, key: &K) -> bool {
+        let _guard = self.reclaim.pin();
+        // SAFETY: pinned for the duration of the traversal.
+        let leaf = unsafe { self.search_leaf(key) };
+        // SAFETY: guard-protected; keys are immutable.
+        unsafe { (*leaf).key.is_user(key) }
+    }
+
+    /// Applies `f` to the value stored under `key`, if present.
+    ///
+    /// The reference passed to `f` is valid only during the call (it is
+    /// protected by an internal reclamation guard); this is the
+    /// zero-copy alternative to [`get`](Self::get).
+    pub fn with_value<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
+        let _guard = self.reclaim.pin();
+        // SAFETY: pinned.
+        let leaf = unsafe { self.search_leaf(key) };
+        // SAFETY: guard-protected; leaf contents are immutable after
+        // publication.
+        unsafe {
+            if (*leaf).key.is_user(key) {
+                (*leaf).value.as_ref().map(f)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Returns a clone of the value stored under `key`.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.with_value(key, V::clone)
+    }
+
+    /// Visits every `(key, value)` pair in ascending key order.
+    ///
+    /// **Weakly consistent**: every key present for the *entire* call is
+    /// reported exactly once, in order. Keys concurrently inserted or
+    /// removed may be missed or included; a key removed and re-inserted
+    /// during the call may even be reported twice (once through a
+    /// detached-but-still-readable subtree, once at its new position),
+    /// and keys inserted mid-call into subtrees hoisted by concurrent
+    /// deletes can arrive out of order — the usual contract of
+    /// concurrent-map iterators. For an exact snapshot use
+    /// [`keys`](Self::keys) (requires `&mut`).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let _guard = self.reclaim.pin();
+        let mut stack = vec![self.s_node()];
+        while let Some(node) = stack.pop() {
+            // SAFETY: every pointer on the stack was read from a live
+            // edge under the pin.
+            unsafe {
+                let left = (*node).left.load().ptr();
+                if left.is_null() {
+                    // Leaf: report user keys only (sentinel leaves carry
+                    // no value).
+                    if let (Key::Fin(k), Some(v)) = (&(*node).key, &(*node).value) {
+                        f(k, v);
+                    }
+                } else {
+                    // In-order: right pushed first so left pops first.
+                    stack.push((*node).right.load().ptr());
+                    stack.push(left);
+                }
+            }
+        }
+    }
+
+    /// The number of keys, counted by a weakly consistent traversal.
+    /// Exact when no writer is concurrent.
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        self.for_each(|_, _| n += 1);
+        n
+    }
+
+    /// `true` if a weakly consistent traversal found no keys.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NmTreeMap;
+    use nmbst_reclaim::Ebr;
+
+    #[test]
+    fn with_value_zero_copy() {
+        let map: NmTreeMap<u32, Vec<u8>, Ebr> = NmTreeMap::new();
+        map.insert(1, vec![1, 2, 3]);
+        let len = map.with_value(&1, |v| v.len());
+        assert_eq!(len, Some(3));
+        assert_eq!(map.with_value(&2, |v| v.len()), None);
+    }
+
+    #[test]
+    fn for_each_in_ascending_order() {
+        let map: NmTreeMap<i64, i64, Ebr> = NmTreeMap::new();
+        let keys = [9, 1, 7, 3, 5, 8, 2, 6, 4, 0];
+        for k in keys {
+            map.insert(k, k * 10);
+        }
+        let mut seen = Vec::new();
+        map.for_each(|k, v| {
+            assert_eq!(*v, k * 10);
+            seen.push(*k);
+        });
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn count_and_is_empty() {
+        let map: NmTreeMap<i64, (), Ebr> = NmTreeMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.count(), 0);
+        for k in 0..37 {
+            map.insert(k, ());
+        }
+        assert_eq!(map.count(), 37);
+        map.remove(&0);
+        assert_eq!(map.count(), 36);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn for_each_skips_sentinels_on_empty_tree() {
+        let map: NmTreeMap<i64, (), Ebr> = NmTreeMap::new();
+        let mut called = false;
+        map.for_each(|_, _| called = true);
+        assert!(!called);
+    }
+}

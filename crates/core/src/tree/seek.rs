@@ -1,0 +1,177 @@
+//! The seek phase (Algorithm 1).
+//!
+//! Every operation begins by traversing from the root to a leaf along
+//! the *access path*. The traversal maintains the paper's four-pointer
+//! seek record:
+//!
+//! * `leaf` — the last node on the access path,
+//! * `parent` — its predecessor,
+//! * `(ancestor, successor)` — the last **untagged** edge encountered
+//!   before reaching `parent`.
+//!
+//! When no conflicting delete is in progress, `ancestor`/`successor`
+//! coincide with the grandparent/parent. Otherwise every node from
+//! `successor` down to `parent` is in the process of being removed, and
+//! the splice at `ancestor` will excise the whole chain at once.
+
+use super::NmTreeMap;
+use crate::node::Node;
+use crate::stats;
+use nmbst_reclaim::Reclaim;
+
+/// The four addresses a seek returns (Algorithm 1, lines 6–11).
+///
+/// Raw pointers are valid for dereference only under the reclamation
+/// guard the seek ran under.
+pub(crate) struct SeekRecord<K, V> {
+    pub(crate) ancestor: *mut Node<K, V>,
+    pub(crate) successor: *mut Node<K, V>,
+    pub(crate) parent: *mut Node<K, V>,
+    pub(crate) leaf: *mut Node<K, V>,
+}
+
+impl<K, V> SeekRecord<K, V> {
+    pub(crate) fn empty() -> Self {
+        SeekRecord {
+            ancestor: std::ptr::null_mut(),
+            successor: std::ptr::null_mut(),
+            parent: std::ptr::null_mut(),
+            leaf: std::ptr::null_mut(),
+        }
+    }
+}
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Algorithm 1, lines 13–33. Fills `rec` with the access-path
+    /// addresses for `key`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold a reclamation guard for this tree across the call
+    /// and for as long as the returned record is dereferenced.
+    pub(crate) unsafe fn seek(&self, key: &K, rec: &mut SeekRecord<K, V>) {
+        stats::record_seek();
+        let r = self.root;
+        let s = self.s_node();
+        // Initialization from the sentinels (lines 15–21).
+        rec.ancestor = r;
+        rec.successor = s;
+        rec.parent = s;
+        // SAFETY (all derefs in this function): pointers were read from
+        // live edges under the caller's guard; retired nodes cannot be
+        // freed while it is held, and sentinels are never retired.
+        let mut parent_field = unsafe { &(*s).left }.load();
+        rec.leaf = parent_field.ptr();
+        let mut current_field = unsafe { &(*rec.leaf).left }.load();
+        let mut current = current_field.ptr();
+
+        // Descend until a leaf (lines 22–32).
+        while !current.is_null() {
+            // An untagged edge into `parent` means `parent` is not being
+            // spliced out: it is a valid anchor for the next splice.
+            if !parent_field.tag() {
+                rec.ancestor = rec.parent;
+                rec.successor = rec.leaf;
+            }
+            rec.parent = rec.leaf;
+            rec.leaf = current;
+            parent_field = current_field;
+            current_field = unsafe { (*current).child_for(key) }.load();
+            current = current_field.ptr();
+        }
+    }
+
+    /// Lightweight traversal for read-only operations: the paper's
+    /// search (Algorithm 2, lines 34–39) only consults the final leaf,
+    /// so the full record bookkeeping can be skipped.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`seek`](Self::seek).
+    pub(crate) unsafe fn search_leaf(&self, key: &K) -> *mut Node<K, V> {
+        let mut current = self.s_node();
+        loop {
+            // SAFETY: see `seek`.
+            let next = unsafe { (*current).child_for(key) }.load().ptr();
+            if next.is_null() {
+                return current;
+            }
+            current = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use nmbst_reclaim::Leaky;
+
+    type Map = NmTreeMap<i64, (), Leaky>;
+
+    #[test]
+    fn seek_on_empty_tree_lands_on_inf0() {
+        let map = Map::new();
+        let mut rec = SeekRecord::empty();
+        unsafe {
+            map.seek(&42, &mut rec);
+            assert_eq!((*rec.leaf).key, Key::Inf0);
+            assert_eq!(rec.parent, map.s_node());
+            assert_eq!(rec.successor, map.s_node());
+            assert_eq!(rec.ancestor, map.root);
+        }
+    }
+
+    #[test]
+    fn seek_finds_inserted_key() {
+        let map = Map::new();
+        for k in [50, 25, 75] {
+            assert!(map.insert(k, ()));
+        }
+        let mut rec = SeekRecord::empty();
+        unsafe {
+            map.seek(&25, &mut rec);
+            assert!((*rec.leaf).key.is_user(&25));
+            assert!((*rec.leaf).is_leaf());
+            assert!(!(*rec.parent).is_leaf());
+            // No deletes in flight: successor == parent and the ancestor
+            // is the parent's parent.
+            assert_eq!(rec.successor, rec.parent);
+        }
+    }
+
+    #[test]
+    fn seek_for_missing_key_lands_on_boundary_leaf() {
+        let map = Map::new();
+        for k in [10, 20, 30] {
+            map.insert(k, ());
+        }
+        let mut rec = SeekRecord::empty();
+        unsafe {
+            map.seek(&15, &mut rec);
+            // The leaf reached is one of the neighbours of 15 in order.
+            let k = (*rec.leaf).key.as_user().copied().unwrap();
+            assert!(k == 10 || k == 20);
+        }
+    }
+
+    #[test]
+    fn search_leaf_agrees_with_seek() {
+        let map = Map::new();
+        for k in 0..64 {
+            map.insert(k * 3, ());
+        }
+        let mut rec = SeekRecord::empty();
+        for probe in 0..200 {
+            unsafe {
+                map.seek(&probe, &mut rec);
+                assert_eq!(map.search_leaf(&probe), rec.leaf);
+            }
+        }
+    }
+}

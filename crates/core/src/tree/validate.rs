@@ -1,0 +1,247 @@
+//! Structural validation and exclusive-access utilities.
+//!
+//! These methods require `&mut self` — i.e. provable quiescence — and are
+//! meant for tests, debugging and snapshotting. In a quiescent tree
+//! every operation has completed, so no reachable edge may still carry a
+//! flag or tag; validation checks that along with the BST ordering and
+//! external-tree shape the proof of §3.3 relies on.
+
+use super::NmTreeMap;
+use crate::key::Key;
+use crate::node::{self, Node};
+use nmbst_reclaim::Reclaim;
+
+/// Shape summary returned by a successful
+/// [`check_invariants`](NmTreeMap::check_invariants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Number of user keys (finite-key leaves).
+    pub user_keys: usize,
+    /// Number of internal (routing) nodes, sentinels included.
+    pub internal_nodes: usize,
+    /// Number of leaf nodes, sentinels included.
+    pub leaf_nodes: usize,
+    /// Longest root-to-leaf path, in edges.
+    pub max_depth: usize,
+}
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Validates every structural invariant of the quiescent tree:
+    ///
+    /// 1. the sentinel scaffolding of Figure 3 is intact,
+    /// 2. no reachable edge carries a flag or tag,
+    /// 3. every node is either a leaf (two null children) or internal
+    ///    (two non-null children),
+    /// 4. BST order: left-subtree keys `<` node key `≤` right-subtree
+    ///    keys,
+    /// 5. exactly the finite-key leaves carry values, and every internal
+    ///    node has exactly two children (external-tree shape).
+    ///
+    /// Returns the tree's shape on success, a description of the first
+    /// violation otherwise.
+    pub fn check_invariants(&mut self) -> Result<TreeShape, String> {
+        // SAFETY: exclusive access throughout.
+        unsafe {
+            let root = self.root;
+            if (*root).key != Key::Inf2 {
+                return Err("root key is not ∞₂".into());
+            }
+            let root_right = (*root).right.load_mut();
+            if root_right.marked() {
+                return Err("edge R→leaf(∞₂) is marked".into());
+            }
+            let r_leaf = root_right.ptr();
+            if r_leaf.is_null() || !(*r_leaf).is_leaf() || (*r_leaf).key != Key::Inf2 {
+                return Err("right child of R is not the ∞₂ sentinel leaf".into());
+            }
+            let root_left = (*root).left.load_mut();
+            if root_left.marked() {
+                return Err("edge R→S is marked".into());
+            }
+            let s = root_left.ptr();
+            if s.is_null() || (*s).key != Key::Inf1 {
+                return Err("left child of R is not the sentinel S (∞₁)".into());
+            }
+
+            let mut shape = TreeShape {
+                user_keys: 0,
+                internal_nodes: 0,
+                leaf_nodes: 0,
+                max_depth: 0,
+            };
+            // Iterative DFS with ordering bounds: (node, lower, upper,
+            // depth); bounds are exclusive below / inclusive above in the
+            // external-BST sense (left < key ≤ right).
+            type Bound<'a, K> = Option<&'a Key<K>>;
+            type Frame<'a, K, V> = (*mut Node<K, V>, Bound<'a, K>, Bound<'a, K>, usize);
+            let mut stack: Vec<Frame<'_, K, V>> = vec![(root, None, None, 0)];
+            while let Some((n, low, high, depth)) = stack.pop() {
+                shape.max_depth = shape.max_depth.max(depth);
+                let key = &(*n).key;
+                if let Some(low) = low {
+                    if key < low {
+                        return Err(format!("ordering violated: a key sits left of its lower bound at depth {depth}"));
+                    }
+                }
+                if let Some(high) = high {
+                    if key >= high {
+                        return Err(format!("ordering violated: a key sits at/above its upper bound at depth {depth}"));
+                    }
+                }
+                let left = (*n).left.load_mut();
+                let right = (*n).right.load_mut();
+                if left.marked() || right.marked() {
+                    return Err(format!(
+                        "marked edge reachable in quiescent tree at depth {depth}"
+                    ));
+                }
+                match (left.ptr().is_null(), right.ptr().is_null()) {
+                    (true, true) => {
+                        shape.leaf_nodes += 1;
+                        match key {
+                            Key::Fin(_) => {
+                                shape.user_keys += 1;
+                                if (*n).value.is_none() {
+                                    return Err("user leaf without a value".into());
+                                }
+                            }
+                            _ => {
+                                if (*n).value.is_some() {
+                                    return Err("sentinel leaf carries a value".into());
+                                }
+                            }
+                        }
+                    }
+                    (false, false) => {
+                        shape.internal_nodes += 1;
+                        if (*n).value.is_some() {
+                            return Err("internal node carries a value".into());
+                        }
+                        // Left strictly below `key`; right at/above it.
+                        stack.push((left.ptr(), low, Some(&(*n).key), depth + 1));
+                        stack.push((right.ptr(), Some(&(*n).key), high, depth + 1));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "node with exactly one child at depth {depth} (tree must be external)"
+                        ));
+                    }
+                }
+            }
+            // External tree: #internal = #leaves - 1.
+            if shape.internal_nodes + 1 != shape.leaf_nodes {
+                return Err(format!(
+                    "external-shape violation: {} internal vs {} leaves",
+                    shape.internal_nodes, shape.leaf_nodes
+                ));
+            }
+            Ok(shape)
+        }
+    }
+
+    /// Exact number of keys. Exclusive access; `O(n)`.
+    pub fn len(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each(|_, _| n += 1);
+        n
+    }
+
+    /// All keys in ascending order (exact snapshot; exclusive access).
+    pub fn keys(&mut self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        self.for_each(|k, _| out.push(k.clone()));
+        out
+    }
+
+    /// Removes every key, resetting the tree to the empty sentinel shape
+    /// and freeing all user nodes immediately.
+    pub fn clear(&mut self) {
+        // SAFETY: exclusive access; rebuild from scratch.
+        unsafe {
+            node::free_subtree(self.root);
+        }
+        self.root = node::sentinel_tree();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NmTreeMap;
+    use nmbst_reclaim::Ebr;
+
+    type Map = NmTreeMap<i64, i64, Ebr>;
+
+    #[test]
+    fn empty_tree_is_valid() {
+        let mut map = Map::new();
+        let shape = map.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 0);
+        assert_eq!(shape.leaf_nodes, 3);
+        assert_eq!(shape.internal_nodes, 2);
+        assert_eq!(shape.max_depth, 2);
+    }
+
+    #[test]
+    fn shape_after_inserts() {
+        let mut map = Map::new();
+        for k in 0..100 {
+            map.insert(k, k);
+        }
+        let shape = map.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 100);
+        // External tree: each insert adds one internal + one leaf.
+        assert_eq!(shape.leaf_nodes, 103);
+        assert_eq!(shape.internal_nodes, 102);
+    }
+
+    #[test]
+    fn shape_after_churn() {
+        let mut map = Map::new();
+        for k in 0..200 {
+            map.insert(k, k);
+        }
+        for k in (0..200).step_by(2) {
+            assert!(map.remove(&k));
+        }
+        let shape = map.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 100);
+        assert_eq!(map.len(), 100);
+        assert_eq!(
+            map.keys(),
+            (0..200).filter(|k| k % 2 == 1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut map = Map::new();
+        for k in 0..50 {
+            map.insert(k, k);
+        }
+        map.clear();
+        let shape = map.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 0);
+        assert!(map.is_empty());
+        // Usable after clear.
+        assert!(map.insert(1, 1));
+        assert!(map.contains(&1));
+    }
+
+    #[test]
+    fn sorted_inserts_make_degenerate_but_valid_tree() {
+        let mut map = Map::new();
+        for k in 0..1000 {
+            map.insert(k, k);
+        }
+        let shape = map.check_invariants().unwrap();
+        assert!(shape.max_depth >= 1000, "expected a deep spine");
+    }
+}

@@ -1,0 +1,279 @@
+//! Whitebox test hooks: deterministic construction of the in-flight
+//! states the paper's helping protocol handles.
+//!
+//! A "stalled" delete is one that performed its injection CAS (flagged
+//! the edge to its victim) and then stopped before cleanup — exactly
+//! what a preempted thread looks like to everyone else. These hooks
+//! exist only under `cfg(test)` and let tests stage such states
+//! deterministically instead of hoping a race produces them.
+
+#![cfg(test)]
+
+use super::{NmTreeMap, SeekRecord};
+use crate::node::clean_edge;
+use nmbst_reclaim::Reclaim;
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Performs only the *injection* step of a delete: flags the edge to
+    /// `key`'s leaf and returns without cleaning up, imitating a deleter
+    /// that stalled right after its linearization… of ownership (the
+    /// delete's own linearization is the later splice). Returns `true`
+    /// if the flag was planted.
+    pub(crate) fn stall_delete_after_injection(&self, key: &K) -> bool {
+        let guard = self.reclaim.pin();
+        let _ = &guard;
+        let mut rec = SeekRecord::empty();
+        loop {
+            // SAFETY: pinned.
+            unsafe { self.seek(key, &mut rec) };
+            let leaf = rec.leaf;
+            // SAFETY: read under the pin.
+            if !unsafe { (*leaf).key.is_user(key) } {
+                return false;
+            }
+            let parent = rec.parent;
+            // SAFETY: read under the pin.
+            let edge = unsafe { (*parent).child_for(key) };
+            let clean = clean_edge(leaf);
+            match edge.compare_exchange(clean, clean.flagged()) {
+                Ok(()) => return true,
+                Err(observed) => {
+                    if observed.ptr() == leaf && observed.marked() {
+                        // Someone else owns it; we failed to stall one.
+                        return false;
+                    }
+                    // Injection point changed; retry.
+                }
+            }
+        }
+    }
+
+    /// Finishes a stalled delete of `key` the way any helper would:
+    /// seek + cleanup until the leaf is gone.
+    pub(crate) fn finish_stalled_delete(&self, key: &K) {
+        let guard = self.reclaim.pin();
+        let mut rec = SeekRecord::empty();
+        loop {
+            // SAFETY: pinned.
+            unsafe { self.seek(key, &mut rec) };
+            // SAFETY: read under the pin.
+            if !unsafe { (*rec.leaf).key.is_user(key) } {
+                return;
+            }
+            // SAFETY: record from a seek under this pin.
+            unsafe { self.cleanup(key, &rec, &guard) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NmTreeMap, NmTreeSet};
+    use nmbst_reclaim::Ebr;
+
+    fn set_with(keys: &[u64]) -> NmTreeSet<u64, Ebr> {
+        let s = NmTreeSet::new();
+        for &k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    #[test]
+    fn search_still_finds_flagged_but_unspliced_key() {
+        // The delete's linearization point is the *splice*, not the flag
+        // (§3.3), so a flagged-but-present key is still a member.
+        let set = set_with(&[50, 25, 75]);
+        assert!(set.as_map().stall_delete_after_injection(&25));
+        assert!(set.contains(&25), "flagged key must still be visible");
+        set.as_map().finish_stalled_delete(&25);
+        assert!(!set.contains(&25));
+    }
+
+    #[test]
+    fn insert_helps_stalled_delete_at_its_injection_point() {
+        // Insert(30) seeks to the leaf 25 whose edge is flagged; its CAS
+        // fails, it must help the stalled delete finish, then succeed.
+        let set = set_with(&[50, 25, 75]);
+        assert!(set.as_map().stall_delete_after_injection(&25));
+        assert!(set.insert(30), "insert must help and then succeed");
+        assert!(set.contains(&30));
+        assert!(!set.contains(&25), "helped delete must have completed");
+        let mut m = set;
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn second_delete_of_same_key_loses_to_stalled_owner() {
+        let set = set_with(&[50, 25, 75]);
+        assert!(set.as_map().stall_delete_after_injection(&25));
+        // A competing delete of 25 must help the owner and report false:
+        // the key was (logically) claimed by the stalled delete.
+        assert!(!set.remove(&25));
+        assert!(!set.contains(&25));
+    }
+
+    #[test]
+    fn delete_of_sibling_helps_stalled_delete() {
+        // 25's edge is flagged; deleting its tree-sibling forces the
+        // sibling's cleanup to interact with the flagged edge (the
+        // "flag copied to the new edge" path, Algorithm 4 line 107-108).
+        let set = set_with(&[50, 25, 75, 10, 30]);
+        assert!(set.as_map().stall_delete_after_injection(&30));
+        assert!(set.remove(&10));
+        // Whatever the interleaving, 30 must end up deleted (it was
+        // flagged) and the rest intact.
+        set.as_map().finish_stalled_delete(&30);
+        assert!(!set.contains(&30));
+        for k in [50, 25, 75] {
+            assert!(set.contains(&k), "lost {k}");
+        }
+        let mut m = set;
+        let shape = m.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 3);
+    }
+
+    #[test]
+    fn multiple_stalled_deletes_form_a_chain_removed_at_once() {
+        // Figure 2's situation: several flagged victims along one path.
+        // Finishing any one of them (or any helper) may excise several.
+        let set = set_with(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        for k in [30u64, 40, 50] {
+            assert!(set.as_map().stall_delete_after_injection(&k), "stall {k}");
+        }
+        // All three remain visible (none spliced yet).
+        for k in [30u64, 40, 50] {
+            assert!(set.contains(&k));
+        }
+        for k in [30u64, 40, 50] {
+            set.as_map().finish_stalled_delete(&k);
+        }
+        for k in [30u64, 40, 50] {
+            assert!(!set.contains(&k));
+        }
+        for k in [10u64, 20, 60, 70, 80] {
+            assert!(set.contains(&k), "lost innocent {k}");
+        }
+        let mut m = set;
+        let shape = m.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 5);
+    }
+
+    #[test]
+    fn edge_granularity_gives_independent_progress_figure5() {
+        // §5 / Figure 5: operations touching *disjoint edges* proceed
+        // independently even when they share nodes. A delete of 10 is
+        // stalled mid-flight (its edge flagged); deleting its tree
+        // sibling 20 — same parent node! — completes on its own and, in
+        // contrast to node-locking designs (see the mirror test in
+        // nmbst-baselines::efrb), does NOT have to drive the stalled
+        // delete to completion: 10 stays present (flagged, hoisted with
+        // its flag copied per Algorithm 4 line 107-108) until its owner
+        // resumes.
+        let set = set_with(&[10, 20]);
+        assert!(set.as_map().stall_delete_after_injection(&10));
+        assert!(set.remove(&20), "sibling delete proceeds independently");
+        assert!(
+            set.contains(&10),
+            "stalled delete was not forced to completion: 10 still visible"
+        );
+        // The stalled owner resumes and finishes on the hoisted edge.
+        set.as_map().finish_stalled_delete(&10);
+        assert!(!set.contains(&10));
+        let mut m = set;
+        let shape = m.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 0);
+    }
+
+    #[test]
+    fn stalling_twice_on_same_key_fails_second_time() {
+        let set = set_with(&[5, 3, 8]);
+        assert!(set.as_map().stall_delete_after_injection(&3));
+        assert!(!set.as_map().stall_delete_after_injection(&3));
+        set.as_map().finish_stalled_delete(&3);
+    }
+
+    #[test]
+    fn racing_helpers_finish_one_stalled_delete_idempotently() {
+        // Many threads simultaneously help the same stalled delete; the
+        // splice must happen exactly once (retire-once is implied: a
+        // double retire would double-free under Ebr and crash/corrupt).
+        for _trial in 0..40 {
+            let set = set_with(&[50, 25, 75, 10, 30, 60, 90]);
+            assert!(set.as_map().stall_delete_after_injection(&30));
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let set = &set;
+                    s.spawn(move || set.as_map().finish_stalled_delete(&30));
+                }
+            });
+            assert!(!set.contains(&30));
+            for k in [50, 25, 75, 10, 60, 90] {
+                assert!(set.contains(&k), "lost {k}");
+            }
+            let mut m = set;
+            let shape = m.check_invariants().unwrap();
+            assert_eq!(shape.user_keys, 6);
+        }
+    }
+
+    #[test]
+    fn readers_see_consistent_membership_around_staged_chain() {
+        // While a staged Figure 2 chain is being excised by helpers,
+        // concurrent searches must never crash and must see innocent
+        // keys as present throughout.
+        let set = set_with(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        for k in [30u64, 40, 50] {
+            assert!(set.as_map().stall_delete_after_injection(&k));
+        }
+        std::thread::scope(|s| {
+            for k in [30u64, 40, 50] {
+                let set = &set;
+                s.spawn(move || set.as_map().finish_stalled_delete(&k));
+            }
+            for _ in 0..2 {
+                let set = &set;
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        for k in [10u64, 20, 60, 70, 80] {
+                            assert!(set.contains(&k), "innocent key {k} vanished");
+                        }
+                    }
+                });
+            }
+        });
+        let mut m = set;
+        assert_eq!(m.check_invariants().unwrap().user_keys, 5);
+    }
+
+    #[test]
+    fn map_values_of_chain_victims_reclaimed_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let map: NmTreeMap<u64, D, Ebr> = NmTreeMap::new();
+        for k in [10, 20, 30, 40, 50] {
+            map.insert(k, D(Arc::clone(&drops)));
+        }
+        for k in [20u64, 30, 40] {
+            assert!(map.stall_delete_after_injection(&k));
+        }
+        for k in [20u64, 30, 40] {
+            map.finish_stalled_delete(&k);
+        }
+        map.flush();
+        drop(map);
+        assert_eq!(drops.load(Ordering::Relaxed), 5, "each value dropped once");
+    }
+}

@@ -1,0 +1,398 @@
+//! Modify operations: insert (Algorithm 2), delete (Algorithm 3) and the
+//! shared cleanup routine (Algorithm 4).
+
+use super::{NmTreeMap, SeekRecord};
+use crate::key::Key;
+use crate::node::{clean_edge, Node};
+use crate::packed::Edge;
+use crate::stats;
+use nmbst_reclaim::{Reclaim, RetireGuard};
+use std::ptr;
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Inserts `key → value`. Returns `true` if the key was absent (the
+    /// pair was added) and `false` if the key already exists — duplicate
+    /// keys are rejected and `value` is dropped, per the paper's
+    /// dictionary semantics.
+    ///
+    /// Lock-free. Publishes with a single CAS; on conflict with a delete
+    /// it helps that delete complete and retries from a fresh seek. The
+    /// two new nodes are allocated once and reused across retries.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let guard = self.reclaim.pin();
+        let mut rec = SeekRecord::empty();
+        let mut value = Some(value);
+        // Scratch nodes, allocated on first use and reused on retry;
+        // they stay private until the publishing CAS succeeds.
+        let mut new_leaf: *mut Node<K, V> = ptr::null_mut();
+        let mut new_internal: *mut Node<K, V> = ptr::null_mut();
+
+        loop {
+            // SAFETY: `guard` pins this thread for the whole operation.
+            unsafe { self.seek(&key, &mut rec) };
+            let leaf = rec.leaf;
+            // SAFETY: `leaf` was read under `guard`; keys are immutable.
+            if unsafe { (*leaf).key.is_user(&key) } {
+                // Key already present (Algorithm 2, line 59).
+                unsafe { discard_scratch(new_leaf, new_internal) };
+                return false;
+            }
+
+            let parent = rec.parent;
+            // SAFETY: `parent` read under `guard`.
+            let child_edge = unsafe { (*parent).child_for(&key) };
+
+            // Build (or rebuild) the two-node subtree: the new internal
+            // node routes with max(key, leaf.key); the smaller key goes
+            // left (Figure 1a).
+            unsafe {
+                if new_leaf.is_null() {
+                    new_leaf = Node::new_leaf(
+                        Key::Fin(key.clone()),
+                        Some(value.take().expect("value consumed before publication")),
+                    );
+                }
+                let leaf_key = &(*leaf).key;
+                let (internal_key, left, right) = if leaf_key.user_goes_left(&key) {
+                    // key < leaf.key: new leaf on the left, routed by leaf.key.
+                    (leaf_key.clone(), new_leaf, leaf)
+                } else {
+                    (Key::Fin(key.clone()), leaf, new_leaf)
+                };
+                if new_internal.is_null() {
+                    new_internal = Node::new_internal(internal_key, left, right);
+                } else {
+                    // Unpublished: plain rewrites are fine.
+                    let scratch = &mut *new_internal;
+                    scratch.key = internal_key;
+                    scratch.left.store_unsynchronized(Edge::clean(left));
+                    scratch.right.store_unsynchronized(Edge::clean(right));
+                }
+            }
+
+            // The single publishing CAS (Algorithm 2, line 51).
+            match child_edge.compare_exchange(clean_edge(leaf), clean_edge(new_internal)) {
+                Ok(()) => return true,
+                Err(observed) => {
+                    // Help a conflicting delete if the injection point is
+                    // unchanged but marked (lines 55–57), then retry.
+                    if observed.ptr() == leaf && observed.marked() {
+                        // SAFETY: record still refers to nodes protected
+                        // by `guard`.
+                        unsafe { self.cleanup(&key, &rec, &guard) };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `key`. Returns `true` if the key was present.
+    ///
+    /// Lock-free. One CAS linearizes the removal (flagging the edge to
+    /// the victim leaf); one BTS plus one CAS splice it out physically,
+    /// possibly along with a whole chain of other logically deleted
+    /// nodes. Deletion allocates nothing.
+    pub fn remove(&self, key: &K) -> bool {
+        self.remove_and(key, |_| ()).is_some()
+    }
+
+    /// Removes `key` and returns its value. `None` if the key was absent.
+    pub fn remove_get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.remove_and(key, |leaf| leaf.value.clone()).flatten()
+    }
+
+    /// Algorithm 3. `read` runs exactly once, immediately after this
+    /// thread's injection CAS succeeds — the point where the removal
+    /// linearizes and the leaf is still protected by our guard.
+    fn remove_and<T>(&self, key: &K, read: impl FnOnce(&Node<K, V>) -> T) -> Option<T> {
+        let guard = self.reclaim.pin();
+        let mut rec = SeekRecord::empty();
+        let mut read = Some(read);
+        let mut injecting = true;
+        let mut target: *mut Node<K, V> = ptr::null_mut();
+        let mut result: Option<T> = None;
+
+        loop {
+            // SAFETY: `guard` held for the whole operation; in cleanup
+            // mode this also keeps `target` comparable by address (it
+            // cannot be freed and recycled while we are pinned).
+            unsafe { self.seek(key, &mut rec) };
+            let parent = rec.parent;
+            // SAFETY: read under `guard`.
+            let child_edge = unsafe { (*parent).child_for(key) };
+
+            if injecting {
+                let leaf = rec.leaf;
+                // SAFETY: read under `guard`.
+                if !unsafe { (*leaf).key.is_user(key) } {
+                    return None; // key absent (line 72)
+                }
+                // Injection: flag the edge to the victim (line 73). This
+                // is the linearization point of a successful delete.
+                let clean = clean_edge(leaf);
+                match child_edge.compare_exchange(clean, clean.flagged()) {
+                    Ok(()) => {
+                        // SAFETY: leaf is immutable and guard-protected.
+                        result = Some(read.take().expect("read used once")(unsafe { &*leaf }));
+                        target = leaf;
+                        injecting = false;
+                        // SAFETY: record protected by `guard`.
+                        if unsafe { self.cleanup(key, &rec, &guard) } {
+                            return result;
+                        }
+                    }
+                    Err(observed) => {
+                        if observed.ptr() == leaf && observed.marked() {
+                            // SAFETY: record protected by `guard`.
+                            unsafe { self.cleanup(key, &rec, &guard) };
+                        }
+                    }
+                }
+            } else {
+                // Cleanup mode (lines 82–87): if the flagged leaf is no
+                // longer on the access path, a helper already removed it.
+                if rec.leaf != target {
+                    return result;
+                }
+                // SAFETY: record protected by `guard`.
+                if unsafe { self.cleanup(key, &rec, &guard) } {
+                    return result;
+                }
+            }
+        }
+    }
+
+    /// Algorithm 4: tag the sibling edge, then splice at the ancestor.
+    /// Invoked by the delete that owns the flag *and* by any operation
+    /// helping it. Returns `true` if this call performed the splice.
+    ///
+    /// # Safety
+    ///
+    /// `rec` must come from a seek under `guard`, still held.
+    pub(crate) unsafe fn cleanup(
+        &self,
+        key: &K,
+        rec: &SeekRecord<K, V>,
+        guard: &R::Guard<'_>,
+    ) -> bool {
+        stats::record_cleanup();
+        let ancestor = rec.ancestor;
+        let successor = rec.successor;
+        let parent = rec.parent;
+
+        // SAFETY (derefs below): all four record nodes are protected by
+        // `guard`; even if already spliced out by another thread they
+        // cannot have been freed.
+        let successor_edge = unsafe { (*ancestor).child_for(key) };
+        let (child_edge, sibling_edge) = unsafe { (*parent).child_and_sibling_for(key) };
+
+        // Lines 103–105: if the edge to our leaf is not flagged, the
+        // delete being helped flagged the *other* child; the roles swap
+        // and our side is the one to hoist.
+        let child_val = child_edge.load();
+        let sibling_edge = if !child_val.flag() {
+            child_edge
+        } else {
+            sibling_edge
+        };
+
+        // Line 106: tag the edge that will be hoisted. Unconditional and
+        // idempotent — after this, neither child of `parent` can change,
+        // so `parent` can never again be an injection point.
+        sibling_edge.set_tag(self.tag_mode);
+
+        // Lines 107–108: splice. The hoisted edge keeps its flag (its
+        // head may itself be a leaf some delete already flagged; the flag
+        // must survive the move so that delete can still be helped).
+        let sib = sibling_edge.load();
+        match successor_edge.compare_exchange(
+            clean_edge(successor),
+            Edge::with_marks(sib.flag(), false, sib.ptr()),
+        ) {
+            Ok(()) => {
+                // We won the splice: everything that hung below
+                // `successor`, except the hoisted survivor subtree, just
+                // left the tree — retire it (exactly once, by us).
+                // SAFETY: the detached region is frozen (every edge in it
+                // is marked) and unreachable from the root.
+                unsafe { self.retire_chain(successor, sib.ptr(), guard) };
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Retires the chain a successful splice detached: the subtree rooted
+    /// at `from`, minus the subtree of the hoisted `survivor`.
+    ///
+    /// Recursion depth is bounded by the number of concurrent deletes
+    /// whose victims lay on this access path (each tagged edge on the
+    /// chain belongs to one), so it cannot overflow.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the thread whose splice CAS detached `from`, and
+    /// must still hold `guard`.
+    unsafe fn retire_chain(
+        &self,
+        from: *mut Node<K, V>,
+        survivor: *mut Node<K, V>,
+        guard: &R::Guard<'_>,
+    ) {
+        let mut unlinked = 0;
+        // SAFETY: forwarded contract.
+        unsafe { self.retire_rec(from, survivor, guard, &mut unlinked) };
+        stats::record_splice(unlinked);
+    }
+
+    unsafe fn retire_rec(
+        &self,
+        node: *mut Node<K, V>,
+        survivor: *mut Node<K, V>,
+        guard: &R::Guard<'_>,
+        unlinked: &mut u64,
+    ) {
+        if node.is_null() || node == survivor {
+            return;
+        }
+        // SAFETY: nodes in the detached region are frozen; their edges
+        // are immutable and the nodes are guard-protected.
+        let left = unsafe { (*node).left.load() }.ptr();
+        let right = unsafe { (*node).right.load() }.ptr();
+        unsafe {
+            self.retire_rec(left, survivor, guard, unlinked);
+            self.retire_rec(right, survivor, guard, unlinked);
+        }
+        *unlinked += 1;
+        stats::record_retire();
+        // SAFETY: detached by our splice, retired exactly once (only the
+        // splice winner walks this region).
+        unsafe { guard.retire(node) };
+    }
+}
+
+/// Frees insert's scratch nodes when the operation concludes without
+/// publishing them.
+///
+/// # Safety
+///
+/// The nodes must never have been published (no CAS installed them).
+unsafe fn discard_scratch<K, V>(leaf: *mut Node<K, V>, internal: *mut Node<K, V>) {
+    if !leaf.is_null() {
+        // SAFETY: unpublished, uniquely owned; drops the key and value.
+        drop(unsafe { Box::from_raw(leaf) });
+    }
+    if !internal.is_null() {
+        // SAFETY: unpublished; its child edges are raw words, so no
+        // double free of the children.
+        drop(unsafe { Box::from_raw(internal) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NmTreeMap;
+    use nmbst_reclaim::{Ebr, Leaky};
+
+    #[test]
+    fn insert_then_contains() {
+        let map: NmTreeMap<i64, i64, Leaky> = NmTreeMap::new();
+        assert!(map.insert(10, 100));
+        assert!(map.insert(5, 50));
+        assert!(map.insert(15, 150));
+        assert!(map.contains(&10));
+        assert!(map.contains(&5));
+        assert!(map.contains(&15));
+        assert!(!map.contains(&7));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected_and_value_dropped() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let map: NmTreeMap<i64, D, Ebr> = NmTreeMap::new();
+        assert!(map.insert(1, D(Arc::clone(&drops))));
+        assert!(!map.insert(1, D(Arc::clone(&drops))));
+        // The rejected value must have been dropped, the stored one not.
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        drop(map);
+        assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn remove_present_and_absent() {
+        let map: NmTreeMap<i64, (), Leaky> = NmTreeMap::new();
+        for k in [4, 2, 6, 1, 3, 5, 7] {
+            assert!(map.insert(k, ()));
+        }
+        assert!(map.remove(&4));
+        assert!(!map.remove(&4));
+        assert!(!map.remove(&99));
+        assert!(!map.contains(&4));
+        for k in [2, 6, 1, 3, 5, 7] {
+            assert!(map.contains(&k), "lost key {k}");
+        }
+    }
+
+    #[test]
+    fn remove_get_returns_value() {
+        let map: NmTreeMap<i64, String, Ebr> = NmTreeMap::new();
+        map.insert(1, "one".to_string());
+        assert_eq!(map.remove_get(&1), Some("one".to_string()));
+        assert_eq!(map.remove_get(&1), None);
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let map: NmTreeMap<i64, i64, Ebr> = NmTreeMap::new();
+        for round in 0..5 {
+            assert!(map.insert(42, round));
+            assert_eq!(map.get(&42), Some(round));
+            assert!(map.remove(&42));
+            assert!(!map.contains(&42));
+        }
+    }
+
+    #[test]
+    fn delete_only_key_restores_empty_shape() {
+        let mut map: NmTreeMap<i64, (), Ebr> = NmTreeMap::new();
+        assert!(map.insert(9, ()));
+        assert!(map.remove(&9));
+        let shape = map.check_invariants().expect("invariants");
+        assert_eq!(shape.user_keys, 0);
+    }
+
+    #[test]
+    fn interleaved_single_thread_model_check() {
+        // Deterministic pseudo-random op sequence vs a BTreeSet model.
+        let mut model = std::collections::BTreeSet::new();
+        let mut map: NmTreeMap<u64, (), Ebr> = NmTreeMap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 64;
+            match state % 3 {
+                0 => assert_eq!(map.insert(key, ()), model.insert(key), "insert {key}"),
+                1 => assert_eq!(map.remove(&key), model.remove(&key), "remove {key}"),
+                _ => assert_eq!(map.contains(&key), model.contains(&key), "contains {key}"),
+            }
+        }
+        let shape = map.check_invariants().expect("invariants");
+        assert_eq!(shape.user_keys, model.len());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests: the tree agrees with `BTreeMap`/`BTreeSet`
+//! models on arbitrary operation sequences, and its structural
+//! invariants hold after arbitrary histories.
+
+use nmbst::{Ebr, Key, NmTreeMap, NmTreeSet, TagMode};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32),
+    Remove(i32),
+    Contains(i32),
+}
+
+fn op_strategy(key_range: i32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_range).prop_map(Op::Insert),
+        (0..key_range).prop_map(Op::Remove),
+        (0..key_range).prop_map(Op::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_btreeset_model(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        let mut model = BTreeSet::new();
+        let mut set: NmTreeSet<i32, Ebr> = NmTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
+                Op::Remove(k) => prop_assert_eq!(set.remove(&k), model.remove(&k)),
+                Op::Contains(k) => prop_assert_eq!(set.contains(&k), model.contains(&k)),
+            }
+        }
+        prop_assert_eq!(set.keys(), model.iter().copied().collect::<Vec<_>>());
+        let shape = set.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(shape.user_keys, model.len());
+    }
+
+    #[test]
+    fn map_values_match_model(ops in prop::collection::vec(op_strategy(48), 1..300)) {
+        let mut model: BTreeMap<i32, i64> = BTreeMap::new();
+        let map: NmTreeMap<i32, i64, Ebr> = NmTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let stamp = i as i64;
+            match *op {
+                Op::Insert(k) => {
+                    // The tree rejects duplicates (no update), mirror that.
+                    let inserted = map.insert(k, stamp);
+                    let expected = !model.contains_key(&k);
+                    if expected { model.insert(k, stamp); }
+                    prop_assert_eq!(inserted, expected);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(map.remove_get(&k), model.remove(&k));
+                }
+                Op::Contains(k) => {
+                    prop_assert_eq!(map.get(&k), model.get(&k).copied());
+                }
+            }
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(map.get(k), Some(*v));
+        }
+    }
+
+    #[test]
+    fn cas_only_variant_matches_model(ops in prop::collection::vec(op_strategy(32), 1..200)) {
+        // §6: "our algorithm can be easily modified to use only CAS".
+        let mut model = BTreeSet::new();
+        let mut set: NmTreeSet<i32, Ebr> = NmTreeSet::with_tag_mode(TagMode::CasLoop);
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
+                Op::Remove(k) => prop_assert_eq!(set.remove(&k), model.remove(&k)),
+                Op::Contains(k) => prop_assert_eq!(set.contains(&k), model.contains(&k)),
+            }
+        }
+        set.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn key_ordering_total_and_sentinels_above(a in any::<i64>(), b in any::<i64>()) {
+        let (ka, kb) = (Key::Fin(a), Key::Fin(b));
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+        prop_assert!(Key::Fin(a) < Key::Inf0);
+        prop_assert!(Key::Fin(a) < Key::Inf1);
+        prop_assert!(Key::Fin(a) < Key::Inf2);
+    }
+
+    #[test]
+    fn interleaved_two_batches_concurrently(keys_a in prop::collection::btree_set(0u64..2048, 1..128),
+                                            keys_b in prop::collection::btree_set(0u64..2048, 1..128)) {
+        // Two threads insert their batches concurrently, then one removes
+        // its batch. Final contents must be exactly keys_a \ keys_b plus
+        // the intersection handled by whoever won — since removals of
+        // shared keys race with nothing after the join, the final state
+        // is keys_a \ keys_b exactly.
+        let mut set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+        std::thread::scope(|s| {
+            let set = &set;
+            let a = keys_a.clone();
+            let b = keys_b.clone();
+            s.spawn(move || { for k in a { set.insert(k); } });
+            s.spawn(move || { for k in b { set.insert(k); } });
+        });
+        for k in &keys_b {
+            prop_assert!(set.remove(k));
+        }
+        let expected: Vec<u64> = keys_a.difference(&keys_b).copied().collect();
+        prop_assert_eq!(set.keys(), expected);
+        set.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

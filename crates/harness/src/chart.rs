@@ -1,0 +1,152 @@
+//! Terminal line charts for benchmark panels.
+//!
+//! Figure 4 is a grid of throughput-vs-threads line plots; this renders
+//! a faithful ASCII version of one panel so the regenerator's output is
+//! readable without leaving the terminal.
+
+/// One line series: a label and its y-values (one per x position).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Y-values, aligned with the x labels passed to [`render_chart`].
+    pub values: Vec<f64>,
+}
+
+/// Renders a panel: one character column per x position (plus padding),
+/// `height` text rows, distinct glyph per series, y-axis in the value
+/// unit, legend below.
+pub fn render_chart(title: &str, x_labels: &[String], series: &[Series], height: usize) -> String {
+    assert!(height >= 2, "chart needs at least two rows");
+    for s in series {
+        assert_eq!(
+            s.values.len(),
+            x_labels.len(),
+            "series '{}' arity mismatch",
+            s.label
+        );
+    }
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .fold(f64::EPSILON, f64::max);
+
+    // Layout: y-axis gutter of 9 chars, then `step` columns per x point.
+    let step = 6usize;
+    let width = x_labels.len() * step;
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (xi, &v) in s.values.iter().enumerate() {
+            let row_f = (v / max) * (height - 1) as f64;
+            let row = height - 1 - row_f.round() as usize;
+            let col = xi * step + step / 2;
+            // Overlapping points: later series wins the cell; the legend
+            // plus the table output disambiguate.
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (ri, row) in grid.iter().enumerate() {
+        let y_val = max * (height - 1 - ri) as f64 / (height - 1) as f64;
+        let y_label = if ri == 0 || ri == height - 1 || ri == height / 2 {
+            format!("{y_val:7.2} |")
+        } else {
+            format!("{:7} |", "")
+        };
+        out.push_str(&y_label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:7} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:8}", ""));
+    for l in x_labels {
+        out.push_str(&format!("{l:^step$}"));
+    }
+    out.push('\n');
+    out.push_str("legend: ");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{}={} ", glyphs[si % glyphs.len()], s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs(n: usize) -> Vec<String> {
+        (0..n).map(|i| (1 << i).to_string()).collect()
+    }
+
+    #[test]
+    fn renders_expected_shape() {
+        let s = vec![
+            Series {
+                label: "A".into(),
+                values: vec![1.0, 2.0, 4.0],
+            },
+            Series {
+                label: "B".into(),
+                values: vec![4.0, 2.0, 1.0],
+            },
+        ];
+        let out = render_chart("panel", &xs(3), &s, 8);
+        assert!(out.starts_with("panel\n"));
+        assert!(out.contains("legend: *=A o=B"));
+        // Highest value of A (4.0) sits on the top row; B's 4.0 also.
+        let top_row = out.lines().nth(1).unwrap();
+        assert!(top_row.contains('o'), "B starts at max: {top_row}");
+        assert_eq!(out.lines().count(), 8 + 4);
+    }
+
+    #[test]
+    fn single_point_series() {
+        let s = vec![Series {
+            label: "only".into(),
+            values: vec![3.3],
+        }];
+        let out = render_chart("t", &xs(1), &s, 4);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn zero_values_do_not_divide_by_zero() {
+        let s = vec![Series {
+            label: "flat".into(),
+            values: vec![0.0, 0.0],
+        }];
+        let out = render_chart("t", &xs(2), &s, 4);
+        // All points on the bottom row.
+        let bottom = out.lines().nth(4).unwrap();
+        assert_eq!(bottom.matches('*').count(), 2, "{out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let s = vec![Series {
+            label: "bad".into(),
+            values: vec![1.0],
+        }];
+        let _ = render_chart("t", &xs(2), &s, 4);
+    }
+
+    #[test]
+    fn many_series_cycle_glyphs() {
+        let series: Vec<Series> = (0..10)
+            .map(|i| Series {
+                label: format!("s{i}"),
+                values: vec![i as f64 + 1.0],
+            })
+            .collect();
+        let out = render_chart("t", &xs(1), &series, 12);
+        assert!(out.contains("%=s6"));
+        assert!(out.contains("*=s8"), "glyphs wrap around");
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic, allocation-free PRNGs for workload generation.
+//!
+//! The benchmark loop must not allocate or take locks, or the harness
+//! would distort exactly the effects Figure 4 measures. SplitMix64 is
+//! used for seeding and stream splitting; xorshift* for the per-thread
+//! op stream.
+
+/// SplitMix64: fast, full-period 2⁶⁴ generator; the standard seeder.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xorshift64*: 3 shifts + 1 multiply per number; what the benchmark
+/// threads run in their hot loop.
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator; a zero seed is remapped (xorshift's only
+    /// fixed point is 0).
+    pub fn new(seed: u64) -> Self {
+        XorShift64Star {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Derives the `stream`-th independent generator from `seed`.
+    pub fn from_stream(seed: u64, stream: u64) -> Self {
+        let mut seeder = SplitMix64::new(seed ^ stream.wrapping_mul(0xA24BAED4963EE407));
+        // Burn a few outputs so nearby streams decorrelate.
+        let a = seeder.next_u64();
+        let b = seeder.next_u64();
+        Self::new(a ^ b.rotate_left(17))
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)` (Lemire's multiply-shift; bound > 0).
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, 100)`; the workload-mix die.
+    #[inline]
+    pub fn next_percent(&mut self) -> u8 {
+        self.next_bounded(100) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = XorShift64Star::new(42);
+        let mut b = XorShift64Star::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = XorShift64Star::from_stream(7, 0);
+        let mut b = XorShift64Star::from_stream(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn bounded_respects_bound_and_covers_range() {
+        let mut r = XorShift64Star::new(123);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.next_bounded(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn percent_distribution_roughly_uniform() {
+        let mut r = XorShift64Star::new(99);
+        let mut below_half = 0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            if r.next_percent() < 50 {
+                below_half += 1;
+            }
+        }
+        let frac = below_half as f64 / N as f64;
+        assert!((0.48..0.52).contains(&frac), "p(<50) = {frac}");
+    }
+
+    #[test]
+    fn splitmix_known_sequence_sanity() {
+        let mut s = SplitMix64::new(0);
+        let first = s.next_u64();
+        // Reference value for SplitMix64(0) from the original paper's code.
+        assert_eq!(first, 0xE220A8397B1DCDAF);
+    }
+}

@@ -1,0 +1,143 @@
+//! Workload definitions — §4's three operation mixes and four key-space
+//! sizes.
+
+use crate::rng::XorShift64Star;
+
+/// One of the paper's benchmark operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Membership query.
+    Search,
+    /// Key addition.
+    Insert,
+    /// Key removal.
+    Delete,
+}
+
+/// An operation mix (percentages summing to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Percentage of search operations.
+    pub search_pct: u8,
+    /// Percentage of insert operations.
+    pub insert_pct: u8,
+    /// Percentage of delete operations.
+    pub delete_pct: u8,
+    /// Report label.
+    pub name: &'static str,
+}
+
+impl Workload {
+    /// §4: "*write-dominated workload:* 0% search, 50% insert and 50%
+    /// delete."
+    pub const WRITE_DOMINATED: Workload = Workload {
+        search_pct: 0,
+        insert_pct: 50,
+        delete_pct: 50,
+        name: "write-dominated (0/50/50)",
+    };
+
+    /// §4: "*mixed workload:* 70% search, 20% insert and 10% delete."
+    pub const MIXED: Workload = Workload {
+        search_pct: 70,
+        insert_pct: 20,
+        delete_pct: 10,
+        name: "mixed (70/20/10)",
+    };
+
+    /// §4: "*read-dominated workload:* 90% search, 9% insert and 1%
+    /// delete."
+    pub const READ_DOMINATED: Workload = Workload {
+        search_pct: 90,
+        insert_pct: 9,
+        delete_pct: 1,
+        name: "read-dominated (90/9/1)",
+    };
+
+    /// The paper's three columns of Figure 4, in order.
+    pub const FIGURE4: [Workload; 3] = [
+        Workload::WRITE_DOMINATED,
+        Workload::MIXED,
+        Workload::READ_DOMINATED,
+    ];
+
+    /// Creates a custom mix; panics unless the percentages sum to 100.
+    pub fn custom(name: &'static str, search_pct: u8, insert_pct: u8, delete_pct: u8) -> Workload {
+        assert_eq!(
+            search_pct as u32 + insert_pct as u32 + delete_pct as u32,
+            100,
+            "workload percentages must sum to 100"
+        );
+        Workload {
+            search_pct,
+            insert_pct,
+            delete_pct,
+            name,
+        }
+    }
+
+    /// Draws the next operation from the mix.
+    #[inline]
+    pub fn pick(&self, rng: &mut XorShift64Star) -> OpKind {
+        let p = rng.next_percent();
+        if p < self.search_pct {
+            OpKind::Search
+        } else if p < self.search_pct + self.insert_pct {
+            OpKind::Insert
+        } else {
+            OpKind::Delete
+        }
+    }
+}
+
+/// The paper's four key-space sizes (Figure 4 rows): 1K, 10K, 100K, 1M.
+pub const FIGURE4_KEY_RANGES: [u64; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sum_to_100() {
+        for w in Workload::FIGURE4 {
+            assert_eq!(
+                w.search_pct as u32 + w.insert_pct as u32 + w.delete_pct as u32,
+                100
+            );
+        }
+    }
+
+    #[test]
+    fn pick_matches_mix_statistically() {
+        let w = Workload::MIXED;
+        let mut rng = XorShift64Star::new(2024);
+        let (mut s, mut i, mut d) = (0u32, 0u32, 0u32);
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            match w.pick(&mut rng) {
+                OpKind::Search => s += 1,
+                OpKind::Insert => i += 1,
+                OpKind::Delete => d += 1,
+            }
+        }
+        let f = |x: u32| x as f64 / N as f64;
+        assert!((f(s) - 0.70).abs() < 0.01, "searches {}", f(s));
+        assert!((f(i) - 0.20).abs() < 0.01, "inserts {}", f(i));
+        assert!((f(d) - 0.10).abs() < 0.01, "deletes {}", f(d));
+    }
+
+    #[test]
+    fn write_dominated_never_searches() {
+        let w = Workload::WRITE_DOMINATED;
+        let mut rng = XorShift64Star::new(5);
+        for _ in 0..10_000 {
+            assert_ne!(w.pick(&mut rng), OpKind::Search);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn custom_validates_sum() {
+        let _ = Workload::custom("bad", 50, 50, 50);
+    }
+}

@@ -1,0 +1,102 @@
+//! Type-erased deferred destruction.
+
+/// A type-erased "free this later" closure: the address of a heap
+/// allocation plus the monomorphic destructor that knows its real type.
+///
+/// This is the unit stored in reclamation bags. It is deliberately a bare
+/// (data, fn) pair rather than `Box<dyn FnOnce>` so that deferring a
+/// destruction performs **zero** additional allocation — reclamation
+/// bookkeeping must not dominate the allocation behaviour being measured
+/// (Table 1 counts objects allocated per operation).
+pub struct Deferred {
+    data: *mut (),
+    call: unsafe fn(*mut ()),
+}
+
+// SAFETY: a `Deferred` is only constructed from `Box::into_raw` of a
+// `T: Send` allocation (enforced by the constructors), so transferring
+// the right to drop it to another thread is sound.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Creates a deferred destruction for a `Box<T>` allocation.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `Box::into_raw` and must not be freed or
+    /// retired elsewhere; calling the returned deferral is the unique
+    /// release of the allocation.
+    pub unsafe fn drop_box<T: Send>(ptr: *mut T) -> Self {
+        unsafe fn call_drop<T>(data: *mut ()) {
+            // SAFETY: `data` is the pointer stored by `drop_box::<T>`.
+            drop(unsafe { Box::from_raw(data.cast::<T>()) });
+        }
+        Deferred {
+            data: ptr.cast(),
+            call: call_drop::<T>,
+        }
+    }
+
+    /// The erased address, for membership tests against hazard lists.
+    #[inline]
+    pub fn address(&self) -> usize {
+        self.data as usize
+    }
+
+    /// Runs the deferred destruction, consuming it.
+    #[inline]
+    pub fn call(self) {
+        // SAFETY: constructors guarantee `data`/`call` are a matched pair
+        // and `self` is consumed, so the destructor runs exactly once.
+        unsafe { (self.call)(self.data) }
+    }
+}
+
+impl std::fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deferred")
+            .field("addr", &self.data)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn call_runs_destructor_once() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let ptr = Box::into_raw(Box::new(DropCounter(count.clone())));
+        let d = unsafe { Deferred::drop_box(ptr) };
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        d.call();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn address_matches_allocation() {
+        let ptr = Box::into_raw(Box::new(17u64));
+        let d = unsafe { Deferred::drop_box(ptr) };
+        assert_eq!(d.address(), ptr as usize);
+        d.call();
+    }
+
+    #[test]
+    fn send_to_another_thread() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let ptr = Box::into_raw(Box::new(DropCounter(count.clone())));
+        let d = unsafe { Deferred::drop_box(ptr) };
+        std::thread::spawn(move || d.call()).join().unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

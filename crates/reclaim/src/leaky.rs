@@ -1,0 +1,73 @@
+//! The no-op reclaimer: retired memory is leaked.
+
+use crate::{Reclaim, RetireGuard};
+
+/// A reclaimer that never frees anything.
+///
+/// This reproduces the paper's measurement conditions exactly: "For a
+/// fair comparison, no memory reclamation is performed in any of the
+/// implementations" (§4). The benchmark harness instantiates every tree
+/// with `Leaky` so that Figure 4 compares the algorithms, not the
+/// reclamation schemes.
+///
+/// `pin` and `retire` compile to nothing, so the scheme is trivially
+/// wait-free and costs zero cycles on the operation path.
+///
+/// Outside benchmarks, prefer [`Ebr`](crate::Ebr).
+#[derive(Debug, Default)]
+pub struct Leaky;
+
+/// The (zero-sized) guard of the [`Leaky`] reclaimer.
+#[derive(Debug)]
+pub struct LeakyGuard;
+
+impl Reclaim for Leaky {
+    type Guard<'a> = LeakyGuard;
+
+    #[inline]
+    fn new() -> Self {
+        Leaky
+    }
+
+    #[inline]
+    fn pin(&self) -> LeakyGuard {
+        LeakyGuard
+    }
+}
+
+impl RetireGuard for LeakyGuard {
+    #[inline]
+    unsafe fn retire<T: Send>(&self, _ptr: *mut T) {
+        // Intentionally leaked: the memory stays valid forever, which
+        // vacuously satisfies the "no use after free" obligation.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_and_retire_are_noops() {
+        let r = Leaky::new();
+        let g = r.pin();
+        let ptr = Box::into_raw(Box::new(123u32));
+        // Retiring leaks; the pointer must remain readable afterwards.
+        unsafe { g.retire(ptr) };
+        assert_eq!(unsafe { *ptr }, 123);
+        // Clean up the test's own leak.
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+
+    #[test]
+    fn guard_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<LeakyGuard>(), 0);
+        assert_eq!(std::mem::size_of::<Leaky>(), 0);
+    }
+
+    #[test]
+    fn flush_is_noop() {
+        let r = Leaky::new();
+        r.flush();
+    }
+}

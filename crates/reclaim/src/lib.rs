@@ -1,0 +1,89 @@
+//! Safe memory reclamation substrate for the NM-BST reproduction.
+//!
+//! The paper (§3.2) assumes "memory allocated to nodes that are no longer
+//! part of the tree is not reclaimed" and its evaluation (§4) performs no
+//! reclamation in any implementation. A credible Rust release cannot leak,
+//! so this crate implements — from scratch, no `crossbeam-epoch` — the
+//! reclamation schemes a lock-free tree needs:
+//!
+//! * [`Ebr`] — epoch-based reclamation (global epoch, per-thread
+//!   participant slots, deferred-destruction bags). This is the scheme
+//!   the tree ships with.
+//! * [`HazardDomain`] / [`HazardLocal`] — Michael-style hazard pointers.
+//!   Provided and fully tested as a substrate (see [`TreiberStack`]), but
+//!   *not* used for the tree: NM-BST seeks may traverse nodes whose
+//!   incoming edge is already marked, and a plain per-node hazard pointer
+//!   cannot be validated against such a path (the paper waves at hazard
+//!   pointers; published follow-up work restructures the traversal to
+//!   make them sound — out of scope here, documented in `hazard`).
+//! * [`Leaky`] — the paper-faithful no-op reclaimer used by the benchmark
+//!   harness so that Figure 4 is measured under the paper's conditions.
+//!
+//! All three implement the [`Reclaim`] trait; the tree is generic over it.
+//!
+//! # Progress guarantees
+//!
+//! `Leaky` is trivially wait-free. `Ebr`'s `pin`/`unpin` are wait-free;
+//! retiring is lock-free except for a bounded-critical-section spin lock
+//! guarding the global bag queue and the participant registry — a stalled
+//! lock holder delays *reclamation* (memory growth) but never blocks or
+//! delays tree operations' completion, so the tree's lock-freedom claim
+//! is unaffected.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod deferred;
+pub mod ebr;
+pub mod hazard;
+mod leaky;
+mod stack;
+
+pub use deferred::Deferred;
+pub use ebr::{Ebr, EbrGuard};
+pub use hazard::{HazardDomain, HazardLocal};
+pub use leaky::{Leaky, LeakyGuard};
+pub use stack::TreiberStack;
+
+/// A memory-reclamation scheme a concurrent data structure can be
+/// generic over.
+///
+/// The contract mirrors epoch-style reclamation:
+///
+/// 1. A thread [`pin`](Reclaim::pin)s before dereferencing any shared
+///    node pointer and keeps the returned guard alive for as long as it
+///    uses pointers read under it.
+/// 2. After a node has been *unlinked* (no new observer can reach it by
+///    following the structure from its roots), the unlinking thread
+///    passes it to [`RetireGuard::retire`]; the scheme frees it once no
+///    pinned thread can still hold a reference.
+pub trait Reclaim: Send + Sync + 'static {
+    /// The critical-section token. Dropping it ends the critical section.
+    type Guard<'a>: RetireGuard
+    where
+        Self: 'a;
+
+    /// Creates a fresh, independent instance of the scheme.
+    fn new() -> Self;
+
+    /// Enters a reclamation critical section on the current thread.
+    fn pin(&self) -> Self::Guard<'_>;
+
+    /// Hands any garbage batched on the current thread to the global
+    /// collector so it becomes eligible for reclamation without waiting
+    /// for this thread to exit. No-op for schemes without batching.
+    fn flush(&self) {}
+}
+
+/// Operations available on a pinned guard.
+pub trait RetireGuard {
+    /// Defers destruction of `ptr` until no pinned thread can reach it.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have been created by [`Box::into_raw`] and not
+    ///   retired or freed before.
+    /// * `ptr` must already be unreachable for threads that pin *after*
+    ///   this call (i.e. it has been unlinked from the shared structure).
+    unsafe fn retire<T: Send>(&self, ptr: *mut T);
+}

@@ -1,0 +1,233 @@
+//! A Treiber stack protected by hazard pointers.
+//!
+//! This is the canonical structure for which textbook hazard pointers
+//! are sound (protect the head, validate, CAS it off), included both as
+//! a working demonstration of [`HazardDomain`](crate::HazardDomain) and
+//! as a reusable utility.
+
+use crate::hazard::{HazardDomain, HazardLocal};
+use std::mem::ManuallyDrop;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct StackNode<T> {
+    value: ManuallyDrop<T>,
+    next: *mut StackNode<T>,
+}
+
+// SAFETY: the `next` pointer is only dereferenced under the stack's
+// synchronization protocol; sending a node between threads is sound
+// whenever its payload is.
+unsafe impl<T: Send> Send for StackNode<T> {}
+
+/// A lock-free LIFO stack (Treiber) with hazard-pointer reclamation.
+///
+/// Threads that pop must hold a [`HazardLocal`] obtained from
+/// [`register`](TreiberStack::register); pushes need no handle.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_reclaim::TreiberStack;
+///
+/// let stack = TreiberStack::new();
+/// let handle = stack.register();
+/// stack.push(1);
+/// stack.push(2);
+/// assert_eq!(stack.pop(&handle), Some(2));
+/// assert_eq!(stack.pop(&handle), Some(1));
+/// assert_eq!(stack.pop(&handle), None);
+/// ```
+pub struct TreiberStack<T> {
+    head: AtomicPtr<StackNode<T>>,
+    domain: HazardDomain,
+}
+
+// SAFETY: values of `T` move between threads through the stack.
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+
+impl<T: Send> TreiberStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        TreiberStack {
+            head: AtomicPtr::new(ptr::null_mut()),
+            domain: HazardDomain::new(),
+        }
+    }
+
+    /// Registers the calling thread with the stack's hazard domain.
+    pub fn register(&self) -> HazardLocal {
+        self.domain.register()
+    }
+
+    /// Pushes `value` on top of the stack.
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(StackNode {
+            value: ManuallyDrop::new(value),
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is not yet shared; we own it exclusively.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Pops the top value, or `None` if the stack is empty.
+    pub fn pop(&self, handle: &HazardLocal) -> Option<T> {
+        loop {
+            let head = handle.protect(0, &self.head);
+            if head.is_null() {
+                return None;
+            }
+            // SAFETY: `head` is protected by hazard slot 0, so it cannot
+            // have been freed; it may however already be off the stack,
+            // which the CAS below detects.
+            let next = unsafe { (*head).next };
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the CAS made us the unique owner of `head`; the
+                // value is taken exactly once and the node's destructor
+                // (a ManuallyDrop) will not run it again.
+                let value = unsafe { ManuallyDrop::take(&mut (*head).value) };
+                handle.clear(0);
+                // SAFETY: unlinked by the successful CAS; never retired
+                // elsewhere.
+                unsafe { handle.retire(head) };
+                return Some(value);
+            }
+            handle.clear(0);
+        }
+    }
+
+    /// `true` if the stack observed no elements at the moment of the call.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl<T: Send> Default for TreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk and free the remaining chain.
+        let mut node = *self.head.get_mut();
+        while !node.is_null() {
+            // SAFETY: nodes on the chain are live Box allocations we
+            // uniquely own during drop.
+            let mut boxed = unsafe { Box::from_raw(node) };
+            unsafe { ManuallyDrop::drop(&mut boxed.value) };
+            node = boxed.next;
+        }
+    }
+}
+
+impl<T: Send> std::fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreiberStack")
+            .field("is_empty", &self.is_empty())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order_single_thread() {
+        let stack = TreiberStack::new();
+        let h = stack.register();
+        for i in 0..10 {
+            stack.push(i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(stack.pop(&h), Some(i));
+        }
+        assert_eq!(stack.pop(&h), None);
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_remaining_values() {
+        struct DropCounter(Arc<AtomicUsize>);
+        impl Drop for DropCounter {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let stack = TreiberStack::new();
+        for _ in 0..5 {
+            stack.push(DropCounter(Arc::clone(&drops)));
+        }
+        let h = stack.register();
+        drop(stack.pop(&h));
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        drop(h);
+        drop(stack);
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_push_pop_no_loss_no_duplication() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 5_000;
+        let stack = Arc::new(TreiberStack::new());
+        let popped = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let stack = Arc::clone(&stack);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        stack.push(p * PER_PRODUCER + i);
+                    }
+                    done.fetch_add(1, Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let stack = Arc::clone(&stack);
+                let popped = Arc::clone(&popped);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    let h = stack.register();
+                    let mut mine = Vec::new();
+                    loop {
+                        match stack.pop(&h) {
+                            Some(v) => mine.push(v),
+                            None if done.load(Ordering::Acquire) == PRODUCERS => break,
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    popped.lock().unwrap().extend(mine);
+                });
+            }
+        });
+
+        let all = popped.lock().unwrap();
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER);
+        let unique: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "duplicate pops");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the epoch-based reclaimer: under arbitrary
+//! single-threaded pin/retire/flush sequences, every retired allocation
+//! is freed exactly once, and never while a guard that could reach it is
+//! live.
+
+use nmbst_reclaim::{Ebr, Reclaim, RetireGuard};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Pin,
+    Unpin,
+    Retire,
+    Flush,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        2 => Just(Step::Pin),
+        2 => Just(Step::Unpin),
+        3 => Just(Step::Retire),
+        1 => Just(Step::Flush),
+    ]
+}
+
+struct Tracked(Arc<AtomicUsize>);
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_retired_allocation_freed_exactly_once(steps in prop::collection::vec(step_strategy(), 1..120)) {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut retired = 0usize;
+        {
+            let ebr = Ebr::new();
+            // A stack of live guards; `Retire` uses the innermost one or
+            // a transient guard when none is held.
+            let mut guards = Vec::new();
+            for step in &steps {
+                match step {
+                    Step::Pin => {
+                        if guards.len() < 8 {
+                            guards.push(ebr.pin());
+                        }
+                    }
+                    Step::Unpin => {
+                        guards.pop();
+                    }
+                    Step::Retire => {
+                        let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+                        retired += 1;
+                        match guards.last() {
+                            Some(g) => unsafe { g.retire(ptr) },
+                            None => unsafe { ebr.pin().retire(ptr) },
+                        }
+                    }
+                    Step::Flush => {
+                        // Flushing while pinned is legal; it just can't
+                        // free anything our own pin still protects.
+                        ebr.flush();
+                    }
+                }
+                // Whatever was freed so far must not exceed what was retired.
+                prop_assert!(drops.load(Ordering::Relaxed) <= retired);
+            }
+            drop(guards);
+        }
+        // Collector dropped: everything must be freed, exactly once each.
+        prop_assert_eq!(drops.load(Ordering::Relaxed), retired);
+    }
+
+    #[test]
+    fn nothing_frees_while_continuously_pinned(retires in 1usize..200) {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let ebr = Ebr::new();
+        let outer = ebr.pin();
+        for _ in 0..retires {
+            let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+            unsafe { outer.retire(ptr) };
+            ebr.flush(); // must be unable to free anything we can reach
+        }
+        // We pinned before any retire and never unpinned: since all
+        // retirements happened at-or-after our epoch, none may be freed.
+        prop_assert_eq!(drops.load(Ordering::Relaxed), 0);
+        drop(outer);
+        drop(ebr);
+        prop_assert_eq!(drops.load(Ordering::Relaxed), retires);
+    }
+}
+
+#[test]
+fn interleaved_guards_from_two_collectors() {
+    let drops_a = Arc::new(AtomicUsize::new(0));
+    let drops_b = Arc::new(AtomicUsize::new(0));
+    let a = Ebr::new();
+    let b = Ebr::new();
+    let ga = a.pin();
+    for _ in 0..10 {
+        let gb = b.pin();
+        let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops_b))));
+        unsafe { gb.retire(ptr) };
+    }
+    let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops_a))));
+    unsafe { ga.retire(ptr) };
+    drop(ga);
+    // B's garbage is independent of A's pin.
+    drop(b);
+    assert_eq!(drops_b.load(Ordering::Relaxed), 10);
+    assert_eq!(drops_a.load(Ordering::Relaxed), 0);
+    drop(a);
+    assert_eq!(drops_a.load(Ordering::Relaxed), 1);
+}

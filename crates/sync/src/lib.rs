@@ -1,0 +1,30 @@
+//! Synchronization substrate for the NM-BST reproduction.
+//!
+//! This crate implements, from scratch, the low-level synchronization
+//! primitives the rest of the workspace builds on:
+//!
+//! * [`Backoff`] — bounded exponential backoff for contended retry loops,
+//! * [`CachePadded`] — false-sharing avoidance wrapper,
+//! * [`SpinLock`] — a test-and-test-and-set spin lock with an RAII guard,
+//! * [`RawSpinLock`] — the same lock without an attached value, for
+//!   per-node locks in intrusive data structures (used by the BCCO
+//!   baseline),
+//! * [`SeqCount`] — a sequence counter for optimistic read validation.
+//!
+//! None of these depend on anything outside `core`/`std` atomics. The
+//! designs follow the treatment in *Rust Atomics and Locks* (Mara Bos):
+//! acquire/release orderings are chosen per access, never blanket
+//! `SeqCst`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backoff;
+mod pad;
+mod seqcount;
+mod spin;
+
+pub use backoff::Backoff;
+pub use pad::CachePadded;
+pub use seqcount::SeqCount;
+pub use spin::{RawSpinLock, SpinLock, SpinLockGuard};

@@ -1,0 +1,305 @@
+//! Test-and-test-and-set spin locks.
+
+use crate::Backoff;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A raw test-and-test-and-set spin lock with no attached data.
+///
+/// This is the building block for intrusive per-node locks: the BCCO
+/// baseline stores one `RawSpinLock` in every tree node and protects the
+/// node's fields by convention (the fields themselves are atomics so
+/// optimistic readers can observe them without holding the lock).
+///
+/// The lock loops on a plain load (`test`) before attempting the
+/// `swap` (`and-set`), so waiters spin in their own cache without
+/// generating coherence traffic, and backs off exponentially.
+///
+/// Prefer [`SpinLock`] when the protected data can be owned by the lock.
+pub struct RawSpinLock {
+    locked: AtomicBool,
+}
+
+impl RawSpinLock {
+    /// Creates an unlocked lock.
+    #[inline]
+    pub const fn new() -> Self {
+        RawSpinLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Acquires the lock, spinning (and eventually yielding) until it is
+    /// available.
+    #[inline]
+    pub fn lock(&self) {
+        let backoff = Backoff::new();
+        loop {
+            // Attempt the cheap path first; on failure spin on loads only.
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Tries to acquire the lock without spinning. Returns `true` on
+    /// success.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Safety contract (debug-checked)
+    ///
+    /// Must only be called by the thread that currently holds the lock.
+    /// This is a logical contract, not a memory-safety one — the lock
+    /// carries no data — so the method is safe but misuse corrupts the
+    /// caller's own locking protocol.
+    #[inline]
+    pub fn unlock(&self) {
+        debug_assert!(
+            self.locked.load(Ordering::Relaxed),
+            "unlock of unlocked lock"
+        );
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Returns `true` if the lock is currently held by some thread.
+    ///
+    /// Only meaningful as a heuristic (e.g. validation in optimistic
+    /// concurrency control): the answer may be stale immediately.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for RawSpinLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for RawSpinLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawSpinLock")
+            .field("locked", &self.is_locked())
+            .finish()
+    }
+}
+
+/// A spin lock owning a value of type `T`, unlocked through an RAII
+/// guard.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_sync::SpinLock;
+///
+/// let lock = SpinLock::new(vec![1, 2, 3]);
+/// lock.lock().push(4);
+/// assert_eq!(lock.lock().len(), 4);
+/// ```
+pub struct SpinLock<T: ?Sized> {
+    raw: RawSpinLock,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the required mutual exclusion; `T: Send` is
+// needed because the value moves between threads, and `Sync` is not
+// required of `T` because only one thread observes `&mut T` at a time.
+unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Creates a new unlocked spin lock owning `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        SpinLock {
+            raw: RawSpinLock::new(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> SpinLock<T> {
+    /// Acquires the lock, returning a guard that releases it on drop.
+    #[inline]
+    pub fn lock(&self) -> SpinLockGuard<'_, T> {
+        self.raw.lock();
+        SpinLockGuard { lock: self }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {
+        if self.raw.try_lock() {
+            Some(SpinLockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data without
+    /// locking; safe because `&mut self` proves unique access.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for SpinLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("SpinLock").field("value", &&*guard).finish(),
+            None => f.write_str("SpinLock { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard for [`SpinLock`]; releases the lock when dropped.
+pub struct SpinLockGuard<'a, T: ?Sized> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T: ?Sized> Deref for SpinLockGuard<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard's existence proves we hold the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for SpinLockGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard's existence proves we hold the lock.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for SpinLockGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.raw.unlock();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for SpinLockGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn raw_lock_unlock() {
+        let l = RawSpinLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(!l.is_locked());
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let l = SpinLock::new(0u32);
+        {
+            let mut g = l.lock();
+            *g = 7;
+        }
+        assert_eq!(*l.lock(), 7);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let l = SpinLock::new(());
+        let g = l.lock();
+        assert!(l.try_lock().is_none());
+        drop(g);
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_without_locking() {
+        let mut l = SpinLock::new(1);
+        *l.get_mut() = 2;
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn debug_output() {
+        let l = SpinLock::new(5);
+        assert_eq!(format!("{l:?}"), "SpinLock { value: 5 }");
+        let g = l.lock();
+        assert_eq!(format!("{l:?}"), "SpinLock { <locked> }");
+        drop(g);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let lock = SpinLock::new(0usize);
+        let in_section = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        let mut g = lock.lock();
+                        let n = in_section.fetch_add(1, Ordering::AcqRel);
+                        assert_eq!(n, 0, "two threads inside the critical section");
+                        *g += 1;
+                        in_section.fetch_sub(1, Ordering::AcqRel);
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.lock(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn raw_lock_counter_under_contention() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 20_000;
+        let lock = RawSpinLock::new();
+        let mut counter = 0usize;
+        let counter_ptr = &mut counter as *mut usize as usize;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        lock.lock();
+                        // SAFETY: the raw lock serializes access.
+                        unsafe { *(counter_ptr as *mut usize) += 1 };
+                        lock.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter, THREADS * PER_THREAD);
+    }
+}

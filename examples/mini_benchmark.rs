@@ -1,0 +1,48 @@
+//! A miniature Figure 4: compares all five implementations on one panel
+//! using the `nmbst-harness` API directly. The full-grid regenerator is
+//! `cargo run --release -p nmbst-bench --bin figure4`.
+//!
+//! ```text
+//! cargo run --release --example mini_benchmark
+//! ```
+
+use nmbst_baselines::{bcco::BccoTree, efrb::EfrbTree, hj::HjTree, locked::LockedBTreeSet};
+use nmbst_harness::adapter::{ConcurrentSet, NmEbr, NmLeaky};
+use nmbst_harness::report::{fmt_mops, Table};
+use nmbst_harness::{run_throughput, BenchConfig, Workload};
+use std::time::Duration;
+
+fn row<S: ConcurrentSet>(cfg: &BenchConfig) -> (&'static str, f64) {
+    let r = run_throughput::<S>(cfg);
+    (S::label(), r.mops())
+}
+
+fn main() {
+    let cfg = BenchConfig {
+        threads: 4,
+        key_range: 10_000,
+        workload: Workload::WRITE_DOMINATED,
+        duration: Duration::from_millis(400),
+        seed: 0x5EED,
+        dist: nmbst_harness::runner::KeyDist::Uniform,
+    };
+    println!(
+        "mini Figure 4 panel: {} threads, {} keys, {}",
+        cfg.threads, cfg.key_range, cfg.workload.name
+    );
+
+    let mut table = Table::new(vec!["algorithm", "Mops/s"]);
+    for (label, mops) in [
+        row::<NmLeaky>(&cfg),
+        row::<NmEbr>(&cfg),
+        row::<EfrbTree>(&cfg),
+        row::<HjTree>(&cfg),
+        row::<BccoTree>(&cfg),
+        row::<LockedBTreeSet>(&cfg),
+    ] {
+        table.push_row(vec![label.to_string(), fmt_mops(mops)]);
+    }
+    println!("{}", table.render());
+    println!("note: NM-BST(ebr) shows the cost of real memory reclamation");
+    println!("      relative to the paper's leak-everything regime (NM-BST).");
+}

@@ -1,0 +1,126 @@
+//! A price-level index for a limit order book — the paper's
+//! *write-dominated* workload (≈50% insert / 50% delete) in application
+//! form, plus ordered traversal for top-of-book queries.
+//!
+//! Each side of the book is an `NmTreeSet<u64>` of active price levels
+//! (prices in ticks). Matching engines add a level when the first order
+//! arrives at a price and remove it when the last order leaves — pure
+//! insert/delete churn, exactly the regime where the NM algorithm's
+//! single-CAS insert and three-atomic delete shine (Figure 4, left
+//! column).
+//!
+//! ```text
+//! cargo run --release --example order_book
+//! ```
+
+use nmbst::NmTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const TICKS: u64 = 4_096; // price grid
+const MID: u64 = TICKS / 2;
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn main() {
+    let bids: NmTreeSet<u64> = NmTreeSet::new();
+    let asks: NmTreeSet<u64> = NmTreeSet::new();
+
+    // Seed a plausible book around the mid price.
+    for d in 1..200 {
+        bids.insert(MID - d);
+        asks.insert(MID + d);
+    }
+
+    let stop = AtomicBool::new(false);
+    let churn_ops = AtomicU64::new(0);
+    let snapshots = AtomicU64::new(0);
+    let t0 = Instant::now();
+
+    std::thread::scope(|s| {
+        // Matching engines: create/clear price levels near the mid.
+        for t in 0..6u64 {
+            let bids = &bids;
+            let asks = &asks;
+            let stop = &stop;
+            let churn_ops = &churn_ops;
+            s.spawn(move || {
+                let mut rng = 0xB00C + t;
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = xorshift(&mut rng);
+                    // Price levels cluster near the mid (geometric-ish).
+                    let depth = (r >> 48).trailing_zeros() as u64 * 13 % 400 + 1;
+                    let (side, price) = if r & 1 == 0 {
+                        (bids, MID.saturating_sub(depth).max(1))
+                    } else {
+                        (asks, (MID + depth).min(TICKS - 1))
+                    };
+                    if r & 2 == 0 {
+                        side.insert(price);
+                    } else {
+                        side.remove(&price);
+                    }
+                    ops += 1;
+                }
+                churn_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        // Market-data thread: periodic ordered snapshots of each side.
+        {
+            let bids = &bids;
+            let asks = &asks;
+            let stop = &stop;
+            let snapshots = &snapshots;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // Best bid = max key; best ask = min key. for_each is
+                    // ascending, so track the last/first seen.
+                    let mut best_bid = None;
+                    bids.for_each(|p| best_bid = Some(*p));
+                    let mut best_ask = None;
+                    asks.for_each(|p| {
+                        if best_ask.is_none() {
+                            best_ask = Some(*p);
+                        }
+                    });
+                    if let (Some(b), Some(a)) = (best_bid, best_ask) {
+                        // The book may be transiently crossed from the
+                        // snapshot's weak consistency; that is expected
+                        // and what real feeds debounce.
+                        std::hint::black_box((b, a));
+                    }
+                    snapshots.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(750));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let secs = t0.elapsed().as_secs_f64();
+    let ops = churn_ops.load(Ordering::Relaxed);
+    println!(
+        "churned {ops} level updates in {secs:.2}s ({:.2} Mops/s)",
+        ops as f64 / secs / 1e6
+    );
+    println!(
+        "market-data snapshots taken: {}",
+        snapshots.load(Ordering::Relaxed)
+    );
+    println!(
+        "book at close: {} bid levels, {} ask levels",
+        bids.count(),
+        asks.count()
+    );
+
+    // Deterministic post-run check: both sides stay inside the grid.
+    bids.for_each(|p| assert!((1..MID).contains(p)));
+    asks.for_each(|p| assert!((MID + 1..TICKS).contains(p)));
+    println!("post-run range invariants: ok");
+}

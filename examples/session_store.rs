@@ -1,0 +1,133 @@
+//! A concurrent web-session store — the paper's *mixed workload*
+//! (70% search / 20% insert / 10% delete) in application form.
+//!
+//! Front-end threads look sessions up on every request; login handlers
+//! create sessions; logout/expiry removes them. The store is an
+//! `NmTreeMap<u64, Session>` with epoch reclamation, so memory of
+//! expired sessions is actually returned to the allocator (unlike the
+//! paper's leak-everything benchmark regime).
+//!
+//! ```text
+//! cargo run --release --example session_store
+//! ```
+
+use nmbst::NmTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+#[allow(dead_code)] // `user`/`issued_ms` document the payload; only `scopes` is read
+struct Session {
+    user: u64,
+    issued_ms: u64,
+    scopes: u32,
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    const SESSION_SPACE: u64 = 50_000;
+    const FRONTENDS: u64 = 6;
+    const AUTH_WORKERS: u64 = 2;
+    let store: NmTreeMap<u64, Session> = NmTreeMap::new();
+    let epoch = Instant::now();
+
+    // Seed half the session space, like the paper pre-populates trees.
+    let mut seed = 1u64;
+    let mut seeded = 0;
+    while seeded < SESSION_SPACE / 2 {
+        let id = splitmix(&mut seed) % SESSION_SPACE;
+        if store.insert(
+            id,
+            Session {
+                user: id ^ 0xABCD,
+                issued_ms: 0,
+                scopes: 0b111,
+            },
+        ) {
+            seeded += 1;
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let logins = AtomicU64::new(0);
+    let logouts = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Front-end request handlers: mostly lookups.
+        for t in 0..FRONTENDS {
+            let store = &store;
+            let stop = &stop;
+            let hits = &hits;
+            let misses = &misses;
+            s.spawn(move || {
+                let mut rng = 0x1000 + t;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = splitmix(&mut rng) % SESSION_SPACE;
+                    // Zero-copy authorization check under the guard.
+                    match store.with_value(&id, |sess| sess.scopes & 0b001 != 0) {
+                        Some(_authorized) => hits.fetch_add(1, Ordering::Relaxed),
+                        None => misses.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+        // Auth workers: logins (inserts) and logouts/expiry (deletes).
+        for t in 0..AUTH_WORKERS {
+            let store = &store;
+            let stop = &stop;
+            let logins = &logins;
+            let logouts = &logouts;
+            let epoch = &epoch;
+            s.spawn(move || {
+                let mut rng = 0x2000 + t;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = splitmix(&mut rng);
+                    let id = r % SESSION_SPACE;
+                    if r & 0b11 != 0 {
+                        // 3/4 logins
+                        let sess = Session {
+                            user: id ^ 0xABCD,
+                            issued_ms: epoch.elapsed().as_millis() as u64,
+                            scopes: (r >> 32) as u32 & 0b111,
+                        };
+                        if store.insert(id, sess) {
+                            logins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else if store.remove(&id) {
+                        logouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                store.flush(); // hand retired sessions to the collector
+            });
+        }
+
+        std::thread::sleep(Duration::from_millis(750));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let elapsed = epoch.elapsed().as_secs_f64();
+    let h = hits.load(Ordering::Relaxed);
+    let m = misses.load(Ordering::Relaxed);
+    println!("ran {FRONTENDS} front-ends + {AUTH_WORKERS} auth workers for {elapsed:.2}s");
+    println!(
+        "lookups : {h} hits / {m} misses ({:.1}% hit rate)",
+        100.0 * h as f64 / (h + m).max(1) as f64
+    );
+    println!("logins  : {}", logins.load(Ordering::Relaxed));
+    println!("logouts : {}", logouts.load(Ordering::Relaxed));
+    println!("sessions live at shutdown: {}", store.count());
+    println!(
+        "total ops: {:.2}M ({:.2} Mops/s)",
+        (h + m + logins.load(Ordering::Relaxed) + logouts.load(Ordering::Relaxed)) as f64 / 1e6,
+        (h + m) as f64 / elapsed / 1e6
+    );
+}
