@@ -4,8 +4,8 @@
 //! concurrent tree must beat it as soon as there is parallelism, and at
 //! one thread it bounds how much the lock-free machinery costs.
 
-use parking_lot::Mutex;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 /// A `BTreeSet<u64>` serialized by a single mutex.
 ///
@@ -32,27 +32,27 @@ impl LockedBTreeSet {
 
     /// Adds `key`; `true` iff it was absent.
     pub fn insert(&self, key: u64) -> bool {
-        self.inner.lock().insert(key)
+        self.inner.lock().unwrap().insert(key)
     }
 
     /// Removes `key`; `true` iff it was present.
     pub fn remove(&self, key: &u64) -> bool {
-        self.inner.lock().remove(key)
+        self.inner.lock().unwrap().remove(key)
     }
 
     /// `true` if `key` is present.
     pub fn contains(&self, key: &u64) -> bool {
-        self.inner.lock().contains(key)
+        self.inner.lock().unwrap().contains(key)
     }
 
     /// Number of keys.
     pub fn count(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 
     /// Visits keys in ascending order under the lock.
     pub fn for_each(&self, mut f: impl FnMut(u64)) {
-        for &k in self.inner.lock().iter() {
+        for &k in self.inner.lock().unwrap().iter() {
             f(k);
         }
     }

@@ -1,9 +1,29 @@
-//! Property-based differential tests: each baseline against `BTreeSet`
-//! on arbitrary op sequences, plus baseline-specific invariants.
+//! Property-style differential tests: each baseline against `BTreeSet`
+//! on pseudo-random op sequences, plus baseline-specific invariants.
+//!
+//! Deliberately dependency-free: cases are generated from a fixed-seed
+//! SplitMix64 stream, so every run tests the identical corpus and a
+//! failure report ("seed case N") is immediately reproducible.
 
 use nmbst_baselines::{bcco::BccoTree, efrb::EfrbTree, hj::HjTree};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+/// SplitMix64 (Steele et al.): tiny, full-period, well-mixed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -12,102 +32,231 @@ enum Op {
     Contains(u64),
 }
 
-fn ops(key_range: u64) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1..key_range).prop_map(Op::Insert),
-            (1..key_range).prop_map(Op::Remove),
-            (1..key_range).prop_map(Op::Contains),
-        ],
-        1..300,
-    )
+fn gen_ops(rng: &mut Rng, key_range: u64, max_len: u64) -> Vec<Op> {
+    let len = 1 + rng.below(max_len);
+    (0..len)
+        .map(|_| {
+            let k = 1 + rng.below(key_range - 1);
+            match rng.below(3) {
+                0 => Op::Insert(k),
+                1 => Op::Remove(k),
+                _ => Op::Contains(k),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn gen_key_set(rng: &mut Rng, key_range: u64, min: u64, max: u64) -> BTreeSet<u64> {
+    let target = min + rng.below(max - min);
+    let mut keys = BTreeSet::new();
+    while (keys.len() as u64) < target {
+        keys.insert(1 + rng.below(key_range - 1));
+    }
+    keys
+}
 
-    #[test]
-    fn efrb_matches_model(ops in ops(64)) {
-        let mut model = BTreeSet::new();
+/// Runs `ops` against both `tree` (via the closures) and the model,
+/// panicking with the case index on the first divergence.
+fn check_against_model(
+    case: usize,
+    ops: &[Op],
+    mut insert: impl FnMut(u64) -> bool,
+    mut remove: impl FnMut(u64) -> bool,
+    mut contains: impl FnMut(u64) -> bool,
+) -> BTreeSet<u64> {
+    let mut model = BTreeSet::new();
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(k) => assert_eq!(
+                insert(k),
+                model.insert(k),
+                "case {case}, op {i}: insert({k}) diverged (ops: {ops:?})"
+            ),
+            Op::Remove(k) => assert_eq!(
+                remove(k),
+                model.remove(&k),
+                "case {case}, op {i}: remove({k}) diverged (ops: {ops:?})"
+            ),
+            Op::Contains(k) => assert_eq!(
+                contains(k),
+                model.contains(&k),
+                "case {case}, op {i}: contains({k}) diverged (ops: {ops:?})"
+            ),
+        }
+    }
+    model
+}
+
+const CASES: usize = 96;
+
+#[test]
+fn efrb_matches_model() {
+    let mut rng = Rng(0xEF4B_0001);
+    for case in 0..CASES {
+        let ops = gen_ops(&mut rng, 64, 300);
         let mut t = EfrbTree::new();
-        for op in ops {
-            match op {
-                Op::Insert(k) => prop_assert_eq!(t.insert(k), model.insert(k)),
-                Op::Remove(k) => prop_assert_eq!(t.remove(&k), model.remove(&k)),
-                Op::Contains(k) => prop_assert_eq!(t.contains(&k), model.contains(&k)),
-            }
-        }
-        let n = t.check_invariants().map_err(TestCaseError::fail)?;
-        prop_assert_eq!(n, model.len());
+        let model = check_against_model(
+            case,
+            &ops,
+            |k| t.insert(k),
+            |k| t.remove(&k),
+            |k| t.contains(&k),
+        );
+        let n = t
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(n, model.len(), "case {case}: size diverged");
     }
+}
 
-    #[test]
-    fn hj_matches_model(ops in ops(64)) {
-        let mut model = BTreeSet::new();
+#[test]
+fn hj_matches_model() {
+    let mut rng = Rng(0x440A_0002);
+    for case in 0..CASES {
+        let ops = gen_ops(&mut rng, 64, 300);
         let mut t = HjTree::new();
-        for op in ops {
-            match op {
-                Op::Insert(k) => prop_assert_eq!(t.insert(k), model.insert(k)),
-                Op::Remove(k) => prop_assert_eq!(t.remove(&k), model.remove(&k)),
-                Op::Contains(k) => prop_assert_eq!(t.contains(&k), model.contains(&k)),
-            }
-        }
-        let n = t.check_invariants().map_err(TestCaseError::fail)?;
-        prop_assert_eq!(n, model.len());
+        let model = check_against_model(
+            case,
+            &ops,
+            |k| t.insert(k),
+            |k| t.remove(&k),
+            |k| t.contains(&k),
+        );
+        let n = t
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(n, model.len(), "case {case}: size diverged");
     }
+}
 
-    #[test]
-    fn bcco_matches_model(ops in ops(64)) {
-        let mut model = BTreeSet::new();
+#[test]
+fn bcco_matches_model() {
+    let mut rng = Rng(0xBCC0_0003);
+    for case in 0..CASES {
+        let ops = gen_ops(&mut rng, 64, 300);
         let mut t = BccoTree::new();
-        for op in ops {
-            match op {
-                Op::Insert(k) => prop_assert_eq!(t.insert(k), model.insert(k)),
-                Op::Remove(k) => prop_assert_eq!(t.remove(&k), model.remove(&k)),
-                Op::Contains(k) => prop_assert_eq!(t.contains(&k), model.contains(&k)),
-            }
-        }
-        let n = t.check_invariants().map_err(TestCaseError::fail)?;
-        prop_assert_eq!(n, model.len());
+        let model = check_against_model(
+            case,
+            &ops,
+            |k| t.insert(k),
+            |k| t.remove(&k),
+            |k| t.contains(&k),
+        );
+        let n = t
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(n, model.len(), "case {case}: size diverged");
     }
+}
 
-    #[test]
-    fn bcco_height_stays_logarithmic(keys in prop::collection::btree_set(1u64..100_000, 32..512)) {
+/// Regression distilled by the previous property-test tooling (its
+/// shrinker minimized a model divergence to this exact sequence): a
+/// run of inserts building a specific shape, then removing an internal
+/// routing key. Kept as an explicit case for all three baselines.
+#[test]
+fn regression_shrunk_insert_run_then_remove_19() {
+    use Op::{Insert, Remove};
+    let ops = [
+        Insert(16),
+        Insert(3),
+        Insert(17),
+        Insert(4),
+        Insert(33),
+        Insert(34),
+        Insert(25),
+        Insert(24),
+        Insert(18),
+        Insert(19),
+        Insert(5),
+        Insert(26),
+        Insert(21),
+        Insert(1),
+        Insert(6),
+        Insert(7),
+        Insert(35),
+        Insert(8),
+        Insert(36),
+        Insert(37),
+        Remove(19),
+    ];
+
+    let mut t = EfrbTree::new();
+    let model = check_against_model(
+        0,
+        &ops,
+        |k| t.insert(k),
+        |k| t.remove(&k),
+        |k| t.contains(&k),
+    );
+    assert_eq!(t.check_invariants().unwrap(), model.len());
+
+    let mut t = HjTree::new();
+    let model = check_against_model(
+        0,
+        &ops,
+        |k| t.insert(k),
+        |k| t.remove(&k),
+        |k| t.contains(&k),
+    );
+    assert_eq!(t.check_invariants().unwrap(), model.len());
+
+    let mut t = BccoTree::new();
+    let model = check_against_model(
+        0,
+        &ops,
+        |k| t.insert(k),
+        |k| t.remove(&k),
+        |k| t.contains(&k),
+    );
+    assert_eq!(t.check_invariants().unwrap(), model.len());
+}
+
+#[test]
+fn bcco_height_stays_logarithmic() {
+    let mut rng = Rng(0xBCC0_4E16);
+    for case in 0..24 {
+        let keys = gen_key_set(&mut rng, 100_000, 32, 512);
         // Whatever the insertion set, the relaxed AVL must keep the
-        // reachable height within the AVL bound (1.44 log2(n+2)).
+        // reachable height within the AVL bound (1.44 log2(n+2)) —
+        // audited inside check_invariants.
         let mut t = BccoTree::new();
-        let n = keys.len();
-        for k in keys {
+        for &k in &keys {
             t.insert(k);
         }
-        t.check_invariants().map_err(TestCaseError::fail)?;
-        let bound = (1.45 * ((n + 2) as f64).log2()).ceil() as usize + 1;
-        // Probe depth indirectly: a contains() walk must terminate well
-        // within the bound — validated by check_invariants' height audit,
-        // so here we simply sanity-check the bound constant is positive.
-        prop_assert!(bound > 0);
+        t.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn traversals_sorted_for_all_baselines(keys in prop::collection::btree_set(1u64..10_000, 1..200)) {
+#[test]
+fn traversals_sorted_for_all_baselines() {
+    let mut rng = Rng(0x5027_ED01);
+    for _ in 0..24 {
+        let keys = gen_key_set(&mut rng, 10_000, 1, 200);
         let expected: Vec<u64> = keys.iter().copied().collect();
 
         let t = EfrbTree::new();
-        for &k in &keys { t.insert(k); }
+        for &k in &keys {
+            t.insert(k);
+        }
         let mut got = Vec::new();
         t.for_each(|k| got.push(k));
-        prop_assert_eq!(&got, &expected);
+        assert_eq!(got, expected);
 
         let t = HjTree::new();
-        for &k in &keys { t.insert(k); }
+        for &k in &keys {
+            t.insert(k);
+        }
         let mut got = Vec::new();
         t.for_each(|k| got.push(k));
-        prop_assert_eq!(&got, &expected);
+        assert_eq!(got, expected);
 
         let t = BccoTree::new();
-        for &k in &keys { t.insert(k); }
+        for &k in &keys {
+            t.insert(k);
+        }
         let mut got = Vec::new();
         t.for_each(|k| got.push(k));
-        prop_assert_eq!(&got, &expected);
+        assert_eq!(got, expected);
     }
 }

@@ -58,10 +58,10 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 mod key;
 mod node;
 mod packed;
-mod serde_impls;
 mod set;
 pub mod stats;
 mod tree;

@@ -92,8 +92,28 @@ where
     }
 
     /// `true` if a weakly consistent traversal found no keys.
+    ///
+    /// Short-circuits on the first user leaf encountered, so a populated
+    /// tree answers in O(depth of leftmost descent), not O(n).
     pub fn is_empty(&self) -> bool {
-        self.count() == 0
+        let _guard = self.reclaim.pin();
+        let mut stack = vec![self.s_node()];
+        while let Some(node) = stack.pop() {
+            // SAFETY: every pointer on the stack was read from a live
+            // edge under the pin.
+            unsafe {
+                let left = (*node).left.load().ptr();
+                if left.is_null() {
+                    if matches!(&(*node).key, Key::Fin(_)) {
+                        return false;
+                    }
+                } else {
+                    stack.push((*node).right.load().ptr());
+                    stack.push(left);
+                }
+            }
+        }
+        true
     }
 }
 

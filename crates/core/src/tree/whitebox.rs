@@ -10,7 +10,7 @@
 #![cfg(test)]
 
 use super::{NmTreeMap, SeekRecord};
-use crate::node::clean_edge;
+use crate::chaos::{FaultPlan, Point};
 use nmbst_reclaim::Reclaim;
 
 impl<K, V, R> NmTreeMap<K, V, R>
@@ -21,36 +21,22 @@ where
 {
     /// Performs only the *injection* step of a delete: flags the edge to
     /// `key`'s leaf and returns without cleaning up, imitating a deleter
-    /// that stalled right after its linearization… of ownership (the
-    /// delete's own linearization is the later splice). Returns `true`
-    /// if the flag was planted.
+    /// preempted right after its injection CAS. The flag linearizes
+    /// *ownership* — no rival delete can claim this leaf anymore — while
+    /// the delete itself takes effect at the later splice (§3.3), so the
+    /// key stays visible to searches until someone finishes the cleanup.
+    /// Returns `true` iff the flag was planted by this call (`false` if
+    /// the key is absent or another delete owns the edge).
+    ///
+    /// Implemented as a [`FaultPlan`] over the chaos injection layer: a
+    /// plain `remove` whose cleanup is abandoned at [`Point::Tag`], the
+    /// first atomic step after injection. When our injection CAS loses
+    /// to a rival's flag, the same rule also abandons the *helping*
+    /// cleanup before it mutates anything, preserving the staged state.
     pub(crate) fn stall_delete_after_injection(&self, key: &K) -> bool {
-        let guard = self.reclaim.pin();
-        let _ = &guard;
-        let mut rec = SeekRecord::empty();
-        loop {
-            // SAFETY: pinned.
-            unsafe { self.seek(key, &mut rec) };
-            let leaf = rec.leaf;
-            // SAFETY: read under the pin.
-            if !unsafe { (*leaf).key.is_user(key) } {
-                return false;
-            }
-            let parent = rec.parent;
-            // SAFETY: read under the pin.
-            let edge = unsafe { (*parent).child_for(key) };
-            let clean = clean_edge(leaf);
-            match edge.compare_exchange(clean, clean.flagged()) {
-                Ok(()) => return true,
-                Err(observed) => {
-                    if observed.ptr() == leaf && observed.marked() {
-                        // Someone else owns it; we failed to stall one.
-                        return false;
-                    }
-                    // Injection point changed; retry.
-                }
-            }
-        }
+        FaultPlan::new()
+            .abandon_at(Point::Tag)
+            .run(|| self.remove(key))
     }
 
     /// Finishes a stalled delete of `key` the way any helper would:
@@ -74,9 +60,9 @@ where
 #[cfg(test)]
 mod tests {
     use crate::{NmTreeMap, NmTreeSet};
-    use nmbst_reclaim::Ebr;
+    use nmbst_reclaim::{Ebr, HazardEras, Leaky, Reclaim};
 
-    fn set_with(keys: &[u64]) -> NmTreeSet<u64, Ebr> {
+    fn set_with<R: Reclaim>(keys: &[u64]) -> NmTreeSet<u64, R> {
         let s = NmTreeSet::new();
         for &k in keys {
             s.insert(k);
@@ -84,11 +70,32 @@ mod tests {
         s
     }
 
+    /// Expands a generic scenario into one `#[test]` per reclaimer, so
+    /// the helping paths that *retire* memory (retire-once, chain
+    /// excision) run under every scheme the tree supports — `Ebr`, the
+    /// hazard-record-based `HazardEras`, and the paper-faithful `Leaky`.
+    macro_rules! per_reclaimer {
+        ($scenario:ident: $ebr:ident, $eras:ident, $leaky:ident) => {
+            #[test]
+            fn $ebr() {
+                $scenario::<Ebr>();
+            }
+            #[test]
+            fn $eras() {
+                $scenario::<HazardEras>();
+            }
+            #[test]
+            fn $leaky() {
+                $scenario::<Leaky>();
+            }
+        };
+    }
+
     #[test]
     fn search_still_finds_flagged_but_unspliced_key() {
         // The delete's linearization point is the *splice*, not the flag
         // (§3.3), so a flagged-but-present key is still a member.
-        let set = set_with(&[50, 25, 75]);
+        let set = set_with::<Ebr>(&[50, 25, 75]);
         assert!(set.as_map().stall_delete_after_injection(&25));
         assert!(set.contains(&25), "flagged key must still be visible");
         set.as_map().finish_stalled_delete(&25);
@@ -99,7 +106,7 @@ mod tests {
     fn insert_helps_stalled_delete_at_its_injection_point() {
         // Insert(30) seeks to the leaf 25 whose edge is flagged; its CAS
         // fails, it must help the stalled delete finish, then succeed.
-        let set = set_with(&[50, 25, 75]);
+        let set = set_with::<Ebr>(&[50, 25, 75]);
         assert!(set.as_map().stall_delete_after_injection(&25));
         assert!(set.insert(30), "insert must help and then succeed");
         assert!(set.contains(&30));
@@ -110,7 +117,7 @@ mod tests {
 
     #[test]
     fn second_delete_of_same_key_loses_to_stalled_owner() {
-        let set = set_with(&[50, 25, 75]);
+        let set = set_with::<Ebr>(&[50, 25, 75]);
         assert!(set.as_map().stall_delete_after_injection(&25));
         // A competing delete of 25 must help the owner and report false:
         // the key was (logically) claimed by the stalled delete.
@@ -118,12 +125,11 @@ mod tests {
         assert!(!set.contains(&25));
     }
 
-    #[test]
-    fn delete_of_sibling_helps_stalled_delete() {
+    fn sibling_delete_helps_stalled_delete<R: Reclaim>() {
         // 25's edge is flagged; deleting its tree-sibling forces the
         // sibling's cleanup to interact with the flagged edge (the
         // "flag copied to the new edge" path, Algorithm 4 line 107-108).
-        let set = set_with(&[50, 25, 75, 10, 30]);
+        let set = set_with::<R>(&[50, 25, 75, 10, 30]);
         assert!(set.as_map().stall_delete_after_injection(&30));
         assert!(set.remove(&10));
         // Whatever the interleaving, 30 must end up deleted (it was
@@ -138,11 +144,15 @@ mod tests {
         assert_eq!(shape.user_keys, 3);
     }
 
-    #[test]
-    fn multiple_stalled_deletes_form_a_chain_removed_at_once() {
+    per_reclaimer!(sibling_delete_helps_stalled_delete:
+        delete_of_sibling_helps_stalled_delete,
+        delete_of_sibling_helps_stalled_delete_hazard_eras,
+        delete_of_sibling_helps_stalled_delete_leaky);
+
+    fn stalled_deletes_chain_excision<R: Reclaim>() {
         // Figure 2's situation: several flagged victims along one path.
         // Finishing any one of them (or any helper) may excise several.
-        let set = set_with(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        let set = set_with::<R>(&[10, 20, 30, 40, 50, 60, 70, 80]);
         for k in [30u64, 40, 50] {
             assert!(set.as_map().stall_delete_after_injection(&k), "stall {k}");
         }
@@ -164,6 +174,11 @@ mod tests {
         assert_eq!(shape.user_keys, 5);
     }
 
+    per_reclaimer!(stalled_deletes_chain_excision:
+        multiple_stalled_deletes_form_a_chain_removed_at_once,
+        multiple_stalled_deletes_chain_hazard_eras,
+        multiple_stalled_deletes_chain_leaky);
+
     #[test]
     fn edge_granularity_gives_independent_progress_figure5() {
         // §5 / Figure 5: operations touching *disjoint edges* proceed
@@ -175,7 +190,7 @@ mod tests {
         // delete to completion: 10 stays present (flagged, hoisted with
         // its flag copied per Algorithm 4 line 107-108) until its owner
         // resumes.
-        let set = set_with(&[10, 20]);
+        let set = set_with::<Ebr>(&[10, 20]);
         assert!(set.as_map().stall_delete_after_injection(&10));
         assert!(set.remove(&20), "sibling delete proceeds independently");
         assert!(
@@ -192,19 +207,19 @@ mod tests {
 
     #[test]
     fn stalling_twice_on_same_key_fails_second_time() {
-        let set = set_with(&[5, 3, 8]);
+        let set = set_with::<Ebr>(&[5, 3, 8]);
         assert!(set.as_map().stall_delete_after_injection(&3));
         assert!(!set.as_map().stall_delete_after_injection(&3));
         set.as_map().finish_stalled_delete(&3);
     }
 
-    #[test]
-    fn racing_helpers_finish_one_stalled_delete_idempotently() {
+    fn racing_helpers_retire_once<R: Reclaim>() {
         // Many threads simultaneously help the same stalled delete; the
         // splice must happen exactly once (retire-once is implied: a
-        // double retire would double-free under Ebr and crash/corrupt).
+        // double retire would double-free under a reclaiming scheme and
+        // crash/corrupt).
         for _trial in 0..40 {
-            let set = set_with(&[50, 25, 75, 10, 30, 60, 90]);
+            let set = set_with::<R>(&[50, 25, 75, 10, 30, 60, 90]);
             assert!(set.as_map().stall_delete_after_injection(&30));
             std::thread::scope(|s| {
                 for _ in 0..4 {
@@ -222,12 +237,17 @@ mod tests {
         }
     }
 
+    per_reclaimer!(racing_helpers_retire_once:
+        racing_helpers_finish_one_stalled_delete_idempotently,
+        racing_helpers_retire_once_hazard_eras,
+        racing_helpers_retire_once_leaky);
+
     #[test]
     fn readers_see_consistent_membership_around_staged_chain() {
         // While a staged Figure 2 chain is being excised by helpers,
         // concurrent searches must never crash and must see innocent
         // keys as present throughout.
-        let set = set_with(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        let set = set_with::<Ebr>(&[10, 20, 30, 40, 50, 60, 70, 80]);
         for k in [30u64, 40, 50] {
             assert!(set.as_map().stall_delete_after_injection(&k));
         }

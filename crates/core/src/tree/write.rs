@@ -2,12 +2,26 @@
 //! shared cleanup routine (Algorithm 4).
 
 use super::{NmTreeMap, SeekRecord};
+use crate::chaos::{self, Action, Point};
 use crate::key::Key;
 use crate::node::{clean_edge, Node};
 use crate::packed::Edge;
 use crate::stats;
 use nmbst_reclaim::{Reclaim, RetireGuard};
 use std::ptr;
+
+/// What one [`NmTreeMap::cleanup`] call achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CleanupOutcome {
+    /// This call performed the splice (and retired the chain).
+    Spliced,
+    /// Another thread changed the region first; re-seek and retry.
+    Lost,
+    /// A chaos hook abandoned the operation before the next atomic step;
+    /// the region is left in a protocol-consistent in-flight state
+    /// (flag and possibly tag planted) for helpers to finish.
+    Abandoned,
+}
 
 impl<K, V, R> NmTreeMap<K, V, R>
 where
@@ -31,8 +45,15 @@ where
         // they stay private until the publishing CAS succeeds.
         let mut new_leaf: *mut Node<K, V> = ptr::null_mut();
         let mut new_internal: *mut Node<K, V> = ptr::null_mut();
+        let mut first_seek = true;
 
         loop {
+            if !first_seek && chaos::hit(Point::SeekRetry) == Action::Abandon {
+                // SAFETY: scratch nodes are unpublished (every CAS failed).
+                unsafe { discard_scratch(new_leaf, new_internal) };
+                return false;
+            }
+            first_seek = false;
             // SAFETY: `guard` pins this thread for the whole operation.
             unsafe { self.seek(&key, &mut rec) };
             let leaf = rec.leaf;
@@ -75,6 +96,11 @@ where
                 }
             }
 
+            if chaos::hit(Point::InsertPublish) == Action::Abandon {
+                // SAFETY: scratch nodes are unpublished.
+                unsafe { discard_scratch(new_leaf, new_internal) };
+                return false;
+            }
             // The single publishing CAS (Algorithm 2, line 51).
             match child_edge.compare_exchange(clean_edge(leaf), clean_edge(new_internal)) {
                 Ok(()) => return true,
@@ -84,7 +110,12 @@ where
                     if observed.ptr() == leaf && observed.marked() {
                         // SAFETY: record still refers to nodes protected
                         // by `guard`.
-                        unsafe { self.cleanup(&key, &rec, &guard) };
+                        let outcome = unsafe { self.cleanup(&key, &rec, &guard) };
+                        if outcome == CleanupOutcome::Abandoned {
+                            // SAFETY: scratch nodes are unpublished.
+                            unsafe { discard_scratch(new_leaf, new_internal) };
+                            return false;
+                        }
                     }
                 }
             }
@@ -119,8 +150,16 @@ where
         let mut injecting = true;
         let mut target: *mut Node<K, V> = ptr::null_mut();
         let mut result: Option<T> = None;
+        let mut first_seek = true;
 
         loop {
+            if !first_seek && chaos::hit(Point::SeekRetry) == Action::Abandon {
+                // Before injection `result` is `None` (op never
+                // happened); after it, the delete already linearized and
+                // the planted flag lets any helper finish the splice.
+                return result;
+            }
+            first_seek = false;
             // SAFETY: `guard` held for the whole operation; in cleanup
             // mode this also keeps `target` comparable by address (it
             // cannot be freed and recycled while we are pinned).
@@ -135,6 +174,9 @@ where
                 if !unsafe { (*leaf).key.is_user(key) } {
                     return None; // key absent (line 72)
                 }
+                if chaos::hit(Point::DeleteInject) == Action::Abandon {
+                    return None; // abandoned before linearizing: a no-op
+                }
                 // Injection: flag the edge to the victim (line 73). This
                 // is the linearization point of a successful delete.
                 let clean = clean_edge(leaf);
@@ -145,14 +187,20 @@ where
                         target = leaf;
                         injecting = false;
                         // SAFETY: record protected by `guard`.
-                        if unsafe { self.cleanup(key, &rec, &guard) } {
-                            return result;
+                        match unsafe { self.cleanup(key, &rec, &guard) } {
+                            // Abandoned: the delete already linearized at
+                            // the flag; leave the splice to helpers.
+                            CleanupOutcome::Spliced | CleanupOutcome::Abandoned => return result,
+                            CleanupOutcome::Lost => {}
                         }
                     }
                     Err(observed) => {
                         if observed.ptr() == leaf && observed.marked() {
                             // SAFETY: record protected by `guard`.
-                            unsafe { self.cleanup(key, &rec, &guard) };
+                            let outcome = unsafe { self.cleanup(key, &rec, &guard) };
+                            if outcome == CleanupOutcome::Abandoned {
+                                return None; // not yet linearized: a no-op
+                            }
                         }
                     }
                 }
@@ -163,8 +211,9 @@ where
                     return result;
                 }
                 // SAFETY: record protected by `guard`.
-                if unsafe { self.cleanup(key, &rec, &guard) } {
-                    return result;
+                match unsafe { self.cleanup(key, &rec, &guard) } {
+                    CleanupOutcome::Spliced | CleanupOutcome::Abandoned => return result,
+                    CleanupOutcome::Lost => {}
                 }
             }
         }
@@ -172,7 +221,7 @@ where
 
     /// Algorithm 4: tag the sibling edge, then splice at the ancestor.
     /// Invoked by the delete that owns the flag *and* by any operation
-    /// helping it. Returns `true` if this call performed the splice.
+    /// helping it.
     ///
     /// # Safety
     ///
@@ -182,7 +231,7 @@ where
         key: &K,
         rec: &SeekRecord<K, V>,
         guard: &R::Guard<'_>,
-    ) -> bool {
+    ) -> CleanupOutcome {
         stats::record_cleanup();
         let ancestor = rec.ancestor;
         let successor = rec.successor;
@@ -204,29 +253,40 @@ where
             sibling_edge
         };
 
+        if chaos::hit(Point::Tag) == Action::Abandon {
+            return CleanupOutcome::Abandoned;
+        }
         // Line 106: tag the edge that will be hoisted. Unconditional and
         // idempotent — after this, neither child of `parent` can change,
         // so `parent` can never again be an injection point.
         sibling_edge.set_tag(self.tag_mode);
 
+        if chaos::hit(Point::Splice) == Action::Abandon {
+            return CleanupOutcome::Abandoned;
+        }
         // Lines 107–108: splice. The hoisted edge keeps its flag (its
         // head may itself be a leaf some delete already flagged; the flag
         // must survive the move so that delete can still be helped).
+        // `Bug::DropFlagOnSplice` deliberately loses that copy.
         let sib = sibling_edge.load();
+        let keep_flag = sib.flag() && !chaos::bug_enabled(chaos::Bug::DropFlagOnSplice);
         match successor_edge.compare_exchange(
             clean_edge(successor),
-            Edge::with_marks(sib.flag(), false, sib.ptr()),
+            Edge::with_marks(keep_flag, false, sib.ptr()),
         ) {
             Ok(()) => {
                 // We won the splice: everything that hung below
                 // `successor`, except the hoisted survivor subtree, just
                 // left the tree — retire it (exactly once, by us).
+                if chaos::hit(Point::Retire) == Action::Abandon {
+                    return CleanupOutcome::Spliced; // leak the chain
+                }
                 // SAFETY: the detached region is frozen (every edge in it
                 // is marked) and unreachable from the root.
                 unsafe { self.retire_chain(successor, sib.ptr(), guard) };
-                true
+                CleanupOutcome::Spliced
             }
-            Err(_) => false,
+            Err(_) => CleanupOutcome::Lost,
         }
     }
 

@@ -1,117 +1,219 @@
-//! Property-based tests: the tree agrees with `BTreeMap`/`BTreeSet`
-//! models on arbitrary operation sequences, and its structural
+//! Property-style tests: the tree agrees with `BTreeMap`/`BTreeSet`
+//! models on pseudo-random operation sequences, and its structural
 //! invariants hold after arbitrary histories.
+//!
+//! Cases come from a fixed-seed SplitMix64 stream (no external
+//! property-testing crate in this offline build), so runs are identical
+//! everywhere and a failing case index pins the exact sequence.
 
 use nmbst::{Ebr, Key, NmTreeMap, NmTreeSet, TagMode};
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
-#[derive(Debug, Clone)]
+/// SplitMix64 (Steele et al.): tiny, full-period, well-mixed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Insert(i32),
     Remove(i32),
     Contains(i32),
 }
 
-fn op_strategy(key_range: i32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..key_range).prop_map(Op::Insert),
-        (0..key_range).prop_map(Op::Remove),
-        (0..key_range).prop_map(Op::Contains),
-    ]
+fn gen_ops(rng: &mut Rng, key_range: i32, max_len: u64) -> Vec<Op> {
+    let len = 1 + rng.below(max_len);
+    (0..len)
+        .map(|_| {
+            let k = rng.below(key_range as u64) as i32;
+            match rng.below(3) {
+                0 => Op::Insert(k),
+                1 => Op::Remove(k),
+                _ => Op::Contains(k),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn matches_btreeset_model(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+#[test]
+fn matches_btreeset_model() {
+    let mut rng = Rng(0x0001_5E7A);
+    for case in 0..128 {
+        let ops = gen_ops(&mut rng, 64, 400);
         let mut model = BTreeSet::new();
         let mut set: NmTreeSet<i32, Ebr> = NmTreeSet::new();
-        for op in &ops {
-            match *op {
-                Op::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
-                Op::Remove(k) => prop_assert_eq!(set.remove(&k), model.remove(&k)),
-                Op::Contains(k) => prop_assert_eq!(set.contains(&k), model.contains(&k)),
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k) => assert_eq!(
+                    set.insert(k),
+                    model.insert(k),
+                    "case {case}, op {i}: insert({k}) diverged (ops: {ops:?})"
+                ),
+                Op::Remove(k) => assert_eq!(
+                    set.remove(&k),
+                    model.remove(&k),
+                    "case {case}, op {i}: remove({k}) diverged (ops: {ops:?})"
+                ),
+                Op::Contains(k) => assert_eq!(
+                    set.contains(&k),
+                    model.contains(&k),
+                    "case {case}, op {i}: contains({k}) diverged (ops: {ops:?})"
+                ),
             }
         }
-        prop_assert_eq!(set.keys(), model.iter().copied().collect::<Vec<_>>());
-        let shape = set.check_invariants().map_err(TestCaseError::fail)?;
-        prop_assert_eq!(shape.user_keys, model.len());
+        assert_eq!(set.keys(), model.iter().copied().collect::<Vec<_>>());
+        let shape = set
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(shape.user_keys, model.len(), "case {case}: size diverged");
     }
+}
 
-    #[test]
-    fn map_values_match_model(ops in prop::collection::vec(op_strategy(48), 1..300)) {
+#[test]
+fn map_values_match_model() {
+    let mut rng = Rng(0x0002_3A9D);
+    for case in 0..128 {
+        let ops = gen_ops(&mut rng, 48, 300);
         let mut model: BTreeMap<i32, i64> = BTreeMap::new();
         let map: NmTreeMap<i32, i64, Ebr> = NmTreeMap::new();
-        for (i, op) in ops.iter().enumerate() {
+        for (i, &op) in ops.iter().enumerate() {
             let stamp = i as i64;
-            match *op {
+            match op {
                 Op::Insert(k) => {
                     // The tree rejects duplicates (no update), mirror that.
                     let inserted = map.insert(k, stamp);
                     let expected = !model.contains_key(&k);
-                    if expected { model.insert(k, stamp); }
-                    prop_assert_eq!(inserted, expected);
+                    if expected {
+                        model.insert(k, stamp);
+                    }
+                    assert_eq!(inserted, expected, "case {case}, op {i}: insert({k})");
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(map.remove_get(&k), model.remove(&k));
+                    assert_eq!(
+                        map.remove_get(&k),
+                        model.remove(&k),
+                        "case {case}, op {i}: remove({k})"
+                    );
                 }
                 Op::Contains(k) => {
-                    prop_assert_eq!(map.get(&k), model.get(&k).copied());
+                    assert_eq!(
+                        map.get(&k),
+                        model.get(&k).copied(),
+                        "case {case}, op {i}: get({k})"
+                    );
                 }
             }
         }
         for (k, v) in &model {
-            prop_assert_eq!(map.get(k), Some(*v));
+            assert_eq!(map.get(k), Some(*v), "case {case}: final get({k})");
         }
     }
+}
 
-    #[test]
-    fn cas_only_variant_matches_model(ops in prop::collection::vec(op_strategy(32), 1..200)) {
-        // §6: "our algorithm can be easily modified to use only CAS".
+#[test]
+fn cas_only_variant_matches_model() {
+    // §6: "our algorithm can be easily modified to use only CAS".
+    let mut rng = Rng(0x0003_CA5B);
+    for case in 0..128 {
+        let ops = gen_ops(&mut rng, 32, 200);
         let mut model = BTreeSet::new();
         let mut set: NmTreeSet<i32, Ebr> = NmTreeSet::with_tag_mode(TagMode::CasLoop);
-        for op in &ops {
-            match *op {
-                Op::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
-                Op::Remove(k) => prop_assert_eq!(set.remove(&k), model.remove(&k)),
-                Op::Contains(k) => prop_assert_eq!(set.contains(&k), model.contains(&k)),
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k) => assert_eq!(
+                    set.insert(k),
+                    model.insert(k),
+                    "case {case}, op {i}: insert({k}) diverged (ops: {ops:?})"
+                ),
+                Op::Remove(k) => assert_eq!(
+                    set.remove(&k),
+                    model.remove(&k),
+                    "case {case}, op {i}: remove({k}) diverged (ops: {ops:?})"
+                ),
+                Op::Contains(k) => assert_eq!(
+                    set.contains(&k),
+                    model.contains(&k),
+                    "case {case}, op {i}: contains({k}) diverged (ops: {ops:?})"
+                ),
             }
         }
-        set.check_invariants().map_err(TestCaseError::fail)?;
+        set.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn key_ordering_total_and_sentinels_above(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn key_ordering_total_and_sentinels_above() {
+    let mut rng = Rng(0x0004_0EDE);
+    for _ in 0..512 {
+        let a = rng.next() as i64;
+        let b = rng.next() as i64;
         let (ka, kb) = (Key::Fin(a), Key::Fin(b));
-        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
-        prop_assert!(Key::Fin(a) < Key::Inf0);
-        prop_assert!(Key::Fin(a) < Key::Inf1);
-        prop_assert!(Key::Fin(a) < Key::Inf2);
+        assert_eq!(ka.cmp(&kb), a.cmp(&b));
+        assert!(Key::Fin(a) < Key::Inf0);
+        assert!(Key::Fin(a) < Key::Inf1);
+        assert!(Key::Fin(a) < Key::Inf2);
     }
+    // Extremes too, which random sampling would rarely pick.
+    for a in [i64::MIN, -1, 0, 1, i64::MAX] {
+        assert!(Key::Fin(a) < Key::Inf0);
+        assert!(Key::Fin(a) < Key::Inf1);
+        assert!(Key::Fin(a) < Key::Inf2);
+    }
+}
 
-    #[test]
-    fn interleaved_two_batches_concurrently(keys_a in prop::collection::btree_set(0u64..2048, 1..128),
-                                            keys_b in prop::collection::btree_set(0u64..2048, 1..128)) {
+#[test]
+fn interleaved_two_batches_concurrently() {
+    let mut rng = Rng(0x0005_BA7C);
+    for case in 0..16 {
+        let gen_keys = |rng: &mut Rng| {
+            let target = 1 + rng.below(127);
+            let mut keys = BTreeSet::new();
+            while (keys.len() as u64) < target {
+                keys.insert(rng.below(2048));
+            }
+            keys
+        };
+        let keys_a = gen_keys(&mut rng);
+        let keys_b = gen_keys(&mut rng);
+
         // Two threads insert their batches concurrently, then one removes
-        // its batch. Final contents must be exactly keys_a \ keys_b plus
-        // the intersection handled by whoever won — since removals of
-        // shared keys race with nothing after the join, the final state
-        // is keys_a \ keys_b exactly.
+        // its batch. Since removals of shared keys race with nothing
+        // after the join, the final state is keys_a \ keys_b exactly.
         let mut set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
         std::thread::scope(|s| {
             let set = &set;
             let a = keys_a.clone();
             let b = keys_b.clone();
-            s.spawn(move || { for k in a { set.insert(k); } });
-            s.spawn(move || { for k in b { set.insert(k); } });
+            s.spawn(move || {
+                for k in a {
+                    set.insert(k);
+                }
+            });
+            s.spawn(move || {
+                for k in b {
+                    set.insert(k);
+                }
+            });
         });
         for k in &keys_b {
-            prop_assert!(set.remove(k));
+            assert!(set.remove(k), "case {case}: remove({k})");
         }
         let expected: Vec<u64> = keys_a.difference(&keys_b).copied().collect();
-        prop_assert_eq!(set.keys(), expected);
-        set.check_invariants().map_err(TestCaseError::fail)?;
+        assert_eq!(set.keys(), expected, "case {case}");
+        set.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }

@@ -1,0 +1,363 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, exposing exactly the subset of its API this workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark
+//! groups with sample size / warm-up / measurement-time / throughput
+//! configuration, `bench_function` / `bench_with_input`, and
+//! `Bencher::iter`.
+//!
+//! Methodology (deliberately simple, but honest): each benchmark is
+//! warmed up for the configured warm-up window, then timed over
+//! `sample_size` samples, each sample running as many iterations as fit
+//! its share of the measurement window (at least one). We report
+//! median / mean / min / max ns per iteration and, when a throughput is
+//! configured, median elements per second. There is no outlier analysis
+//! or statistical regression — this exists so `cargo bench` works in a
+//! fully offline build, not to replace criterion's statistics.
+//!
+//! Command-line behaviour mirrors what cargo sends to `harness = false`
+//! bench targets: `--bench` is accepted and ignored, `--test` runs each
+//! benchmark for a single iteration (smoke mode, used by CI), any other
+//! non-flag argument is a substring filter on benchmark names, and other
+//! `--flags` are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Criterion {
+    /// Applies the command-line conventions cargo uses for
+    /// `harness = false` bench targets (see module docs).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.smoke = true,
+                "--exact" | "--bench" | "--nocapture" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. `--color always`).
+                    if matches!(s, "--color" | "--format" | "--logfile") {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements (operations).
+    Elements(u64),
+}
+
+/// A benchmark name of the form `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration, created by
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up window run before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total timed window, split evenly across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Configures derived throughput reporting for the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let name = id.into_benchmark_id().render();
+        self.run(&name, f);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = id.into_benchmark_id().render();
+        self.run(&name, |b| f(b, input));
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.smoke {
+            let mut b = Bencher::smoke();
+            f(&mut b);
+            println!("{full}: ok (smoke)");
+            return;
+        }
+
+        // Warm-up: run until the window elapses, and calibrate how many
+        // iterations each timed sample should contain.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut b = Bencher::timed(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::timed(iters_per_sample);
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns[0];
+        let max = samples_ns[samples_ns.len() - 1];
+
+        print!(
+            "{full}: {} iters/sample, median {}, mean {}, range [{} .. {}]",
+            iters_per_sample,
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let elem_per_sec = n as f64 / (median * 1e-9);
+            print!(", {:.3} Melem/s", elem_per_sec / 1e6);
+        }
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Names accepted by [`BenchmarkGroup::bench_function`] /
+/// [`BenchmarkGroup::bench_with_input`]: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn timed(iters: u64) -> Self {
+        Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn smoke() -> Self {
+        Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's
+/// macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            smoke: true,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2))
+                .throughput(Throughput::Elements(10));
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1, "smoke mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn timed_mode_counts_iterations() {
+        let mut c = Criterion {
+            filter: None,
+            smoke: false,
+        };
+        let counter = std::cell::Cell::new(0u64);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_micros(200))
+            .measurement_time(Duration::from_micros(400));
+        g.bench_with_input(BenchmarkId::new("f", 7), &3u64, |b, &x| {
+            b.iter(|| counter.set(counter.get() + x))
+        });
+        g.finish();
+        assert!(counter.get() >= 3, "routine ran at least once per phase");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            smoke: false,
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_slash_parameter() {
+        let id = BenchmarkId::new("algo", "50u/64k");
+        assert_eq!(id.render(), "algo/50u/64k");
+    }
+}

@@ -1,0 +1,443 @@
+//! Seeded schedule exploration (`feature = "explore"`).
+//!
+//! Drives a real [`NmTreeSet`] — compiled with its `chaos` feature —
+//! through *deterministic* thread interleavings: worker threads hand a
+//! single run token around at every chaos injection point (each atomic
+//! step of the helping protocol) and at every operation boundary, and a
+//! seeded SplitMix64 stream picks who runs next. Exactly one thread
+//! makes progress at any instant, so a seed fully determines the
+//! interleaving, the recorded history, and the final tree — a failing
+//! seed replays forever.
+//!
+//! Each run is validated three ways:
+//!
+//! 1. the recorded concurrent history must be linearizable
+//!    ([`check_linearizable`]),
+//! 2. a sequential probe of every key is appended *after* the workers
+//!    join, so the final physical contents must be consistent with some
+//!    linearization (lost or resurrected keys cannot hide), and
+//! 3. [`NmTreeSet::check_invariants`] must accept the final tree.
+//!
+//! The explorer exists to make helping-protocol regressions loud. The
+//! acceptance test reintroduces a known bug — dropping the flag copy on
+//! the splice (Algorithm 4, lines 107–108) via
+//! [`chaos::Bug::DropFlagOnSplice`] — and demonstrates the explorer
+//! finds a violating schedule within a bounded seed budget.
+
+use crate::{check_linearizable, Event, Recorder, SetOp};
+use nmbst::chaos::{self, Action};
+use nmbst::{Leaky, NmTreeSet};
+use nmbst_sync::Backoff;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// SplitMix64 (Steele et al.): tiny, full-period, well-mixed.
+#[derive(Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Bounds on the scenarios a seed expands to.
+///
+/// Defaults follow the sweet spot for linearizability hunting: tiny key
+/// spaces and a handful of threads, so operations collide constantly and
+/// the checker stays fast.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Fewest worker threads per scenario (≥ 2).
+    pub min_threads: usize,
+    /// Most worker threads per scenario.
+    pub max_threads: usize,
+    /// Smallest key-space size.
+    pub min_keys: u64,
+    /// Largest key-space size (keys are `0..keys`; must stay < 64 for
+    /// the checker's bitmask state).
+    pub max_keys: u64,
+    /// Most operations per worker thread.
+    pub max_ops_per_thread: usize,
+    /// Re-introduce [`chaos::Bug::DropFlagOnSplice`] on every worker
+    /// thread — used by tests proving the explorer catches the bug
+    /// class. Never enable outside tests.
+    pub inject_drop_flag_bug: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            min_threads: 2,
+            max_threads: 4,
+            min_keys: 4,
+            max_keys: 16,
+            max_ops_per_thread: 5,
+            inject_drop_flag_bug: false,
+        }
+    }
+}
+
+/// Everything one seeded run did — enough to compare two runs for
+/// determinism or to debug a violation by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// The seed the scenario and schedule were derived from.
+    pub seed: u64,
+    /// Worker threads in the scenario.
+    pub threads: usize,
+    /// Key-space size (operations draw keys from `0..keys`).
+    pub keys: u64,
+    /// The scheduler's pick sequence: which thread received the token,
+    /// in order.
+    pub schedule: Vec<usize>,
+    /// The recorded history: seeded prepopulation, concurrent phase,
+    /// then the sequential probe of every key.
+    pub history: Vec<Event>,
+}
+
+/// A schedule on which the structure misbehaved.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What check failed.
+    pub reason: String,
+    /// The full run, replayable via [`explore_seed`] with the same
+    /// config and [`RunReport::seed`].
+    pub report: RunReport,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {:#x} ({} threads, {} keys, {} events): {}",
+            self.report.seed,
+            self.report.threads,
+            self.report.keys,
+            self.report.history.len(),
+            self.reason
+        )
+    }
+}
+
+/// Aggregate result of a seed sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Schedules run.
+    pub schedules: usize,
+    /// History events checked across all schedules.
+    pub events: usize,
+}
+
+/// The cooperative scheduler: a single run token handed around at every
+/// chaos point and operation boundary, next holder chosen by the seeded
+/// stream. All workers park on a condvar; the pick among *parked, live*
+/// threads is a pure function of the schedule so far, which makes the
+/// whole run deterministic.
+struct Scheduler {
+    n: usize,
+    /// Mirror of the current turn for the spin phase (`usize::MAX` =
+    /// no one); the mutex-guarded `turn` stays authoritative.
+    turn_hint: AtomicUsize,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+struct SchedState {
+    turn: Option<usize>,
+    parked: Vec<bool>,
+    done: Vec<bool>,
+    registered: usize,
+    rng: Rng,
+    schedule: Vec<usize>,
+}
+
+impl Scheduler {
+    fn new(n: usize, seed: u64) -> Arc<Self> {
+        Arc::new(Scheduler {
+            n,
+            turn_hint: AtomicUsize::new(usize::MAX),
+            state: Mutex::new(SchedState {
+                turn: None,
+                parked: vec![false; n],
+                done: vec![false; n],
+                registered: 0,
+                rng: Rng(seed),
+                schedule: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Worker `tid` registers and blocks until its first turn. The first
+    /// pick happens only once all workers are parked, so OS spawn order
+    /// cannot leak into the schedule.
+    fn start(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.parked[tid] = true;
+        st.registered += 1;
+        if st.registered == self.n {
+            self.pick(&mut st);
+            self.cv.notify_all();
+        }
+        self.wait_for_turn(st, tid);
+    }
+
+    /// The running worker yields the token and blocks until it gets it
+    /// back (possibly immediately, if it is the only live thread).
+    fn gate(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.parked[tid] = true;
+        self.pick(&mut st);
+        self.cv.notify_all();
+        self.wait_for_turn(st, tid);
+    }
+
+    /// Worker `tid` leaves the scenario and passes the token on.
+    fn finish(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.done[tid] = true;
+        st.parked[tid] = false;
+        self.pick(&mut st);
+        self.cv.notify_all();
+    }
+
+    fn wait_for_turn<'a>(&'a self, mut st: MutexGuard<'a, SchedState>, tid: usize) {
+        while st.turn != Some(tid) {
+            // Spin-then-park pacer: poll the turn hint briefly outside
+            // the lock (token handoffs are fast), then sleep.
+            drop(st);
+            let backoff = Backoff::new();
+            while self.turn_hint.load(Ordering::Acquire) != tid && !backoff.is_completed() {
+                backoff.spin();
+            }
+            st = self.state.lock().unwrap();
+            if st.turn != Some(tid) {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+        st.parked[tid] = false;
+    }
+
+    fn pick(&self, st: &mut SchedState) {
+        let candidates: Vec<usize> = (0..self.n)
+            .filter(|&i| st.parked[i] && !st.done[i])
+            .collect();
+        match candidates.as_slice() {
+            [] => {
+                st.turn = None;
+                self.turn_hint.store(usize::MAX, Ordering::Release);
+            }
+            c => {
+                let next = c[(st.rng.next() % c.len() as u64) as usize];
+                st.turn = Some(next);
+                st.schedule.push(next);
+                self.turn_hint.store(next, Ordering::Release);
+            }
+        }
+    }
+
+    fn schedule(&self) -> Vec<usize> {
+        self.state.lock().unwrap().schedule.clone()
+    }
+}
+
+/// Passes the token on even if the worker panics, so a failed assertion
+/// inside an operation surfaces as a test failure instead of a hang.
+struct FinishGuard<'a> {
+    sched: &'a Scheduler,
+    tid: usize,
+}
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.sched.finish(self.tid);
+    }
+}
+
+fn apply(set: &NmTreeSet<u64, Leaky>, op: SetOp) -> bool {
+    match op {
+        SetOp::Insert(k) => set.insert(k),
+        SetOp::Remove(k) => set.remove(&k),
+        SetOp::Contains(k) => set.contains(&k),
+    }
+}
+
+/// Runs the scenario and schedule derived from `seed` and validates it.
+/// The `Ok` report (schedule + history) is bit-for-bit reproducible:
+/// calling again with the same config and seed returns an equal report.
+pub fn explore_seed(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Violation>> {
+    assert!(cfg.min_threads >= 2 && cfg.max_threads >= cfg.min_threads);
+    assert!(cfg.min_keys >= 2 && cfg.max_keys >= cfg.min_keys && cfg.max_keys < 64);
+    // The checker's memoization works on u64 bitmasks and histories are
+    // exhaustively ordered; keep every phase small enough that the whole
+    // history stays within its 64-event budget.
+    assert!(
+        cfg.max_keys as usize * 2 + cfg.max_threads * cfg.max_ops_per_thread <= 64,
+        "scenario bounds overflow the checker's 64-event budget"
+    );
+
+    let mut rng = Rng(seed ^ 0xA5A5_5A5A_C0FF_EE00);
+    let threads = rng.in_range(cfg.min_threads as u64, cfg.max_threads as u64) as usize;
+    let keys = rng.in_range(cfg.min_keys, cfg.max_keys);
+    let inject_bug = cfg.inject_drop_flag_bug;
+
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    let rec = Recorder::new();
+    let mut history: Vec<Event> = Vec::new();
+
+    // Seeded prepopulation, recorded sequentially so the checker sees
+    // the true initial state.
+    for k in 0..keys {
+        if rng.next() & 1 == 1 {
+            history.push(rec.measure(SetOp::Insert(k), || set.insert(k)));
+        }
+    }
+
+    // Per-thread operation tapes, deletion-heavy: the helping protocol
+    // only activates on deletes.
+    let tapes: Vec<Vec<SetOp>> = (0..threads)
+        .map(|_| {
+            let ops = rng.in_range(1, cfg.max_ops_per_thread as u64);
+            (0..ops)
+                .map(|_| {
+                    let k = rng.next() % keys;
+                    match rng.next() % 4 {
+                        0 => SetOp::Insert(k),
+                        1 | 2 => SetOp::Remove(k),
+                        _ => SetOp::Contains(k),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let sched = Scheduler::new(threads, rng.next());
+    let collected: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for (tid, tape) in tapes.iter().enumerate() {
+            let sched = Arc::clone(&sched);
+            let set = &set;
+            let rec = &rec;
+            let collected = &collected;
+            s.spawn(move || {
+                sched.start(tid);
+                let _token = FinishGuard { sched: &sched, tid };
+                if inject_bug {
+                    chaos::set_bug(chaos::Bug::DropFlagOnSplice, true);
+                }
+                let mut local = Vec::with_capacity(tape.len());
+                let hook_sched = Arc::clone(&sched);
+                chaos::with_hook(
+                    move |_point| {
+                        hook_sched.gate(tid);
+                        Action::Continue
+                    },
+                    || {
+                        for &op in tape {
+                            // Schedule point at the op boundary; the hook
+                            // adds one at every atomic step inside.
+                            sched.gate(tid);
+                            local.push(rec.measure(op, || apply(set, op)));
+                        }
+                    },
+                );
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    history.extend(collected.into_inner().unwrap());
+
+    // Sequential probe phase: the final physical contents become part of
+    // the checked history, so a lost or resurrected key is a guaranteed
+    // linearizability failure even if no mid-run result exposed it.
+    for k in 0..keys {
+        history.push(rec.measure(SetOp::Contains(k), || set.contains(&k)));
+    }
+
+    let report = RunReport {
+        seed,
+        threads,
+        keys,
+        schedule: sched.schedule(),
+        history,
+    };
+
+    let mut set = set;
+    if let Err(e) = set.check_invariants() {
+        return Err(Box::new(Violation {
+            reason: format!("structural invariants violated: {e}"),
+            report,
+        }));
+    }
+    if !check_linearizable(&report.history) {
+        return Err(Box::new(Violation {
+            reason: "history (with final sequential probes) is not linearizable".to_string(),
+            report,
+        }));
+    }
+    Ok(report)
+}
+
+/// Sweeps `seeds`, stopping at the first violating schedule.
+pub fn explore_many(
+    cfg: &ExploreConfig,
+    seeds: impl IntoIterator<Item = u64>,
+) -> Result<ExploreStats, Box<Violation>> {
+    let mut stats = ExploreStats::default();
+    for seed in seeds {
+        let report = explore_seed(cfg, seed)?;
+        stats.schedules += 1;
+        stats.events += report.history.len();
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_run() {
+        let cfg = ExploreConfig::default();
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = explore_seed(&cfg, seed).expect("correct tree passes");
+            let b = explore_seed(&cfg, seed).expect("correct tree passes");
+            assert_eq!(a, b, "seed {seed:#x} did not replay identically");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let cfg = ExploreConfig::default();
+        let runs: Vec<RunReport> = (0..8)
+            .map(|s| explore_seed(&cfg, s).expect("correct tree passes"))
+            .collect();
+        let distinct = runs
+            .iter()
+            .map(|r| (r.threads, r.keys, r.schedule.clone()))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(
+            distinct.len() > 4,
+            "seeds barely vary the scenario/schedule: {} distinct of 8",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn bounded_sweep_is_clean_on_the_real_tree() {
+        let cfg = ExploreConfig::default();
+        let stats = explore_many(&cfg, 0..64).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(stats.schedules, 64);
+        assert!(stats.events > 0);
+    }
+}

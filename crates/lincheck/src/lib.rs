@@ -25,6 +25,8 @@
 #![warn(rust_2018_idioms)]
 
 mod checker;
+#[cfg(feature = "explore")]
+pub mod explore;
 mod recorder;
 pub mod spec;
 

@@ -1,14 +1,38 @@
-//! Property-based tests for the linearizability checker itself.
+//! Property-style tests for the linearizability checker itself, driven
+//! by a fixed-seed SplitMix64 stream (no external property-testing
+//! crate in this offline build).
 
 use nmbst_lincheck::{check_linearizable, linearization_witness, Event, SetOp};
-use proptest::prelude::*;
 
-fn op_strategy() -> impl Strategy<Value = SetOp> {
-    prop_oneof![
-        (0u64..8).prop_map(SetOp::Insert),
-        (0u64..8).prop_map(SetOp::Remove),
-        (0u64..8).prop_map(SetOp::Contains),
-    ]
+/// SplitMix64 (Steele et al.): tiny, full-period, well-mixed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn gen_ops(rng: &mut Rng, max_len: u64) -> Vec<SetOp> {
+    let len = 1 + rng.below(max_len);
+    (0..len)
+        .map(|_| {
+            let k = rng.below(8);
+            match rng.below(3) {
+                0 => SetOp::Insert(k),
+                1 => SetOp::Remove(k),
+                _ => SetOp::Contains(k),
+            }
+        })
+        .collect()
 }
 
 /// Builds a sequential (non-overlapping) history by running `ops`
@@ -32,61 +56,68 @@ fn sequential_history(ops: &[SetOp]) -> Vec<Event> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn sequential_histories_always_linearizable(ops in prop::collection::vec(op_strategy(), 1..24)) {
+#[test]
+fn sequential_histories_always_linearizable() {
+    let mut rng = Rng(0x11C4_0001);
+    for case in 0..200 {
+        let ops = gen_ops(&mut rng, 23);
         let h = sequential_history(&ops);
-        prop_assert!(check_linearizable(&h));
+        assert!(check_linearizable(&h), "case {case}: {ops:?}");
     }
+}
 
-    #[test]
-    fn flipping_any_sequential_result_breaks_it(
-        ops in prop::collection::vec(op_strategy(), 1..16),
-        idx in any::<prop::sample::Index>(),
-    ) {
-        // In a non-overlapping history every result is uniquely
-        // determined, so corrupting one must be detected.
+#[test]
+fn flipping_any_sequential_result_breaks_it() {
+    // In a non-overlapping history every result is uniquely determined,
+    // so corrupting one must be detected.
+    let mut rng = Rng(0x11C4_0002);
+    for case in 0..200 {
+        let ops = gen_ops(&mut rng, 15);
         let mut h = sequential_history(&ops);
-        let i = idx.index(h.len());
+        let i = rng.below(h.len() as u64) as usize;
         h[i].result = !h[i].result;
-        prop_assert!(!check_linearizable(&h));
+        assert!(
+            !check_linearizable(&h),
+            "case {case}: flipped op {i} of {ops:?}"
+        );
     }
+}
 
-    #[test]
-    fn witness_replay_is_always_consistent(
-        ops in prop::collection::vec(op_strategy(), 1..16),
-        overlap in 0u64..4,
-    ) {
-        // Stretch response times to create overlap windows, then verify
-        // any witness found actually replays correctly.
+#[test]
+fn witness_replay_is_always_consistent() {
+    // Stretch response times to create overlap windows, then verify any
+    // witness found actually replays correctly.
+    let mut rng = Rng(0x11C4_0003);
+    for case in 0..200 {
+        let ops = gen_ops(&mut rng, 15);
+        let overlap = rng.below(4);
         let mut h = sequential_history(&ops);
         for e in h.iter_mut() {
             e.response += overlap * 3;
         }
-        if let Some(order) = linearization_witness(&h) {
-            prop_assert_eq!(order.len(), h.len());
-            let mut state = 0u64;
-            for (pos, &i) in order.iter().enumerate() {
-                // Real-time: no earlier-linearized op may have begun
-                // after a later one ended.
-                for &j in &order[..pos] {
-                    prop_assert!(h[j].invoke < h[i].response);
-                }
-                let (r, s) = h[i].op.apply(state);
-                prop_assert_eq!(r, h[i].result);
-                state = s;
-            }
-        } else {
+        let Some(order) = linearization_witness(&h) else {
             // Stretching responses only ADDS legal orders; the original
             // sequential history was legal, so a witness must exist.
-            prop_assert!(false, "stretched legal history reported illegal");
+            panic!("case {case}: stretched legal history reported illegal ({ops:?})");
+        };
+        assert_eq!(order.len(), h.len());
+        let mut state = 0u64;
+        for (pos, &i) in order.iter().enumerate() {
+            // Real-time: no earlier-linearized op may have begun after a
+            // later one ended.
+            for &j in &order[..pos] {
+                assert!(h[j].invoke < h[i].response, "case {case}: real-time order");
+            }
+            let (r, s) = h[i].op.apply(state);
+            assert_eq!(r, h[i].result, "case {case}: replay of op {i}");
+            state = s;
         }
     }
+}
 
-    #[test]
-    fn fully_overlapping_distinct_inserts_linearizable(n in 1usize..12) {
+#[test]
+fn fully_overlapping_distinct_inserts_linearizable() {
+    for n in 1usize..12 {
         let h: Vec<Event> = (0..n)
             .map(|i| Event {
                 op: SetOp::Insert(i as u64 % 8),
@@ -98,6 +129,6 @@ proptest! {
             .collect();
         // All events overlap, inserts of 8 distinct keys succeed, the
         // rest (duplicates) fail — always linearizable.
-        prop_assert!(check_linearizable(&h));
+        assert!(check_linearizable(&h), "n = {n}");
     }
 }

@@ -23,15 +23,22 @@
 //! [`TreiberStack`](crate::TreiberStack) demonstrates them on a
 //! structure where validation is sound.
 //!
+//! This module also hosts [`HazardEras`]: the same record machinery
+//! publishing an *era* instead of an address. Era protection needs no
+//! validation step, so it **is** sound for the tree — see its type docs.
+//!
 //! # Usage
 //!
 //! Unlike [`Ebr`](crate::Ebr), participation is explicit: each thread
 //! [`register`](HazardDomain::register)s to obtain a [`HazardLocal`]
-//! with a fixed number of slots.
+//! with a fixed number of slots. ([`HazardEras`] participation is
+//! implicit, like `Ebr`: it implements [`Reclaim`].)
 
-use crate::Deferred;
+use crate::{Deferred, Reclaim, RetireGuard};
 use nmbst_sync::SpinLock;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::rc::Rc;
 use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -64,6 +71,34 @@ struct DomainInner {
     stash: SpinLock<Vec<(usize, Deferred)>>,
 }
 
+impl DomainInner {
+    fn new() -> Self {
+        DomainInner {
+            records: SpinLock::new(Vec::new()),
+            stash: SpinLock::new(Vec::new()),
+        }
+    }
+
+    /// Claims an inactive record for the calling thread, or registers a
+    /// fresh one.
+    fn acquire_record(&self) -> Arc<HpRecord> {
+        let mut records = self.records.lock();
+        match records.iter().find(|r| {
+            !r.active.load(Ordering::Relaxed)
+                && r.active
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+        }) {
+            Some(r) => Arc::clone(r),
+            None => {
+                let r = Arc::new(HpRecord::new());
+                records.push(Arc::clone(&r));
+                r
+            }
+        }
+    }
+}
+
 impl Drop for DomainInner {
     fn drop(&mut self) {
         // Last reference: no locals exist, hence no published hazards.
@@ -84,31 +119,14 @@ impl HazardDomain {
     /// Creates an empty domain.
     pub fn new() -> Self {
         HazardDomain {
-            inner: Arc::new(DomainInner {
-                records: SpinLock::new(Vec::new()),
-                stash: SpinLock::new(Vec::new()),
-            }),
+            inner: Arc::new(DomainInner::new()),
         }
     }
 
     /// Registers the calling thread, reusing the record of an exited
     /// thread when one is available.
     pub fn register(&self) -> HazardLocal {
-        let mut records = self.inner.records.lock();
-        let record = match records.iter().find(|r| {
-            !r.active.load(Ordering::Relaxed)
-                && r.active
-                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                    .is_ok()
-        }) {
-            Some(r) => Arc::clone(r),
-            None => {
-                let r = Arc::new(HpRecord::new());
-                records.push(Arc::clone(&r));
-                r
-            }
-        };
-        drop(records);
+        let record = self.inner.acquire_record();
         HazardLocal {
             domain: Arc::clone(&self.inner),
             record,
@@ -187,7 +205,7 @@ impl HazardLocal {
     ///
     /// # Safety
     ///
-    /// Same contract as [`RetireGuard::retire`](crate::RetireGuard::retire):
+    /// Same contract as [`RetireGuard::retire`]:
     /// `Box::into_raw` provenance, already unlinked, retired once.
     pub unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         // SAFETY: forwarded caller contract.
@@ -262,6 +280,286 @@ impl std::fmt::Debug for HazardLocal {
         f.debug_struct("HazardLocal")
             .field("retired", &self.retired_count())
             .finish()
+    }
+}
+
+// --- Hazard eras -----------------------------------------------------
+
+/// Which hazard slot of a record holds the published era. The eras scheme
+/// needs exactly one slot per thread; the remaining [`HP_SLOTS`] stay 0.
+const ERA_SLOT: usize = 0;
+
+/// Retirements accumulated on a thread before its next unpin scans.
+const ERA_SCAN_THRESHOLD: usize = 32;
+
+struct ErasInner {
+    /// Unique id keying the thread-local registry.
+    id: usize,
+    /// Global era clock. Starts at 1 so a published 0 means "unpinned";
+    /// bumped on every retirement.
+    era: AtomicUsize,
+    /// Same record registry + orphan stash the address-based scheme uses;
+    /// a record's [`ERA_SLOT`] holds an era instead of a pointer, and
+    /// stashed retirees carry their retirement era instead of an address.
+    domain: DomainInner,
+    /// Set when the owning [`HazardEras`] is dropped: no guards can exist
+    /// any more, so registry entries may be evicted.
+    orphaned: AtomicBool,
+}
+
+/// Per-thread participant in a [`HazardEras`] collector, owned by the
+/// thread-local registry.
+struct ErasLocal {
+    inner: Arc<ErasInner>,
+    record: Arc<HpRecord>,
+    guard_count: Cell<usize>,
+    /// `(retirement era, destructor)` pairs not yet proven unreachable.
+    retired: RefCell<Vec<(usize, Deferred)>>,
+}
+
+impl ErasLocal {
+    #[inline]
+    fn pin(&self) {
+        let count = self.guard_count.get();
+        if count == 0 {
+            let era = self.inner.era.load(Ordering::SeqCst);
+            self.record.slots[ERA_SLOT].store(era, Ordering::SeqCst);
+            // Publish the era before any shared read; pairs with the
+            // fence in `scan`.
+            fence(Ordering::SeqCst);
+        }
+        self.guard_count.set(count + 1);
+    }
+
+    #[inline]
+    fn unpin(&self) {
+        let count = self.guard_count.get() - 1;
+        self.guard_count.set(count);
+        if count == 0 {
+            self.record.slots[ERA_SLOT].store(0, Ordering::Release);
+            if self.retired.borrow().len() >= ERA_SCAN_THRESHOLD {
+                self.scan();
+            }
+        }
+    }
+
+    /// Frees every retiree whose retirement era precedes every published
+    /// era (such a pin started after the retiree's unlink-then-bump, so
+    /// it cannot have reached the retiree).
+    fn scan(&self) {
+        // Adopt orphaned retirees first so they are not stranded.
+        {
+            let mut stash = self.inner.domain.stash.lock();
+            self.retired.borrow_mut().append(&mut stash);
+        }
+        // Pairs with the fence in `pin`: an era publication not visible
+        // to the loads below happened after this fence, hence reads an
+        // era greater than any already-stamped retiree's.
+        fence(Ordering::SeqCst);
+        let mut min_era = usize::MAX;
+        {
+            let records = self.inner.domain.records.lock();
+            for record in records.iter() {
+                let e = record.slots[ERA_SLOT].load(Ordering::Acquire);
+                if e != 0 && e < min_era {
+                    min_era = e;
+                }
+            }
+        }
+        let retired = std::mem::take(&mut *self.retired.borrow_mut());
+        let mut kept = Vec::new();
+        for (era, deferred) in retired {
+            if era >= min_era {
+                kept.push((era, deferred));
+            } else {
+                deferred.call();
+            }
+        }
+        *self.retired.borrow_mut() = kept;
+    }
+}
+
+impl Drop for ErasLocal {
+    fn drop(&mut self) {
+        debug_assert_eq!(self.guard_count.get(), 0, "thread exited while pinned");
+        self.record.slots[ERA_SLOT].store(0, Ordering::Release);
+        self.scan();
+        let leftovers = std::mem::take(&mut *self.retired.borrow_mut());
+        if !leftovers.is_empty() {
+            self.inner.domain.stash.lock().extend(leftovers);
+        }
+        self.record.active.store(false, Ordering::Release);
+    }
+}
+
+thread_local! {
+    /// Registry of this thread's `ErasLocal`s, keyed by collector id —
+    /// same shape as the EBR registry (`ebr::LOCALS`).
+    static ERAS_LOCALS: RefCell<Vec<(usize, Rc<ErasLocal>)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_ERAS_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Hazard-eras reclamation (Ramalhete & Correia, DISC 2017 brief
+/// announcement): the hazard-pointer *machinery* — per-thread records,
+/// published slots, scan-before-free — protecting an **era** instead of
+/// an address.
+///
+/// Each pin publishes the global era; each retirement stamps the retiree
+/// with the era and bumps the clock. A retiree may be freed once every
+/// published era is newer than its stamp: such a pin began after the
+/// retiree was unlinked, so it can never have reached it.
+///
+/// # Why this is the hazard scheme the tree can use
+///
+/// Per-address hazard pointers need a protect-then-validate step that the
+/// NM-BST seek cannot perform (see the module docs: seeks walk edges that
+/// are already flagged/tagged). Era protection needs **no validation** —
+/// it guards an interval of time, not a pointer — so it is sound for any
+/// structure that unlinks before retiring, the tree included. The cost is
+/// EBR-like: a stalled pinned thread blocks reclamation (but never tree
+/// progress). What it buys over [`Ebr`](crate::Ebr) here is exercising
+/// this crate's hazard-record substrate under the tree's real workload.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_reclaim::{HazardEras, Reclaim, RetireGuard};
+///
+/// let he = HazardEras::new();
+/// let guard = he.pin();
+/// let ptr = Box::into_raw(Box::new(42));
+/// // ... unlink `ptr` from the shared structure, then:
+/// unsafe { guard.retire(ptr) };
+/// drop(guard);
+/// // freed once every pin that could have seen `ptr` has ended —
+/// // at the latest when `he` is dropped.
+/// ```
+pub struct HazardEras {
+    inner: Arc<ErasInner>,
+}
+
+impl HazardEras {
+    /// Returns this thread's `ErasLocal` for this collector, registering
+    /// on first use and evicting entries of dropped collectors.
+    fn local(&self) -> Rc<ErasLocal> {
+        ERAS_LOCALS.with(|registry| {
+            let mut registry = registry.borrow_mut();
+            registry.retain(|(_, local)| !local.inner.orphaned.load(Ordering::Acquire));
+            if let Some((_, local)) = registry.iter().find(|(id, _)| *id == self.inner.id) {
+                return Rc::clone(local);
+            }
+            let local = Rc::new(ErasLocal {
+                inner: Arc::clone(&self.inner),
+                record: self.inner.domain.acquire_record(),
+                guard_count: Cell::new(0),
+                retired: RefCell::new(Vec::new()),
+            });
+            registry.push((self.inner.id, Rc::clone(&local)));
+            local
+        })
+    }
+
+    /// Current value of the era clock (diagnostics and tests).
+    pub fn era(&self) -> usize {
+        self.inner.era.load(Ordering::Acquire)
+    }
+}
+
+impl Reclaim for HazardEras {
+    type Guard<'a> = HazardErasGuard<'a>;
+
+    fn new() -> Self {
+        HazardEras {
+            inner: Arc::new(ErasInner {
+                id: NEXT_ERAS_ID.fetch_add(1, Ordering::Relaxed),
+                era: AtomicUsize::new(1),
+                domain: DomainInner::new(),
+                orphaned: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    #[inline]
+    fn pin(&self) -> HazardErasGuard<'_> {
+        let local = self.local();
+        local.pin();
+        HazardErasGuard {
+            local,
+            _collector: PhantomData,
+        }
+    }
+
+    /// Scans now, freeing whatever no current pin can reach, without
+    /// waiting for this thread's retirement threshold.
+    fn flush(&self) {
+        self.local().scan();
+    }
+}
+
+impl Default for HazardEras {
+    fn default() -> Self {
+        Reclaim::new()
+    }
+}
+
+impl Drop for HazardEras {
+    fn drop(&mut self) {
+        // Guards borrow `&self`, so none exist anywhere; publish
+        // orphan-hood so registries evict, then free the stash. Retirees
+        // still private to other live threads are freed by those
+        // threads' `ErasLocal::drop` scans (nothing is pinned).
+        self.inner.orphaned.store(true, Ordering::SeqCst);
+        let _ = ERAS_LOCALS.try_with(|registry| {
+            registry.borrow_mut().retain(|(id, _)| *id != self.inner.id);
+        });
+        for (_, deferred) in self.inner.domain.stash.lock().drain(..) {
+            deferred.call();
+        }
+    }
+}
+
+impl std::fmt::Debug for HazardEras {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HazardEras")
+            .field("id", &self.inner.id)
+            .field("era", &self.era())
+            .finish()
+    }
+}
+
+/// The pinned critical section of a [`HazardEras`] collector.
+///
+/// Re-entrant: nested pins on the same thread share the outermost era.
+/// `!Send`: a guard must be dropped on the thread that created it.
+pub struct HazardErasGuard<'a> {
+    local: Rc<ErasLocal>,
+    _collector: PhantomData<&'a HazardEras>,
+}
+
+impl RetireGuard for HazardErasGuard<'_> {
+    #[inline]
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        // SAFETY: forwarded caller contract (Box::into_raw, unlinked,
+        // not retired twice).
+        let deferred = unsafe { Deferred::drop_box(ptr) };
+        // Stamp, then bump: any pin published after the bump carries an
+        // era strictly greater than the stamp.
+        let era = self.local.inner.era.fetch_add(1, Ordering::SeqCst);
+        self.local.retired.borrow_mut().push((era, deferred));
+    }
+}
+
+impl Drop for HazardErasGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.local.unpin();
+    }
+}
+
+impl std::fmt::Debug for HazardErasGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HazardErasGuard { .. }")
     }
 }
 
@@ -365,6 +663,147 @@ mod tests {
         }
         assert_eq!(domain.participants(), 0);
         assert_eq!(domain.inner.records.lock().len(), 1);
+    }
+
+    fn eras_retire_counter(he: &HazardEras, drops: &Arc<Counter>) {
+        let guard = he.pin();
+        let ptr = Box::into_raw(Box::new(DropCounter(Arc::clone(drops))));
+        unsafe { guard.retire(ptr) };
+    }
+
+    #[test]
+    fn eras_garbage_freed_by_collector_drop() {
+        let drops = Arc::new(Counter::new(0));
+        let he = HazardEras::new();
+        for _ in 0..10 {
+            eras_retire_counter(&he, &drops);
+        }
+        drop(he);
+        assert_eq!(drops.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn eras_flush_frees_when_nothing_pinned() {
+        let drops = Arc::new(Counter::new(0));
+        let he = HazardEras::new();
+        for _ in 0..5 {
+            eras_retire_counter(&he, &drops);
+        }
+        he.flush();
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
+        drop(he);
+    }
+
+    #[test]
+    fn eras_pinned_thread_blocks_reclamation() {
+        let drops = Arc::new(Counter::new(0));
+        let he = HazardEras::new();
+        let outer = he.pin();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    eras_retire_counter(&he, &drops);
+                }
+                he.flush();
+            });
+        });
+        assert_eq!(drops.load(Ordering::Relaxed), 0, "freed under a pin");
+        drop(outer);
+        // The exited thread stashed its survivors from its thread-local
+        // destructor, which may trail the join slightly; adopt-and-scan
+        // until they arrive, then free them (nothing is pinned anymore).
+        for _ in 0..1_000 {
+            he.flush();
+            if drops.load(Ordering::Relaxed) == 3 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 3);
+        drop(he);
+    }
+
+    #[test]
+    fn eras_nested_pins_share_era() {
+        let drops = Arc::new(Counter::new(0));
+        let he = HazardEras::new();
+        let g1 = he.pin();
+        eras_retire_counter(&he, &drops); // nested pin + retire
+        he.flush();
+        assert_eq!(drops.load(Ordering::Relaxed), 0, "own pin must block");
+        drop(g1);
+        he.flush();
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        drop(he);
+    }
+
+    #[test]
+    fn eras_era_clock_bumps_on_retire() {
+        let he = HazardEras::new();
+        let e0 = he.era();
+        let ptr = Box::into_raw(Box::new(7u32));
+        let guard = he.pin();
+        unsafe { guard.retire(ptr) };
+        drop(guard);
+        assert_eq!(he.era(), e0 + 1);
+        drop(he);
+    }
+
+    #[test]
+    fn eras_concurrent_swap_stress_frees_everything() {
+        const ITERS: usize = 2_000;
+        let drops = Arc::new(Counter::new(0));
+        let allocs = Arc::new(Counter::new(0));
+        let he = HazardEras::new();
+        let shared: AtomicPtr<DropCounter> = AtomicPtr::new(std::ptr::null_mut());
+
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..ITERS {
+                        allocs.fetch_add(1, Ordering::Relaxed);
+                        let fresh = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+                        let guard = he.pin();
+                        let old = shared.swap(fresh, Ordering::AcqRel);
+                        if !old.is_null() {
+                            unsafe { guard.retire(old) };
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..ITERS {
+                        let guard = he.pin();
+                        let p = shared.load(Ordering::Acquire);
+                        if !p.is_null() {
+                            // Dereference under the pin: must not be freed.
+                            let _ = unsafe { &(*p).0 };
+                        }
+                        drop(guard);
+                    }
+                });
+            }
+        });
+
+        let last = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !last.is_null() {
+            drop(unsafe { Box::from_raw(last) });
+        }
+        drop(he);
+        // Worker thread-local destructors (which stash-or-free their
+        // remaining retirees) may trail the joins slightly.
+        for _ in 0..1_000 {
+            if drops.load(Ordering::Relaxed) == allocs.load(Ordering::Relaxed) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            allocs.load(Ordering::Relaxed),
+            "every allocation freed exactly once"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   cannot be validated against such a path (the paper waves at hazard
 //!   pointers; published follow-up work restructures the traversal to
 //!   make them sound — out of scope here, documented in `hazard`).
+//! * [`HazardEras`] — the hazard-record machinery protecting an *era*
+//!   instead of an address. Needs no per-node validation, so the tree can
+//!   (and its whitebox helping-path tests do) run on it.
 //! * [`Leaky`] — the paper-faithful no-op reclaimer used by the benchmark
 //!   harness so that Figure 4 is measured under the paper's conditions.
 //!
@@ -41,7 +44,7 @@ mod stack;
 
 pub use deferred::Deferred;
 pub use ebr::{Ebr, EbrGuard};
-pub use hazard::{HazardDomain, HazardLocal};
+pub use hazard::{HazardDomain, HazardEras, HazardErasGuard, HazardLocal};
 pub use leaky::{Leaky, LeakyGuard};
 pub use stack::TreiberStack;
 

@@ -1,14 +1,32 @@
-//! Property-based tests for the epoch-based reclaimer: under arbitrary
-//! single-threaded pin/retire/flush sequences, every retired allocation
-//! is freed exactly once, and never while a guard that could reach it is
-//! live.
+//! Property-style tests for the epoch-based reclaimer: under
+//! pseudo-random single-threaded pin/retire/flush sequences, every
+//! retired allocation is freed exactly once, and never while a guard
+//! that could reach it is live. Sequences come from a fixed-seed
+//! SplitMix64 stream (no external property-testing crate in this
+//! offline build).
 
 use nmbst_reclaim::{Ebr, Reclaim, RetireGuard};
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-#[derive(Debug, Clone)]
+/// SplitMix64 (Steele et al.): tiny, full-period, well-mixed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 enum Step {
     Pin,
     Unpin,
@@ -16,13 +34,17 @@ enum Step {
     Flush,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        2 => Just(Step::Pin),
-        2 => Just(Step::Unpin),
-        3 => Just(Step::Retire),
-        1 => Just(Step::Flush),
-    ]
+fn gen_steps(rng: &mut Rng, max_len: u64) -> Vec<Step> {
+    let len = 1 + rng.below(max_len);
+    (0..len)
+        .map(|_| match rng.below(8) {
+            // Weights mirror the original distribution 2:2:3:1.
+            0 | 1 => Step::Pin,
+            2 | 3 => Step::Unpin,
+            4..=6 => Step::Retire,
+            _ => Step::Flush,
+        })
+        .collect()
 }
 
 struct Tracked(Arc<AtomicUsize>);
@@ -32,11 +54,11 @@ impl Drop for Tracked {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_retired_allocation_freed_exactly_once(steps in prop::collection::vec(step_strategy(), 1..120)) {
+#[test]
+fn every_retired_allocation_freed_exactly_once() {
+    let mut rng = Rng(0xEB40_0001);
+    for case in 0..64 {
+        let steps = gen_steps(&mut rng, 120);
         let drops = Arc::new(AtomicUsize::new(0));
         let mut retired = 0usize;
         {
@@ -68,17 +90,29 @@ proptest! {
                         ebr.flush();
                     }
                 }
-                // Whatever was freed so far must not exceed what was retired.
-                prop_assert!(drops.load(Ordering::Relaxed) <= retired);
+                // Whatever was freed so far must not exceed what was
+                // retired.
+                assert!(
+                    drops.load(Ordering::Relaxed) <= retired,
+                    "case {case}: freed more than retired ({steps:?})"
+                );
             }
             drop(guards);
         }
         // Collector dropped: everything must be freed, exactly once each.
-        prop_assert_eq!(drops.load(Ordering::Relaxed), retired);
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            retired,
+            "case {case}: drop count diverged ({steps:?})"
+        );
     }
+}
 
-    #[test]
-    fn nothing_frees_while_continuously_pinned(retires in 1usize..200) {
+#[test]
+fn nothing_frees_while_continuously_pinned() {
+    let mut rng = Rng(0xEB40_0002);
+    for case in 0..16 {
+        let retires = 1 + rng.below(200) as usize;
         let drops = Arc::new(AtomicUsize::new(0));
         let ebr = Ebr::new();
         let outer = ebr.pin();
@@ -89,10 +123,14 @@ proptest! {
         }
         // We pinned before any retire and never unpinned: since all
         // retirements happened at-or-after our epoch, none may be freed.
-        prop_assert_eq!(drops.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            0,
+            "case {case} ({retires} retires)"
+        );
         drop(outer);
         drop(ebr);
-        prop_assert_eq!(drops.load(Ordering::Relaxed), retires);
+        assert_eq!(drops.load(Ordering::Relaxed), retires, "case {case}");
     }
 }
 

@@ -95,6 +95,26 @@ soak!(
     |s: &BccoTree, k: u64| s.contains(&k)
 );
 
+/// Wide schedule-exploration sweep: the per-PR gate in
+/// `tests/chaos_explorer.rs` covers a small seed window; this covers
+/// thousands. `NMBST_EXPLORE_SEEDS` overrides the seed count.
+#[test]
+#[ignore = "soak test: minutes of runtime; run with --ignored"]
+fn soak_explorer_wide_seed_sweep() {
+    use nmbst_lincheck::explore::{explore_many, ExploreConfig};
+    let seeds: u64 = std::env::var("NMBST_EXPLORE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_096);
+    let stats = explore_many(&ExploreConfig::default(), 0..seeds)
+        .unwrap_or_else(|v| panic!("explorer found a real violation: {v}"));
+    assert_eq!(stats.schedules as u64, seeds);
+    println!(
+        "explored {} schedules ({} events) — clean",
+        stats.schedules, stats.events
+    );
+}
+
 /// Memory soak: sustained churn with EBR must not grow memory without
 /// bound — asserted indirectly by counting live tracked values.
 #[test]
