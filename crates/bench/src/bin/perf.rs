@@ -1,0 +1,409 @@
+//! The hot-path perf harness: machine-readable before/after cells for
+//! the PR 2 optimizations, written as `BENCH_PR2.json` (override the
+//! path with `NMBST_BENCH_JSON`).
+//!
+//! Four benches, each emitting `{bench, config, metrics}` cells in the
+//! `nmbst-bench-v1` schema shared with criterion-lite:
+//!
+//! * `single_thread_throughput` — one thread, read-heavy / mixed /
+//!   write-heavy mixes, plain per-op-pin API vs a pin-amortizing
+//!   handle.
+//! * `contended_throughput` — several threads hammering a small key
+//!   range (write-heavy), root-restart vs local-restart retry policy,
+//!   with the seek/local-restart counters captured per cell.
+//! * `latency` — single-thread mixed-workload per-op latency
+//!   percentiles, per-op-pin vs handle.
+//! * `table1_exact` — the paper's Table-1 exact counts (insert: 2
+//!   allocs / 1 CAS; delete: 0 allocs / 3 atomics), measured through
+//!   both the plain API and a handle. **The process exits non-zero if
+//!   any exact count regresses**, which is the CI perf-smoke gate.
+//!
+//! Knobs: `NMBST_SECS` (measured seconds per throughput cell, default
+//! 1.0; CI uses 0.2), `NMBST_KEYS` (first entry = single-thread key
+//! range), `NMBST_SEED`.
+
+use criterion::json::{self, Json};
+use nmbst::{NmTreeSet, RestartPolicy, SetHandle, TagMode};
+use nmbst_bench::SweepConfig;
+use nmbst_harness::rng::XorShift64Star;
+use nmbst_harness::workload::OpKind;
+use nmbst_harness::{Histogram, Workload};
+use nmbst_reclaim::{Ebr, Leaky, Reclaim};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which front end drives the operations.
+#[derive(Clone, Copy, PartialEq)]
+enum Api {
+    /// The plain API: every call pins and unpins the reclaimer.
+    PerOpPin,
+    /// A [`SetHandle`] holding its guard across operations.
+    Handle,
+}
+
+impl Api {
+    fn label(self) -> &'static str {
+        match self {
+            Api::PerOpPin => "per_op_pin",
+            Api::Handle => "handle",
+        }
+    }
+}
+
+fn prepopulate<R: Reclaim>(set: &NmTreeSet<u64, R>, key_range: u64, seed: u64) {
+    let target = key_range / 2;
+    let mut rng = XorShift64Star::from_stream(seed, u64::MAX);
+    let mut inserted = 0;
+    while inserted < target {
+        if set.insert(1 + rng.next_bounded(key_range)) {
+            inserted += 1;
+        }
+    }
+}
+
+#[inline]
+fn plain_op<R: Reclaim>(set: &NmTreeSet<u64, R>, op: OpKind, key: u64) -> bool {
+    match op {
+        OpKind::Search => set.contains(&key),
+        OpKind::Insert => set.insert(key),
+        OpKind::Delete => set.remove(&key),
+    }
+}
+
+#[inline]
+fn handle_op<R: Reclaim>(h: &mut SetHandle<'_, u64, R>, op: OpKind, key: u64) -> bool {
+    match op {
+        OpKind::Search => h.contains(&key),
+        OpKind::Insert => h.insert(key),
+        OpKind::Delete => h.remove(&key),
+    }
+}
+
+/// One single-thread throughput measurement; returns (Mops/s, ops).
+fn single_thread_mops(
+    api: Api,
+    workload: Workload,
+    key_range: u64,
+    secs: f64,
+    seed: u64,
+) -> (f64, u64) {
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    prepopulate(&set, key_range, seed);
+    let warmup = Duration::from_secs_f64((secs * 0.2).min(0.2));
+    let duration = Duration::from_secs_f64(secs);
+    let mut rng = XorShift64Star::from_stream(seed, 1);
+    let mut ops = 0u64;
+    let mut elapsed = Duration::ZERO;
+
+    let mut phase = |budget: Duration, measured: bool, rng: &mut XorShift64Star| {
+        let t0 = Instant::now();
+        match api {
+            Api::PerOpPin => {
+                while t0.elapsed() < budget {
+                    for _ in 0..64 {
+                        let key = 1 + rng.next_bounded(key_range);
+                        std::hint::black_box(plain_op(&set, workload.pick(rng), key));
+                        if measured {
+                            ops += 1;
+                        }
+                    }
+                }
+            }
+            Api::Handle => {
+                let mut h = set.handle();
+                while t0.elapsed() < budget {
+                    for _ in 0..64 {
+                        let key = 1 + rng.next_bounded(key_range);
+                        std::hint::black_box(handle_op(&mut h, workload.pick(rng), key));
+                        if measured {
+                            ops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        t0.elapsed()
+    };
+    phase(warmup, false, &mut rng);
+    elapsed += phase(duration, true, &mut rng);
+    (ops as f64 / elapsed.as_secs_f64() / 1e6, ops)
+}
+
+/// Multi-thread contended throughput under a restart policy; returns
+/// (Mops/s, ops, full seeks, local restarts) summed over threads.
+fn contended_mops(
+    restart: RestartPolicy,
+    threads: usize,
+    key_range: u64,
+    secs: f64,
+    seed: u64,
+) -> (f64, u64, u64, u64) {
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::with_restart_policy(restart);
+    prepopulate(&set, key_range, seed);
+    let workload = Workload::WRITE_DOMINATED;
+    let stop = AtomicBool::new(false);
+    let start = Barrier::new(threads + 1);
+    let totals = Mutex::new((0u64, 0u64, 0u64)); // ops, seeks, local restarts
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (set, stop, start, totals) = (&set, &stop, &start, &totals);
+            s.spawn(move || {
+                let mut rng = XorShift64Star::from_stream(seed, t as u64);
+                let mut ops = 0u64;
+                let before = nmbst::stats::snapshot();
+                start.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..32 {
+                        let key = 1 + rng.next_bounded(key_range);
+                        std::hint::black_box(plain_op(set, workload.pick(&mut rng), key));
+                        ops += 1;
+                    }
+                }
+                let delta = nmbst::stats::snapshot().since(&before);
+                let mut acc = totals.lock().unwrap();
+                acc.0 += ops;
+                acc.1 += delta.seeks;
+                acc.2 += delta.local_restarts;
+            });
+        }
+        start.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        elapsed = t0.elapsed();
+    });
+
+    let (ops, seeks, restarts) = *totals.lock().unwrap();
+    (
+        ops as f64 / elapsed.as_secs_f64() / 1e6,
+        ops,
+        seeks,
+        restarts,
+    )
+}
+
+/// Single-thread per-op latency histogram over `ops` mixed operations.
+fn latency_hist(api: Api, key_range: u64, ops: u64, seed: u64) -> Histogram {
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    prepopulate(&set, key_range, seed);
+    let workload = Workload::MIXED;
+    let mut rng = XorShift64Star::from_stream(seed, 2);
+    let mut hist = Histogram::new();
+    match api {
+        Api::PerOpPin => {
+            for _ in 0..ops {
+                let key = 1 + rng.next_bounded(key_range);
+                let op = workload.pick(&mut rng);
+                let t0 = Instant::now();
+                std::hint::black_box(plain_op(&set, op, key));
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        Api::Handle => {
+            let mut h = set.handle();
+            for _ in 0..ops {
+                let key = 1 + rng.next_bounded(key_range);
+                let op = workload.pick(&mut rng);
+                let t0 = Instant::now();
+                std::hint::black_box(handle_op(&mut h, op, key));
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    hist
+}
+
+/// Table-1 exact counts measured through the chosen front end; returns
+/// (insert allocs, delete allocs, insert atomics, delete atomics) per op.
+fn table1_counts(api: Api) -> (f64, f64, f64, f64) {
+    const BASE: u64 = 1_000;
+    const OPS: u64 = 500;
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    let mut h = set.handle();
+    let set = &set;
+    let mut run = |key: u64, op: OpKind| match api {
+        Api::PerOpPin => plain_op(set, op, key),
+        Api::Handle => handle_op(&mut h, op, key),
+    };
+    for k in (0..BASE).map(|i| i * 2 + 1) {
+        run(k, OpKind::Insert);
+    }
+    let before = nmbst::stats::snapshot();
+    for k in (1..=OPS).map(|i| i * 2) {
+        assert!(run(k, OpKind::Insert), "uncontended insert failed");
+    }
+    let mid = nmbst::stats::snapshot();
+    for k in (1..=OPS).map(|i| i * 2) {
+        assert!(run(k, OpKind::Delete), "uncontended delete failed");
+    }
+    let after = nmbst::stats::snapshot();
+    let ins = mid.since(&before);
+    let del = after.since(&mid);
+    (
+        ins.allocs as f64 / OPS as f64,
+        del.allocs as f64 / OPS as f64,
+        ins.atomics() as f64 / OPS as f64,
+        del.atomics() as f64 / OPS as f64,
+    )
+}
+
+fn main() {
+    let cfg = SweepConfig::from_env();
+    let secs = cfg.duration.as_secs_f64();
+    let seed = cfg.seed;
+    let key_range = cfg.key_ranges.first().copied().unwrap_or(1_000).max(64);
+    let latency_ops = ((secs * 200_000.0) as u64).clamp(10_000, 2_000_000);
+    // Conflict-dense on purpose: local restarts only pay off when CAS
+    // failures actually happen, so this cell packs many writers into a
+    // small key range.
+    let contended_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(4, 8);
+    let contended_range = 128;
+    let out_path = std::env::var(criterion::BENCH_JSON_ENV)
+        .ok()
+        .filter(|p| !p.is_empty())
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let mut cells: Vec<Json> = Vec::new();
+
+    // Single-core containers schedule-jitter individual runs by 10%+;
+    // the median of three repeats per cell is stable enough to commit.
+    const REPEATS: usize = 3;
+    println!(
+        "== single-thread throughput (key range {key_range}, {secs:.2}s/cell, median of {REPEATS}) =="
+    );
+    for workload in Workload::FIGURE4 {
+        for api in [Api::PerOpPin, Api::Handle] {
+            let mut runs: Vec<(f64, u64)> = (0..REPEATS)
+                .map(|_| single_thread_mops(api, workload, key_range, secs, seed))
+                .collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (mops, ops) = runs[REPEATS / 2];
+            println!(
+                "  {:<24} {:<10} {mops:.3} Mops/s",
+                workload.name,
+                api.label()
+            );
+            cells.push(json::cell(
+                "single_thread_throughput",
+                Json::obj([
+                    ("workload", Json::from(workload.name)),
+                    ("api", Json::from(api.label())),
+                    ("threads", Json::Int(1)),
+                    ("key_range", Json::from(key_range)),
+                    ("secs", Json::Num(secs)),
+                    ("seed", Json::from(seed)),
+                    ("repeats", Json::from(REPEATS)),
+                ]),
+                Json::obj([("mops", Json::Num(mops)), ("ops", Json::from(ops))]),
+            ));
+        }
+    }
+
+    println!(
+        "== contended throughput ({contended_threads} threads, key range {contended_range}, write-heavy) =="
+    );
+    for restart in [RestartPolicy::Root, RestartPolicy::Local] {
+        let label = match restart {
+            RestartPolicy::Root => "root",
+            RestartPolicy::Local => "local",
+        };
+        let (mops, ops, seeks, restarts) =
+            contended_mops(restart, contended_threads, contended_range, secs, seed);
+        println!(
+            "  restart={label:<6} {mops:.3} Mops/s  (seeks {seeks}, local restarts {restarts})"
+        );
+        cells.push(json::cell(
+            "contended_throughput",
+            Json::obj([
+                ("workload", Json::from(Workload::WRITE_DOMINATED.name)),
+                ("restart", Json::from(label)),
+                ("threads", Json::from(contended_threads)),
+                ("key_range", Json::from(contended_range)),
+                ("secs", Json::Num(secs)),
+                ("seed", Json::from(seed)),
+            ]),
+            Json::obj([
+                ("mops", Json::Num(mops)),
+                ("ops", Json::from(ops)),
+                ("seeks", Json::from(seeks)),
+                ("local_restarts", Json::from(restarts)),
+            ]),
+        ));
+    }
+
+    println!("== latency percentiles (1 thread, mixed, {latency_ops} ops) ==");
+    for api in [Api::PerOpPin, Api::Handle] {
+        let hist = latency_hist(api, key_range, latency_ops, seed);
+        let (p50, p99, p999) = (
+            hist.percentile(50.0),
+            hist.percentile(99.0),
+            hist.percentile(99.9),
+        );
+        println!(
+            "  {:<10} p50 {p50} ns, p99 {p99} ns, p99.9 {p999} ns",
+            api.label()
+        );
+        cells.push(json::cell(
+            "latency",
+            Json::obj([
+                ("workload", Json::from(Workload::MIXED.name)),
+                ("api", Json::from(api.label())),
+                ("threads", Json::Int(1)),
+                ("key_range", Json::from(key_range)),
+                ("ops", Json::from(latency_ops)),
+                ("seed", Json::from(seed)),
+            ]),
+            Json::obj([
+                ("p50_ns", Json::from(p50)),
+                ("p99_ns", Json::from(p99)),
+                ("p999_ns", Json::from(p999)),
+                ("mean_ns", Json::Num(hist.mean())),
+                ("max_ns", Json::from(hist.max())),
+            ]),
+        ));
+    }
+
+    println!("== Table-1 exact counts ==");
+    let mut table1_ok = true;
+    for api in [Api::PerOpPin, Api::Handle] {
+        let (ia, da, iat, dat) = table1_counts(api);
+        let ok = ia == 2.0 && da == 0.0 && iat == 1.0 && dat == 3.0;
+        table1_ok &= ok;
+        println!(
+            "  {:<10} insert {ia:.2} allocs / {iat:.2} atomics, delete {da:.2} allocs / {dat:.2} atomics  [{}]",
+            api.label(),
+            if ok { "ok" } else { "REGRESSED" },
+        );
+        cells.push(json::cell(
+            "table1_exact",
+            Json::obj([
+                ("api", Json::from(api.label())),
+                ("tag_mode", Json::from(format!("{:?}", TagMode::FetchOr))),
+            ]),
+            Json::obj([
+                ("insert_allocs", Json::Num(ia)),
+                ("delete_allocs", Json::Num(da)),
+                ("insert_atomics", Json::Num(iat)),
+                ("delete_atomics", Json::Num(dat)),
+                ("ok", Json::Bool(ok)),
+            ]),
+        ));
+    }
+
+    let path = std::path::Path::new(&out_path);
+    json::write_bench_file(path, &cells).expect("write bench json");
+    println!("wrote {} cells to {}", cells.len(), path.display());
+
+    if !table1_ok {
+        eprintln!(
+            "error: Table-1 exact counts regressed (expected insert 2 allocs/1 CAS, delete 0 allocs/3 atomics)"
+        );
+        std::process::exit(1);
+    }
+}

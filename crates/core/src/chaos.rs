@@ -318,7 +318,14 @@ impl FaultPlan {
 #[cfg(feature = "chaos")]
 #[derive(Clone, Default)]
 pub struct StallCell {
-    inner: Arc<(Mutex<bool>, Condvar)>,
+    inner: Arc<(Mutex<StallState>, Condvar)>,
+}
+
+#[cfg(feature = "chaos")]
+#[derive(Default)]
+struct StallState {
+    resumed: bool,
+    arrived: bool,
 }
 
 #[cfg(feature = "chaos")]
@@ -332,15 +339,28 @@ impl StallCell {
     /// stall is reached, in which case the stall is skipped).
     pub fn resume(&self) {
         let (lock, cv) = &*self.inner;
-        *lock.lock().unwrap() = true;
+        lock.lock().unwrap().resumed = true;
         cv.notify_all();
+    }
+
+    /// Blocks until some operation has reached the stall point. Lets a
+    /// test order its own steps *after* the stalled thread is provably
+    /// parked mid-operation, instead of sleeping and hoping.
+    pub fn wait_arrival(&self) {
+        let (lock, cv) = &*self.inner;
+        let mut st = lock.lock().unwrap();
+        while !st.arrived {
+            st = cv.wait(st).unwrap();
+        }
     }
 
     fn wait(&self) {
         let (lock, cv) = &*self.inner;
-        let mut resumed = lock.lock().unwrap();
-        while !*resumed {
-            resumed = cv.wait(resumed).unwrap();
+        let mut st = lock.lock().unwrap();
+        st.arrived = true;
+        cv.notify_all();
+        while !st.resumed {
+            st = cv.wait(st).unwrap();
         }
     }
 }

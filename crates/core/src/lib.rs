@@ -59,6 +59,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
+mod handle;
 mod key;
 mod node;
 mod packed;
@@ -66,10 +67,11 @@ mod set;
 pub mod stats;
 mod tree;
 
+pub use handle::{MapHandle, SetHandle, DEFAULT_REPIN_EVERY};
 pub use key::Key;
 pub use packed::TagMode;
 pub use set::NmTreeSet;
-pub use tree::{NmTreeMap, TreeShape};
+pub use tree::{NmTreeMap, RestartPolicy, TreeShape};
 
 // Re-export the reclamation entry points users need to name the tree's
 // type parameter.

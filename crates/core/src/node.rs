@@ -62,12 +62,24 @@ impl<K, V> Node<K, V> {
 
     /// `true` if this node is a leaf (null children).
     ///
-    /// Stable under concurrency: leaves never grow children and internal
-    /// nodes never lose them ("an internal node always stays an internal
-    /// node and a leaf node always stays a leaf node", §3.3).
+    /// The load is deliberately `Relaxed`, and this is the **only** place
+    /// in the tree where a relaxed edge load is sound. §3.3: "an internal
+    /// node always stays an internal node and a leaf node always stays a
+    /// leaf node" — null-ness of the child word is decided at allocation
+    /// and preserved by every subsequent write (marks and splices swap
+    /// targets among non-null nodes; nothing ever stores null into an
+    /// internal node or a pointer into a leaf). The word's initial value
+    /// was made visible by the Acquire load that produced `self`'s
+    /// address (publication goes through a releasing CAS), so whichever
+    /// write this load observes, its null-ness agrees with every other.
+    /// The pointer itself is *not* derefenceable on the strength of this
+    /// load — callers needing the child go through [`AtomicEdge::load`],
+    /// whose Acquire pairs with the publishing CAS. Everywhere else a
+    /// stale-but-typed value is not enough: seeks and CAS expectations
+    /// consume the target address, so they keep their Acquire fences.
     #[inline]
     pub(crate) fn is_leaf(&self) -> bool {
-        self.left.load().ptr().is_null()
+        self.left.load_relaxed().ptr().is_null()
     }
 
     /// The child edge a search for `user_key` follows from this node
@@ -78,6 +90,23 @@ impl<K, V> Node<K, V> {
         K: Ord,
     {
         if self.key.user_goes_left(user_key) {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+
+    /// [`child_for`](Self::child_for) with the sentinel dispatch hoisted
+    /// out: routes via `Key::user_goes_left_fin`, a plain `K: Ord`
+    /// compare. Semantically identical for every node (sentinels route
+    /// left either way) — use it in descent loops that run below the
+    /// sentinel levels, where the routing key is always finite.
+    #[inline(always)]
+    pub(crate) fn child_for_fin(&self, user_key: &K) -> &AtomicEdge<Node<K, V>>
+    where
+        K: Ord,
+    {
+        if self.key.user_goes_left_fin(user_key) {
             &self.left
         } else {
             &self.right

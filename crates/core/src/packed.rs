@@ -179,6 +179,17 @@ impl<N> AtomicEdge<N> {
         Edge::from_word(self.word.load(Ordering::Acquire))
     }
 
+    /// Reads the edge with `Relaxed` ordering.
+    ///
+    /// Only sound where the caller consumes a property of the word that
+    /// every write to this edge preserves (today: the null-ness test in
+    /// `Node::is_leaf`) — the returned pointer must not be dereferenced
+    /// on the strength of this load alone.
+    #[inline]
+    pub fn load_relaxed(&self) -> Edge<N> {
+        Edge::from_word(self.word.load(Ordering::Relaxed))
+    }
+
     /// Reads the edge non-atomically; requires exclusive access.
     #[inline]
     pub fn load_mut(&mut self) -> Edge<N> {

@@ -45,6 +45,21 @@ where
         }
     }
 
+    /// Creates an empty set with an explicit
+    /// [`RestartPolicy`](crate::RestartPolicy) for the modify-path retry
+    /// loops.
+    pub fn with_restart_policy(restart: crate::RestartPolicy) -> Self {
+        NmTreeSet {
+            map: NmTreeMap::with_restart_policy(restart),
+        }
+    }
+
+    /// Returns a pin-amortizing [`SetHandle`](crate::SetHandle) bound to
+    /// this set (see [`NmTreeMap::handle`]).
+    pub fn handle(&self) -> crate::SetHandle<'_, K, R> {
+        crate::SetHandle::new(&self.map)
+    }
+
     /// The paper's *insert*: adds `key`; returns `true` iff the set
     /// changed (the key was absent). Lock-free; one CAS to publish.
     #[inline]

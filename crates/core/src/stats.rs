@@ -25,8 +25,11 @@ pub struct OpStats {
     pub retires: u64,
     /// Invocations of the cleanup routine.
     pub cleanups: u64,
-    /// Seek phases executed.
+    /// Seek phases executed (full descents from the root).
     pub seeks: u64,
+    /// Retries that restarted the descent from a revalidated local
+    /// anchor instead of the root (not counted in `seeks`).
+    pub local_restarts: u64,
     /// Nodes physically unlinked by this thread's successful splices.
     pub unlinked: u64,
     /// Successful splice CASes (each may unlink a whole chain).
@@ -48,6 +51,7 @@ impl OpStats {
             retires: self.retires.saturating_sub(earlier.retires),
             cleanups: self.cleanups.saturating_sub(earlier.cleanups),
             seeks: self.seeks.saturating_sub(earlier.seeks),
+            local_restarts: self.local_restarts.saturating_sub(earlier.local_restarts),
             unlinked: self.unlinked.saturating_sub(earlier.unlinked),
             splices: self.splices.saturating_sub(earlier.splices),
         }
@@ -58,7 +62,7 @@ impl OpStats {
 thread_local! {
     static STATS: Cell<OpStats> = const { Cell::new(OpStats {
         cas: 0, bts: 0, allocs: 0, retires: 0,
-        cleanups: 0, seeks: 0, unlinked: 0, splices: 0,
+        cleanups: 0, seeks: 0, local_restarts: 0, unlinked: 0, splices: 0,
     }) };
 }
 
@@ -107,6 +111,12 @@ pub fn record_cleanup() {
 #[inline]
 pub fn record_seek() {
     bump!(seeks);
+}
+
+/// Records one successful local-anchor restart.
+#[inline]
+pub fn record_local_restart() {
+    bump!(local_restarts);
 }
 
 /// Records a successful splice that unlinked `n` nodes.

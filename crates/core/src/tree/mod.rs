@@ -13,10 +13,30 @@ pub use validate::TreeShape;
 
 pub(crate) use seek::SeekRecord;
 
+use crate::handle::MapHandle;
 use crate::node::{self, Node};
 use crate::packed::TagMode;
 use nmbst_reclaim::{Ebr, Reclaim};
 use std::marker::PhantomData;
+
+/// Where a modify operation restarts its descent after a failed CAS.
+///
+/// The paper restarts every retry from the root. Chatterjee et al.
+/// (arXiv:1404.3272) observe that most CAS failures are *local* — the
+/// conflicting operation touched only the bottom of the access path —
+/// so restarting from the last recorded untagged anchor skips the
+/// redundant prefix. The anchor is revalidated before use and any doubt
+/// falls back to a full root seek, so both policies execute the same
+/// set of linearizable interleavings (see DESIGN.md, "Local restart").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Retry from the seek record's `(ancestor → successor)` edge when
+    /// it revalidates; fall back to the root otherwise.
+    #[default]
+    Local,
+    /// Always retry from the root (the paper's Algorithm 2/3 verbatim).
+    Root,
+}
 
 /// A concurrent lock-free ordered map backed by the Natarajan–Mittal
 /// external binary search tree.
@@ -59,6 +79,7 @@ pub struct NmTreeMap<K, V, R: Reclaim = Ebr> {
     pub(crate) root: *mut Node<K, V>,
     pub(crate) reclaim: R,
     pub(crate) tag_mode: TagMode,
+    pub(crate) restart: RestartPolicy,
     /// The tree logically owns its nodes.
     _own: PhantomData<Box<Node<K, V>>>,
 }
@@ -84,10 +105,23 @@ where
     /// routine's tag step (BTS vs CAS-only; see §6 and the `ablation_bts`
     /// bench).
     pub fn with_tag_mode(tag_mode: TagMode) -> Self {
+        Self::with_config(tag_mode, RestartPolicy::default())
+    }
+
+    /// Creates an empty map using the given [`RestartPolicy`] for the
+    /// modify-path retry loops (see the `perf` bin's root-vs-local
+    /// restart cells).
+    pub fn with_restart_policy(restart: RestartPolicy) -> Self {
+        Self::with_config(TagMode::default(), restart)
+    }
+
+    /// Creates an empty map with every tuning knob explicit.
+    pub fn with_config(tag_mode: TagMode, restart: RestartPolicy) -> Self {
         NmTreeMap {
             root: node::sentinel_tree(),
             reclaim: R::new(),
             tag_mode,
+            restart,
             _own: PhantomData,
         }
     }
@@ -112,6 +146,21 @@ where
         // SAFETY: `root` is always the live sentinel `R`, whose left edge
         // is never marked and always points at the live sentinel `S`.
         unsafe { (*self.root).left.load().ptr() }
+    }
+}
+
+impl<K, V, R> NmTreeMap<K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Returns a pin-amortizing [`MapHandle`] bound to this map: it
+    /// holds one reclamation guard and one seek-record scratch across
+    /// many operations, re-pinning periodically so reclamation still
+    /// progresses. The fastest way to drive a hot loop from one thread.
+    pub fn handle(&self) -> MapHandle<'_, K, V, R> {
+        MapHandle::new(self)
     }
 }
 
@@ -146,6 +195,7 @@ where
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NmTreeMap")
             .field("tag_mode", &self.tag_mode)
+            .field("restart", &self.restart)
             .finish_non_exhaustive()
     }
 }

@@ -14,7 +14,21 @@ where
     /// `true` if `key` is in the map. Linearizable; never blocks and
     /// never restarts: a search is one root-to-leaf descent.
     pub fn contains(&self, key: &K) -> bool {
-        let _guard = self.reclaim.pin();
+        let guard = self.reclaim.pin();
+        // SAFETY: `guard` pins this tree's reclaimer for the whole call.
+        unsafe { self.contains_in(key, &guard) }
+    }
+
+    /// [`contains`](Self::contains) against a caller-provided guard —
+    /// the shared internal entry point of the plain API and
+    /// [`MapHandle`](crate::MapHandle).
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this tree's reclaimer and stay held for the
+    /// whole call.
+    pub(crate) unsafe fn contains_in(&self, key: &K, guard: &R::Guard<'_>) -> bool {
+        let _ = guard;
         // SAFETY: pinned for the duration of the traversal.
         let leaf = unsafe { self.search_leaf(key) };
         // SAFETY: guard-protected; keys are immutable.
@@ -27,7 +41,23 @@ where
     /// protected by an internal reclamation guard); this is the
     /// zero-copy alternative to [`get`](Self::get).
     pub fn with_value<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
-        let _guard = self.reclaim.pin();
+        let guard = self.reclaim.pin();
+        // SAFETY: `guard` pins this tree's reclaimer for the whole call.
+        unsafe { self.with_value_in(key, f, &guard) }
+    }
+
+    /// [`with_value`](Self::with_value) against a caller-provided guard.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`contains_in`](Self::contains_in).
+    pub(crate) unsafe fn with_value_in<T>(
+        &self,
+        key: &K,
+        f: impl FnOnce(&V) -> T,
+        guard: &R::Guard<'_>,
+    ) -> Option<T> {
+        let _ = guard;
         // SAFETY: pinned.
         let leaf = unsafe { self.search_leaf(key) };
         // SAFETY: guard-protected; leaf contents are immutable after

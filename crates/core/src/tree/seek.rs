@@ -14,8 +14,8 @@
 //! `successor` down to `parent` is in the process of being removed, and
 //! the splice at `ancestor` will excise the whole chain at once.
 
-use super::NmTreeMap;
-use crate::node::Node;
+use super::{NmTreeMap, RestartPolicy};
+use crate::node::{clean_edge, Node};
 use crate::stats;
 use nmbst_reclaim::Reclaim;
 
@@ -70,7 +70,9 @@ where
         let mut current_field = unsafe { &(*rec.leaf).left }.load();
         let mut current = current_field.ptr();
 
-        // Descend until a leaf (lines 22–32).
+        // Descend until a leaf (lines 22–32). The sentinel levels are
+        // behind us (the two hardcoded `.left` loads above), so routing
+        // uses the finite-key fast compare.
         while !current.is_null() {
             // An untagged edge into `parent` means `parent` is not being
             // spliced out: it is a valid anchor for the next splice.
@@ -81,9 +83,100 @@ where
             rec.parent = rec.leaf;
             rec.leaf = current;
             parent_field = current_field;
-            current_field = unsafe { (*current).child_for(key) }.load();
+            current_field = unsafe { (*current).child_for_fin(key) }.load();
             current = current_field.ptr();
         }
+    }
+
+    /// Restarts a seek from a previously observed `(anchor → successor)`
+    /// edge instead of the root — the local-restart optimization of
+    /// Chatterjee et al. (arXiv:1404.3272), applied to the modify-path
+    /// retry loops.
+    ///
+    /// The anchor is revalidated first: its child edge for `key` must
+    /// still be the *clean* edge to `successor`. Marks are permanent and
+    /// an internal node gets both of its edges marked before any splice
+    /// can detach it, so observing the clean edge proves `anchor` was
+    /// still in the tree at the moment of the load — descending from it
+    /// is then indistinguishable from the tail of a full root seek that
+    /// passed through that edge (see DESIGN.md, "Local restart").
+    ///
+    /// Returns `false` (record contents unspecified) when the anchor
+    /// cannot be revalidated — tagged, flagged, or re-pointed edge —
+    /// and the caller must fall back to a full [`seek`](Self::seek).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`seek`](Self::seek); additionally `anchor` and
+    /// `successor` must come from a seek record produced under the same
+    /// continuously-held guard, with `successor` an internal node.
+    pub(crate) unsafe fn seek_from(
+        &self,
+        anchor: *mut Node<K, V>,
+        successor: *mut Node<K, V>,
+        key: &K,
+        rec: &mut SeekRecord<K, V>,
+    ) -> bool {
+        // SAFETY (all derefs): `anchor`/`successor` are guard-protected
+        // per the contract; everything below them is read from live
+        // edges under the same guard.
+        let edge = unsafe { (*anchor).child_for(key) }.load();
+        if edge != clean_edge(successor) {
+            return false;
+        }
+        rec.ancestor = anchor;
+        rec.successor = successor;
+        rec.parent = successor;
+        // `anchor`/`successor` may be sentinels (R, S), so the first two
+        // routing steps use the general compare.
+        let mut parent_field = unsafe { (*successor).child_for(key) }.load();
+        rec.leaf = parent_field.ptr();
+        if rec.leaf.is_null() {
+            // `successor` turned out to be a leaf: no record shape can be
+            // formed below it. Unreachable for records produced by `seek`
+            // (their successor is always internal), kept as a cheap
+            // guard against misuse.
+            return false;
+        }
+        let mut current_field = unsafe { (*rec.leaf).child_for(key) }.load();
+        let mut current = current_field.ptr();
+
+        // Identical to the descent loop of `seek`.
+        while !current.is_null() {
+            if !parent_field.tag() {
+                rec.ancestor = rec.parent;
+                rec.successor = rec.leaf;
+            }
+            rec.parent = rec.leaf;
+            rec.leaf = current;
+            parent_field = current_field;
+            current_field = unsafe { (*current).child_for_fin(key) }.load();
+            current = current_field.ptr();
+        }
+        stats::record_local_restart();
+        true
+    }
+
+    /// Re-seeks after a failed CAS, honoring the tree's
+    /// [`RestartPolicy`]: under `Local` the previous record's anchor is
+    /// revalidated and the descent restarted there; any failure (or the
+    /// `Root` policy) performs a full root seek.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`seek`](Self::seek); additionally `rec` must
+    /// hold the record of a prior seek for the same `key` performed
+    /// under the same continuously-held guard.
+    pub(crate) unsafe fn seek_retry(&self, key: &K, rec: &mut SeekRecord<K, V>) {
+        if self.restart == RestartPolicy::Local && !rec.ancestor.is_null() {
+            let (anchor, successor) = (rec.ancestor, rec.successor);
+            // SAFETY: forwarded contract.
+            if unsafe { self.seek_from(anchor, successor, key, rec) } {
+                return;
+            }
+        }
+        // SAFETY: forwarded contract.
+        unsafe { self.seek(key, rec) };
     }
 
     /// Lightweight traversal for read-only operations: the paper's
@@ -94,15 +187,20 @@ where
     ///
     /// Same contract as [`seek`](Self::seek).
     pub(crate) unsafe fn search_leaf(&self, key: &K) -> *mut Node<K, V> {
-        let mut current = self.s_node();
-        loop {
-            // SAFETY: see `seek`.
-            let next = unsafe { (*current).child_for(key) }.load().ptr();
-            if next.is_null() {
-                return current;
-            }
+        // Sentinel prefix of every access path, hardcoded as in `seek`:
+        // a user key routes left of `S` (∞₁) and left of the ∞₀-keyed
+        // node topping the user area, no comparison needed. Below that,
+        // every routing key is finite and the loop uses the plain
+        // `K: Ord` fast compare.
+        //
+        // SAFETY: see `seek`.
+        let mut current = unsafe { &(*self.s_node()).left }.load().ptr();
+        let mut next = unsafe { &(*current).left }.load().ptr();
+        while !next.is_null() {
             current = next;
+            next = unsafe { (*current).child_for_fin(key) }.load().ptr();
         }
+        current
     }
 }
 

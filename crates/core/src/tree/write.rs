@@ -40,6 +40,26 @@ where
     pub fn insert(&self, key: K, value: V) -> bool {
         let guard = self.reclaim.pin();
         let mut rec = SeekRecord::empty();
+        // SAFETY: `guard` pins this tree's reclaimer for the whole call.
+        unsafe { self.insert_in(key, value, &guard, &mut rec) }
+    }
+
+    /// [`insert`](Self::insert) against a caller-provided guard and
+    /// seek-record scratch — the shared internal entry point of the
+    /// plain API and [`MapHandle`](crate::MapHandle).
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this tree's reclaimer and stay held for the
+    /// whole call. `rec` is pure scratch: its previous contents are
+    /// ignored (the first seek of the call is always a full root seek).
+    pub(crate) unsafe fn insert_in(
+        &self,
+        key: K,
+        value: V,
+        guard: &R::Guard<'_>,
+        rec: &mut SeekRecord<K, V>,
+    ) -> bool {
         let mut value = Some(value);
         // Scratch nodes, allocated on first use and reused on retry;
         // they stay private until the publishing CAS succeeds.
@@ -48,14 +68,21 @@ where
         let mut first_seek = true;
 
         loop {
-            if !first_seek && chaos::hit(Point::SeekRetry) == Action::Abandon {
-                // SAFETY: scratch nodes are unpublished (every CAS failed).
-                unsafe { discard_scratch(new_leaf, new_internal) };
-                return false;
+            if first_seek {
+                first_seek = false;
+                // SAFETY: `guard` held per contract.
+                unsafe { self.seek(&key, rec) };
+            } else {
+                if chaos::hit(Point::SeekRetry) == Action::Abandon {
+                    // SAFETY: scratch nodes are unpublished (every CAS
+                    // failed).
+                    unsafe { discard_scratch(new_leaf, new_internal) };
+                    return false;
+                }
+                // SAFETY: `guard` held continuously since `rec` was
+                // produced, as `seek_retry` requires.
+                unsafe { self.seek_retry(&key, rec) };
             }
-            first_seek = false;
-            // SAFETY: `guard` pins this thread for the whole operation.
-            unsafe { self.seek(&key, &mut rec) };
             let leaf = rec.leaf;
             // SAFETY: `leaf` was read under `guard`; keys are immutable.
             if unsafe { (*leaf).key.is_user(&key) } {
@@ -110,7 +137,7 @@ where
                     if observed.ptr() == leaf && observed.marked() {
                         // SAFETY: record still refers to nodes protected
                         // by `guard`.
-                        let outcome = unsafe { self.cleanup(&key, &rec, &guard) };
+                        let outcome = unsafe { self.cleanup(&key, rec, guard) };
                         if outcome == CleanupOutcome::Abandoned {
                             // SAFETY: scratch nodes are unpublished.
                             unsafe { discard_scratch(new_leaf, new_internal) };
@@ -146,6 +173,24 @@ where
     fn remove_and<T>(&self, key: &K, read: impl FnOnce(&Node<K, V>) -> T) -> Option<T> {
         let guard = self.reclaim.pin();
         let mut rec = SeekRecord::empty();
+        // SAFETY: `guard` pins this tree's reclaimer for the whole call.
+        unsafe { self.remove_in(key, read, &guard, &mut rec) }
+    }
+
+    /// [`remove_and`](Self::remove_and) against a caller-provided guard
+    /// and seek-record scratch — the shared internal entry point of the
+    /// plain API and [`MapHandle`](crate::MapHandle).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`insert_in`](Self::insert_in).
+    pub(crate) unsafe fn remove_in<T>(
+        &self,
+        key: &K,
+        read: impl FnOnce(&Node<K, V>) -> T,
+        guard: &R::Guard<'_>,
+        rec: &mut SeekRecord<K, V>,
+    ) -> Option<T> {
         let mut read = Some(read);
         let mut injecting = true;
         let mut target: *mut Node<K, V> = ptr::null_mut();
@@ -153,17 +198,24 @@ where
         let mut first_seek = true;
 
         loop {
-            if !first_seek && chaos::hit(Point::SeekRetry) == Action::Abandon {
-                // Before injection `result` is `None` (op never
-                // happened); after it, the delete already linearized and
-                // the planted flag lets any helper finish the splice.
-                return result;
+            if first_seek {
+                first_seek = false;
+                // SAFETY: `guard` held per contract; in cleanup mode it
+                // also keeps `target` comparable by address (the leaf
+                // cannot be freed and recycled while we are pinned).
+                unsafe { self.seek(key, rec) };
+            } else {
+                if chaos::hit(Point::SeekRetry) == Action::Abandon {
+                    // Before injection `result` is `None` (op never
+                    // happened); after it, the delete already linearized
+                    // and the planted flag lets any helper finish the
+                    // splice.
+                    return result;
+                }
+                // SAFETY: `guard` held continuously since `rec` was
+                // produced, as `seek_retry` requires.
+                unsafe { self.seek_retry(key, rec) };
             }
-            first_seek = false;
-            // SAFETY: `guard` held for the whole operation; in cleanup
-            // mode this also keeps `target` comparable by address (it
-            // cannot be freed and recycled while we are pinned).
-            unsafe { self.seek(key, &mut rec) };
             let parent = rec.parent;
             // SAFETY: read under `guard`.
             let child_edge = unsafe { (*parent).child_for(key) };
@@ -187,7 +239,7 @@ where
                         target = leaf;
                         injecting = false;
                         // SAFETY: record protected by `guard`.
-                        match unsafe { self.cleanup(key, &rec, &guard) } {
+                        match unsafe { self.cleanup(key, rec, guard) } {
                             // Abandoned: the delete already linearized at
                             // the flag; leave the splice to helpers.
                             CleanupOutcome::Spliced | CleanupOutcome::Abandoned => return result,
@@ -197,7 +249,7 @@ where
                     Err(observed) => {
                         if observed.ptr() == leaf && observed.marked() {
                             // SAFETY: record protected by `guard`.
-                            let outcome = unsafe { self.cleanup(key, &rec, &guard) };
+                            let outcome = unsafe { self.cleanup(key, rec, guard) };
                             if outcome == CleanupOutcome::Abandoned {
                                 return None; // not yet linearized: a no-op
                             }
@@ -211,7 +263,7 @@ where
                     return result;
                 }
                 // SAFETY: record protected by `guard`.
-                match unsafe { self.cleanup(key, &rec, &guard) } {
+                match unsafe { self.cleanup(key, rec, guard) } {
                     CleanupOutcome::Spliced | CleanupOutcome::Abandoned => return result,
                     CleanupOutcome::Lost => {}
                 }

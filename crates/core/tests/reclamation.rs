@@ -140,6 +140,77 @@ fn flush_reclaims_without_dropping_tree() {
 }
 
 #[test]
+fn handle_repin_keeps_reclamation_flowing() {
+    // A MapHandle holds one epoch guard across many operations. Its
+    // periodic re-pin must be a real unpin/pin — otherwise a long-lived
+    // handle parks the global epoch forever and every node retired while
+    // it exists becomes unreclaimable garbage.
+    let live = Arc::new(AtomicUsize::new(0));
+    let map: NmTreeMap<u64, Tracked, Ebr> = NmTreeMap::new();
+    let mut h = map.handle().with_repin_every(8);
+    for round in 0..64 {
+        for k in 0..32 {
+            h.insert(k, Tracked::new(&live));
+        }
+        for k in 0..32 {
+            assert!(h.remove(&k), "round {round}: key {k} missing");
+        }
+        map.flush();
+    }
+    // 2048 values churned through a handle that was never dropped. With
+    // the handle's guard re-pinned every 8 ops, the epoch kept advancing
+    // and the collector kept up: the bulk of the garbage must be gone
+    // while the handle still exists.
+    let leaked = live.load(Ordering::Relaxed);
+    assert!(
+        leaked < 200,
+        "{leaked} of 2048 removed values still live: the handle's \
+         re-pin is not releasing its epoch"
+    );
+    drop(h);
+    drop(map);
+    assert_eq!(live.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn handle_without_repin_holds_its_epoch() {
+    // Control for the test above: a handle that never re-pins must pin
+    // its epoch, so garbage retired by *other* threads after the handle
+    // pinned cannot all be freed while it is held. This is the hazard
+    // the re-pin budget exists to bound.
+    let live = Arc::new(AtomicUsize::new(0));
+    let map: NmTreeMap<u64, Tracked, Ebr> = NmTreeMap::new();
+    let mut h = map.handle().with_repin_every(u32::MAX);
+    assert!(!h.contains(&0)); // force the pin now
+    std::thread::scope(|s| {
+        let map = &map;
+        let live = &live;
+        s.spawn(move || {
+            for k in 0..512 {
+                map.insert(k, Tracked::new(live));
+                map.remove(&k);
+            }
+            map.flush();
+            map.flush();
+        });
+    });
+    let held = live.load(Ordering::Relaxed);
+    assert!(
+        held > 0,
+        "an unpinned-never handle should have trapped some garbage"
+    );
+    // Releasing the handle's guard unblocks the epoch; the next flushes
+    // reclaim everything.
+    h.unpin();
+    map.flush();
+    map.flush();
+    map.flush();
+    drop(h);
+    drop(map);
+    assert_eq!(live.load(Ordering::Relaxed), 0);
+}
+
+#[test]
 fn leaky_mode_reads_remain_valid_after_remove() {
     // With the paper's no-reclamation mode, removed nodes stay readable
     // (leaked); this is exactly the §4 benchmark configuration.

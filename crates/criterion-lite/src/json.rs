@@ -1,0 +1,233 @@
+//! A minimal JSON value model and writer — just enough to emit the
+//! workspace's machine-readable bench files (`BENCH_*.json`), with no
+//! external dependencies.
+//!
+//! The stable cell schema shared by every emitter (criterion-lite's
+//! `NMBST_BENCH_JSON` mode and the `perf` bin):
+//!
+//! ```json
+//! {
+//!   "schema": "nmbst-bench-v1",
+//!   "cells": [
+//!     { "bench": "<name>", "config": { ... }, "metrics": { ... } }
+//!   ]
+//! }
+//! ```
+//!
+//! `config` holds the knobs that produced the cell (threads, workload
+//! mix, key range, api/policy variant...), `metrics` the measurements
+//! (ns/op, Mops/s, percentiles, exact counter values). Future PRs
+//! append files with the same schema, forming a perf trajectory.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A JSON value. Object keys keep insertion order (stable diffs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, serialized without a decimal point.
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key → value list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object values.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        // Counter values in this workspace stay far below 2^63.
+        Json::Int(n as i64)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The schema tag every bench file carries.
+pub const BENCH_SCHEMA: &str = "nmbst-bench-v1";
+
+/// Builds one `{bench, config, metrics}` cell.
+pub fn cell(bench: &str, config: Json, metrics: Json) -> Json {
+    Json::Obj(vec![
+        ("bench".to_string(), Json::from(bench)),
+        ("config".to_string(), config),
+        ("metrics".to_string(), metrics),
+    ])
+}
+
+/// Writes a complete bench file (`{"schema": ..., "cells": [...]}`,
+/// pretty enough to diff: one cell per line) to `path`.
+pub fn write_bench_file(path: &Path, cells: &[Json]) -> io::Result<()> {
+    let mut body = String::new();
+    body.push_str("{\"schema\":\"");
+    body.push_str(BENCH_SCHEMA);
+    body.push_str("\",\"cells\":[\n");
+    for (i, c) in cells.iter().enumerate() {
+        body.push_str(&c.render());
+        if i + 1 < cells.len() {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    body.push_str("]}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Str("a\"b\\c\n".into()).render(), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn renders_structures_in_order() {
+        let j = Json::obj([
+            ("b", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Int(2), Json::Null])),
+        ]);
+        assert_eq!(j.render(), "{\"b\":1,\"a\":[2,null]}");
+    }
+
+    #[test]
+    fn cell_has_stable_shape() {
+        let c = cell(
+            "x",
+            Json::obj([("threads", Json::Int(1))]),
+            Json::obj([("ns_per_op", Json::Num(10.0))]),
+        );
+        assert_eq!(
+            c.render(),
+            "{\"bench\":\"x\",\"config\":{\"threads\":1},\"metrics\":{\"ns_per_op\":10}}"
+        );
+    }
+
+    #[test]
+    fn bench_file_round_trip_shape() {
+        let dir = std::env::temp_dir().join("nmbst-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_bench_file(&path, &[cell("a", Json::obj([]), Json::obj([]))]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"nmbst-bench-v1\",\"cells\":["));
+        assert!(text.contains("\"bench\":\"a\""));
+        assert!(text.trim_end().ends_with("]}"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -20,7 +20,34 @@
 //! non-flag argument is a substring filter on benchmark names, and other
 //! `--flags` are ignored.
 
+pub mod json;
+
+use json::Json;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Environment variable naming a file to which every finished benchmark
+/// appends a machine-readable `{bench, config, metrics}` cell (schema
+/// [`json::BENCH_SCHEMA`]). Unset or empty: no file is written.
+pub const BENCH_JSON_ENV: &str = "NMBST_BENCH_JSON";
+
+/// Cells recorded so far by this process; the sink file is rewritten in
+/// full after each cell so a partial run still leaves valid JSON.
+static JSON_CELLS: Mutex<Vec<Json>> = Mutex::new(Vec::new());
+
+fn record_json_cell(bench: &str, config: Json, metrics: Json) {
+    let Ok(path) = std::env::var(BENCH_JSON_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut cells = JSON_CELLS.lock().unwrap();
+    cells.push(json::cell(bench, config, metrics));
+    if let Err(e) = json::write_bench_file(std::path::Path::new(&path), &cells) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 /// Top-level harness handle passed to every benchmark function.
 #[derive(Default)]
@@ -161,6 +188,11 @@ impl BenchmarkGroup<'_> {
             let mut b = Bencher::smoke();
             f(&mut b);
             println!("{full}: ok (smoke)");
+            record_json_cell(
+                &full,
+                Json::obj([("smoke", Json::Bool(true))]),
+                Json::obj([]),
+            );
             return;
         }
 
@@ -202,6 +234,25 @@ impl BenchmarkGroup<'_> {
             print!(", {:.3} Melem/s", elem_per_sec / 1e6);
         }
         println!();
+
+        let mut config = vec![
+            ("sample_size".to_string(), Json::from(self.sample_size)),
+            ("iters_per_sample".to_string(), Json::from(iters_per_sample)),
+        ];
+        let mut metrics = vec![
+            ("median_ns".to_string(), Json::Num(median)),
+            ("mean_ns".to_string(), Json::Num(mean)),
+            ("min_ns".to_string(), Json::Num(min)),
+            ("max_ns".to_string(), Json::Num(max)),
+        ];
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            config.push(("elements_per_iter".to_string(), Json::from(n)));
+            metrics.push((
+                "melem_per_s".to_string(),
+                Json::Num(n as f64 / (median * 1e-9) / 1e6),
+            ));
+        }
+        record_json_cell(&full, Json::Obj(config), Json::Obj(metrics));
     }
 }
 

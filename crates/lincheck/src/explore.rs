@@ -26,7 +26,7 @@
 
 use crate::{check_linearizable, Event, Recorder, SetOp};
 use nmbst::chaos::{self, Action};
-use nmbst::{Leaky, NmTreeSet};
+use nmbst::{Leaky, NmTreeSet, RestartPolicy};
 use nmbst_sync::Backoff;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -71,6 +71,11 @@ pub struct ExploreConfig {
     /// thread — used by tests proving the explorer catches the bug
     /// class. Never enable outside tests.
     pub inject_drop_flag_bug: bool,
+    /// Retry-descent policy of the tree under test. The default
+    /// ([`RestartPolicy::Local`]) exercises the local-restart seek; set
+    /// [`RestartPolicy::Root`] to sweep the paper's root-restart retry
+    /// loops with the same seeds.
+    pub restart: RestartPolicy,
 }
 
 impl Default for ExploreConfig {
@@ -82,6 +87,7 @@ impl Default for ExploreConfig {
             max_keys: 16,
             max_ops_per_thread: 5,
             inject_drop_flag_bug: false,
+            restart: RestartPolicy::default(),
         }
     }
 }
@@ -290,7 +296,7 @@ pub fn explore_seed(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Vio
     let keys = rng.in_range(cfg.min_keys, cfg.max_keys);
     let inject_bug = cfg.inject_drop_flag_bug;
 
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_restart_policy(cfg.restart);
     let rec = Recorder::new();
     let mut history: Vec<Event> = Vec::new();
 

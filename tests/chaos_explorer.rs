@@ -51,6 +51,21 @@ fn bounded_seed_sweep_is_clean_on_the_real_tree() {
 }
 
 #[test]
+fn bounded_seed_sweep_is_clean_under_both_restart_policies() {
+    // Same bounded window, run explicitly against each retry policy:
+    // the local-restart seek must be linearizable under exactly the
+    // schedules that validate the paper's root-restart retry loops.
+    for restart in [nmbst::RestartPolicy::Local, nmbst::RestartPolicy::Root] {
+        let cfg = ExploreConfig {
+            restart,
+            ..Default::default()
+        };
+        let stats = explore_many(&cfg, 0..32).unwrap_or_else(|v| panic!("policy {restart:?}: {v}"));
+        assert_eq!(stats.schedules, 32, "policy {restart:?}");
+    }
+}
+
+#[test]
 fn fault_plan_stalls_a_delete_until_resumed() {
     // A delete stalled *between* its injection CAS and its cleanup is
     // the canonical helping scenario; StallCell lets a test hold an
