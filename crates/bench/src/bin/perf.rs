@@ -21,8 +21,15 @@
 //! Knobs: `NMBST_SECS` (measured seconds per throughput cell, default
 //! 1.0; CI uses 0.2), `NMBST_KEYS` (first entry = single-thread key
 //! range), `NMBST_SEED`.
+//!
+//! Regression gate: when `NMBST_BASELINE_JSON` names a committed bench
+//! file, the mixed-workload single-thread cells are compared against it
+//! and the process exits non-zero if throughput dropped more than
+//! `NMBST_PERF_TOLERANCE` (default 0.03) — the observability layer's
+//! "no default-build slowdown" budget, enforced.
 
 use criterion::json::{self, Json};
+use nmbst::obs::MetricsSnapshot;
 use nmbst::{NmTreeSet, RestartPolicy, SetHandle, TagMode};
 use nmbst_bench::SweepConfig;
 use nmbst_harness::rng::XorShift64Star;
@@ -80,14 +87,15 @@ fn handle_op<R: Reclaim>(h: &mut SetHandle<'_, u64, R>, op: OpKind, key: u64) ->
     }
 }
 
-/// One single-thread throughput measurement; returns (Mops/s, ops).
+/// One single-thread throughput measurement; returns (Mops/s, ops,
+/// final metrics snapshot).
 fn single_thread_mops(
     api: Api,
     workload: Workload,
     key_range: u64,
     secs: f64,
     seed: u64,
-) -> (f64, u64) {
+) -> (f64, u64, MetricsSnapshot) {
     let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
     prepopulate(&set, key_range, seed);
     let warmup = Duration::from_secs_f64((secs * 0.2).min(0.2));
@@ -127,7 +135,13 @@ fn single_thread_mops(
     };
     phase(warmup, false, &mut rng);
     elapsed += phase(duration, true, &mut rng);
-    (ops as f64 / elapsed.as_secs_f64() / 1e6, ops)
+    (ops as f64 / elapsed.as_secs_f64() / 1e6, ops, set.metrics())
+}
+
+/// A [`MetricsSnapshot`] as a JSON object, via its canonical `to_json`
+/// rendering so the bench file and a live scrape always agree on keys.
+fn snapshot_json(m: &MetricsSnapshot) -> Json {
+    Json::parse(&m.to_json()).expect("MetricsSnapshot::to_json emits valid JSON")
 }
 
 /// Multi-thread contended throughput under a restart policy; returns
@@ -152,17 +166,18 @@ fn contended_mops(
             let (set, stop, start, totals) = (&set, &stop, &start, &totals);
             s.spawn(move || {
                 let mut rng = XorShift64Star::from_stream(seed, t as u64);
-                let mut ops = 0u64;
-                let before = nmbst::stats::snapshot();
                 start.wait();
-                while !stop.load(Ordering::Relaxed) {
-                    for _ in 0..32 {
-                        let key = 1 + rng.next_bounded(key_range);
-                        std::hint::black_box(plain_op(set, workload.pick(&mut rng), key));
-                        ops += 1;
+                let (ops, delta) = nmbst::stats::delta(|| {
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..32 {
+                            let key = 1 + rng.next_bounded(key_range);
+                            std::hint::black_box(plain_op(set, workload.pick(&mut rng), key));
+                            ops += 1;
+                        }
                     }
-                }
-                let delta = nmbst::stats::snapshot().since(&before);
+                    ops
+                });
                 let mut acc = totals.lock().unwrap();
                 acc.0 += ops;
                 acc.1 += delta.seeks;
@@ -231,17 +246,16 @@ fn table1_counts(api: Api) -> (f64, f64, f64, f64) {
     for k in (0..BASE).map(|i| i * 2 + 1) {
         run(k, OpKind::Insert);
     }
-    let before = nmbst::stats::snapshot();
-    for k in (1..=OPS).map(|i| i * 2) {
-        assert!(run(k, OpKind::Insert), "uncontended insert failed");
-    }
-    let mid = nmbst::stats::snapshot();
-    for k in (1..=OPS).map(|i| i * 2) {
-        assert!(run(k, OpKind::Delete), "uncontended delete failed");
-    }
-    let after = nmbst::stats::snapshot();
-    let ins = mid.since(&before);
-    let del = after.since(&mid);
+    let ((), ins) = nmbst::stats::delta(|| {
+        for k in (1..=OPS).map(|i| i * 2) {
+            assert!(run(k, OpKind::Insert), "uncontended insert failed");
+        }
+    });
+    let ((), del) = nmbst::stats::delta(|| {
+        for k in (1..=OPS).map(|i| i * 2) {
+            assert!(run(k, OpKind::Delete), "uncontended delete failed");
+        }
+    });
     (
         ins.allocs as f64 / OPS as f64,
         del.allocs as f64 / OPS as f64,
@@ -277,18 +291,22 @@ fn main() {
     println!(
         "== single-thread throughput (key range {key_range}, {secs:.2}s/cell, median of {REPEATS}) =="
     );
+    let mut mixed_mops: Vec<(&'static str, f64)> = Vec::new();
     for workload in Workload::FIGURE4 {
         for api in [Api::PerOpPin, Api::Handle] {
-            let mut runs: Vec<(f64, u64)> = (0..REPEATS)
+            let mut runs: Vec<(f64, u64, MetricsSnapshot)> = (0..REPEATS)
                 .map(|_| single_thread_mops(api, workload, key_range, secs, seed))
                 .collect();
             runs.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let (mops, ops) = runs[REPEATS / 2];
+            let (mops, ops, snap) = runs[REPEATS / 2];
             println!(
                 "  {:<24} {:<10} {mops:.3} Mops/s",
                 workload.name,
                 api.label()
             );
+            if workload.name == Workload::MIXED.name {
+                mixed_mops.push((api.label(), mops));
+            }
             cells.push(json::cell(
                 "single_thread_throughput",
                 Json::obj([
@@ -300,7 +318,11 @@ fn main() {
                     ("seed", Json::from(seed)),
                     ("repeats", Json::from(REPEATS)),
                 ]),
-                Json::obj([("mops", Json::Num(mops)), ("ops", Json::from(ops))]),
+                Json::obj([
+                    ("mops", Json::Num(mops)),
+                    ("ops", Json::from(ops)),
+                    ("obs", snapshot_json(&snap)),
+                ]),
             ));
         }
     }
@@ -400,10 +422,86 @@ fn main() {
     json::write_bench_file(path, &cells).expect("write bench json");
     println!("wrote {} cells to {}", cells.len(), path.display());
 
+    let baseline_ok = check_against_baseline(&mixed_mops);
+
     if !table1_ok {
         eprintln!(
             "error: Table-1 exact counts regressed (expected insert 2 allocs/1 CAS, delete 0 allocs/3 atomics)"
         );
         std::process::exit(1);
     }
+    if !baseline_ok {
+        std::process::exit(1);
+    }
+}
+
+/// The throughput regression gate: compares this run's mixed-workload
+/// single-thread cells against the bench file named by
+/// `NMBST_BASELINE_JSON` (no-op when unset). Tolerance is relative, from
+/// `NMBST_PERF_TOLERANCE` (default 0.03 = 3%, the observability budget).
+fn check_against_baseline(mixed_mops: &[(&'static str, f64)]) -> bool {
+    let Some(baseline_path) = std::env::var("NMBST_BASELINE_JSON")
+        .ok()
+        .filter(|p| !p.is_empty())
+    else {
+        return true;
+    };
+    let tolerance = std::env::var("NMBST_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.03);
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: cannot parse baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let cells = baseline
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap_or_default();
+    let baseline_mops = |api: &str| -> Option<f64> {
+        cells.iter().find_map(|c| {
+            let cfg = c.get("config")?;
+            (c.get("bench")?.as_str()? == "single_thread_throughput"
+                && cfg.get("workload")?.as_str()? == Workload::MIXED.name
+                && cfg.get("api")?.as_str()? == api)
+                .then(|| c.get("metrics")?.get("mops")?.as_f64())
+                .flatten()
+        })
+    };
+
+    println!(
+        "== baseline gate ({baseline_path}, tolerance {:.0}%) ==",
+        tolerance * 100.0
+    );
+    let mut ok = true;
+    for &(api, current) in mixed_mops {
+        let Some(base) = baseline_mops(api) else {
+            println!("  {api:<10} no baseline cell — skipped");
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let pass = current >= floor;
+        ok &= pass;
+        println!(
+            "  {api:<10} {current:.3} Mops/s vs baseline {base:.3} (floor {floor:.3})  [{}]",
+            if pass { "ok" } else { "REGRESSED" },
+        );
+        if !pass {
+            eprintln!(
+                "error: mixed-workload throughput ({api}) regressed more than {:.1}% vs {baseline_path}",
+                tolerance * 100.0
+            );
+        }
+    }
+    ok
 }

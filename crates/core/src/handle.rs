@@ -14,6 +14,7 @@
 //! too); clone-free, allocation-free, and safe — every unsafe internal
 //! entry point is sealed behind the guard the handle itself manages.
 
+use crate::obs::{self, EventKind, PendingOps};
 use crate::tree::{NmTreeMap, SeekRecord};
 use nmbst_reclaim::{Ebr, Reclaim};
 
@@ -56,6 +57,9 @@ pub struct MapHandle<'t, K, V, R: Reclaim = Ebr> {
     rec: SeekRecord<K, V>,
     ops_since_repin: u32,
     repin_every: u32,
+    /// Metrics batched in plain fields, flushed into the tree's sharded
+    /// counters on re-pin/unpin/drop so the per-op path stays atomic-free.
+    pending: PendingOps,
 }
 
 impl<'t, K, V, R> MapHandle<'t, K, V, R>
@@ -71,6 +75,7 @@ where
             rec: SeekRecord::empty(),
             ops_since_repin: 0,
             repin_every: DEFAULT_REPIN_EVERY,
+            pending: PendingOps::default(),
         }
     }
 
@@ -95,6 +100,7 @@ where
     pub fn unpin(&mut self) {
         self.guard = None;
         self.ops_since_repin = 0;
+        self.flush_pending();
     }
 
     /// Forces a fresh pin now, regardless of the re-pin interval.
@@ -105,6 +111,14 @@ where
         self.guard = None;
         self.guard = Some(self.tree.reclaim.pin());
         self.ops_since_repin = 0;
+        obs::emit(EventKind::Repin);
+        self.flush_pending();
+    }
+
+    /// Publishes the batched operation counts into the tree's metrics.
+    fn flush_pending(&mut self) {
+        self.tree.metrics.add_pending(&self.pending);
+        self.pending.clear();
     }
 
     /// Charges one operation against the re-pin budget, (re)pinning if
@@ -125,7 +139,10 @@ where
         // SAFETY: `guard` pins this tree's reclaimer (pinned from
         // `self.tree` in `repin`) and lives across the call; `rec` is
         // scratch.
-        unsafe { self.tree.insert_in(key, value, guard, &mut self.rec) }
+        let added = unsafe { self.tree.insert_in(key, value, guard, &mut self.rec) };
+        self.pending.inserts += 1;
+        self.pending.inserted += u64::from(added);
+        added
     }
 
     /// [`NmTreeMap::remove`] through this handle's guard.
@@ -134,7 +151,10 @@ where
         self.tick();
         let guard = self.guard.as_ref().expect("pinned by tick");
         // SAFETY: as in `insert`.
-        unsafe { self.tree.remove_in(key, |_| (), guard, &mut self.rec) }.is_some()
+        let removed = unsafe { self.tree.remove_in(key, |_| (), guard, &mut self.rec) }.is_some();
+        self.pending.removes += 1;
+        self.pending.removed += u64::from(removed);
+        removed
     }
 
     /// [`NmTreeMap::remove_get`] through this handle's guard.
@@ -146,11 +166,14 @@ where
         self.tick();
         let guard = self.guard.as_ref().expect("pinned by tick");
         // SAFETY: as in `insert`.
-        unsafe {
+        let removed = unsafe {
             self.tree
                 .remove_in(key, |leaf| leaf.value.clone(), guard, &mut self.rec)
         }
-        .flatten()
+        .flatten();
+        self.pending.removes += 1;
+        self.pending.removed += u64::from(removed.is_some());
+        removed
     }
 
     /// [`NmTreeMap::contains`] through this handle's guard.
@@ -158,6 +181,7 @@ where
     pub fn contains(&mut self, key: &K) -> bool {
         self.tick();
         let guard = self.guard.as_ref().expect("pinned by tick");
+        self.pending.searches += 1;
         // SAFETY: as in `insert`.
         unsafe { self.tree.contains_in(key, guard) }
     }
@@ -167,6 +191,7 @@ where
     pub fn with_value<T>(&mut self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         self.tick();
         let guard = self.guard.as_ref().expect("pinned by tick");
+        self.pending.searches += 1;
         // SAFETY: as in `insert`.
         unsafe { self.tree.with_value_in(key, f, guard) }
     }
@@ -178,6 +203,14 @@ where
         V: Clone,
     {
         self.with_value(key, V::clone)
+    }
+}
+
+impl<K, V, R: Reclaim> Drop for MapHandle<'_, K, V, R> {
+    fn drop(&mut self) {
+        // Flush the batched metrics; a handle abandoned without a final
+        // unpin/repin must not lose its counts.
+        self.tree.metrics.add_pending(&self.pending);
     }
 }
 

@@ -48,12 +48,18 @@
 //! some operation always completes in a finite number of steps,
 //! regardless of stalled threads.
 //!
-//! ## Instrumentation
+//! ## Instrumentation and observability
 //!
 //! With `feature = "instrument"`, per-thread counters in [`stats`]
 //! record allocations and atomic instructions per operation, which is
 //! how this workspace regenerates Table 1 of the paper (insert: 2
 //! allocations, 1 CAS; delete: 0 allocations, 3 atomics — uncontended).
+//!
+//! Every tree additionally exposes an always-on metrics facade
+//! ([`NmTreeMap::metrics`] → [`obs::MetricsSnapshot`], with JSON and
+//! Prometheus exposition), and with `feature = "obs"` a per-thread
+//! flight recorder of structural events (`obs::FlightRecorder`) — see
+//! the [`obs`] module docs.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -62,6 +68,7 @@ pub mod chaos;
 mod handle;
 mod key;
 mod node;
+pub mod obs;
 mod packed;
 mod set;
 pub mod stats;

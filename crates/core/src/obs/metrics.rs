@@ -1,0 +1,372 @@
+//! The always-on metrics facade: sharded relaxed counters + gauges.
+//!
+//! Counter writes must not create the cross-core cache-line traffic the
+//! tree itself avoids, so counts live in [`SHARDS`] cache-padded shards;
+//! each thread is assigned a shard round-robin on first use and bumps it
+//! with relaxed `fetch_add`s. Reads ([`Metrics::snapshot`]) sum the
+//! shards — exact once writers are quiescent, racy-but-monotonic while
+//! they are not, which is the usual scrape contract.
+
+use nmbst_reclaim::ReclaimGauges;
+use nmbst_sync::CachePadded;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of counter shards. More than the container's typical core
+/// count so that threads rarely share a line even under round-robin
+/// assignment; small enough that snapshot sums stay trivial.
+const SHARDS: usize = 8;
+
+/// One shard of operation counters. All bumps are relaxed: counts have
+/// no ordering role, they only need to add up.
+///
+/// Counters are split by *outcome*, not aggregated by call, so every
+/// operation costs exactly one `fetch_add` (`inserts` = `inserted` +
+/// `insert_dup`, summed at snapshot time, never on the hot path).
+#[derive(Default)]
+struct Shard {
+    searches: AtomicU64,
+    inserted: AtomicU64,
+    insert_dup: AtomicU64,
+    removed: AtomicU64,
+    remove_miss: AtomicU64,
+    helps: AtomicU64,
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard index, assigned round-robin on first use.
+    /// Const-initialized `Cell` (not a lazy initializer) so the per-op
+    /// access compiles to a plain TLS load; `usize::MAX` = unassigned.
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Per-tree metrics state, owned by `NmTreeMap`.
+pub(crate) struct Metrics {
+    shards: [CachePadded<Shard>; SHARDS],
+    /// Deepest access path any modify-path seek observed (leaf depth in
+    /// edges below the sentinel pair). Racy max: updated with a relaxed
+    /// load-then-`fetch_max` only when a new maximum is seen.
+    max_depth: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            shards: Default::default(),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self) -> &Shard {
+        let idx = MY_SHARD.with(|s| {
+            let idx = s.get();
+            if idx != usize::MAX {
+                idx
+            } else {
+                let assigned = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+                s.set(assigned);
+                assigned
+            }
+        });
+        &self.shards[idx]
+    }
+
+    #[inline]
+    pub(crate) fn note_search(&self) {
+        self.shard().searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_insert(&self, success: bool) {
+        let shard = self.shard();
+        let counter = if success {
+            &shard.inserted
+        } else {
+            &shard.insert_dup
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_remove(&self, success: bool) {
+        let shard = self.shard();
+        let counter = if success {
+            &shard.removed
+        } else {
+            &shard.remove_miss
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_help(&self) {
+        self.shard().helps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a new observed access-path depth into the max gauge. The
+    /// common case (not a new maximum) is a single relaxed load.
+    #[inline]
+    pub(crate) fn note_depth(&self, depth: u64) {
+        if depth > self.max_depth.load(Ordering::Relaxed) {
+            self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a handle's batched counts in one pass (see [`PendingOps`]).
+    pub(crate) fn add_pending(&self, p: &PendingOps) {
+        if p.is_empty() {
+            return;
+        }
+        let shard = self.shard();
+        shard.searches.fetch_add(p.searches, Ordering::Relaxed);
+        shard.inserted.fetch_add(p.inserted, Ordering::Relaxed);
+        shard
+            .insert_dup
+            .fetch_add(p.inserts - p.inserted, Ordering::Relaxed);
+        shard.removed.fetch_add(p.removed, Ordering::Relaxed);
+        shard
+            .remove_miss
+            .fetch_add(p.removes - p.removed, Ordering::Relaxed);
+    }
+
+    /// Sums the shards and folds in the reclaimer's gauges.
+    pub(crate) fn snapshot(&self, reclaim: ReclaimGauges) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot {
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+            reclaim,
+            ..MetricsSnapshot::default()
+        };
+        for shard in &self.shards {
+            s.searches += shard.searches.load(Ordering::Relaxed);
+            s.inserted += shard.inserted.load(Ordering::Relaxed);
+            s.inserts += shard.insert_dup.load(Ordering::Relaxed);
+            s.removed += shard.removed.load(Ordering::Relaxed);
+            s.removes += shard.remove_miss.load(Ordering::Relaxed);
+            s.helps += shard.helps.load(Ordering::Relaxed);
+        }
+        // The shards store outcomes; the snapshot reports call totals.
+        s.inserts += s.inserted;
+        s.removes += s.removed;
+        s.size_estimate = s.inserted as i64 - s.removed as i64;
+        s
+    }
+}
+
+/// Operation counts a [`MapHandle`](crate::MapHandle) batches in plain
+/// (non-atomic) fields between guard refreshes, flushed into the shards
+/// on re-pin, unpin, and drop. This is what keeps the metrics facade off
+/// the handle's per-op critical path entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PendingOps {
+    pub(crate) searches: u64,
+    pub(crate) inserts: u64,
+    pub(crate) inserted: u64,
+    pub(crate) removes: u64,
+    pub(crate) removed: u64,
+}
+
+impl PendingOps {
+    fn is_empty(&self) -> bool {
+        self.searches == 0 && self.inserts == 0 && self.removes == 0
+    }
+
+    pub(crate) fn clear(&mut self) {
+        *self = PendingOps::default();
+    }
+}
+
+/// A point-in-time view of one tree's metrics, produced by
+/// [`NmTreeMap::metrics`](crate::NmTreeMap::metrics).
+///
+/// Counters are monotonic over the tree's lifetime; gauges are racy
+/// point samples. `searches`/`inserts`/`removes` count *calls*;
+/// `inserted`/`removed` count the calls that changed the key set, so
+/// `inserted - removed` estimates the live key count (exact once writers
+/// are quiescent).
+///
+/// # Examples
+///
+/// ```
+/// use nmbst::NmTreeSet;
+///
+/// let set: NmTreeSet<u64> = NmTreeSet::new();
+/// set.insert(1);
+/// set.insert(2);
+/// set.remove(&1);
+/// let m = set.metrics();
+/// assert_eq!(m.inserts, 2);
+/// assert_eq!(m.size_estimate, 1);
+/// assert!(m.to_prometheus().contains("nmbst_size_estimate 1"));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `contains`/`get`/`with_value` calls.
+    pub searches: u64,
+    /// `insert` calls (successful or duplicate-rejected).
+    pub inserts: u64,
+    /// `insert` calls that added a key.
+    pub inserted: u64,
+    /// `remove`/`remove_get` calls (successful or key-absent).
+    pub removes: u64,
+    /// `remove` calls that deleted a key.
+    pub removed: u64,
+    /// Times an operation helped a conflicting delete's cleanup instead
+    /// of progressing its own work.
+    pub helps: u64,
+    /// `inserted - removed`: live key count, exact at quiescence.
+    pub size_estimate: i64,
+    /// Deepest access path observed by any modify-path seek (edges below
+    /// the sentinel pair; 0 until the first modify op).
+    pub max_depth: u64,
+    /// Reclamation health at snapshot time (see
+    /// [`ReclaimGauges`]); all zeros under schemes
+    /// without deferred state, like `Leaky`.
+    pub reclaim: ReclaimGauges,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as one flat JSON object (fixed key order, no
+    /// dependencies — the same hand-rolled dialect as the bench schema).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"searches\":{},\"inserts\":{},\"inserted\":{},",
+                "\"removes\":{},\"removed\":{},\"helps\":{},",
+                "\"size_estimate\":{},\"max_depth\":{},",
+                "\"reclaim_epoch\":{},\"reclaim_epoch_lag\":{},",
+                "\"reclaim_pinned_threads\":{},\"reclaim_retired_backlog\":{}}}"
+            ),
+            self.searches,
+            self.inserts,
+            self.inserted,
+            self.removes,
+            self.removed,
+            self.helps,
+            self.size_estimate,
+            self.max_depth,
+            self.reclaim.epoch,
+            self.reclaim.epoch_lag,
+            self.reclaim.pinned_threads,
+            self.reclaim.retired_backlog,
+        )
+    }
+
+    /// The snapshot in the Prometheus text exposition format, ready to
+    /// serve from a `/metrics` endpoint.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut metric = |name: &str, kind: &str, help: &str, value: i128| {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(help);
+            out.push_str("\n# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        };
+        metric(
+            "nmbst_searches_total",
+            "counter",
+            "Search operations.",
+            self.searches as i128,
+        );
+        metric(
+            "nmbst_inserts_total",
+            "counter",
+            "Insert operations (incl. duplicate-rejected).",
+            self.inserts as i128,
+        );
+        metric(
+            "nmbst_inserted_total",
+            "counter",
+            "Inserts that added a key.",
+            self.inserted as i128,
+        );
+        metric(
+            "nmbst_removes_total",
+            "counter",
+            "Remove operations (incl. key-absent).",
+            self.removes as i128,
+        );
+        metric(
+            "nmbst_removed_total",
+            "counter",
+            "Removes that deleted a key.",
+            self.removed as i128,
+        );
+        metric(
+            "nmbst_helps_total",
+            "counter",
+            "Operations that helped a conflicting delete.",
+            self.helps as i128,
+        );
+        metric(
+            "nmbst_size_estimate",
+            "gauge",
+            "Live keys (inserted - removed; exact at quiescence).",
+            self.size_estimate as i128,
+        );
+        metric(
+            "nmbst_max_depth",
+            "gauge",
+            "Deepest access path observed by a modify-path seek.",
+            self.max_depth as i128,
+        );
+        metric(
+            "nmbst_reclaim_epoch",
+            "gauge",
+            "Reclaimer global epoch.",
+            self.reclaim.epoch as i128,
+        );
+        metric(
+            "nmbst_reclaim_epoch_lag",
+            "gauge",
+            "Global epoch minus oldest pinned epoch.",
+            self.reclaim.epoch_lag as i128,
+        );
+        metric(
+            "nmbst_reclaim_pinned_threads",
+            "gauge",
+            "Threads currently pinned.",
+            self.reclaim.pinned_threads as i128,
+        );
+        metric(
+            "nmbst_reclaim_retired_backlog",
+            "gauge",
+            "Objects retired but not yet freed.",
+            self.reclaim.retired_backlog as i128,
+        );
+        out
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "searches={} inserts={}/{} removes={}/{} helps={} size≈{} \
+             max_depth={} epoch={} lag={} pinned={} backlog={}",
+            self.searches,
+            self.inserted,
+            self.inserts,
+            self.removed,
+            self.removes,
+            self.helps,
+            self.size_estimate,
+            self.max_depth,
+            self.reclaim.epoch,
+            self.reclaim.epoch_lag,
+            self.reclaim.pinned_threads,
+            self.reclaim.retired_backlog,
+        )
+    }
+}

@@ -141,6 +141,12 @@ where
         self.map.flush()
     }
 
+    /// A point-in-time [`MetricsSnapshot`](crate::obs::MetricsSnapshot)
+    /// of this set (see [`NmTreeMap::metrics`]).
+    pub fn metrics(&self) -> crate::obs::MetricsSnapshot {
+        self.map.metrics()
+    }
+
     /// Access to the underlying map (advanced uses: pinning, tag-mode
     /// experiments).
     pub fn as_map(&self) -> &NmTreeMap<K, (), R> {

@@ -58,6 +58,46 @@ impl OpStats {
     }
 }
 
+/// `after - before`, counter-wise and saturating — sugar for the
+/// before/after measurement pattern: `let cost = stats::delta(|| op());`
+/// or `snapshot() - baseline`.
+impl std::ops::Sub for OpStats {
+    type Output = OpStats;
+
+    fn sub(self, earlier: OpStats) -> OpStats {
+        self.since(&earlier)
+    }
+}
+
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cas={} bts={} allocs={} retires={} cleanups={} seeks={} \
+             local_restarts={} unlinked={} splices={}",
+            self.cas,
+            self.bts,
+            self.allocs,
+            self.retires,
+            self.cleanups,
+            self.seeks,
+            self.local_restarts,
+            self.unlinked,
+            self.splices,
+        )
+    }
+}
+
+/// Runs `f` and returns the Table-1 counters it cost the current thread
+/// (all zeros without `feature = "instrument"`). Replaces the
+/// hand-rolled snapshot-before/snapshot-after/subtract pattern in tests
+/// and the perf bin.
+pub fn delta<T>(f: impl FnOnce() -> T) -> (T, OpStats) {
+    let before = snapshot();
+    let out = f();
+    (out, snapshot() - before)
+}
+
 #[cfg(feature = "instrument")]
 thread_local! {
     static STATS: Cell<OpStats> = const { Cell::new(OpStats {
@@ -187,6 +227,37 @@ mod tests {
         let delta = snapshot().since(&before);
         assert_eq!(delta.cas, 1);
         assert_eq!(delta.bts, 1);
+        // `Sub` is the same subtraction.
+        assert_eq!(snapshot() - before, delta);
+    }
+
+    #[test]
+    fn delta_measures_the_closure() {
+        reset();
+        record_cas(); // pre-existing count must not leak into the delta
+        let (out, cost) = delta(|| {
+            record_bts();
+            record_splice(2);
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(cost.cas, 0);
+        assert_eq!(cost.bts, 1);
+        assert_eq!(cost.splices, 1);
+        assert_eq!(cost.unlinked, 2);
+    }
+
+    #[test]
+    fn display_names_every_counter() {
+        let s = OpStats {
+            cas: 3,
+            unlinked: 5,
+            ..OpStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("cas=3"));
+        assert!(text.contains("unlinked=5"));
+        assert!(text.contains("splices=0"));
     }
 
     #[test]

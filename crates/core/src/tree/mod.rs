@@ -15,6 +15,7 @@ pub(crate) use seek::SeekRecord;
 
 use crate::handle::MapHandle;
 use crate::node::{self, Node};
+use crate::obs::{self, MetricsSnapshot};
 use crate::packed::TagMode;
 use nmbst_reclaim::{Ebr, Reclaim};
 use std::marker::PhantomData;
@@ -80,6 +81,7 @@ pub struct NmTreeMap<K, V, R: Reclaim = Ebr> {
     pub(crate) reclaim: R,
     pub(crate) tag_mode: TagMode,
     pub(crate) restart: RestartPolicy,
+    pub(crate) metrics: obs::Metrics,
     /// The tree logically owns its nodes.
     _own: PhantomData<Box<Node<K, V>>>,
 }
@@ -122,8 +124,17 @@ where
             reclaim: R::new(),
             tag_mode,
             restart,
+            metrics: obs::Metrics::new(),
             _own: PhantomData,
         }
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] of this tree: operation
+    /// counters, size estimate, max observed depth, and the reclaimer's
+    /// health gauges. Cheap (sums a few cache lines); never blocks
+    /// operations. See the [`obs`](crate::obs) module docs.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.reclaim.gauges())
     }
 
     /// Pins the current thread, returning a guard other read methods can

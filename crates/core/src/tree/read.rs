@@ -15,6 +15,7 @@ where
     /// never restarts: a search is one root-to-leaf descent.
     pub fn contains(&self, key: &K) -> bool {
         let guard = self.reclaim.pin();
+        self.metrics.note_search();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call.
         unsafe { self.contains_in(key, &guard) }
     }
@@ -42,6 +43,7 @@ where
     /// zero-copy alternative to [`get`](Self::get).
     pub fn with_value<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         let guard = self.reclaim.pin();
+        self.metrics.note_search();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call.
         unsafe { self.with_value_in(key, f, &guard) }
     }

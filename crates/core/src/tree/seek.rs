@@ -16,6 +16,7 @@
 
 use super::{NmTreeMap, RestartPolicy};
 use crate::node::{clean_edge, Node};
+use crate::obs::{self, EventKind};
 use crate::stats;
 use nmbst_reclaim::Reclaim;
 
@@ -56,6 +57,7 @@ where
     /// and for as long as the returned record is dereferenced.
     pub(crate) unsafe fn seek(&self, key: &K, rec: &mut SeekRecord<K, V>) {
         stats::record_seek();
+        obs::emit(EventKind::SeekStart);
         let r = self.root;
         let s = self.s_node();
         // Initialization from the sentinels (lines 15–21).
@@ -73,6 +75,7 @@ where
         // Descend until a leaf (lines 22–32). The sentinel levels are
         // behind us (the two hardcoded `.left` loads above), so routing
         // uses the finite-key fast compare.
+        let mut depth = 0u64;
         while !current.is_null() {
             // An untagged edge into `parent` means `parent` is not being
             // spliced out: it is a valid anchor for the next splice.
@@ -85,7 +88,9 @@ where
             parent_field = current_field;
             current_field = unsafe { (*current).child_for_fin(key) }.load();
             current = current_field.ptr();
+            depth += 1;
         }
+        self.metrics.note_depth(depth);
     }
 
     /// Restarts a seek from a previously observed `(anchor → successor)`
@@ -154,6 +159,7 @@ where
             current = current_field.ptr();
         }
         stats::record_local_restart();
+        obs::emit(EventKind::LocalRestart);
         true
     }
 

@@ -5,6 +5,7 @@ use super::{NmTreeMap, SeekRecord};
 use crate::chaos::{self, Action, Point};
 use crate::key::Key;
 use crate::node::{clean_edge, Node};
+use crate::obs::{self, EventKind};
 use crate::packed::Edge;
 use crate::stats;
 use nmbst_reclaim::{Reclaim, RetireGuard};
@@ -41,7 +42,9 @@ where
         let guard = self.reclaim.pin();
         let mut rec = SeekRecord::empty();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call.
-        unsafe { self.insert_in(key, value, &guard, &mut rec) }
+        let added = unsafe { self.insert_in(key, value, &guard, &mut rec) };
+        self.metrics.note_insert(added);
+        added
     }
 
     /// [`insert`](Self::insert) against a caller-provided guard and
@@ -135,6 +138,8 @@ where
                     // Help a conflicting delete if the injection point is
                     // unchanged but marked (lines 55–57), then retry.
                     if observed.ptr() == leaf && observed.marked() {
+                        self.metrics.note_help();
+                        obs::emit(EventKind::Help);
                         // SAFETY: record still refers to nodes protected
                         // by `guard`.
                         let outcome = unsafe { self.cleanup(&key, rec, guard) };
@@ -174,7 +179,9 @@ where
         let guard = self.reclaim.pin();
         let mut rec = SeekRecord::empty();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call.
-        unsafe { self.remove_in(key, read, &guard, &mut rec) }
+        let removed = unsafe { self.remove_in(key, read, &guard, &mut rec) };
+        self.metrics.note_remove(removed.is_some());
+        removed
     }
 
     /// [`remove_and`](Self::remove_and) against a caller-provided guard
@@ -234,6 +241,7 @@ where
                 let clean = clean_edge(leaf);
                 match child_edge.compare_exchange(clean, clean.flagged()) {
                     Ok(()) => {
+                        obs::emit(EventKind::InjectFlag);
                         // SAFETY: leaf is immutable and guard-protected.
                         result = Some(read.take().expect("read used once")(unsafe { &*leaf }));
                         target = leaf;
@@ -248,6 +256,8 @@ where
                     }
                     Err(observed) => {
                         if observed.ptr() == leaf && observed.marked() {
+                            self.metrics.note_help();
+                            obs::emit(EventKind::Help);
                             // SAFETY: record protected by `guard`.
                             let outcome = unsafe { self.cleanup(key, rec, guard) };
                             if outcome == CleanupOutcome::Abandoned {
@@ -312,6 +322,7 @@ where
         // idempotent — after this, neither child of `parent` can change,
         // so `parent` can never again be an injection point.
         sibling_edge.set_tag(self.tag_mode);
+        obs::emit(EventKind::TagSibling);
 
         if chaos::hit(Point::Splice) == Action::Abandon {
             return CleanupOutcome::Abandoned;
@@ -333,9 +344,16 @@ where
                 if chaos::hit(Point::Retire) == Action::Abandon {
                     return CleanupOutcome::Spliced; // leak the chain
                 }
+                obs::emit(EventKind::Retire);
                 // SAFETY: the detached region is frozen (every edge in it
                 // is marked) and unreachable from the root.
-                unsafe { self.retire_chain(successor, sib.ptr(), guard) };
+                let chain_len = unsafe { self.retire_chain(successor, sib.ptr(), guard) };
+                // `Splice` carries the chain length, which is only known
+                // after the detached region has been walked — hence this
+                // delete's `Retire` precedes its `Splice` in the trace.
+                obs::emit(EventKind::Splice {
+                    chain_len: chain_len.min(u32::MAX as u64) as u32,
+                });
                 CleanupOutcome::Spliced
             }
             Err(_) => CleanupOutcome::Lost,
@@ -343,7 +361,8 @@ where
     }
 
     /// Retires the chain a successful splice detached: the subtree rooted
-    /// at `from`, minus the subtree of the hoisted `survivor`.
+    /// at `from`, minus the subtree of the hoisted `survivor`. Returns
+    /// the number of nodes retired.
     ///
     /// Recursion depth is bounded by the number of concurrent deletes
     /// whose victims lay on this access path (each tagged edge on the
@@ -358,11 +377,12 @@ where
         from: *mut Node<K, V>,
         survivor: *mut Node<K, V>,
         guard: &R::Guard<'_>,
-    ) {
+    ) -> u64 {
         let mut unlinked = 0;
         // SAFETY: forwarded contract.
         unsafe { self.retire_rec(from, survivor, guard, &mut unlinked) };
         stats::record_splice(unlinked);
+        unlinked
     }
 
     unsafe fn retire_rec(

@@ -1,0 +1,209 @@
+//! The metrics facade under concurrency: sharded counters must lose
+//! nothing (exact sums, not estimates), handle batching must flush on
+//! drop, and the exposition formats must carry every counter.
+
+use nmbst::obs::MetricsSnapshot;
+use nmbst::{NmTreeMap, NmTreeSet};
+use nmbst_reclaim::{Ebr, Leaky};
+use std::sync::Barrier;
+
+/// N threads × M plain-API ops each ⇒ the counter sums are exactly N×M.
+/// Relaxed sharded counters may be *observed* mid-flight, but once the
+/// threads join nothing may be lost.
+#[test]
+fn sharded_counters_sum_exactly_across_threads() {
+    const THREADS: usize = 8;
+    const OPS: u64 = 1_000;
+    let map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::new();
+    let start = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let map = &map;
+            let start = &start;
+            s.spawn(move || {
+                start.wait();
+                for i in 0..OPS {
+                    let key = t * OPS + i;
+                    map.insert(key, key);
+                    map.contains(&key);
+                    map.remove(&key);
+                }
+            });
+        }
+    });
+
+    let m = map.metrics();
+    let n = THREADS as u64 * OPS;
+    assert_eq!(m.inserts, n, "every insert call counted");
+    assert_eq!(m.inserted, n, "disjoint keys: every insert succeeded");
+    assert_eq!(m.searches, n);
+    assert_eq!(m.removes, n);
+    assert_eq!(m.removed, n);
+    assert_eq!(m.size_estimate, 0, "inserted == removed");
+    assert!(m.max_depth > 0);
+}
+
+/// The same exactness through handles: per-handle pending counts are
+/// plain (non-atomic) fields, flushed on unpin/repin and on drop.
+#[test]
+fn handle_batched_counters_flush_on_drop() {
+    const THREADS: usize = 4;
+    const OPS: u64 = 500;
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    let start = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let set = &set;
+            let start = &start;
+            s.spawn(move || {
+                let mut h = set.handle();
+                start.wait();
+                for i in 0..OPS {
+                    let key = t * OPS + i;
+                    h.insert(key);
+                    h.contains(&key);
+                }
+                // `h` drops here: its batched counts must not be lost.
+            });
+        }
+    });
+
+    let m = set.metrics();
+    let n = THREADS as u64 * OPS;
+    assert_eq!(m.inserts, n);
+    assert_eq!(m.inserted, n);
+    assert_eq!(m.searches, n);
+    assert_eq!(m.size_estimate, n as i64);
+}
+
+/// Mid-lifetime visibility: repin flushes, so long-lived handles don't
+/// hide their counts until drop.
+#[test]
+fn handle_repin_publishes_batched_counts() {
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    let mut h = set.handle();
+    for k in 0..10 {
+        h.insert(k);
+    }
+    h.repin();
+    let m = set.metrics();
+    assert_eq!(m.inserts, 10);
+    assert_eq!(m.inserted, 10);
+    drop(h);
+    assert_eq!(set.metrics().inserts, 10, "drop after flush adds nothing");
+}
+
+/// Failed modify operations count as attempts but not successes.
+#[test]
+fn success_counters_track_actual_mutations() {
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    assert!(set.insert(1));
+    assert!(!set.insert(1));
+    assert!(!set.remove(&2));
+    assert!(set.remove(&1));
+    let m = set.metrics();
+    assert_eq!(m.inserts, 2);
+    assert_eq!(m.inserted, 1);
+    assert_eq!(m.removes, 2);
+    assert_eq!(m.removed, 1);
+    assert_eq!(m.size_estimate, 0);
+}
+
+/// Both exposition formats name every counter and agree on the values.
+#[test]
+fn exposition_formats_are_complete_and_consistent() {
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    for k in 0..5 {
+        set.insert(k);
+    }
+    set.remove(&0);
+    set.flush();
+    let m = set.metrics();
+
+    let json = m.to_json();
+    for key in [
+        "searches",
+        "inserts",
+        "inserted",
+        "removes",
+        "removed",
+        "helps",
+        "size_estimate",
+        "max_depth",
+        "reclaim_epoch",
+        "reclaim_epoch_lag",
+        "reclaim_pinned_threads",
+        "reclaim_retired_backlog",
+    ] {
+        assert!(json.contains(&format!("\"{key}\":")), "json missing {key}");
+    }
+    assert!(json.contains("\"inserted\":5"));
+    assert!(json.contains("\"size_estimate\":4"));
+
+    let prom = m.to_prometheus();
+    for metric in [
+        "nmbst_searches_total",
+        "nmbst_inserts_total",
+        "nmbst_inserted_total",
+        "nmbst_removes_total",
+        "nmbst_removed_total",
+        "nmbst_helps_total",
+        "nmbst_size_estimate",
+        "nmbst_max_depth",
+        "nmbst_reclaim_epoch",
+        "nmbst_reclaim_epoch_lag",
+        "nmbst_reclaim_pinned_threads",
+        "nmbst_reclaim_retired_backlog",
+    ] {
+        assert!(
+            prom.contains(&format!("# TYPE {metric} ")),
+            "prometheus missing TYPE for {metric}"
+        );
+        assert!(
+            prom.contains(&format!("\n{metric} ")),
+            "missing sample for {metric}"
+        );
+    }
+    assert!(prom.contains("nmbst_inserted_total 5\n"));
+    assert!(prom.contains("nmbst_size_estimate 4\n"));
+
+    // Snapshots are plain copyable values; Display goes through and the
+    // default snapshot is all zeros.
+    assert!(!m.to_string().is_empty());
+    assert_eq!(MetricsSnapshot::default().inserted, 0);
+}
+
+/// Reclamation gauges surface through the tree-level snapshot: a pinned
+/// guard shows up, and flushing drains the backlog.
+#[test]
+fn reclaim_gauges_flow_through_tree_metrics() {
+    let map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::new();
+    for k in 0..64 {
+        map.insert(k, k);
+    }
+    for k in 0..64 {
+        map.remove(&k);
+    }
+    // 64 removed leaves (plus internals) retired on this thread; before
+    // any flush some backlog must be visible somewhere (local bags or
+    // sealed pending bags).
+    let m = map.metrics();
+    assert!(
+        m.reclaim.retired_backlog > 0,
+        "retired nodes must be visible in the backlog gauge (got {m:?})"
+    );
+
+    // Handles pin lazily: the guard appears on the first operation and
+    // stays held until repin/unpin/drop.
+    let mut held = map.handle();
+    held.contains(&0);
+    let m = map.metrics();
+    assert!(
+        m.reclaim.pinned_threads >= 1,
+        "a handle that has operated holds a pin (got {:?})",
+        m.reclaim
+    );
+    drop(held);
+}

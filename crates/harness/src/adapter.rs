@@ -1,6 +1,7 @@
 //! The common interface the benchmark runner drives, and adapters for
 //! every implementation under comparison.
 
+use nmbst::obs::MetricsSnapshot;
 use nmbst::{NmTreeSet, TagMode};
 use nmbst_baselines::{bcco::BccoTree, efrb::EfrbTree, hj::HjTree, locked::LockedBTreeSet};
 use nmbst_reclaim::{Ebr, Leaky};
@@ -26,6 +27,13 @@ pub trait ConcurrentSet: Send + Sync + 'static {
     fn remove(&self, key: u64) -> bool;
     /// The paper's *search*.
     fn contains(&self, key: u64) -> bool;
+
+    /// A point-in-time metrics snapshot, for implementations that expose
+    /// one (the NM variants). Baselines return `None` and the runner
+    /// skips sampling for them.
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 /// NM-BST in the paper's evaluation regime: no memory reclamation.
@@ -52,6 +60,9 @@ impl ConcurrentSet for NmLeaky {
     fn contains(&self, key: u64) -> bool {
         NmTreeSet::contains(self, &key)
     }
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(NmTreeSet::metrics(self))
+    }
 }
 
 impl ConcurrentSet for NmEbr {
@@ -72,6 +83,9 @@ impl ConcurrentSet for NmEbr {
     #[inline]
     fn contains(&self, key: u64) -> bool {
         NmTreeSet::contains(self, &key)
+    }
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(NmTreeSet::metrics(self))
     }
 }
 
@@ -96,6 +110,9 @@ impl ConcurrentSet for NmCasOnly {
     #[inline]
     fn contains(&self, key: u64) -> bool {
         self.0.contains(&key)
+    }
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(self.0.metrics())
     }
 }
 

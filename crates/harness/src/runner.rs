@@ -10,9 +10,15 @@ use crate::hist::Histogram;
 use crate::rng::XorShift64Star;
 use crate::workload::{OpKind, Workload};
 use crate::zipf::ZipfGenerator;
+use nmbst::obs::MetricsSnapshot;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
+
+/// How often the runner samples [`ConcurrentSet::metrics`] during a
+/// timed run. Coarse on purpose: sampling sums the counter shards, and
+/// we don't want the driver thread perturbing the measurement.
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(200);
 
 /// How benchmark keys are drawn from the key space.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -82,6 +88,18 @@ pub struct BenchResult {
     pub elapsed: Duration,
     /// Per-thread completed operations (load-balance diagnostics).
     pub per_thread: Vec<u64>,
+    /// Periodic metrics samples `(elapsed, snapshot)` taken by the
+    /// driver thread during the run, plus one final sample after the
+    /// workers join. Empty for implementations without metrics.
+    pub samples: Vec<(Duration, MetricsSnapshot)>,
+}
+
+impl BenchResult {
+    /// The final metrics snapshot (taken after all workers joined, so
+    /// every handle has flushed), if the implementation exposes one.
+    pub fn final_metrics(&self) -> Option<&MetricsSnapshot> {
+        self.samples.last().map(|(_, m)| m)
+    }
 }
 
 impl BenchResult {
@@ -120,6 +138,7 @@ pub fn run_throughput<S: ConcurrentSet>(cfg: &BenchConfig) -> BenchResult {
     let start_barrier = Barrier::new(cfg.threads + 1);
     let mut per_thread = vec![0u64; cfg.threads];
     let mut elapsed = Duration::ZERO;
+    let mut samples: Vec<(Duration, MetricsSnapshot)> = Vec::new();
 
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(cfg.threads);
@@ -163,7 +182,19 @@ pub fn run_throughput<S: ConcurrentSet>(cfg: &BenchConfig) -> BenchResult {
         }
         start_barrier.wait();
         let t0 = Instant::now();
-        std::thread::sleep(cfg.duration);
+        // The driver doubles as a low-rate metrics sampler while the
+        // workers run; for implementations without metrics this is the
+        // same sleep loop with extra wakeups.
+        loop {
+            let remaining = cfg.duration.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            std::thread::sleep(remaining.min(SAMPLE_INTERVAL));
+            if let Some(m) = set.metrics() {
+                samples.push((t0.elapsed(), m));
+            }
+        }
         stop.store(true, Ordering::Relaxed);
         elapsed = t0.elapsed();
         for (t, h) in handles.into_iter().enumerate() {
@@ -171,11 +202,18 @@ pub fn run_throughput<S: ConcurrentSet>(cfg: &BenchConfig) -> BenchResult {
         }
     });
 
+    // Final sample after the join: every worker has finished, so batched
+    // handle counters (if any) are flushed and the totals are exact.
+    if let Some(m) = set.metrics() {
+        samples.push((elapsed, m));
+    }
+
     BenchResult {
         algorithm: S::label(),
         total_ops: per_thread.iter().sum(),
         elapsed,
         per_thread,
+        samples,
     }
 }
 
@@ -297,6 +335,28 @@ mod tests {
         assert!(res.per_thread.iter().all(|&c| c > 0));
         assert!(res.mops() > 0.0);
         assert!(res.elapsed >= Duration::from_millis(50));
+        // NM exposes metrics, so the run carries at least the final
+        // post-join sample, and it accounts for every measured op (plus
+        // pre-population inserts).
+        let m = res.final_metrics().expect("NmEbr has metrics");
+        assert!(m.searches + m.inserts + m.removes >= res.total_ops);
+    }
+
+    #[test]
+    fn metrics_sampling_skips_implementations_without_metrics() {
+        use nmbst_baselines::locked::LockedBTreeSet;
+        let cfg = BenchConfig {
+            threads: 1,
+            key_range: 64,
+            workload: Workload::MIXED,
+            duration: Duration::from_millis(10),
+            seed: 2,
+            dist: crate::runner::KeyDist::Uniform,
+        };
+        let res = run_throughput::<LockedBTreeSet>(&cfg);
+        assert!(res.total_ops > 0);
+        assert!(res.samples.is_empty(), "baselines sample nothing");
+        assert!(res.final_metrics().is_none());
     }
 
     #[test]

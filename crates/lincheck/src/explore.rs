@@ -26,6 +26,7 @@
 
 use crate::{check_linearizable, Event, Recorder, SetOp};
 use nmbst::chaos::{self, Action};
+use nmbst::obs::{FlightRecorder, TraceEvent};
 use nmbst::{Leaky, NmTreeSet, RestartPolicy};
 use nmbst_sync::Backoff;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,6 +109,14 @@ pub struct RunReport {
     /// The recorded history: seeded prepopulation, concurrent phase,
     /// then the sequential probe of every key.
     pub history: Vec<Event>,
+    /// The merged flight-recorder trace of the run: every structural
+    /// event (flag injections, tags, splices, helps, …) each thread
+    /// executed, in global sequence order. Workers record under their
+    /// thread id; the driver's sequential prepopulation and probe phases
+    /// record under label `threads`. Deterministic per seed: the
+    /// cooperative scheduler serializes the threads, so the same seed
+    /// yields a byte-identical rendered trace.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// A schedule on which the structure misbehaved.
@@ -118,6 +127,36 @@ pub struct Violation {
     /// The full run, replayable via [`explore_seed`] with the same
     /// config and [`RunReport::seed`].
     pub report: RunReport,
+}
+
+impl Violation {
+    /// The violation rendered as a postmortem artifact: the scenario,
+    /// the failed check, and the merged flight-recorder trace in
+    /// sequence order — the interleaving that broke the structure,
+    /// readable without re-running the explorer. Byte-identical for the
+    /// same config and seed.
+    pub fn postmortem(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "nmbst explorer postmortem");
+        let _ = writeln!(out, "seed: {:#x}", self.report.seed);
+        let _ = writeln!(
+            out,
+            "scenario: {} worker threads, keys 0..{}",
+            self.report.threads, self.report.keys
+        );
+        let _ = writeln!(out, "failed check: {}", self.reason);
+        let _ = writeln!(
+            out,
+            "trace ({} structural events; t{} is the sequential driver):",
+            self.report.trace.len(),
+            self.report.threads
+        );
+        for event in &self.report.trace {
+            let _ = writeln!(out, "{event}");
+        }
+        out
+    }
 }
 
 impl std::fmt::Display for Violation {
@@ -298,6 +337,12 @@ pub fn explore_seed(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Vio
 
     let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_restart_policy(cfg.restart);
     let rec = Recorder::new();
+    // Capture-scoped flight recorder: sequence numbers start at 0 for
+    // every run, and the token-passing scheduler serializes all recording
+    // threads, so the trace is deterministic per seed. The driver records
+    // its sequential phases under label `threads`.
+    let flight = FlightRecorder::new();
+    let _driver_attached = flight.attach(threads as u32);
     let mut history: Vec<Event> = Vec::new();
 
     // Seeded prepopulation, recorded sequentially so the checker sees
@@ -335,7 +380,12 @@ pub fn explore_seed(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Vio
             let set = &set;
             let rec = &rec;
             let collected = &collected;
+            let flight = flight.clone();
             s.spawn(move || {
+                // Attach before taking the token: ring creation happens
+                // outside the schedule, recording happens only while this
+                // thread holds the token.
+                let _attached = flight.attach(tid as u32);
                 sched.start(tid);
                 let _token = FinishGuard { sched: &sched, tid };
                 if inject_bug {
@@ -376,6 +426,7 @@ pub fn explore_seed(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Vio
         keys,
         schedule: sched.schedule(),
         history,
+        trace: flight.merged(),
     };
 
     let mut set = set;

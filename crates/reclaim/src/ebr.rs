@@ -30,7 +30,7 @@
 //! takes a short spin-locked push to the global queue; collection is
 //! opportunistic (`try_lock`) so it never blocks an operation.
 
-use crate::{Deferred, Reclaim, RetireGuard};
+use crate::{Deferred, Reclaim, ReclaimGauges, RetireGuard};
 use nmbst_sync::{CachePadded, SpinLock};
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
@@ -52,6 +52,11 @@ struct Slot {
     state: CachePadded<AtomicU64>,
     /// Whether a live thread currently owns this slot.
     active: AtomicBool,
+    /// Length of the owner's *unsealed* local retire bag. Written only by
+    /// the owning thread (bump on retire, zero on seal); read racily by
+    /// [`Ebr::gauges`] / [`Ebr::per_thread_backlog`]. Diagnostics only —
+    /// never consulted by the reclamation protocol itself.
+    retired: AtomicU64,
 }
 
 const PINNED: u64 = 1;
@@ -168,6 +173,7 @@ impl Local {
                 let s = Arc::new(Slot {
                     state: CachePadded::new(AtomicU64::new(0)),
                     active: AtomicBool::new(true),
+                    retired: AtomicU64::new(0),
                 });
                 slots.push(Arc::clone(&s));
                 s
@@ -214,6 +220,7 @@ impl Local {
     /// epoch.
     fn seal(&self) {
         let items = std::mem::take(&mut *self.bag.borrow_mut());
+        self.slot.retired.store(0, Ordering::Relaxed);
         if items.is_empty() {
             return;
         }
@@ -290,6 +297,21 @@ impl Ebr {
     pub fn epoch(&self) -> u64 {
         self.global.epoch.load(Ordering::Acquire)
     }
+
+    /// Unsealed retire-queue length of every *active* participant slot,
+    /// in registry order. Diagnostics: the values are racy snapshots, but
+    /// each is exact if its owning thread is quiescent. Sealed bags (on
+    /// the global queue) are not attributed to a thread; they show up
+    /// only in [`ReclaimGauges::retired_backlog`].
+    pub fn per_thread_backlog(&self) -> Vec<u64> {
+        self.global
+            .slots
+            .lock()
+            .iter()
+            .filter(|s| s.active.load(Ordering::Relaxed))
+            .map(|s| s.retired.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 impl Reclaim for Ebr {
@@ -323,6 +345,44 @@ impl Reclaim for Ebr {
         let local = self.local();
         local.seal();
         self.global.collect();
+    }
+
+    /// Epoch, epoch lag behind the oldest pinned thread, pinned-thread
+    /// count, and total retired-but-unreclaimed backlog (local bags plus
+    /// sealed bags). Takes the registry and queue spin locks briefly;
+    /// safe to call from any thread at any time, including while pinned.
+    fn gauges(&self) -> ReclaimGauges {
+        let epoch = self.global.epoch.load(Ordering::Acquire);
+        let mut pinned_threads = 0u64;
+        let mut min_pinned_epoch = None;
+        let mut local_backlog = 0u64;
+        for slot in self.global.slots.lock().iter() {
+            let state = slot.state.load(Ordering::Relaxed);
+            if state & PINNED == PINNED {
+                pinned_threads += 1;
+                let e = state >> 1;
+                min_pinned_epoch = Some(min_pinned_epoch.map_or(e, |m: u64| m.min(e)));
+            }
+            if slot.active.load(Ordering::Relaxed) {
+                local_backlog += slot.retired.load(Ordering::Relaxed);
+            }
+        }
+        let sealed_backlog: u64 = self
+            .global
+            .pending
+            .lock()
+            .iter()
+            .map(|bag| bag.items.len() as u64)
+            .sum();
+        ReclaimGauges {
+            epoch,
+            // A thread pinned at `e` caps the epoch at `e + 1`, so the lag
+            // is normally 0 or 1; saturate against the benign race where a
+            // pin lands between our epoch load and the slot scan.
+            epoch_lag: min_pinned_epoch.map_or(0, |m| epoch.saturating_sub(m)),
+            pinned_threads,
+            retired_backlog: local_backlog + sealed_backlog,
+        }
     }
 }
 
@@ -377,6 +437,7 @@ impl RetireGuard for EbrGuard<'_> {
         // not retired twice).
         let deferred = unsafe { Deferred::drop_box(ptr) };
         self.local.bag.borrow_mut().push(deferred);
+        self.local.slot.retired.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -545,6 +606,66 @@ mod tests {
         // All four threads reused the same slot (plus possibly the main
         // thread's): the registry stays small.
         assert!(ebr.global.slots.lock().len() <= 2);
+    }
+
+    #[test]
+    fn gauges_track_pin_retire_seal_and_drain() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let ebr = Ebr::new();
+        assert_eq!(ebr.gauges(), ReclaimGauges::default());
+
+        let guard = ebr.pin();
+        let g = ebr.gauges();
+        assert_eq!(g.pinned_threads, 1);
+        assert_eq!(g.retired_backlog, 0);
+
+        for _ in 0..3 {
+            let ptr = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+            unsafe { guard.retire(ptr) };
+        }
+        let g = ebr.gauges();
+        assert_eq!(g.retired_backlog, 3, "local bag counted before sealing");
+        assert_eq!(ebr.per_thread_backlog(), vec![3]);
+
+        drop(guard);
+        ebr.flush(); // seal: backlog moves from the slot to the queue
+        let g = ebr.gauges();
+        assert_eq!(g.pinned_threads, 0);
+        assert!(
+            g.retired_backlog <= 3,
+            "sealed items still count until freed"
+        );
+        assert_eq!(ebr.per_thread_backlog(), vec![0]);
+
+        ebr.flush();
+        ebr.flush(); // two epoch advances free the sealed bag
+        let g = ebr.gauges();
+        assert_eq!(g.retired_backlog, 0, "drained after quiescence");
+        assert_eq!(drops.load(Ordering::Relaxed), 3);
+        drop(ebr);
+    }
+
+    #[test]
+    fn gauges_see_epoch_lag_under_a_parked_pin() {
+        let ebr = Ebr::new();
+        let parked = ebr.pin();
+        // Another thread retires and flushes enough to advance the epoch
+        // once; our pin caps it there, which the lag gauge must expose.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let drops = Arc::new(AtomicUsize::new(0));
+                retire_counter(&ebr, &drops);
+                ebr.flush();
+                ebr.flush();
+                ebr.flush();
+            });
+        });
+        let g = ebr.gauges();
+        assert_eq!(g.pinned_threads, 1);
+        assert_eq!(g.epoch_lag, 1, "parked pin holds the epoch one behind");
+        assert!(g.retired_backlog >= 1, "garbage held hostage by the pin");
+        drop(parked);
+        drop(ebr);
     }
 
     #[test]

@@ -48,6 +48,31 @@ pub use hazard::{HazardDomain, HazardEras, HazardErasGuard, HazardLocal};
 pub use leaky::{Leaky, LeakyGuard};
 pub use stack::TreiberStack;
 
+/// Point-in-time reclamation health gauges (see [`Reclaim::gauges`]).
+///
+/// These are the numbers an operator needs to tell "reclamation is
+/// keeping up" from "a parked thread is pinning the epoch and garbage is
+/// accumulating" — previously observable only indirectly, by watching
+/// live-value counts in whitebox tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimGauges {
+    /// The scheme's global epoch (or era) counter. `0` for schemes
+    /// without one.
+    pub epoch: u64,
+    /// Distance between the global epoch and the oldest epoch any
+    /// currently pinned thread announced. `0` when nothing is pinned.
+    /// Under [`Ebr`] a persistent non-zero lag means some thread is
+    /// parked inside a critical section and no garbage newer than its
+    /// epoch can be freed.
+    pub epoch_lag: u64,
+    /// Threads currently inside a pinned critical section.
+    pub pinned_threads: u64,
+    /// Objects retired but not yet freed: the sum of every thread's
+    /// local retire queue plus all sealed bags awaiting their epoch
+    /// distance. The "garbage backlog" an operator alerts on.
+    pub retired_backlog: u64,
+}
+
 /// A memory-reclamation scheme a concurrent data structure can be
 /// generic over.
 ///
@@ -76,6 +101,15 @@ pub trait Reclaim: Send + Sync + 'static {
     /// collector so it becomes eligible for reclamation without waiting
     /// for this thread to exit. No-op for schemes without batching.
     fn flush(&self) {}
+
+    /// Point-in-time health gauges for this scheme. The default
+    /// implementation reports all zeros (appropriate for schemes with no
+    /// deferred state, like [`Leaky`]); [`Ebr`] reports real epoch lag
+    /// and retire-queue backlog. Never blocks operations: implementations
+    /// only take short diagnostic locks.
+    fn gauges(&self) -> ReclaimGauges {
+        ReclaimGauges::default()
+    }
 }
 
 /// Operations available on a pinned guard.

@@ -106,8 +106,14 @@ fn soak_explorer_wide_seed_sweep() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4_096);
-    let stats = explore_many(&ExploreConfig::default(), 0..seeds)
-        .unwrap_or_else(|v| panic!("explorer found a real violation: {v}"));
+    let stats = explore_many(&ExploreConfig::default(), 0..seeds).unwrap_or_else(|v| {
+        // Dump the flight-recorder postmortem where CI can pick it up as
+        // an artifact before failing the test.
+        let path = std::env::var("NMBST_POSTMORTEM_PATH")
+            .unwrap_or_else(|_| "target/postmortem.txt".into());
+        let _ = std::fs::write(&path, v.postmortem());
+        panic!("explorer found a real violation (postmortem: {path}): {v}");
+    });
     assert_eq!(stats.schedules as u64, seeds);
     println!(
         "explored {} schedules ({} events) — clean",

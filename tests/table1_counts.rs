@@ -68,10 +68,8 @@ fn nm_delete_breakdown_is_one_cas_one_bts_one_cas() {
     for k in [10, 5, 15, 3, 7] {
         set.insert(k);
     }
-    stats::reset();
-    let before = stats::snapshot();
-    assert!(set.remove(&7));
-    let d = stats::snapshot().since(&before);
+    let (removed, d) = stats::delta(|| set.remove(&7));
+    assert!(removed);
     assert_eq!(d.cas, 2, "injection + splice");
     assert_eq!(d.bts, 1, "sibling tag");
     assert_eq!(d.allocs, 0);
@@ -85,12 +83,11 @@ fn nm_uncontended_search_executes_no_atomics() {
     for k in 0..64 {
         set.insert(k);
     }
-    stats::reset();
-    let before = stats::snapshot();
-    for k in 0..128 {
-        std::hint::black_box(set.contains(&k));
-    }
-    let d = stats::snapshot().since(&before);
+    let ((), d) = stats::delta(|| {
+        for k in 0..128 {
+            std::hint::black_box(set.contains(&k));
+        }
+    });
     assert_eq!(d.cas, 0, "search is read-only");
     assert_eq!(d.bts, 0);
     assert_eq!(d.allocs, 0);
@@ -113,13 +110,12 @@ fn failed_modify_operations_allocate_nothing_extra() {
     // scratch pair, and failed removes allocate nothing at all.
     let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
     set.insert(1);
-    stats::reset();
-    let before = stats::snapshot();
-    for _ in 0..10 {
-        assert!(!set.insert(1)); // duplicate: discovered during seek
-        assert!(!set.remove(&2)); // absent
-    }
-    let d = stats::snapshot().since(&before);
+    let ((), d) = stats::delta(|| {
+        for _ in 0..10 {
+            assert!(!set.insert(1)); // duplicate: discovered during seek
+            assert!(!set.remove(&2)); // absent
+        }
+    });
     assert_eq!(
         d.allocs, 0,
         "failed ops found out in the seek phase allocate nothing"
