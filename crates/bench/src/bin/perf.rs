@@ -1,8 +1,8 @@
 //! The hot-path perf harness: machine-readable before/after cells for
-//! the PR 2 optimizations, written as `BENCH_PR2.json` (override the
-//! path with `NMBST_BENCH_JSON`).
+//! the PR 2 optimizations and the PR 4 node-recycling pool, written as
+//! `BENCH_PR4.json` (override the path with `NMBST_BENCH_JSON`).
 //!
-//! Four benches, each emitting `{bench, config, metrics}` cells in the
+//! Five benches, each emitting `{bench, config, metrics}` cells in the
 //! `nmbst-bench-v1` schema shared with criterion-lite:
 //!
 //! * `single_thread_throughput` — one thread, read-heavy / mixed /
@@ -17,6 +17,14 @@
 //!   allocs / 1 CAS; delete: 0 allocs / 3 atomics), measured through
 //!   both the plain API and a handle. **The process exits non-zero if
 //!   any exact count regresses**, which is the CI perf-smoke gate.
+//! * `pool_ablation` — the PR 4 one-flag A/B: the insert-heavy
+//!   (write-dominated) handle cell with the node pool on vs off, plus
+//!   mixed-workload cells, each embedding its obs snapshot so
+//!   `pool_hits` / `pool_recycled` are committed next to the
+//!   throughput they bought. **The process exits non-zero if pool-on
+//!   trails pool-off by more than `NMBST_POOL_TOLERANCE`** (default
+//!   0.10; CI uses a looser bound for jittery shared runners), or if
+//!   the mixed pool-on cell somehow recorded zero pool hits.
 //!
 //! Knobs: `NMBST_SECS` (measured seconds per throughput cell, default
 //! 1.0; CI uses 0.2), `NMBST_KEYS` (first entry = single-thread key
@@ -30,7 +38,7 @@
 
 use criterion::json::{self, Json};
 use nmbst::obs::MetricsSnapshot;
-use nmbst::{NmTreeSet, RestartPolicy, SetHandle, TagMode};
+use nmbst::{NmTreeSet, PoolConfig, RestartPolicy, SetHandle, TagMode, TreeConfig};
 use nmbst_bench::SweepConfig;
 use nmbst_harness::rng::XorShift64Star;
 use nmbst_harness::workload::OpKind;
@@ -91,12 +99,13 @@ fn handle_op<R: Reclaim>(h: &mut SetHandle<'_, u64, R>, op: OpKind, key: u64) ->
 /// final metrics snapshot).
 fn single_thread_mops(
     api: Api,
+    config: TreeConfig,
     workload: Workload,
     key_range: u64,
     secs: f64,
     seed: u64,
 ) -> (f64, u64, MetricsSnapshot) {
-    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::with_config(config);
     prepopulate(&set, key_range, seed);
     let warmup = Duration::from_secs_f64((secs * 0.2).min(0.2));
     let duration = Duration::from_secs_f64(secs);
@@ -281,7 +290,7 @@ fn main() {
     let out_path = std::env::var(criterion::BENCH_JSON_ENV)
         .ok()
         .filter(|p| !p.is_empty())
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
 
     let mut cells: Vec<Json> = Vec::new();
 
@@ -295,7 +304,9 @@ fn main() {
     for workload in Workload::FIGURE4 {
         for api in [Api::PerOpPin, Api::Handle] {
             let mut runs: Vec<(f64, u64, MetricsSnapshot)> = (0..REPEATS)
-                .map(|_| single_thread_mops(api, workload, key_range, secs, seed))
+                .map(|_| {
+                    single_thread_mops(api, TreeConfig::default(), workload, key_range, secs, seed)
+                })
                 .collect();
             runs.sort_by(|a, b| a.0.total_cmp(&b.0));
             let (mops, ops, snap) = runs[REPEATS / 2];
@@ -418,12 +429,74 @@ fn main() {
         ));
     }
 
+    // The PR 4 ablation: identical insert-heavy handle cells, the only
+    // difference being `TreeConfig::pool`. Pool-on reuses grace-period-
+    // expired nodes instead of round-tripping the global allocator, so
+    // it must at least hold the line; the mixed cells record the steady
+    // hit rate a balanced workload sustains.
+    println!("== pool ablation (1 thread, handle, key range {key_range}, median of {REPEATS}) ==");
+    let mut pool_gate_ok = true;
+    let mut insert_heavy = [0.0f64; 2]; // [pool-off, pool-on] Mops/s
+    for workload in [Workload::WRITE_DOMINATED, Workload::MIXED] {
+        for pool_on in [false, true] {
+            let pool = if pool_on {
+                PoolConfig::default()
+            } else {
+                PoolConfig::disabled()
+            };
+            let config = TreeConfig::default().with_pool(pool);
+            let mut runs: Vec<(f64, u64, MetricsSnapshot)> = (0..REPEATS)
+                .map(|_| single_thread_mops(Api::Handle, config, workload, key_range, secs, seed))
+                .collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (mops, ops, snap) = runs[REPEATS / 2];
+            println!(
+                "  {:<24} pool={:<4} {mops:.3} Mops/s  (pool_hits {}, recycled {})",
+                workload.name,
+                if pool_on { "on" } else { "off" },
+                snap.pool.hits,
+                snap.pool.recycled,
+            );
+            if workload.name == Workload::WRITE_DOMINATED.name {
+                insert_heavy[pool_on as usize] = mops;
+            }
+            if pool_on && workload.name == Workload::MIXED.name && snap.pool.hits == 0 {
+                eprintln!("error: mixed pool-on cell recorded zero pool hits — recycling is dead");
+                pool_gate_ok = false;
+            }
+            cells.push(json::cell(
+                "pool_ablation",
+                Json::obj([
+                    ("workload", Json::from(workload.name)),
+                    ("api", Json::from(Api::Handle.label())),
+                    ("pool", Json::from(if pool_on { "on" } else { "off" })),
+                    ("pool_capacity", Json::from(pool.capacity)),
+                    ("threads", Json::Int(1)),
+                    ("key_range", Json::from(key_range)),
+                    ("secs", Json::Num(secs)),
+                    ("seed", Json::from(seed)),
+                    ("repeats", Json::from(REPEATS)),
+                ]),
+                Json::obj([
+                    ("mops", Json::Num(mops)),
+                    ("ops", Json::from(ops)),
+                    ("obs", snapshot_json(&snap)),
+                ]),
+            ));
+        }
+    }
+    pool_gate_ok &= check_pool_gate(insert_heavy[0], insert_heavy[1]);
+
     let path = std::path::Path::new(&out_path);
     json::write_bench_file(path, &cells).expect("write bench json");
     println!("wrote {} cells to {}", cells.len(), path.display());
 
     let baseline_ok = check_against_baseline(&mixed_mops);
 
+    if !pool_gate_ok {
+        eprintln!("error: pool ablation gate failed");
+        std::process::exit(1);
+    }
     if !table1_ok {
         eprintln!(
             "error: Table-1 exact counts regressed (expected insert 2 allocs/1 CAS, delete 0 allocs/3 atomics)"
@@ -433,6 +506,32 @@ fn main() {
     if !baseline_ok {
         std::process::exit(1);
     }
+}
+
+/// The pool ablation gate: pool-on must not trail pool-off on the
+/// insert-heavy cell by more than `NMBST_POOL_TOLERANCE` (relative,
+/// default 0.10). The pool exists to *win* this cell; the tolerance
+/// only absorbs scheduler jitter on shared single-core runners, not a
+/// real regression.
+fn check_pool_gate(off_mops: f64, on_mops: f64) -> bool {
+    let tolerance = std::env::var("NMBST_POOL_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.10);
+    let floor = off_mops * (1.0 - tolerance);
+    let pass = on_mops >= floor;
+    println!(
+        "== pool gate (tolerance {:.0}%) ==\n  insert-heavy pool-on {on_mops:.3} Mops/s vs pool-off {off_mops:.3} (floor {floor:.3})  [{}]",
+        tolerance * 100.0,
+        if pass { "ok" } else { "REGRESSED" },
+    );
+    if !pass {
+        eprintln!(
+            "error: pool-on insert-heavy throughput trails pool-off by more than {:.1}%",
+            tolerance * 100.0
+        );
+    }
+    pass
 }
 
 /// The throughput regression gate: compares this run's mixed-workload

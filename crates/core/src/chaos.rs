@@ -17,6 +17,7 @@
 //! | [`Point::Tag`] | the cleanup routine's BTS on the edge to hoist (Algorithm 4, line 106) |
 //! | [`Point::Splice`] | the cleanup routine's splice CAS at the ancestor (Algorithm 4, lines 107–108) |
 //! | [`Point::Retire`] | handing the detached chain to the reclaimer after a won splice |
+//! | [`Point::Recycle`] | a retired node's recycle deferral handing its block back to the pool (fires on the thread *running* the deferral, after the grace period, not on the retiring op) |
 //!
 //! Each point fires **immediately before** its atomic step executes, so
 //! returning [`Action::Abandon`] from a hook stops the operation with
@@ -80,6 +81,11 @@ pub enum Point {
     Splice,
     /// A won splice is about to retire the detached chain.
     Retire,
+    /// A recycle deferral is about to return a reclaimed node's block to
+    /// the tree's pool. [`Action::Abandon`] sends the block to the global
+    /// allocator instead (the pool-overflow fall-through path), which lets
+    /// tests pin down *where* a given block may reappear.
+    Recycle,
 }
 
 /// What an operation does after its hook inspected an injection point.
@@ -102,11 +108,15 @@ pub enum Action {
 pub(crate) fn hit(p: Point) -> Action {
     // Take the hook out while running it: a hook that re-enters the tree
     // (e.g. to inspect membership mid-stall) must not observe itself.
-    let Some(mut hook) = HOOK.take() else {
+    // `try_with`, not `with`: [`Point::Recycle`] fires from recycle
+    // deferrals, which a reclaimer's own thread-local destructor can run
+    // during thread exit — after this TLS slot is gone. No hook can be
+    // installed at that point, so `Continue` is the only right answer.
+    let Ok(Some(mut hook)) = HOOK.try_with(|h| h.borrow_mut().take()) else {
         return Action::Continue;
     };
     let action = hook(p);
-    HOOK.with(|h| {
+    let _ = HOOK.try_with(|h| {
         if h.borrow().is_none() {
             *h.borrow_mut() = Some(hook);
         }

@@ -15,6 +15,7 @@
 //! entry point is sealed behind the guard the handle itself manages.
 
 use crate::obs::{self, EventKind, PendingOps};
+use crate::pool::NodeCache;
 use crate::tree::{NmTreeMap, SeekRecord};
 use nmbst_reclaim::{Ebr, Reclaim};
 
@@ -55,6 +56,10 @@ pub struct MapHandle<'t, K, V, R: Reclaim = Ebr> {
     guard: Option<R::Guard<'t>>,
     /// Scratch for the tree's seek phase, reused across operations.
     rec: SeekRecord<K, V>,
+    /// Node-allocation cache over the tree's pool: keeps a private stash
+    /// of recycled blocks so insert-heavy loops skip the shared free
+    /// list. Its `Drop` gives the stash back.
+    cache: NodeCache<'t>,
     ops_since_repin: u32,
     repin_every: u32,
     /// Metrics batched in plain fields, flushed into the tree's sharded
@@ -73,6 +78,7 @@ where
             tree,
             guard: None,
             rec: SeekRecord::empty(),
+            cache: tree.handle_cache(),
             ops_since_repin: 0,
             repin_every: DEFAULT_REPIN_EVERY,
             pending: PendingOps::default(),
@@ -115,10 +121,12 @@ where
         self.flush_pending();
     }
 
-    /// Publishes the batched operation counts into the tree's metrics.
+    /// Publishes the batched operation counts into the tree's metrics
+    /// and the batched pool hit/miss counts into the pool's stats.
     fn flush_pending(&mut self) {
         self.tree.metrics.add_pending(&self.pending);
         self.pending.clear();
+        self.cache.flush_counters();
     }
 
     /// Charges one operation against the re-pin budget, (re)pinning if
@@ -138,8 +146,11 @@ where
         let guard = self.guard.as_ref().expect("pinned by tick");
         // SAFETY: `guard` pins this tree's reclaimer (pinned from
         // `self.tree` in `repin`) and lives across the call; `rec` is
-        // scratch.
-        let added = unsafe { self.tree.insert_in(key, value, guard, &mut self.rec) };
+        // scratch; `cache` was built over this tree's pool.
+        let added = unsafe {
+            self.tree
+                .insert_in(key, value, guard, &mut self.rec, &mut self.cache)
+        };
         self.pending.inserts += 1;
         self.pending.inserted += u64::from(added);
         added

@@ -70,6 +70,7 @@ mod key;
 mod node;
 pub mod obs;
 mod packed;
+mod pool;
 mod set;
 pub mod stats;
 mod tree;
@@ -77,9 +78,10 @@ mod tree;
 pub use handle::{MapHandle, SetHandle, DEFAULT_REPIN_EVERY};
 pub use key::Key;
 pub use packed::TagMode;
+pub use pool::{PoolConfig, DEFAULT_POOL_CAPACITY};
 pub use set::NmTreeSet;
-pub use tree::{NmTreeMap, RestartPolicy, TreeShape};
+pub use tree::{NmTreeMap, RestartPolicy, TreeConfig, TreeShape};
 
 // Re-export the reclamation entry points users need to name the tree's
-// type parameter.
-pub use nmbst_reclaim::{Ebr, Leaky, Reclaim};
+// type parameter, plus the pool stats surfaced in metrics snapshots.
+pub use nmbst_reclaim::{Ebr, HazardEras, Leaky, PoolStats, Reclaim};

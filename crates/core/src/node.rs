@@ -11,6 +11,7 @@
 
 use crate::key::Key;
 use crate::packed::{AtomicEdge, Edge};
+use crate::pool::NodeCache;
 use crate::stats;
 
 /// A tree node. Never exposed to users; alignment ≥ 8 guarantees the two
@@ -58,6 +59,37 @@ impl<K, V> Node<K, V> {
             left: AtomicEdge::to(left),
             right: AtomicEdge::to(right),
         }))
+    }
+
+    /// [`new_leaf`](Self::new_leaf) through a [`NodeCache`]: serves from
+    /// recycled pool memory when the tree has a pool, otherwise falls
+    /// through to the allocator. This is the insert path's constructor.
+    pub(crate) fn new_leaf_in(
+        cache: &mut NodeCache<'_>,
+        key: Key<K>,
+        value: Option<V>,
+    ) -> *mut Node<K, V> {
+        cache.alloc(Node {
+            key,
+            value,
+            left: AtomicEdge::null(),
+            right: AtomicEdge::null(),
+        })
+    }
+
+    /// [`new_internal`](Self::new_internal) through a [`NodeCache`].
+    pub(crate) fn new_internal_in(
+        cache: &mut NodeCache<'_>,
+        key: Key<K>,
+        left: *mut Node<K, V>,
+        right: *mut Node<K, V>,
+    ) -> *mut Node<K, V> {
+        cache.alloc(Node {
+            key,
+            value: None,
+            left: AtomicEdge::to(left),
+            right: AtomicEdge::to(right),
+        })
     }
 
     /// `true` if this node is a leaf (null children).

@@ -7,7 +7,7 @@
 //! shards — exact once writers are quiescent, racy-but-monotonic while
 //! they are not, which is the usual scrape contract.
 
-use nmbst_reclaim::ReclaimGauges;
+use nmbst_reclaim::{PoolStats, ReclaimGauges};
 use nmbst_sync::CachePadded;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -132,11 +132,18 @@ impl Metrics {
             .fetch_add(p.removes - p.removed, Ordering::Relaxed);
     }
 
-    /// Sums the shards and folds in the reclaimer's gauges.
-    pub(crate) fn snapshot(&self, reclaim: ReclaimGauges) -> MetricsSnapshot {
+    /// Sums the shards and folds in the reclaimer's gauges and the node
+    /// pool's stats (`None` when the tree runs with the pool off — the
+    /// snapshot then reports all-zero pool fields).
+    pub(crate) fn snapshot(
+        &self,
+        reclaim: ReclaimGauges,
+        pool: Option<PoolStats>,
+    ) -> MetricsSnapshot {
         let mut s = MetricsSnapshot {
             max_depth: self.max_depth.load(Ordering::Relaxed),
             reclaim,
+            pool: pool.unwrap_or_default(),
             ..MetricsSnapshot::default()
         };
         for shard in &self.shards {
@@ -225,6 +232,11 @@ pub struct MetricsSnapshot {
     /// [`ReclaimGauges`]); all zeros under schemes
     /// without deferred state, like `Leaky`.
     pub reclaim: ReclaimGauges,
+    /// Node-pool hit/recycle stats at snapshot time (see
+    /// [`PoolStats`]); all zeros when the tree runs with the pool
+    /// disabled. `hits`/`misses` are flushed from handles on re-pin and
+    /// drop, so mid-loop snapshots may lag a handle's batched counts.
+    pub pool: PoolStats,
 }
 
 impl MetricsSnapshot {
@@ -237,7 +249,9 @@ impl MetricsSnapshot {
                 "\"removes\":{},\"removed\":{},\"helps\":{},",
                 "\"size_estimate\":{},\"max_depth\":{},",
                 "\"reclaim_epoch\":{},\"reclaim_epoch_lag\":{},",
-                "\"reclaim_pinned_threads\":{},\"reclaim_retired_backlog\":{}}}"
+                "\"reclaim_pinned_threads\":{},\"reclaim_retired_backlog\":{},",
+                "\"pool_hits\":{},\"pool_misses\":{},",
+                "\"pool_recycled\":{},\"pool_len\":{}}}"
             ),
             self.searches,
             self.inserts,
@@ -251,6 +265,10 @@ impl MetricsSnapshot {
             self.reclaim.epoch_lag,
             self.reclaim.pinned_threads,
             self.reclaim.retired_backlog,
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.recycled,
+            self.pool.len,
         )
     }
 
@@ -345,6 +363,30 @@ impl MetricsSnapshot {
             "Objects retired but not yet freed.",
             self.reclaim.retired_backlog as i128,
         );
+        metric(
+            "nmbst_pool_hits_total",
+            "counter",
+            "Node allocations served from recycled pool memory.",
+            self.pool.hits as i128,
+        );
+        metric(
+            "nmbst_pool_misses_total",
+            "counter",
+            "Node allocations that fell through to the allocator.",
+            self.pool.misses as i128,
+        );
+        metric(
+            "nmbst_pool_recycled_total",
+            "counter",
+            "Reclaimed nodes returned to the pool.",
+            self.pool.recycled as i128,
+        );
+        metric(
+            "nmbst_pool_len",
+            "gauge",
+            "Free blocks currently in the shared pool.",
+            self.pool.len as i128,
+        );
         out
     }
 }
@@ -354,7 +396,8 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "searches={} inserts={}/{} removes={}/{} helps={} size≈{} \
-             max_depth={} epoch={} lag={} pinned={} backlog={}",
+             max_depth={} epoch={} lag={} pinned={} backlog={} \
+             pool_hits={} pool_misses={} pool_recycled={} pool_len={}",
             self.searches,
             self.inserted,
             self.inserts,
@@ -367,6 +410,10 @@ impl std::fmt::Display for MetricsSnapshot {
             self.reclaim.epoch_lag,
             self.reclaim.pinned_threads,
             self.reclaim.retired_backlog,
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.recycled,
+            self.pool.len,
         )
     }
 }

@@ -1,0 +1,344 @@
+//! Pool-aware node allocation (the PR 4 recycling layer).
+//!
+//! Every insert builds two nodes. Without a pool they come from the
+//! global allocator and, once deleted, go back to it after the grace
+//! period — a `malloc`/`free` pair per churned key. With the pool
+//! ([`PoolConfig::enabled`], the default), the tree owns one shared
+//! [`NodePool`] sized for its `Node<K, V>` layout:
+//!
+//! * **retire → recycle**: the cleanup routine retires detached nodes
+//!   with a *recycle deferral* ([`recycle_deferred`]) instead of a plain
+//!   drop; when the reclaimer proves the grace period elapsed, the
+//!   deferral drops the node's key/value and pushes the block onto the
+//!   pool (overflow falls through to the real allocator).
+//! * **alloc → reuse**: allocation goes through a [`NodeCache`] — a
+//!   per-handle (or per-call) unsynchronized cache over the shared pool —
+//!   so hot loops pop recycled blocks without touching shared state.
+//!
+//! Reuse is ABA-safe *by construction*: the deferral only runs once no
+//! live reference to the block can exist, which is exactly the guarantee
+//! reclamation already provides for freeing (DESIGN.md §11). Under
+//! [`Leaky`](nmbst_reclaim::Leaky) (`Reclaim::RECLAIMS == false`)
+//! deferrals never run, so retired nodes keep leaking — the pool then
+//! only ever reuses insert scratch that was discarded unpublished.
+
+use crate::chaos::{self, Action, Point};
+use crate::node::Node;
+use crate::stats;
+use nmbst_reclaim::{Deferred, NodePool};
+use std::alloc::Layout;
+use std::ptr;
+use std::sync::Arc;
+
+/// Default bound on a tree's shared free list, in nodes. Two nodes per
+/// insert means this absorbs ~128 churned keys of garbage — enough to
+/// make steady-state churn allocation-free, small enough (a few dozen KiB
+/// for typical keys) that an idle tree is not hoarding memory.
+pub const DEFAULT_POOL_CAPACITY: usize = 256;
+
+/// How many blocks a handle's [`NodeCache`] keeps privately. Refills and
+/// give-backs move blocks between this cache and the shared pool in
+/// batches, so the shared lock is touched once per ~batch, not per node.
+pub(crate) const HANDLE_CACHE_CAP: usize = 32;
+
+/// Blocks moved from the shared pool into a cache per refill.
+const REFILL_BATCH: usize = 8;
+
+/// The `pool` knob on [`TreeConfig`](crate::TreeConfig): whether retired
+/// nodes are recycled into new inserts, and how many free blocks the
+/// tree may hold. One flag for A/B ablation — see the perf bin's
+/// pool-on/pool-off cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Recycle retired nodes through a shared free list (default `true`).
+    pub enabled: bool,
+    /// Maximum free blocks the shared list holds; overflow is freed to
+    /// the global allocator (default [`DEFAULT_POOL_CAPACITY`]).
+    pub capacity: usize,
+}
+
+impl PoolConfig {
+    /// Pooling off: every allocation hits the global allocator and every
+    /// reclaimed node is freed — the pre-PR 4 behaviour.
+    pub fn disabled() -> Self {
+        PoolConfig {
+            enabled: false,
+            capacity: 0,
+        }
+    }
+
+    /// Pooling on with an explicit free-list bound.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PoolConfig {
+            enabled: true,
+            capacity,
+        }
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            enabled: true,
+            capacity: DEFAULT_POOL_CAPACITY,
+        }
+    }
+}
+
+/// An unsynchronized allocation cache over a tree's shared [`NodePool`].
+///
+/// Handles keep one alive across operations (capacity
+/// [`HANDLE_CACHE_CAP`]); the plain API builds a transient zero-capacity
+/// one per modify call, which then reads/writes the shared pool directly.
+/// Either way this is the single choke point where node memory enters
+/// and leaves an operation, so hit/miss accounting batches here in plain
+/// fields and flushes to the pool's atomics on drop/repin.
+pub(crate) struct NodeCache<'t> {
+    /// `None` iff the tree was configured with the pool off.
+    shared: Option<&'t NodePool>,
+    local: Vec<*mut u8>,
+    local_cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'t> NodeCache<'t> {
+    /// A transient cache that keeps nothing locally (plain-API calls).
+    pub(crate) fn direct(shared: Option<&'t NodePool>) -> Self {
+        Self::with_local(shared, 0)
+    }
+
+    /// A cache holding up to `local_cap` blocks privately (handles).
+    pub(crate) fn with_local(shared: Option<&'t NodePool>, local_cap: usize) -> Self {
+        NodeCache {
+            shared,
+            local: Vec::new(),
+            local_cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Allocates and initializes one node, preferring pooled memory.
+    pub(crate) fn alloc<T>(&mut self, value: T) -> *mut T {
+        if let Some(pool) = self.shared {
+            debug_assert_eq!(
+                Layout::new::<T>(),
+                pool.layout(),
+                "cache serves exactly the tree's node layout"
+            );
+            if let Some(block) = self.local.pop().or_else(|| refill(&mut self.local, pool)) {
+                self.hits += 1;
+                stats::record_pool_hit();
+                let node = block.cast::<T>();
+                // SAFETY: pooled blocks are exclusively owned, uninitialized
+                // memory of `T`'s layout (pool provenance contract).
+                unsafe { ptr::write(node, value) };
+                return node;
+            }
+            self.misses += 1;
+        }
+        stats::record_alloc();
+        Box::into_raw(Box::new(value))
+    }
+
+    /// Drops `ptr`'s contents and returns its block to the cache/pool
+    /// (or the global allocator when pooling is off or the pool is full).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be an exclusively owned, never-published node from
+    /// [`alloc`](Self::alloc) (or `Box::into_raw` of the same type).
+    pub(crate) unsafe fn free<T>(&mut self, ptr: *mut T) {
+        // SAFETY: exclusive ownership per contract.
+        unsafe { ptr::drop_in_place(ptr) };
+        if let Some(pool) = self.shared {
+            debug_assert_eq!(Layout::new::<T>(), pool.layout());
+            if self.local.len() < self.local_cap {
+                self.local.push(ptr.cast());
+            } else {
+                // SAFETY: block provenance per contract, contents dropped.
+                unsafe { pool.release(ptr.cast()) };
+            }
+        } else {
+            // SAFETY: `alloc` fell through to `Box::new` (no pool).
+            unsafe { std::alloc::dealloc(ptr.cast(), Layout::new::<T>()) };
+        }
+    }
+
+    /// Publishes batched hit/miss counts into the shared pool's stats.
+    pub(crate) fn flush_counters(&mut self) {
+        if let Some(pool) = self.shared {
+            if self.hits != 0 || self.misses != 0 {
+                pool.note_usage(self.hits, self.misses);
+                self.hits = 0;
+                self.misses = 0;
+            }
+        }
+    }
+}
+
+fn refill(local: &mut Vec<*mut u8>, pool: &NodePool) -> Option<*mut u8> {
+    let mut first = None;
+    pool.acquire_batch(REFILL_BATCH, |block| {
+        if first.is_none() {
+            first = Some(block);
+        } else {
+            local.push(block);
+        }
+    });
+    first
+}
+
+impl Drop for NodeCache<'_> {
+    fn drop(&mut self) {
+        self.flush_counters();
+        if let Some(pool) = self.shared {
+            // SAFETY: every cached block satisfies the release contract
+            // (came from this pool or `Box::into_raw` of the node type,
+            // contents dropped before caching).
+            unsafe { pool.release_batch(&mut self.local) };
+        } else {
+            debug_assert!(self.local.is_empty(), "cached blocks without a pool");
+        }
+    }
+}
+
+/// Builds the deferral that recycles `node` once its grace period has
+/// elapsed: drop the key/value in place, then hand the block back to
+/// `pool` (the [`Point::Recycle`] chaos hook can force the
+/// fall-through-to-allocator path instead).
+///
+/// The deferral carries only a *raw* pointer to `pool` — no per-node
+/// refcount traffic. The tree makes that sound by parking an `Arc` clone
+/// of the pool inside the reclaimer
+/// ([`Reclaim::hold`](nmbst_reclaim::Reclaim::hold)) at construction:
+/// the reclaimer guarantees the token outlives every deferral it runs,
+/// including on straggling collector threads.
+///
+/// # Safety
+///
+/// `node` must be unlinked and retired exactly once (the
+/// [`RetireGuard::retire_deferred`](nmbst_reclaim::RetireGuard) contract
+/// transfers to the caller) and must come from `Box::into_raw` or this
+/// pool. The scheme running the deferral must prove the grace period
+/// before calling it, and the caller must have parked a pool keepalive
+/// in that scheme (see above) so `pool` is alive whenever the deferral
+/// can run.
+pub(crate) unsafe fn recycle_deferred<K: Send, V: Send>(
+    node: *mut Node<K, V>,
+    pool: &Arc<NodePool>,
+) -> Deferred {
+    unsafe fn recycle<K, V>(data: *mut (), ctx: *mut ()) {
+        let node = data.cast::<Node<K, V>>();
+        // SAFETY: the reclaimer holds a pool keepalive that outlives this
+        // call (function contract).
+        let pool = unsafe { &*(ctx as *const NodePool) };
+        // SAFETY: the grace period elapsed — this deferral is the unique
+        // owner. Drop the key and value; the block itself stays raw.
+        unsafe { ptr::drop_in_place(node) };
+        if chaos::hit(Point::Recycle) == Action::Abandon {
+            // Chaos: pretend the pool declined; free to the allocator.
+            // SAFETY: block provenance per the function contract.
+            unsafe { std::alloc::dealloc(node.cast(), Layout::new::<Node<K, V>>()) };
+        } else {
+            // SAFETY: provenance per contract, contents just dropped.
+            unsafe { pool.release(node.cast()) };
+        }
+    }
+    let ctx = Arc::as_ptr(pool) as *mut ();
+    // SAFETY: `recycle::<K, V>` releases exactly once; `K: Send, V: Send`
+    // makes running it on a collector thread sound; leaking it uncalled
+    // (Leaky) leaks only the node, as intended.
+    unsafe { Deferred::from_raw(node.cast(), ctx, recycle::<K, V>) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+
+    fn pool_for<K, V>(cap: usize) -> NodePool {
+        NodePool::new(Layout::new::<Node<K, V>>(), cap)
+    }
+
+    #[test]
+    fn alloc_free_round_trip_reuses_block() {
+        let pool = pool_for::<u64, u64>(8);
+        let mut cache = NodeCache::direct(Some(&pool));
+        let a = Node::<u64, u64>::new_leaf_in(&mut cache, Key::Fin(1), Some(10));
+        unsafe { cache.free(a) };
+        let b = Node::<u64, u64>::new_leaf_in(&mut cache, Key::Fin(2), Some(20));
+        assert_eq!(a, b, "freed block is reused LIFO");
+        unsafe { cache.free(b) };
+        drop(cache);
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn disabled_cache_is_plain_malloc() {
+        let mut cache = NodeCache::<'_>::direct(None);
+        let a = Node::<u64, ()>::new_leaf_in(&mut cache, Key::Fin(1), Some(()));
+        unsafe { cache.free(a) };
+        drop(cache);
+    }
+
+    #[test]
+    fn local_cache_batches_shared_traffic() {
+        let pool = pool_for::<u64, ()>(64);
+        // Seed the shared pool with a few blocks.
+        {
+            let mut seed = NodeCache::direct(Some(&pool));
+            let nodes: Vec<_> = (0..6)
+                .map(|i| Node::<u64, ()>::new_leaf_in(&mut seed, Key::Fin(i), Some(())))
+                .collect();
+            for n in nodes {
+                unsafe { seed.free(n) };
+            }
+        }
+        assert_eq!(pool.len(), 6);
+        let mut cache = NodeCache::with_local(Some(&pool), 16);
+        // One alloc refills a batch: the shared pool drains more than one.
+        let n = Node::<u64, ()>::new_leaf_in(&mut cache, Key::Fin(9), Some(()));
+        assert!(pool.len() < 6);
+        unsafe { cache.free(n) };
+        drop(cache); // gives all cached blocks back
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn free_drops_key_and_value() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let pool = pool_for::<u64, D>(8);
+        let mut cache = NodeCache::direct(Some(&pool));
+        let n = Node::<u64, D>::new_leaf_in(&mut cache, Key::Fin(1), Some(D(Arc::clone(&drops))));
+        unsafe { cache.free(n) };
+        assert_eq!(drops.load(Ordering::Relaxed), 1, "value dropped on free");
+        drop(cache);
+    }
+
+    #[test]
+    fn recycle_deferred_returns_block_to_pool() {
+        let pool = Arc::new(pool_for::<u64, u64>(8));
+        let node = Node::<u64, u64>::new_leaf(Key::Fin(7), Some(70));
+        let d = unsafe { recycle_deferred(node, &pool) };
+        assert_eq!(d.address(), node as usize);
+        assert_eq!(pool.len(), 0);
+        d.call();
+        assert_eq!(pool.len(), 1, "block recycled, not freed");
+        assert_eq!(
+            Arc::strong_count(&pool),
+            1,
+            "deferrals borrow the pool raw — no refcount traffic"
+        );
+    }
+}

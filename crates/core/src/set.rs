@@ -54,6 +54,14 @@ where
         }
     }
 
+    /// Creates an empty set with every tuning knob explicit (see
+    /// [`TreeConfig`](crate::TreeConfig)).
+    pub fn with_config(config: crate::TreeConfig) -> Self {
+        NmTreeSet {
+            map: NmTreeMap::with_config(config),
+        }
+    }
+
     /// Returns a pin-amortizing [`SetHandle`](crate::SetHandle) bound to
     /// this set (see [`NmTreeMap::handle`]).
     pub fn handle(&self) -> crate::SetHandle<'_, K, R> {

@@ -19,8 +19,13 @@ pub struct OpStats {
     pub cas: u64,
     /// BTS (`fetch_or`) instructions executed.
     pub bts: u64,
-    /// Shared objects (tree nodes) allocated.
+    /// Shared objects (tree nodes) allocated **from the allocator**.
+    /// Pool-served nodes count under [`pool_hits`](Self::pool_hits)
+    /// instead, so this field keeps measuring exactly Table 1's "objects
+    /// allocated" cost.
     pub allocs: u64,
+    /// Nodes served from recycled pool memory instead of the allocator.
+    pub pool_hits: u64,
     /// Nodes retired (handed to the reclaimer).
     pub retires: u64,
     /// Invocations of the cleanup routine.
@@ -48,6 +53,7 @@ impl OpStats {
             cas: self.cas.saturating_sub(earlier.cas),
             bts: self.bts.saturating_sub(earlier.bts),
             allocs: self.allocs.saturating_sub(earlier.allocs),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
             retires: self.retires.saturating_sub(earlier.retires),
             cleanups: self.cleanups.saturating_sub(earlier.cleanups),
             seeks: self.seeks.saturating_sub(earlier.seeks),
@@ -73,11 +79,12 @@ impl std::fmt::Display for OpStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "cas={} bts={} allocs={} retires={} cleanups={} seeks={} \
+            "cas={} bts={} allocs={} pool_hits={} retires={} cleanups={} seeks={} \
              local_restarts={} unlinked={} splices={}",
             self.cas,
             self.bts,
             self.allocs,
+            self.pool_hits,
             self.retires,
             self.cleanups,
             self.seeks,
@@ -101,7 +108,7 @@ pub fn delta<T>(f: impl FnOnce() -> T) -> (T, OpStats) {
 #[cfg(feature = "instrument")]
 thread_local! {
     static STATS: Cell<OpStats> = const { Cell::new(OpStats {
-        cas: 0, bts: 0, allocs: 0, retires: 0,
+        cas: 0, bts: 0, allocs: 0, pool_hits: 0, retires: 0,
         cleanups: 0, seeks: 0, local_restarts: 0, unlinked: 0, splices: 0,
     }) };
 }
@@ -129,10 +136,16 @@ pub fn record_bts() {
     bump!(bts);
 }
 
-/// Records one shared-object allocation.
+/// Records one shared-object allocation (allocator-served).
 #[inline]
 pub fn record_alloc() {
     bump!(allocs);
+}
+
+/// Records one node served from recycled pool memory.
+#[inline]
+pub fn record_pool_hit() {
+    bump!(pool_hits);
 }
 
 /// Records one node retirement.

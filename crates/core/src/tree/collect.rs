@@ -13,10 +13,16 @@ where
     /// Builds a map from pairs. Duplicate keys keep the **first**
     /// occurrence (inserts of existing keys are rejected, per the
     /// algorithm's dictionary semantics).
+    ///
+    /// Runs through a [`MapHandle`](crate::MapHandle), so the whole bulk
+    /// load amortizes pinning and shares one node-allocation cache.
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
         let map = NmTreeMap::new();
-        for (k, v) in iter {
-            map.insert(k, v);
+        {
+            let mut h = map.handle();
+            for (k, v) in iter {
+                h.insert(k, v);
+            }
         }
         map
     }
@@ -28,9 +34,13 @@ where
     V: Send + Sync + 'static,
     R: Reclaim,
 {
+    /// Bulk insert through a [`MapHandle`](crate::MapHandle) (amortized
+    /// pinning, shared allocation cache). Duplicate keys are rejected as
+    /// in [`insert`](NmTreeMap::insert).
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        let mut h = self.handle();
         for (k, v) in iter {
-            self.insert(k, v);
+            h.insert(k, v);
         }
     }
 }
@@ -40,10 +50,15 @@ where
     K: Ord + Clone + Send + Sync + 'static,
     R: Reclaim,
 {
+    /// Builds a set through a [`SetHandle`](crate::SetHandle) (amortized
+    /// pinning, shared allocation cache).
     fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
         let set = NmTreeSet::new();
-        for k in iter {
-            set.insert(k);
+        {
+            let mut h = set.handle();
+            for k in iter {
+                h.insert(k);
+            }
         }
         set
     }
@@ -54,9 +69,12 @@ where
     K: Ord + Clone + Send + Sync + 'static,
     R: Reclaim,
 {
+    /// Bulk insert through a [`SetHandle`](crate::SetHandle) (amortized
+    /// pinning, shared allocation cache).
     fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        let mut h = self.handle();
         for k in iter {
-            self.insert(k);
+            h.insert(k);
         }
     }
 }

@@ -17,8 +17,11 @@ use crate::handle::MapHandle;
 use crate::node::{self, Node};
 use crate::obs::{self, MetricsSnapshot};
 use crate::packed::TagMode;
-use nmbst_reclaim::{Ebr, Reclaim};
+use crate::pool::{NodeCache, PoolConfig, HANDLE_CACHE_CAP};
+use nmbst_reclaim::{Ebr, NodePool, Reclaim};
+use std::alloc::Layout;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// Where a modify operation restarts its descent after a failed CAS.
 ///
@@ -37,6 +40,47 @@ pub enum RestartPolicy {
     Local,
     /// Always retry from the root (the paper's Algorithm 2/3 verbatim).
     Root,
+}
+
+/// Every tuning knob of a tree, bundled so constructors stay stable as
+/// knobs accrue. `TreeConfig::default()` is the shipping configuration;
+/// builder-style `with_*` methods override one knob at a time:
+///
+/// ```
+/// use nmbst::{NmTreeMap, PoolConfig, TreeConfig};
+///
+/// let ablation = TreeConfig::default().with_pool(PoolConfig::disabled());
+/// let map: NmTreeMap<u64, u64> = NmTreeMap::with_config(ablation);
+/// assert!(map.insert(1, 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeConfig {
+    /// BTS vs CAS-only tagging in the cleanup routine (§6).
+    pub tag_mode: TagMode,
+    /// Root vs local restart for modify-path retries.
+    pub restart: RestartPolicy,
+    /// Node-recycling pool: on/off and free-list capacity.
+    pub pool: PoolConfig,
+}
+
+impl TreeConfig {
+    /// Overrides the [`TagMode`] knob.
+    pub fn with_tag_mode(mut self, tag_mode: TagMode) -> Self {
+        self.tag_mode = tag_mode;
+        self
+    }
+
+    /// Overrides the [`RestartPolicy`] knob.
+    pub fn with_restart(mut self, restart: RestartPolicy) -> Self {
+        self.restart = restart;
+        self
+    }
+
+    /// Overrides the [`PoolConfig`] knob.
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
 }
 
 /// A concurrent lock-free ordered map backed by the Natarajan–Mittal
@@ -82,6 +126,11 @@ pub struct NmTreeMap<K, V, R: Reclaim = Ebr> {
     pub(crate) tag_mode: TagMode,
     pub(crate) restart: RestartPolicy,
     pub(crate) metrics: obs::Metrics,
+    /// `Some` when node recycling is on ([`PoolConfig::enabled`]).
+    /// Declared after `reclaim` so the reclaimer — whose drop runs
+    /// pending recycle deferrals — goes first; deferrals that outlive
+    /// even that (straggler collector threads) own their own `Arc`.
+    pub(crate) pool: Option<Arc<NodePool>>,
     /// The tree logically owns its nodes.
     _own: PhantomData<Box<Node<K, V>>>,
 }
@@ -107,34 +156,66 @@ where
     /// routine's tag step (BTS vs CAS-only; see §6 and the `ablation_bts`
     /// bench).
     pub fn with_tag_mode(tag_mode: TagMode) -> Self {
-        Self::with_config(tag_mode, RestartPolicy::default())
+        Self::with_config(TreeConfig::default().with_tag_mode(tag_mode))
     }
 
     /// Creates an empty map using the given [`RestartPolicy`] for the
     /// modify-path retry loops (see the `perf` bin's root-vs-local
     /// restart cells).
     pub fn with_restart_policy(restart: RestartPolicy) -> Self {
-        Self::with_config(TagMode::default(), restart)
+        Self::with_config(TreeConfig::default().with_restart(restart))
     }
 
     /// Creates an empty map with every tuning knob explicit.
-    pub fn with_config(tag_mode: TagMode, restart: RestartPolicy) -> Self {
+    pub fn with_config(config: TreeConfig) -> Self {
+        let pool = if config.pool.enabled && config.pool.capacity > 0 {
+            Some(Arc::new(NodePool::new(
+                Layout::new::<Node<K, V>>(),
+                config.pool.capacity,
+            )))
+        } else {
+            None
+        };
+        let reclaim = R::new();
+        if let Some(pool) = &pool {
+            // Recycle deferrals reference the pool by raw pointer; this
+            // parked clone is what keeps it alive for straggling
+            // collector threads that run deferrals after the tree is
+            // gone (see `pool::recycle_deferred`).
+            reclaim.hold(Box::new(Arc::clone(pool)));
+        }
         NmTreeMap {
             root: node::sentinel_tree(),
-            reclaim: R::new(),
-            tag_mode,
-            restart,
+            reclaim,
+            tag_mode: config.tag_mode,
+            restart: config.restart,
             metrics: obs::Metrics::new(),
+            pool,
             _own: PhantomData,
         }
     }
 
     /// A point-in-time [`MetricsSnapshot`] of this tree: operation
-    /// counters, size estimate, max observed depth, and the reclaimer's
-    /// health gauges. Cheap (sums a few cache lines); never blocks
-    /// operations. See the [`obs`](crate::obs) module docs.
+    /// counters, size estimate, max observed depth, the reclaimer's
+    /// health gauges, and the node pool's hit/recycle stats. Cheap (sums
+    /// a few cache lines); never blocks operations. See the
+    /// [`obs`](crate::obs) module docs.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.reclaim.gauges())
+        self.metrics
+            .snapshot(self.reclaim.gauges(), self.pool.as_ref().map(|p| p.stats()))
+    }
+
+    /// A transient [`NodeCache`] for one plain-API modify call: no local
+    /// block hoarding, shared pool touched directly.
+    #[inline]
+    pub(crate) fn node_cache(&self) -> NodeCache<'_> {
+        NodeCache::direct(self.pool.as_deref())
+    }
+
+    /// The [`NodeCache`] a long-lived handle embeds: keeps a private
+    /// block stash so hot loops skip the shared free list.
+    pub(crate) fn handle_cache(&self) -> NodeCache<'_> {
+        NodeCache::with_local(self.pool.as_deref(), HANDLE_CACHE_CAP)
     }
 
     /// Pins the current thread, returning a guard other read methods can

@@ -7,6 +7,7 @@ use crate::key::Key;
 use crate::node::{clean_edge, Node};
 use crate::obs::{self, EventKind};
 use crate::packed::Edge;
+use crate::pool::{self, NodeCache};
 use crate::stats;
 use nmbst_reclaim::{Reclaim, RetireGuard};
 use std::ptr;
@@ -41,8 +42,10 @@ where
     pub fn insert(&self, key: K, value: V) -> bool {
         let guard = self.reclaim.pin();
         let mut rec = SeekRecord::empty();
-        // SAFETY: `guard` pins this tree's reclaimer for the whole call.
-        let added = unsafe { self.insert_in(key, value, &guard, &mut rec) };
+        let mut cache = self.node_cache();
+        // SAFETY: `guard` pins this tree's reclaimer for the whole call;
+        // `cache` serves this tree's pool.
+        let added = unsafe { self.insert_in(key, value, &guard, &mut rec, &mut cache) };
         self.metrics.note_insert(added);
         added
     }
@@ -56,12 +59,15 @@ where
     /// `guard` must pin this tree's reclaimer and stay held for the
     /// whole call. `rec` is pure scratch: its previous contents are
     /// ignored (the first seek of the call is always a full root seek).
+    /// `cache` must serve this tree's pool (from
+    /// [`node_cache`](Self::node_cache) / [`handle_cache`](Self::handle_cache)).
     pub(crate) unsafe fn insert_in(
         &self,
         key: K,
         value: V,
         guard: &R::Guard<'_>,
         rec: &mut SeekRecord<K, V>,
+        cache: &mut NodeCache<'_>,
     ) -> bool {
         let mut value = Some(value);
         // Scratch nodes, allocated on first use and reused on retry;
@@ -79,7 +85,7 @@ where
                 if chaos::hit(Point::SeekRetry) == Action::Abandon {
                     // SAFETY: scratch nodes are unpublished (every CAS
                     // failed).
-                    unsafe { discard_scratch(new_leaf, new_internal) };
+                    unsafe { discard_scratch(cache, new_leaf, new_internal) };
                     return false;
                 }
                 // SAFETY: `guard` held continuously since `rec` was
@@ -90,7 +96,7 @@ where
             // SAFETY: `leaf` was read under `guard`; keys are immutable.
             if unsafe { (*leaf).key.is_user(&key) } {
                 // Key already present (Algorithm 2, line 59).
-                unsafe { discard_scratch(new_leaf, new_internal) };
+                unsafe { discard_scratch(cache, new_leaf, new_internal) };
                 return false;
             }
 
@@ -103,7 +109,8 @@ where
             // left (Figure 1a).
             unsafe {
                 if new_leaf.is_null() {
-                    new_leaf = Node::new_leaf(
+                    new_leaf = Node::new_leaf_in(
+                        cache,
                         Key::Fin(key.clone()),
                         Some(value.take().expect("value consumed before publication")),
                     );
@@ -116,7 +123,7 @@ where
                     (Key::Fin(key.clone()), leaf, new_leaf)
                 };
                 if new_internal.is_null() {
-                    new_internal = Node::new_internal(internal_key, left, right);
+                    new_internal = Node::new_internal_in(cache, internal_key, left, right);
                 } else {
                     // Unpublished: plain rewrites are fine.
                     let scratch = &mut *new_internal;
@@ -128,7 +135,7 @@ where
 
             if chaos::hit(Point::InsertPublish) == Action::Abandon {
                 // SAFETY: scratch nodes are unpublished.
-                unsafe { discard_scratch(new_leaf, new_internal) };
+                unsafe { discard_scratch(cache, new_leaf, new_internal) };
                 return false;
             }
             // The single publishing CAS (Algorithm 2, line 51).
@@ -145,7 +152,7 @@ where
                         let outcome = unsafe { self.cleanup(&key, rec, guard) };
                         if outcome == CleanupOutcome::Abandoned {
                             // SAFETY: scratch nodes are unpublished.
-                            unsafe { discard_scratch(new_leaf, new_internal) };
+                            unsafe { discard_scratch(cache, new_leaf, new_internal) };
                             return false;
                         }
                     }
@@ -407,25 +414,56 @@ where
         stats::record_retire();
         // SAFETY: detached by our splice, retired exactly once (only the
         // splice winner walks this region).
-        unsafe { guard.retire(node) };
+        unsafe { self.retire_node(node, guard) };
+    }
+
+    /// Hands one detached node to the reclaimer — as a *recycle* deferral
+    /// when this tree pools nodes and the scheme actually runs deferrals,
+    /// as a plain drop otherwise. Recycling under [`Leaky`]-style schemes
+    /// (`R::RECLAIMS == false`) would only leak a pool refcount per node,
+    /// so those fall back to the plain (leaking) retire.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RetireGuard::retire`]: `node` is unlinked, not
+    /// retired before, and `guard` pins this tree's reclaimer.
+    #[inline]
+    unsafe fn retire_node(&self, node: *mut Node<K, V>, guard: &R::Guard<'_>) {
+        match &self.pool {
+            Some(shared) if R::RECLAIMS => {
+                // SAFETY: `recycle_deferred` releases exactly once and the
+                // scheme proves the grace period before running it; node
+                // provenance (Box or this pool) holds for every tree node.
+                unsafe { guard.retire_deferred(pool::recycle_deferred(node, shared)) }
+            }
+            // SAFETY: forwarded caller contract.
+            _ => unsafe { guard.retire(node) },
+        }
     }
 }
 
-/// Frees insert's scratch nodes when the operation concludes without
-/// publishing them.
+/// Returns insert's scratch nodes to the cache when the operation
+/// concludes without publishing them — the next insert through the same
+/// cache/pool gets them back without touching the allocator.
 ///
 /// # Safety
 ///
-/// The nodes must never have been published (no CAS installed them).
-unsafe fn discard_scratch<K, V>(leaf: *mut Node<K, V>, internal: *mut Node<K, V>) {
+/// The nodes must never have been published (no CAS installed them) and
+/// must have been allocated through `cache` (or a cache over the same
+/// pool).
+unsafe fn discard_scratch<K, V>(
+    cache: &mut NodeCache<'_>,
+    leaf: *mut Node<K, V>,
+    internal: *mut Node<K, V>,
+) {
     if !leaf.is_null() {
         // SAFETY: unpublished, uniquely owned; drops the key and value.
-        drop(unsafe { Box::from_raw(leaf) });
+        unsafe { cache.free(leaf) };
     }
     if !internal.is_null() {
         // SAFETY: unpublished; its child edges are raw words, so no
         // double free of the children.
-        drop(unsafe { Box::from_raw(internal) });
+        unsafe { cache.free(internal) };
     }
 }
 

@@ -11,7 +11,7 @@
 //! (forwarded by this crate's `instrument` feature); without it all
 //! counts read zero.
 
-use nmbst::{NmTreeSet, TagMode};
+use nmbst::{NmTreeSet, PoolConfig, TagMode, TreeConfig};
 use nmbst_baselines::{efrb::EfrbTree, hj::HjTree};
 use nmbst_reclaim::Leaky;
 
@@ -43,8 +43,16 @@ fn odd_keys() -> impl Iterator<Item = u64> {
 
 /// Measures NM-BST (this paper). Expected: insert 2 allocs / 1 CAS,
 /// delete 0 allocs / 3 atomics (1 flag CAS + 1 BTS + 1 splice CAS).
+///
+/// The node pool is disabled: Table 1 counts the *algorithm's* allocator
+/// traffic, and pool-served nodes would show up as `pool_hits` instead
+/// of `allocs`, measuring the recycling layer rather than the paper.
 pub fn measure_nm(tag_mode: TagMode) -> CostRow {
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_tag_mode(tag_mode);
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_config(
+        TreeConfig::default()
+            .with_tag_mode(tag_mode)
+            .with_pool(PoolConfig::disabled()),
+    );
     for k in odd_keys() {
         set.insert(k);
     }

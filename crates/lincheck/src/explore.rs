@@ -27,7 +27,7 @@
 use crate::{check_linearizable, Event, Recorder, SetOp};
 use nmbst::chaos::{self, Action};
 use nmbst::obs::{FlightRecorder, TraceEvent};
-use nmbst::{Leaky, NmTreeSet, RestartPolicy};
+use nmbst::{Ebr, Leaky, NmTreeSet, PoolConfig, Reclaim, RestartPolicy, TreeConfig};
 use nmbst_sync::Backoff;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -77,6 +77,32 @@ pub struct ExploreConfig {
     /// [`RestartPolicy::Root`] to sweep the paper's root-restart retry
     /// loops with the same seeds.
     pub restart: RestartPolicy,
+    /// Run the tree with its node-recycling pool on, so schedules also
+    /// interleave through the retire → recycle → realloc path (the
+    /// [`chaos::Point::Recycle`] injection point becomes a schedule
+    /// point). Off by default to keep the historical seed corpus stable.
+    pub pool: bool,
+    /// Which reclamation scheme backs the tree under test. Recycling
+    /// needs a scheme that actually runs deferrals, so pair `pool: true`
+    /// with [`ReclaimKind::Ebr`] to sweep real reuse; under
+    /// [`ReclaimKind::Leaky`] the pool only ever reuses discarded insert
+    /// scratch.
+    pub reclaim: ReclaimKind,
+}
+
+/// The reclamation scheme a seeded run instantiates the tree with.
+///
+/// Determinism holds for both: the token-passing scheduler serializes
+/// the threads, so EBR's epoch advancement, bag sealing, and deferral
+/// execution are pure functions of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReclaimKind {
+    /// Paper-faithful leaking mode (the historical explorer default).
+    #[default]
+    Leaky,
+    /// Epoch-based reclamation: retired nodes really traverse the grace
+    /// period — and, with the pool on, come back through fresh inserts.
+    Ebr,
 }
 
 impl Default for ExploreConfig {
@@ -89,6 +115,8 @@ impl Default for ExploreConfig {
             max_ops_per_thread: 5,
             inject_drop_flag_bug: false,
             restart: RestartPolicy::default(),
+            pool: false,
+            reclaim: ReclaimKind::default(),
         }
     }
 }
@@ -308,7 +336,7 @@ impl Drop for FinishGuard<'_> {
     }
 }
 
-fn apply(set: &NmTreeSet<u64, Leaky>, op: SetOp) -> bool {
+fn apply<R: Reclaim>(set: &NmTreeSet<u64, R>, op: SetOp) -> bool {
     match op {
         SetOp::Insert(k) => set.insert(k),
         SetOp::Remove(k) => set.remove(&k),
@@ -320,6 +348,13 @@ fn apply(set: &NmTreeSet<u64, Leaky>, op: SetOp) -> bool {
 /// The `Ok` report (schedule + history) is bit-for-bit reproducible:
 /// calling again with the same config and seed returns an equal report.
 pub fn explore_seed(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Violation>> {
+    match cfg.reclaim {
+        ReclaimKind::Leaky => run_seed::<Leaky>(cfg, seed),
+        ReclaimKind::Ebr => run_seed::<Ebr>(cfg, seed),
+    }
+}
+
+fn run_seed<R: Reclaim>(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Violation>> {
     assert!(cfg.min_threads >= 2 && cfg.max_threads >= cfg.min_threads);
     assert!(cfg.min_keys >= 2 && cfg.max_keys >= cfg.min_keys && cfg.max_keys < 64);
     // The checker's memoization works on u64 bitmasks and histories are
@@ -335,7 +370,14 @@ pub fn explore_seed(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box<Vio
     let keys = rng.in_range(cfg.min_keys, cfg.max_keys);
     let inject_bug = cfg.inject_drop_flag_bug;
 
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_restart_policy(cfg.restart);
+    let set: NmTreeSet<u64, R> =
+        NmTreeSet::with_config(TreeConfig::default().with_restart(cfg.restart).with_pool(
+            if cfg.pool {
+                PoolConfig::default()
+            } else {
+                PoolConfig::disabled()
+            },
+        ));
     let rec = Recorder::new();
     // Capture-scoped flight recorder: sequence numbers start at 0 for
     // every run, and the token-passing scheduler serializes all recording

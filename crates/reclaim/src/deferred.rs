@@ -1,21 +1,28 @@
 //! Type-erased deferred destruction.
 
 /// A type-erased "free this later" closure: the address of a heap
-/// allocation plus the monomorphic destructor that knows its real type.
+/// allocation, one word of caller context, and the monomorphic function
+/// that knows the allocation's real type.
 ///
 /// This is the unit stored in reclamation bags. It is deliberately a bare
-/// (data, fn) pair rather than `Box<dyn FnOnce>` so that deferring a
-/// destruction performs **zero** additional allocation — reclamation
+/// (data, ctx, fn) triple rather than `Box<dyn FnOnce>` so that deferring
+/// a destruction performs **zero** additional allocation — reclamation
 /// bookkeeping must not dominate the allocation behaviour being measured
 /// (Table 1 counts objects allocated per operation).
+///
+/// The context word exists for the recycle path: a deferral that returns
+/// the block to a [`NodePool`](crate::NodePool) instead of the global
+/// allocator carries an owned `Arc` pointer to the pool there, so the
+/// pool provably outlives every deferral that references it.
 pub struct Deferred {
     data: *mut (),
-    call: unsafe fn(*mut ()),
+    ctx: *mut (),
+    call: unsafe fn(*mut (), *mut ()),
 }
 
 // SAFETY: a `Deferred` is only constructed from `Box::into_raw` of a
-// `T: Send` allocation (enforced by the constructors), so transferring
-// the right to drop it to another thread is sound.
+// `T: Send` allocation (enforced by the constructors' contracts), so
+// transferring the right to drop it to another thread is sound.
 unsafe impl Send for Deferred {}
 
 impl Deferred {
@@ -27,14 +34,33 @@ impl Deferred {
     /// retired elsewhere; calling the returned deferral is the unique
     /// release of the allocation.
     pub unsafe fn drop_box<T: Send>(ptr: *mut T) -> Self {
-        unsafe fn call_drop<T>(data: *mut ()) {
+        unsafe fn call_drop<T>(data: *mut (), _ctx: *mut ()) {
             // SAFETY: `data` is the pointer stored by `drop_box::<T>`.
             drop(unsafe { Box::from_raw(data.cast::<T>()) });
         }
         Deferred {
             data: ptr.cast(),
+            ctx: std::ptr::null_mut(),
             call: call_drop::<T>,
         }
+    }
+
+    /// Creates a deferral from raw parts: `call(data, ctx)` runs exactly
+    /// once when the deferral fires. This is how callers build deferrals
+    /// that do something other than `Box::from_raw` — e.g. hand the block
+    /// back to a node pool.
+    ///
+    /// # Safety
+    ///
+    /// * `call(data, ctx)` must be sound to invoke exactly once, from any
+    ///   thread (ownership of whatever `data`/`ctx` reference transfers
+    ///   into the deferral).
+    /// * The deferral WILL eventually be called by any reclaimer whose
+    ///   [`Reclaim::RECLAIMS`](crate::Reclaim::RECLAIMS) is `true`; under
+    ///   a non-reclaiming scheme it is leaked uncalled, so `ctx` must not
+    ///   be something whose leak is unsound (a leaked refcount is fine).
+    pub unsafe fn from_raw(data: *mut (), ctx: *mut (), call: unsafe fn(*mut (), *mut ())) -> Self {
+        Deferred { data, ctx, call }
     }
 
     /// The erased address, for membership tests against hazard lists.
@@ -46,9 +72,10 @@ impl Deferred {
     /// Runs the deferred destruction, consuming it.
     #[inline]
     pub fn call(self) {
-        // SAFETY: constructors guarantee `data`/`call` are a matched pair
-        // and `self` is consumed, so the destructor runs exactly once.
-        unsafe { (self.call)(self.data) }
+        // SAFETY: constructors guarantee `data`/`ctx`/`call` are a matched
+        // triple and `self` is consumed, so the destructor runs exactly
+        // once.
+        unsafe { (self.call)(self.data, self.ctx) }
     }
 }
 
@@ -98,5 +125,20 @@ mod tests {
         let d = unsafe { Deferred::drop_box(ptr) };
         std::thread::spawn(move || d.call()).join().unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn from_raw_passes_both_words() {
+        unsafe fn record(data: *mut (), ctx: *mut ()) {
+            let target = unsafe { &*(ctx as *const AtomicUsize) };
+            target.store(data as usize, Ordering::Relaxed);
+        }
+        let target = AtomicUsize::new(0);
+        let d = unsafe {
+            Deferred::from_raw(0xBEE8 as *mut (), &target as *const _ as *mut (), record)
+        };
+        assert_eq!(d.address(), 0xBEE8);
+        d.call();
+        assert_eq!(target.load(Ordering::Relaxed), 0xBEE8);
     }
 }

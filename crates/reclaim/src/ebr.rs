@@ -79,6 +79,12 @@ struct Global {
     /// Set when the owning `Ebr` is dropped: no guards can exist any
     /// more, so straggler `Local`s may free garbage immediately.
     orphaned: AtomicBool,
+    /// Tokens parked by [`Reclaim::hold`]. Every deferral execution site
+    /// (`collect`, `drain_all`) runs under a live `Global` — reached via
+    /// the owning `Ebr` or a straggler `Local`'s `Arc` — and struct
+    /// fields drop after `Global::drop` has drained the last bag, so a
+    /// parked token provably outlives every deferral call.
+    keepalive: SpinLock<Vec<Box<dyn std::any::Any + Send>>>,
 }
 
 impl Global {
@@ -325,6 +331,7 @@ impl Reclaim for Ebr {
                 slots: SpinLock::new(Vec::new()),
                 pending: SpinLock::new(Vec::new()),
                 orphaned: AtomicBool::new(false),
+                keepalive: SpinLock::new(Vec::new()),
             }),
         }
     }
@@ -351,6 +358,12 @@ impl Reclaim for Ebr {
     /// count, and total retired-but-unreclaimed backlog (local bags plus
     /// sealed bags). Takes the registry and queue spin locks briefly;
     /// safe to call from any thread at any time, including while pinned.
+    /// Parks `token` in the global state, which outlives every deferral
+    /// call: stragglers reach `drain_all` through their own `Arc` to it.
+    fn hold(&self, token: Box<dyn std::any::Any + Send>) {
+        self.global.keepalive.lock().push(token);
+    }
+
     fn gauges(&self) -> ReclaimGauges {
         let epoch = self.global.epoch.load(Ordering::Acquire);
         let mut pinned_threads = 0u64;
@@ -432,10 +445,9 @@ pub struct EbrGuard<'a> {
 
 impl RetireGuard for EbrGuard<'_> {
     #[inline]
-    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
-        // SAFETY: forwarded caller contract (Box::into_raw, unlinked,
-        // not retired twice).
-        let deferred = unsafe { Deferred::drop_box(ptr) };
+    unsafe fn retire_deferred(&self, deferred: Deferred) {
+        // Recycle deferrals ride the same bags as plain drops: the bag's
+        // epoch stamp is the grace-period proof either way.
         self.local.bag.borrow_mut().push(deferred);
         self.local.slot.retired.fetch_add(1, Ordering::Relaxed);
     }

@@ -69,6 +69,12 @@ struct DomainInner {
     /// Retired items orphaned by exited threads, picked up by the next
     /// scan on any thread.
     stash: SpinLock<Vec<(usize, Deferred)>>,
+    /// Tokens parked by [`Reclaim::hold`]. Every deferral execution site
+    /// (a local's `scan`, the stash drains) runs under a live
+    /// `DomainInner`, and struct fields drop only after `Drop` has
+    /// drained the stash — so a parked token outlives every deferral
+    /// call.
+    keepalive: SpinLock<Vec<Box<dyn std::any::Any + Send>>>,
 }
 
 impl DomainInner {
@@ -76,6 +82,7 @@ impl DomainInner {
         DomainInner {
             records: SpinLock::new(Vec::new()),
             stash: SpinLock::new(Vec::new()),
+            keepalive: SpinLock::new(Vec::new()),
         }
     }
 
@@ -495,6 +502,13 @@ impl Reclaim for HazardEras {
     fn flush(&self) {
         self.local().scan();
     }
+
+    /// Parks `token` in the shared domain state, which every deferral
+    /// execution site (local scans, the orphan-stash drains) runs under:
+    /// stragglers reach it through their own `Arc<ErasInner>`.
+    fn hold(&self, token: Box<dyn std::any::Any + Send>) {
+        self.inner.domain.keepalive.lock().push(token);
+    }
 }
 
 impl Default for HazardEras {
@@ -539,12 +553,10 @@ pub struct HazardErasGuard<'a> {
 
 impl RetireGuard for HazardErasGuard<'_> {
     #[inline]
-    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
-        // SAFETY: forwarded caller contract (Box::into_raw, unlinked,
-        // not retired twice).
-        let deferred = unsafe { Deferred::drop_box(ptr) };
+    unsafe fn retire_deferred(&self, deferred: Deferred) {
         // Stamp, then bump: any pin published after the bump carries an
-        // era strictly greater than the stamp.
+        // era strictly greater than the stamp. Recycle deferrals get the
+        // same stamp discipline as plain drops.
         let era = self.local.inner.era.fetch_add(1, Ordering::SeqCst);
         self.local.retired.borrow_mut().push((era, deferred));
     }

@@ -24,6 +24,10 @@ pub struct LeakyGuard;
 impl Reclaim for Leaky {
     type Guard<'a> = LeakyGuard;
 
+    /// `Leaky` never runs deferrals, so callers must not hand it recycle
+    /// deferrals expecting the memory to come back.
+    const RECLAIMS: bool = false;
+
     #[inline]
     fn new() -> Self {
         Leaky
@@ -40,6 +44,13 @@ impl RetireGuard for LeakyGuard {
     unsafe fn retire<T: Send>(&self, _ptr: *mut T) {
         // Intentionally leaked: the memory stays valid forever, which
         // vacuously satisfies the "no use after free" obligation.
+    }
+
+    #[inline]
+    unsafe fn retire_deferred(&self, _deferred: crate::Deferred) {
+        // Dropped uncalled: whatever the deferral guards is leaked, which
+        // is this scheme's whole point. (`Deferred` has no `Drop`, so no
+        // destructor sneaks in.)
     }
 }
 

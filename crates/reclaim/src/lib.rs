@@ -40,12 +40,14 @@ mod deferred;
 pub mod ebr;
 pub mod hazard;
 mod leaky;
+mod pool;
 mod stack;
 
 pub use deferred::Deferred;
 pub use ebr::{Ebr, EbrGuard};
 pub use hazard::{HazardDomain, HazardEras, HazardErasGuard, HazardLocal};
 pub use leaky::{Leaky, LeakyGuard};
+pub use pool::{NodePool, PoolStats};
 pub use stack::TreiberStack;
 
 /// Point-in-time reclamation health gauges (see [`Reclaim::gauges`]).
@@ -91,6 +93,15 @@ pub trait Reclaim: Send + Sync + 'static {
     where
         Self: 'a;
 
+    /// Whether retired deferrals eventually *run* under this scheme.
+    ///
+    /// `true` for every real reclaimer; `false` for [`Leaky`], which
+    /// drops deferrals uncalled so retired memory leaks by design.
+    /// Callers building recycle deferrals (which reference a shared
+    /// [`NodePool`]) consult this to skip the pointless construction
+    /// under a non-reclaiming scheme.
+    const RECLAIMS: bool = true;
+
     /// Creates a fresh, independent instance of the scheme.
     fn new() -> Self;
 
@@ -110,6 +121,26 @@ pub trait Reclaim: Send + Sync + 'static {
     fn gauges(&self) -> ReclaimGauges {
         ReclaimGauges::default()
     }
+
+    /// Parks `token` inside the scheme's shared state so it is dropped
+    /// only after the last deferral that could ever run has run.
+    ///
+    /// This is the lifetime half of the recycle path's contract: a
+    /// recycle [`Deferred`] carries a *raw* pointer to its [`NodePool`]
+    /// (refcounting every deferral would put two RMWs on every retired
+    /// node), and instead the pool's owner parks one `Arc` clone here.
+    /// Implementations that execute deferrals **must** therefore keep the
+    /// token alive at every site that calls a deferral — including
+    /// straggler per-thread state destroyed after the scheme's owner is
+    /// gone. [`Ebr`] and [`HazardEras`] anchor every execution site in
+    /// their `Arc`-shared inner state and park the token there.
+    ///
+    /// The default drops `token` immediately, which is correct exactly
+    /// when the scheme never runs deferrals (`RECLAIMS == false`, i.e.
+    /// [`Leaky`]).
+    fn hold(&self, token: Box<dyn std::any::Any + Send>) {
+        drop(token);
+    }
 }
 
 /// Operations available on a pinned guard.
@@ -122,5 +153,27 @@ pub trait RetireGuard {
     ///   retired or freed before.
     /// * `ptr` must already be unreachable for threads that pin *after*
     ///   this call (i.e. it has been unlinked from the shared structure).
-    unsafe fn retire<T: Send>(&self, ptr: *mut T);
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        // SAFETY: forwarded caller contract; `retire_deferred` runs the
+        // deferral exactly once after the grace period (or leaks it, for
+        // non-reclaiming schemes, which leaks the allocation as intended).
+        unsafe { self.retire_deferred(Deferred::drop_box(ptr)) }
+    }
+
+    /// Defers an arbitrary destruction/recycle action until no pinned
+    /// thread can reach the allocation it guards. This is the recycle
+    /// path's entry point: the caller builds a [`Deferred`] that hands
+    /// the block back to a [`NodePool`] instead of freeing it, and the
+    /// scheme runs it with exactly the same grace-period proof it gives
+    /// [`retire`](Self::retire) — which is what makes reuse ABA-safe.
+    ///
+    /// Schemes that never reclaim ([`Leaky`]) drop the deferral uncalled.
+    ///
+    /// # Safety
+    ///
+    /// * Running `deferred` must be the unique release of whatever it
+    ///   guards, and must be sound once the allocation is unreachable.
+    /// * The allocation must already be unreachable for threads that pin
+    ///   *after* this call (unlinked from the shared structure).
+    unsafe fn retire_deferred(&self, deferred: Deferred);
 }

@@ -1,0 +1,414 @@
+//! Bounded free lists that recycle retired blocks back into allocations.
+//!
+//! The paper's delete is allocation-free, but every insert pays the
+//! global allocator for two fresh nodes, and this crate's reclaimers
+//! historically handed grace-period-expired memory straight back to that
+//! allocator. A [`NodePool`] closes the loop: once a reclaimer proves a
+//! retired block unreachable, the block's deferral pushes it onto the
+//! pool instead of freeing it, and the next insert pops it back off —
+//! retire → grace period → recycle → realloc, no `malloc`/`free` pair.
+//!
+//! # Safety model
+//!
+//! The pool itself never decides *when* a block may be reused — that is
+//! the reclaimer's job, and it is exactly the guarantee reclamation
+//! already provides: a deferral fires only after the grace period, i.e.
+//! after no live reference to the block can exist. Reuse after that point
+//! is therefore ABA-safe by construction (DESIGN.md §11). The pool's own
+//! contract is purely about memory provenance: every block pushed must be
+//! a global-allocator allocation of exactly [`layout`](NodePool::layout),
+//! with its contents already dropped, so a block popped from the pool is
+//! indistinguishable from one returned by `std::alloc::alloc` — and on
+//! overflow (or contention, or pool drop) the pool can hand it to
+//! `std::alloc::dealloc` directly.
+//!
+//! # Concurrency
+//!
+//! The free list is a bounded LIFO `Vec` under a spin lock, accessed with
+//! `try_lock` only: a contended pop reports "empty" (caller falls through
+//! to the real allocator) and a contended push frees the block instead of
+//! waiting. The pool can therefore never block an operation or degrade
+//! below plain-malloc behaviour; the lock is a fast path, not a
+//! serialization point. Callers batch (see the per-handle caches in
+//! `nmbst`) so the common case touches no shared state at all.
+
+use nmbst_sync::SpinLock;
+use std::alloc::Layout;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Point-in-time counters of one [`NodePool`]; see [`NodePool::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from the pool (recycled or cached memory)
+    /// instead of the global allocator.
+    pub hits: u64,
+    /// Allocation attempts the pool could not serve (empty or contended);
+    /// the caller paid the global allocator.
+    pub misses: u64,
+    /// Blocks accepted into the free list (from recycling deferrals and
+    /// cache give-backs).
+    pub recycled: u64,
+    /// Blocks the pool declined (full or contended) and freed to the
+    /// global allocator instead.
+    pub dropped: u64,
+    /// Current free-list length (racy snapshot).
+    pub len: u64,
+    /// Maximum free-list length.
+    pub capacity: u64,
+}
+
+/// A bounded LIFO free list of fixed-layout memory blocks.
+///
+/// One pool serves one block layout (one `Node<K, V>` type); pushing any
+/// other layout is a contract violation. LIFO because the most recently
+/// retired block is the most likely to still be cache-hot when the next
+/// insert reuses it.
+///
+/// Shared by `Arc`: the owning tree holds one reference and parks a
+/// second inside the reclaimer via [`Reclaim::hold`](crate::Reclaim::hold),
+/// so recycling deferrals can carry a plain raw pointer — the reclaimer
+/// guarantees the pool outlives every deferral it ever runs, including
+/// on straggling collector threads.
+pub struct NodePool {
+    layout: Layout,
+    capacity: usize,
+    free: SpinLock<FreeList>,
+    /// Mirror of the free-list length, maintained inside the lock, so
+    /// gauges and the empty-pool fast path need no lock at all.
+    len: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// The lock-protected half of the pool. `recycled` lives here (not as an
+/// atomic) because it is only ever bumped while the push already holds
+/// the lock — keeping the per-block release path at a single RMW (the
+/// lock acquisition itself), which is what lets recycling beat a
+/// `free`/`malloc` round trip.
+struct FreeList {
+    blocks: Vec<*mut u8>,
+    recycled: u64,
+}
+
+// SAFETY: the raw pointers in the free list are owned blocks (no aliases
+// exist once a block is pushed — the pusher proved it dead), and all
+// access to the list is synchronized by the spin lock.
+unsafe impl Send for NodePool {}
+unsafe impl Sync for NodePool {}
+
+impl NodePool {
+    /// Creates an empty pool for blocks of `layout`, holding at most
+    /// `capacity` free blocks. Zero-size layouts are rejected — there is
+    /// nothing to recycle.
+    pub fn new(layout: Layout, capacity: usize) -> Self {
+        assert!(layout.size() > 0, "cannot pool zero-sized blocks");
+        NodePool {
+            layout,
+            capacity,
+            free: SpinLock::new(FreeList {
+                // Reserve up front (bounded for pathological capacities)
+                // so steady-state pushes never grow the Vec.
+                blocks: Vec::with_capacity(capacity.min(4096)),
+                recycled: 0,
+            }),
+            len: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The one block layout this pool serves.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Maximum number of free blocks held.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current free-list length (racy snapshot; exact at quiescence).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no free block is currently pooled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pops one free block, or `None` if the pool is empty or contended
+    /// (the caller then uses the global allocator). The returned block is
+    /// uninitialized memory of [`layout`](Self::layout), exclusively
+    /// owned by the caller.
+    ///
+    /// Does not count a hit or miss — callers batch accounting through
+    /// [`note_usage`](Self::note_usage).
+    #[inline]
+    pub fn acquire(&self) -> Option<NonNull<u8>> {
+        let mut out: Option<NonNull<u8>> = None;
+        self.acquire_batch(1, |p| out = NonNull::new(p));
+        out
+    }
+
+    /// Pops up to `max` free blocks, passing each to `sink`; returns the
+    /// number popped. One lock acquisition for the whole batch — this is
+    /// what per-thread caches refill through.
+    pub fn acquire_batch(&self, max: usize, mut sink: impl FnMut(*mut u8)) -> usize {
+        // Lock-free fast path: an empty pool is the common case in grow-
+        // only phases, and it must not pay even an uncontended lock CAS.
+        if max == 0 || self.len.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let Some(mut free) = self.free.try_lock() else {
+            return 0;
+        };
+        let take = free.blocks.len().min(max);
+        for _ in 0..take {
+            let p = free.blocks.pop().expect("len checked");
+            sink(p);
+        }
+        self.len.store(free.blocks.len(), Ordering::Relaxed);
+        take
+    }
+
+    /// Gives a dead block back to the pool. If the pool is full (or the
+    /// lock contended), the block is freed to the global allocator
+    /// instead — release never blocks and never leaks.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a global-allocator allocation of exactly
+    /// [`layout`](Self::layout) (e.g. `Box::into_raw` of the pooled node
+    /// type), exclusively owned by the caller, with its contents already
+    /// dropped. Ownership transfers to the pool.
+    #[inline]
+    pub unsafe fn release(&self, ptr: *mut u8) {
+        if let Some(mut free) = self.free.try_lock() {
+            if free.blocks.len() < self.capacity {
+                free.blocks.push(ptr);
+                free.recycled += 1;
+                self.len.store(free.blocks.len(), Ordering::Relaxed);
+                return;
+            }
+        }
+        // Full or contended: fall through to the real allocator.
+        // SAFETY: release contract — global-allocator block of
+        // `self.layout`.
+        unsafe { std::alloc::dealloc(ptr, self.layout) };
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Gives many dead blocks back in one lock acquisition, draining
+    /// `blocks`. Blocks that do not fit (full or contended) are freed to
+    /// the global allocator. This is what per-thread caches flush
+    /// through.
+    ///
+    /// # Safety
+    ///
+    /// Every block in `blocks` must satisfy the
+    /// [`release`](Self::release) contract.
+    pub unsafe fn release_batch(&self, blocks: &mut Vec<*mut u8>) {
+        if blocks.is_empty() {
+            return;
+        }
+        if let Some(mut free) = self.free.try_lock() {
+            while free.blocks.len() < self.capacity {
+                let Some(ptr) = blocks.pop() else { break };
+                free.blocks.push(ptr);
+                free.recycled += 1;
+            }
+            self.len.store(free.blocks.len(), Ordering::Relaxed);
+        }
+        let dropped = blocks.len() as u64;
+        for ptr in blocks.drain(..) {
+            // Full or contended: fall through to the real allocator.
+            // SAFETY: release contract — global-allocator block of
+            // `self.layout`.
+            unsafe { std::alloc::dealloc(ptr, self.layout) };
+        }
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds a caller's batched hit/miss counts into the pool's stats.
+    pub fn note_usage(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time counters (racy snapshots; exact at quiescence).
+    /// Briefly takes the free-list lock (for `recycled`); fine for a
+    /// gauge scrape, kept off the operation hot paths.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recycled: self.free.lock().recycled,
+            dropped: self.dropped.load(Ordering::Relaxed),
+            len: self.len() as u64,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+impl Drop for NodePool {
+    fn drop(&mut self) {
+        for &ptr in self.free.get_mut().blocks.iter() {
+            // SAFETY: every pooled block is an exclusively owned global-
+            // allocator allocation of `self.layout` (release contract),
+            // and `&mut self` proves no other reference to the pool
+            // exists.
+            unsafe { std::alloc::dealloc(ptr, self.layout) };
+        }
+    }
+}
+
+impl std::fmt::Debug for NodePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodePool")
+            .field("layout", &self.layout)
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(pool: &NodePool) -> *mut u8 {
+        // SAFETY: non-zero layout, asserted in `NodePool::new`.
+        let p = unsafe { std::alloc::alloc(pool.layout()) };
+        assert!(!p.is_null());
+        p
+    }
+
+    fn test_pool(capacity: usize) -> NodePool {
+        NodePool::new(Layout::new::<[u64; 4]>(), capacity)
+    }
+
+    #[test]
+    fn round_trip_returns_same_block() {
+        let pool = test_pool(4);
+        assert!(pool.acquire().is_none(), "fresh pool is empty");
+        let p = block(&pool);
+        unsafe { pool.release(p) };
+        assert_eq!(pool.len(), 1);
+        let got = pool.acquire().expect("pooled block");
+        assert_eq!(got.as_ptr(), p);
+        assert_eq!(pool.len(), 0);
+        unsafe { std::alloc::dealloc(got.as_ptr(), pool.layout()) };
+    }
+
+    #[test]
+    fn lifo_order() {
+        let pool = test_pool(4);
+        let a = block(&pool);
+        let b = block(&pool);
+        unsafe {
+            pool.release(a);
+            pool.release(b);
+        }
+        assert_eq!(pool.acquire().unwrap().as_ptr(), b, "most recent first");
+        assert_eq!(pool.acquire().unwrap().as_ptr(), a);
+        unsafe {
+            std::alloc::dealloc(a, pool.layout());
+            std::alloc::dealloc(b, pool.layout());
+        }
+    }
+
+    #[test]
+    fn overflow_falls_through_to_allocator() {
+        let pool = test_pool(2);
+        for _ in 0..5 {
+            let p = block(&pool);
+            unsafe { pool.release(p) };
+        }
+        let s = pool.stats();
+        assert_eq!(s.recycled, 2, "capacity bounds the free list");
+        assert_eq!(s.dropped, 3, "overflow blocks freed, not leaked");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn drop_frees_remaining_blocks() {
+        // Miri/asan would flag the leak if Drop failed to dealloc.
+        let pool = test_pool(8);
+        for _ in 0..8 {
+            let p = block(&pool);
+            unsafe { pool.release(p) };
+        }
+        assert_eq!(pool.len(), 8);
+        drop(pool);
+    }
+
+    #[test]
+    fn batch_acquire_pops_up_to_max() {
+        let pool = test_pool(8);
+        for _ in 0..5 {
+            let p = block(&pool);
+            unsafe { pool.release(p) };
+        }
+        let mut got = Vec::new();
+        let n = pool.acquire_batch(3, |p| got.push(p));
+        assert_eq!(n, 3);
+        assert_eq!(pool.len(), 2);
+        let n = pool.acquire_batch(10, |p| got.push(p));
+        assert_eq!(n, 2);
+        assert!(pool.acquire().is_none());
+        for p in got {
+            unsafe { std::alloc::dealloc(p, pool.layout()) };
+        }
+    }
+
+    #[test]
+    fn usage_counters_accumulate() {
+        let pool = test_pool(4);
+        pool.note_usage(3, 1);
+        pool.note_usage(0, 2);
+        let s = pool.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.capacity, 4);
+    }
+
+    #[test]
+    fn concurrent_churn_loses_no_blocks() {
+        // 4 threads alternately release fresh blocks and acquire them
+        // back; every block must end up either freed by the test or
+        // owned by the pool — asan would catch a leak or double free.
+        let pool = std::sync::Arc::new(test_pool(64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        if i % 2 == 0 {
+                            let p = block(&pool);
+                            unsafe { pool.release(p) };
+                        } else if let Some(p) = pool.acquire() {
+                            unsafe { std::alloc::dealloc(p.as_ptr(), pool.layout()) };
+                        }
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.len as usize, pool.len());
+        assert!(s.len <= 64);
+    }
+}

@@ -9,7 +9,7 @@
 
 use nmbst::chaos::{self, FaultPlan, Point, StallCell};
 use nmbst::NmTreeSet;
-use nmbst_lincheck::explore::{explore_many, explore_seed, ExploreConfig};
+use nmbst_lincheck::explore::{explore_many, explore_seed, ExploreConfig, ReclaimKind};
 
 /// The bounded per-PR seed budget (CI runs exactly this test). The wide
 /// sweep lives in `soak.rs`.
@@ -63,6 +63,37 @@ fn bounded_seed_sweep_is_clean_under_both_restart_policies() {
         let stats = explore_many(&cfg, 0..32).unwrap_or_else(|v| panic!("policy {restart:?}: {v}"));
         assert_eq!(stats.schedules, 32, "policy {restart:?}");
     }
+}
+
+#[test]
+fn bounded_seed_sweep_is_clean_with_recycling_pool() {
+    // The PR 4 configuration: EBR actually reclaims mid-schedule and the
+    // pool re-issues retired nodes' blocks to later inserts, so these
+    // schedules exercise retire → grace period → recycle → realloc
+    // interleaved with concurrent seeks. Linearizability and tree
+    // invariants must hold exactly as without the pool.
+    let cfg = ExploreConfig {
+        pool: true,
+        reclaim: ReclaimKind::Ebr,
+        ..Default::default()
+    };
+    let stats = explore_many(&cfg, 0..32).unwrap_or_else(|v| panic!("pool+Ebr: {v}"));
+    assert_eq!(stats.schedules, 32);
+}
+
+#[test]
+fn pool_enabled_exploration_is_deterministic() {
+    // The token-passing scheduler serializes every step, so epoch
+    // advancement, deferral execution, and pool traffic are pure
+    // functions of the seed — recycling must not break replayability.
+    let cfg = ExploreConfig {
+        pool: true,
+        reclaim: ReclaimKind::Ebr,
+        ..Default::default()
+    };
+    let first = explore_seed(&cfg, 7).unwrap_or_else(|v| panic!("{v}"));
+    let second = explore_seed(&cfg, 7).unwrap_or_else(|v| panic!("{v}"));
+    assert_eq!(first, second, "same seed, same schedule, same report");
 }
 
 #[test]
