@@ -1,8 +1,9 @@
 //! The hot-path perf harness: machine-readable before/after cells for
-//! the PR 2 optimizations and the PR 4 node-recycling pool, written as
-//! `BENCH_PR4.json` (override the path with `NMBST_BENCH_JSON`).
+//! the PR 2 optimizations, the PR 4 node-recycling pool, and the PR 5
+//! locality work (bulk-load + finger-anchored batches), written as
+//! `BENCH_PR5.json` (override the path with `NMBST_BENCH_JSON`).
 //!
-//! Five benches, each emitting `{bench, config, metrics}` cells in the
+//! Seven benches, each emitting `{bench, config, metrics}` cells in the
 //! `nmbst-bench-v1` schema shared with criterion-lite:
 //!
 //! * `single_thread_throughput` — one thread, read-heavy / mixed /
@@ -25,6 +26,22 @@
 //!   trails pool-off by more than `NMBST_POOL_TOLERANCE`** (default
 //!   0.10; CI uses a looser bound for jittery shared runners), or if
 //!   the mixed pool-on cell somehow recorded zero pool hits.
+//! * `bulk_load` — the PR 5 O(n) balanced build:
+//!   `NmTreeSet::from_sorted_iter` over `NMBST_BULK_KEYS` keys (default
+//!   100 000) vs handle loop-inserting the same keys in *shuffled*
+//!   order (the honest baseline — sorted loop-insert degenerates to an
+//!   O(n²) spine and would flatter the bulk path). **The process exits
+//!   non-zero if the bulk build is not at least
+//!   `NMBST_BULK_MIN_SPEEDUP`× faster** (default 2.0).
+//! * `sorted_batch` — the PR 5 finger-anchored batch descent: identical
+//!   Zipf-clustered ascending key runs (length `NMBST_BATCH_LEN`,
+//!   default 32) driven through the handle batch entry points vs the
+//!   same handle one key at a time. **The process exits non-zero if
+//!   the batched cell trails singles by more than
+//!   `NMBST_BATCH_TOLERANCE`** (relative, default 0.05), **or if it
+//!   recorded zero `finger_hits`** — a dead finger means the anchor
+//!   gate is rejecting everything and the batch API has silently
+//!   degraded to root descents.
 //!
 //! Knobs: `NMBST_SECS` (measured seconds per throughput cell, default
 //! 1.0; CI uses 0.2), `NMBST_KEYS` (first entry = single-thread key
@@ -42,7 +59,7 @@ use nmbst::{NmTreeSet, PoolConfig, RestartPolicy, SetHandle, TagMode, TreeConfig
 use nmbst_bench::SweepConfig;
 use nmbst_harness::rng::XorShift64Star;
 use nmbst_harness::workload::OpKind;
-use nmbst_harness::{Histogram, Workload};
+use nmbst_harness::{Histogram, SortedBatchGen, Workload};
 use nmbst_reclaim::{Ebr, Leaky, Reclaim};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -273,6 +290,101 @@ fn table1_counts(api: Api) -> (f64, f64, f64, f64) {
     )
 }
 
+/// Times one balanced bulk build of `1..=n` against handle
+/// loop-inserting the same keys in shuffled order; returns
+/// `(bulk_secs, loop_secs)`.
+///
+/// Shuffled, not sorted, for the loop baseline: sorted loop-insert
+/// builds a right spine and degenerates to O(n²), which would make the
+/// bulk path look better than it is. Shuffled insert builds a random
+/// (expected O(log n) depth) tree — the strongest incremental build
+/// the existing API offers.
+fn bulk_load_pair(n: u64, seed: u64) -> (f64, f64) {
+    let t0 = Instant::now();
+    let bulk: NmTreeSet<u64, Ebr> = NmTreeSet::from_sorted_iter(1..=n);
+    let bulk_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(bulk.count(), n as usize, "bulk build lost keys");
+    drop(bulk);
+
+    let mut keys: Vec<u64> = (1..=n).collect();
+    let mut rng = XorShift64Star::from_stream(seed, 4);
+    for i in (1..keys.len()).rev() {
+        let j = rng.next_bounded((i + 1) as u64) as usize;
+        keys.swap(i, j);
+    }
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    let t1 = Instant::now();
+    let mut h = set.handle();
+    for &k in &keys {
+        std::hint::black_box(h.insert(k));
+    }
+    drop(h);
+    let loop_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(set.count(), n as usize, "loop build lost keys");
+    (bulk_secs, loop_secs)
+}
+
+/// One single-thread sorted-batch throughput measurement: identical
+/// Zipf-clustered ascending runs driven through the handle batch entry
+/// points (`batched = true`) or the same handle one key at a time.
+/// Both sides amortize pinning through the handle, so the delta
+/// isolates the finger anchor (plus per-batch dispatch overhead).
+/// Returns (Mops/s, ops, final metrics snapshot).
+fn sorted_batch_mops(
+    batched: bool,
+    key_range: u64,
+    batch_len: usize,
+    secs: f64,
+    seed: u64,
+) -> (f64, u64, MetricsSnapshot) {
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    prepopulate(&set, key_range, seed);
+    let gen = SortedBatchGen::new(key_range, batch_len, 0.8);
+    let workload = Workload::MIXED;
+    let warmup = Duration::from_secs_f64((secs * 0.2).min(0.2));
+    let duration = Duration::from_secs_f64(secs);
+    let mut rng = XorShift64Star::from_stream(seed, 5);
+    let mut buf = Vec::with_capacity(batch_len);
+    let mut h = set.handle();
+    let mut ops = 0u64;
+    let mut elapsed = Duration::ZERO;
+
+    let mut phase = |budget: Duration, measured: bool, rng: &mut XorShift64Star| {
+        let t0 = Instant::now();
+        while t0.elapsed() < budget {
+            for _ in 0..4 {
+                gen.fill(rng, &mut buf);
+                let op = workload.pick(rng);
+                if batched {
+                    match op {
+                        OpKind::Search => {
+                            std::hint::black_box(h.contains_batch(buf.iter().copied()));
+                        }
+                        OpKind::Insert => {
+                            std::hint::black_box(h.insert_batch(buf.iter().copied()));
+                        }
+                        OpKind::Delete => {
+                            std::hint::black_box(h.remove_batch(buf.iter().copied()));
+                        }
+                    }
+                } else {
+                    for &key in &buf {
+                        std::hint::black_box(handle_op(&mut h, op, key));
+                    }
+                }
+                if measured {
+                    ops += buf.len() as u64;
+                }
+            }
+        }
+        t0.elapsed()
+    };
+    phase(warmup, false, &mut rng);
+    elapsed += phase(duration, true, &mut rng);
+    drop(h);
+    (ops as f64 / elapsed.as_secs_f64() / 1e6, ops, set.metrics())
+}
+
 fn main() {
     let cfg = SweepConfig::from_env();
     let secs = cfg.duration.as_secs_f64();
@@ -290,7 +402,7 @@ fn main() {
     let out_path = std::env::var(criterion::BENCH_JSON_ENV)
         .ok()
         .filter(|p| !p.is_empty())
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
 
     let mut cells: Vec<Json> = Vec::new();
 
@@ -487,6 +599,101 @@ fn main() {
     }
     pool_gate_ok &= check_pool_gate(insert_heavy[0], insert_heavy[1]);
 
+    // The PR 5 bulk-load cell. Fixed key count (not time-budgeted):
+    // build cost is what's being measured, and a fixed n keeps the cell
+    // comparable across runs regardless of NMBST_SECS.
+    let bulk_keys = std::env::var("NMBST_BULK_KEYS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100_000)
+        // Below ~10k keys the fixed per-tree costs (pool setup, first
+        // allocations) drown the asymptotic difference and the 2× gate
+        // stops measuring anything; clamp overrides to a meaningful n.
+        .max(10_000);
+    println!(
+        "== bulk load ({bulk_keys} keys, bulk vs shuffled handle loop, median of {REPEATS}) =="
+    );
+    let mut pairs: Vec<(f64, f64)> = (0..REPEATS)
+        .map(|_| bulk_load_pair(bulk_keys, seed))
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let bulk_secs = pairs[REPEATS / 2].0;
+    pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let loop_secs = pairs[REPEATS / 2].1;
+    let speedup = loop_secs / bulk_secs;
+    let bulk_gate_ok = check_bulk_gate(bulk_secs, loop_secs, bulk_keys);
+    cells.push(json::cell(
+        "bulk_load",
+        Json::obj([
+            ("keys", Json::from(bulk_keys)),
+            ("loop_order", Json::from("shuffled")),
+            ("loop_api", Json::from(Api::Handle.label())),
+            ("seed", Json::from(seed)),
+            ("repeats", Json::from(REPEATS)),
+        ]),
+        Json::obj([
+            ("bulk_secs", Json::Num(bulk_secs)),
+            ("loop_secs", Json::Num(loop_secs)),
+            ("speedup", Json::Num(speedup)),
+            (
+                "bulk_mkeys_per_sec",
+                Json::Num(bulk_keys as f64 / bulk_secs / 1e6),
+            ),
+        ]),
+    ));
+
+    // The PR 5 sorted-batch cell: same clustered ascending runs, batch
+    // entry points vs one-at-a-time on the same handle.
+    let batch_len = std::env::var("NMBST_BATCH_LEN")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .max(2);
+    println!(
+        "== sorted batch (key range {key_range}, runs of {batch_len}, {secs:.2}s/cell, median of {REPEATS}) =="
+    );
+    let mut batch_mops = [0.0f64; 2]; // [singles, batched]
+    let mut batch_snap: Option<MetricsSnapshot> = None;
+    for batched in [false, true] {
+        let mut runs: Vec<(f64, u64, MetricsSnapshot)> = (0..REPEATS)
+            .map(|_| sorted_batch_mops(batched, key_range, batch_len, secs, seed))
+            .collect();
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (mops, ops, snap) = runs[REPEATS / 2];
+        let label = if batched { "batched" } else { "singles" };
+        println!(
+            "  {label:<10} {mops:.3} Mops/s  (finger hits {}, misses {})",
+            snap.finger_hits, snap.finger_misses
+        );
+        batch_mops[batched as usize] = mops;
+        cells.push(json::cell(
+            "sorted_batch",
+            Json::obj([
+                ("workload", Json::from(Workload::MIXED.name)),
+                ("api", Json::from(label)),
+                ("batch_len", Json::from(batch_len)),
+                ("threads", Json::Int(1)),
+                ("key_range", Json::from(key_range)),
+                ("secs", Json::Num(secs)),
+                ("seed", Json::from(seed)),
+                ("repeats", Json::from(REPEATS)),
+            ]),
+            Json::obj([
+                ("mops", Json::Num(mops)),
+                ("ops", Json::from(ops)),
+                ("obs", snapshot_json(&snap)),
+            ]),
+        ));
+        if batched {
+            batch_snap = Some(snap);
+        }
+    }
+    let batch_gate_ok = check_batch_gate(
+        batch_mops[0],
+        batch_mops[1],
+        batch_snap.as_ref().map_or(0, |s| s.finger_hits),
+    );
+
     let path = std::path::Path::new(&out_path);
     json::write_bench_file(path, &cells).expect("write bench json");
     println!("wrote {} cells to {}", cells.len(), path.display());
@@ -503,9 +710,72 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !bulk_gate_ok {
+        eprintln!("error: bulk-load gate failed");
+        std::process::exit(1);
+    }
+    if !batch_gate_ok {
+        eprintln!("error: sorted-batch gate failed");
+        std::process::exit(1);
+    }
     if !baseline_ok {
         std::process::exit(1);
     }
+}
+
+/// The bulk-load gate: the O(n) balanced build must beat loop-insert
+/// (shuffled order, handle API) by at least `NMBST_BULK_MIN_SPEEDUP`×
+/// (default 2.0). The bulk path allocates from the pool, does zero CAS
+/// work, and never re-descends — if it can't clear 2× something is
+/// structurally wrong, not jittery.
+fn check_bulk_gate(bulk_secs: f64, loop_secs: f64, keys: u64) -> bool {
+    let min_speedup = std::env::var("NMBST_BULK_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.0);
+    let speedup = loop_secs / bulk_secs;
+    let pass = speedup >= min_speedup;
+    println!(
+        "  bulk {:.1} ms vs loop {:.1} ms for {keys} keys — {speedup:.1}x (floor {min_speedup:.1}x)  [{}]",
+        bulk_secs * 1e3,
+        loop_secs * 1e3,
+        if pass { "ok" } else { "REGRESSED" },
+    );
+    if !pass {
+        eprintln!("error: bulk load only {speedup:.2}x faster than shuffled loop-insert (need {min_speedup:.1}x)");
+    }
+    pass
+}
+
+/// The sorted-batch gate: the batched cell must not trail the
+/// one-at-a-time cell by more than `NMBST_BATCH_TOLERANCE` (relative,
+/// default 0.05 — the finger exists to *win* this cell; the tolerance
+/// only absorbs single-core scheduler jitter), and it must have
+/// recorded at least one finger hit. A zero hit count with green
+/// throughput means the anchor gate is rejecting every op and the
+/// batch API silently degraded to root descents.
+fn check_batch_gate(singles_mops: f64, batched_mops: f64, finger_hits: u64) -> bool {
+    let tolerance = std::env::var("NMBST_BATCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.05);
+    let floor = singles_mops * (1.0 - tolerance);
+    let fast_enough = batched_mops >= floor;
+    let finger_alive = finger_hits > 0;
+    println!(
+        "  batch gate: batched {batched_mops:.3} Mops/s vs singles {singles_mops:.3} (floor {floor:.3}), finger hits {finger_hits}  [{}]",
+        if fast_enough && finger_alive { "ok" } else { "REGRESSED" },
+    );
+    if !fast_enough {
+        eprintln!(
+            "error: batched sorted runs trail one-at-a-time by more than {:.1}%",
+            tolerance * 100.0
+        );
+    }
+    if !finger_alive {
+        eprintln!("error: sorted-batch cell recorded zero finger hits — the anchor gate is dead");
+    }
+    fast_enough && finger_alive
 }
 
 /// The pool ablation gate: pool-on must not trail pool-off on the

@@ -18,6 +18,7 @@
 //! | [`Point::Splice`] | the cleanup routine's splice CAS at the ancestor (Algorithm 4, lines 107–108) |
 //! | [`Point::Retire`] | handing the detached chain to the reclaimer after a won splice |
 //! | [`Point::Recycle`] | a retired node's recycle deferral handing its block back to the pool (fires on the thread *running* the deferral, after the grace period, not on the retiring op) |
+//! | [`Point::BatchFinger`] | a batch op about to revalidate its finger anchor ([`Action::Abandon`] skips the anchor and forces a full root descent — a deterministic finger *miss*, not an abandoned op) |
 //!
 //! Each point fires **immediately before** its atomic step executes, so
 //! returning [`Action::Abandon`] from a hook stops the operation with
@@ -86,6 +87,12 @@ pub enum Point {
     /// allocator instead (the pool-overflow fall-through path), which lets
     /// tests pin down *where* a given block may reappear.
     Recycle,
+    /// A batch operation is about to revalidate the previous op's seek
+    /// record as its descent anchor. Unlike every other point,
+    /// [`Action::Abandon`] here does not abandon the operation — it skips
+    /// the anchor and descends from the root (a forced, deterministic
+    /// finger miss). The operation's result is unaffected either way.
+    BatchFinger,
 }
 
 /// What an operation does after its hook inspected an injection point.

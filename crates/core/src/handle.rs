@@ -65,6 +65,13 @@ pub struct MapHandle<'t, K, V, R: Reclaim = Ebr> {
     /// Metrics batched in plain fields, flushed into the tree's sharded
     /// counters on re-pin/unpin/drop so the per-op path stays atomic-free.
     pending: PendingOps,
+    /// `true` while `rec` holds a record produced under the *current*
+    /// guard — the validity bit of the batch-op finger. Cleared whenever
+    /// the guard is dropped or refreshed ([`unpin`](Self::unpin) /
+    /// [`repin`](Self::repin)): `seek_from`'s contract needs the record
+    /// and the guard to be continuous, and that is exactly what this
+    /// tracks. Set by batch ops after each record-producing seek.
+    finger: bool,
 }
 
 impl<'t, K, V, R> MapHandle<'t, K, V, R>
@@ -82,6 +89,7 @@ where
             ops_since_repin: 0,
             repin_every: DEFAULT_REPIN_EVERY,
             pending: PendingOps::default(),
+            finger: false,
         }
     }
 
@@ -105,6 +113,7 @@ where
     /// still alive; the next operation re-pins transparently.
     pub fn unpin(&mut self) {
         self.guard = None;
+        self.finger = false;
         self.ops_since_repin = 0;
         self.flush_pending();
     }
@@ -115,6 +124,7 @@ where
         // re-entrant, so a pin taken while the old guard is still alive
         // would inherit — and keep announcing — the stale epoch.
         self.guard = None;
+        self.finger = false;
         self.guard = Some(self.tree.reclaim.pin());
         self.ops_since_repin = 0;
         obs::emit(EventKind::Repin);
@@ -215,6 +225,151 @@ where
     {
         self.with_value(key, V::clone)
     }
+
+    /// Inserts every pair of `items`, returning how many keys were added.
+    ///
+    /// The batch is stable-sorted by key first, then each op descends
+    /// from the previous op's seek record — the *finger* — when it
+    /// revalidates (the same anchor check as the local-restart seek; see
+    /// DESIGN.md), from the root otherwise. Sorted neighbors share most
+    /// of their access path, so
+    /// the amortized descent is O(1 + log of the inter-key distance)
+    /// instead of O(log n). Semantics are identical to calling
+    /// [`insert`](Self::insert) on each pair in input order: duplicate
+    /// keys keep the first occurrence (stable sort preserves input order
+    /// among equals; later ones are rejected by the tree).
+    ///
+    /// Finger hits and misses are counted in the tree's metrics
+    /// ([`MetricsSnapshot::finger_hits`](crate::obs::MetricsSnapshot)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nmbst::NmTreeMap;
+    ///
+    /// let map: NmTreeMap<u64, u64> = NmTreeMap::new();
+    /// let mut h = map.handle();
+    /// assert_eq!(h.insert_batch((0..100).map(|k| (k, k * 2))), 100);
+    /// assert_eq!(h.get(&42), Some(84));
+    /// ```
+    pub fn insert_batch(&mut self, items: impl IntoIterator<Item = (K, V)>) -> usize {
+        let mut items: Vec<(K, V)> = items.into_iter().collect();
+        // Already-ascending input — the common bulk-ingest shape — skips
+        // the sort; equal neighbors are fine (first one wins either way).
+        if !items.windows(2).all(|w| w[0].0 <= w[1].0) {
+            items.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        let mut added = 0;
+        for (key, value) in items {
+            added += usize::from(self.insert_fingered(key, value));
+        }
+        added
+    }
+
+    /// Removes every key of `keys`, returning how many were present.
+    /// Sorted and finger-anchored like [`insert_batch`](Self::insert_batch).
+    ///
+    /// Removes re-anchor on the splice's surviving sibling, so their
+    /// finger hit rate is workload-dependent (a survivor that is a leaf
+    /// cannot anchor a descent and the next op pays a root seek).
+    pub fn remove_batch(&mut self, keys: impl IntoIterator<Item = K>) -> usize {
+        let mut keys: Vec<K> = keys.into_iter().collect();
+        if !keys.is_sorted() {
+            keys.sort();
+        }
+        let mut removed = 0;
+        for key in &keys {
+            removed += usize::from(self.remove_fingered(key));
+        }
+        removed
+    }
+
+    /// Looks up every key of `keys`, returning the values **in input
+    /// order** (the lookups themselves run in sorted, finger-anchored
+    /// order like [`insert_batch`](Self::insert_batch)).
+    pub fn get_batch(&mut self, keys: impl IntoIterator<Item = K>) -> Vec<Option<V>>
+    where
+        V: Clone,
+    {
+        let keys: Vec<K> = keys.into_iter().collect();
+        if keys.is_sorted() {
+            // Already-ascending input: sorted order *is* input order, so
+            // skip the index pairing and the result scatter entirely.
+            return keys.iter().map(|key| self.get_fingered(key)).collect();
+        }
+        let mut order: Vec<(usize, &K)> = keys.iter().enumerate().collect();
+        order.sort_by(|a, b| a.1.cmp(b.1));
+        let mut out: Vec<Option<V>> = Vec::new();
+        out.resize_with(order.len(), || None);
+        for (idx, key) in order {
+            out[idx] = self.get_fingered(key);
+        }
+        out
+    }
+
+    /// One finger-anchored lookup: the batch loop body.
+    #[inline]
+    fn get_fingered(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.tick();
+        let finger = self.finger;
+        let guard = self.guard.as_ref().expect("pinned by tick");
+        // SAFETY: as in `insert`; `finger` is true only while `rec`
+        // holds a record produced under the current guard.
+        let (value, hit) = unsafe {
+            self.tree
+                .get_from(key, V::clone, guard, &mut self.rec, finger)
+        };
+        self.finger = true;
+        self.pending.searches += 1;
+        self.note_finger(hit);
+        value
+    }
+
+    /// One finger-anchored insert: the batch loop body.
+    #[inline]
+    fn insert_fingered(&mut self, key: K, value: V) -> bool {
+        self.tick();
+        let finger = self.finger;
+        let guard = self.guard.as_ref().expect("pinned by tick");
+        // SAFETY: as in `insert`; `finger` is true only while `rec` holds
+        // a record produced under the current guard (cleared on repin).
+        let (added, hit) = unsafe {
+            self.tree
+                .insert_from(key, value, guard, &mut self.rec, &mut self.cache, finger)
+        };
+        self.finger = true;
+        self.pending.inserts += 1;
+        self.pending.inserted += u64::from(added);
+        self.note_finger(hit);
+        added
+    }
+
+    /// One finger-anchored remove: the batch loop body.
+    #[inline]
+    fn remove_fingered(&mut self, key: &K) -> bool {
+        self.tick();
+        let finger = self.finger;
+        let guard = self.guard.as_ref().expect("pinned by tick");
+        // SAFETY: as in `insert_fingered`.
+        let (removed, hit) = unsafe {
+            self.tree
+                .remove_from(key, |_| (), guard, &mut self.rec, finger)
+        };
+        self.finger = true;
+        self.pending.removes += 1;
+        self.pending.removed += u64::from(removed.is_some());
+        self.note_finger(hit);
+        removed.is_some()
+    }
+
+    #[inline]
+    fn note_finger(&mut self, hit: bool) {
+        self.pending.finger_hits += u64::from(hit);
+        self.pending.finger_misses += u64::from(!hit);
+    }
 }
 
 impl<K, V, R: Reclaim> Drop for MapHandle<'_, K, V, R> {
@@ -301,6 +456,40 @@ where
     #[inline]
     pub fn contains(&mut self, key: &K) -> bool {
         self.inner.contains(key)
+    }
+
+    /// Inserts every key of `keys`, finger-anchored; returns how many
+    /// were added. See [`MapHandle::insert_batch`].
+    ///
+    /// ```
+    /// use nmbst::NmTreeSet;
+    ///
+    /// let set: NmTreeSet<u64> = NmTreeSet::new();
+    /// let mut h = set.handle();
+    /// assert_eq!(h.insert_batch(0..64), 64);
+    /// assert_eq!(h.remove_batch((0..64).step_by(2)), 32);
+    /// assert_eq!(h.contains_batch([1, 2, 3]), vec![true, false, true]);
+    /// assert!(set.metrics().finger_hits > 0);
+    /// ```
+    pub fn insert_batch(&mut self, keys: impl IntoIterator<Item = K>) -> usize {
+        self.inner.insert_batch(keys.into_iter().map(|k| (k, ())))
+    }
+
+    /// Removes every key of `keys`, finger-anchored; returns how many
+    /// were present. See [`MapHandle::remove_batch`].
+    pub fn remove_batch(&mut self, keys: impl IntoIterator<Item = K>) -> usize {
+        self.inner.remove_batch(keys)
+    }
+
+    /// Membership of every key of `keys`, **in input order**, the lookups
+    /// running in sorted finger-anchored order. See
+    /// [`MapHandle::get_batch`].
+    pub fn contains_batch(&mut self, keys: impl IntoIterator<Item = K>) -> Vec<bool> {
+        self.inner
+            .get_batch(keys)
+            .into_iter()
+            .map(|v| v.is_some())
+            .collect()
     }
 }
 
@@ -398,6 +587,116 @@ mod tests {
             assert_eq!(h.contains(&k), k % 2 == 1);
         }
         assert_eq!(set.count(), 50);
+    }
+
+    #[test]
+    fn batch_ops_match_model() {
+        // Batches against a BTreeMap model: duplicates, unsorted input,
+        // overlap between insert and remove batches.
+        let map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::new();
+        let mut model = std::collections::BTreeMap::new();
+        let mut h = map.handle();
+
+        let items: Vec<(u64, u64)> = vec![(5, 50), (1, 10), (9, 90), (1, 11), (3, 30), (5, 51)];
+        let mut added = 0;
+        for (k, v) in &items {
+            if !model.contains_key(k) {
+                model.insert(*k, *v);
+                added += 1;
+            }
+        }
+        assert_eq!(h.insert_batch(items), added);
+        assert_eq!(h.get(&1), Some(10), "first duplicate wins");
+        assert_eq!(h.get(&5), Some(50));
+
+        assert_eq!(h.insert_batch((0..32).map(|k| (k, k))), 32 - model.len());
+        for k in 0..32 {
+            model.entry(k).or_insert(k);
+        }
+
+        let doomed: Vec<u64> = vec![31, 2, 2, 19, 100];
+        let mut removed = 0;
+        for k in &doomed {
+            removed += usize::from(model.remove(k).is_some());
+        }
+        assert_eq!(h.remove_batch(doomed), removed);
+
+        // get_batch answers in INPUT order even though lookups run
+        // sorted.
+        let probes: Vec<u64> = vec![9, 0, 100, 2, 31, 5];
+        let got = h.get_batch(probes.clone());
+        let want: Vec<Option<u64>> = probes.iter().map(|k| model.get(k).copied()).collect();
+        assert_eq!(got, want);
+
+        drop(h);
+        for (k, v) in &model {
+            assert_eq!(map.get(k), Some(*v));
+        }
+        assert_eq!(map.count(), model.len());
+    }
+
+    #[test]
+    fn batch_finger_hits_are_counted() {
+        let map: NmTreeMap<u64, (), Ebr> = NmTreeMap::new();
+        {
+            let mut h = map.handle();
+            assert_eq!(h.insert_batch((0..200).map(|k| (k, ()))), 200);
+        }
+        let m = map.metrics();
+        assert!(
+            m.finger_hits > 100,
+            "sorted batch must mostly ride the finger: {} hits / {} misses",
+            m.finger_hits,
+            m.finger_misses
+        );
+        assert_eq!(m.finger_hits + m.finger_misses, 200);
+    }
+
+    /// [`Action::Abandon`] at [`Point::BatchFinger`] is a *forced miss*,
+    /// not an abandoned op: every operation must still complete with
+    /// identical results, only the descent anchoring changes. This pins
+    /// the chaos point's semantics deterministically.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn batch_finger_abandon_forces_root_descents_only() {
+        use crate::chaos::{self, Action, Point};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::new();
+        let arrivals = Rc::new(Cell::new(0u32));
+        let arrivals2 = Rc::clone(&arrivals);
+        {
+            // A repin would clear the finger mid-run (correct, but it
+            // would make the arrival count below depend on the default
+            // repin cadence); push it past the test's op count.
+            let mut h = map.handle().with_repin_every(1_000);
+            chaos::with_hook(
+                move |p| {
+                    if p == Point::BatchFinger {
+                        arrivals2.set(arrivals2.get() + 1);
+                        return Action::Abandon;
+                    }
+                    Action::Continue
+                },
+                || {
+                    assert_eq!(h.insert_batch((0..64).map(|k| (k, k))), 64);
+                    assert_eq!(h.remove_batch(0..10), 10);
+                    assert_eq!(
+                        h.get_batch(vec![5, 15]),
+                        vec![None, Some(15)],
+                        "ops are never abandoned, only their finger"
+                    );
+                },
+            );
+        }
+        // The first op of the fresh handle has no finger; every later op
+        // reaches the point. 64 + 10 + 2 ops → 75 arrivals.
+        assert_eq!(arrivals.get(), 75);
+        let m = map.metrics();
+        assert_eq!(m.finger_hits, 0, "every finger was abandoned");
+        assert_eq!(m.finger_misses, 76);
+        assert_eq!(m.size_estimate, 54);
     }
 
     #[test]

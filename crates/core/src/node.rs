@@ -16,7 +16,12 @@ use crate::stats;
 
 /// A tree node. Never exposed to users; alignment ≥ 8 guarantees the two
 /// low address bits used as edge marks are zero.
-#[repr(align(8))]
+///
+/// `repr(C)` pins the declaration order so `left` and `right` are
+/// adjacent words: [`child`](Self::child) indexes between them with a
+/// pointer `add` instead of a conditional select (see the `offset_of`
+/// assertions in the tests).
+#[repr(C, align(8))]
 pub(crate) struct Node<K, V> {
     pub(crate) key: Key<K>,
     /// `Some` only in leaves created by `insert`; sentinel leaves and
@@ -114,6 +119,24 @@ impl<K, V> Node<K, V> {
         self.left.load_relaxed().ptr().is_null()
     }
 
+    /// The child edge at boolean index `go_right`, selected branchlessly:
+    /// `repr(C)` makes `right` the word after `left`, so the select is a
+    /// pointer `add` of the compare's result instead of a data-dependent
+    /// branch the predictor gets wrong half the time on random descents.
+    #[inline(always)]
+    pub(crate) fn child(&self, go_right: bool) -> &AtomicEdge<Node<K, V>> {
+        debug_assert!(std::ptr::eq(
+            // SAFETY: in-bounds by the layout assertion below.
+            unsafe { (&raw const self.left).add(1) },
+            &raw const self.right,
+        ));
+        // SAFETY: `repr(C)` lays `right` immediately after `left` (two
+        // identically-typed, identically-aligned fields — no padding
+        // between them), so `(&left).add(go_right as usize)` is in
+        // bounds of `self` and points at `left` or `right`.
+        unsafe { &*(&raw const self.left).add(go_right as usize) }
+    }
+
     /// The child edge a search for `user_key` follows from this node
     /// (left iff `user_key < self.key`).
     #[inline]
@@ -121,11 +144,7 @@ impl<K, V> Node<K, V> {
     where
         K: Ord,
     {
-        if self.key.user_goes_left(user_key) {
-            &self.left
-        } else {
-            &self.right
-        }
+        self.child(!self.key.user_goes_left(user_key))
     }
 
     /// [`child_for`](Self::child_for) with the sentinel dispatch hoisted
@@ -138,11 +157,7 @@ impl<K, V> Node<K, V> {
     where
         K: Ord,
     {
-        if self.key.user_goes_left_fin(user_key) {
-            &self.left
-        } else {
-            &self.right
-        }
+        self.child(!self.key.user_goes_left_fin(user_key))
     }
 
     /// Both child edges ordered as (followed, sibling) for `user_key`.
@@ -214,6 +229,23 @@ pub(crate) fn clean_edge<K, V>(node: *mut Node<K, V>) -> Edge<Node<K, V>> {
     Edge::clean(node)
 }
 
+/// Best-effort prefetch of the cache line holding `node`'s header (key
+/// discriminant + child edge words). Used by the descent loops to start
+/// the next node's fetch while the current node's key is compared; a
+/// pure hint — no-op on architectures without a prefetch intrinsic, and
+/// safe on any address (prefetch never faults).
+#[inline(always)]
+pub(crate) fn prefetch<K, V>(node: *const Node<K, V>) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint; it performs no access and never
+    // faults, whatever the address.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(node.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = node;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +254,22 @@ mod tests {
     fn node_alignment_leaves_mark_bits_free() {
         assert!(std::mem::align_of::<Node<u64, ()>>() >= 8);
         assert!(std::mem::align_of::<Node<u8, u8>>() >= 8);
+    }
+
+    #[test]
+    fn child_edges_are_adjacent_words() {
+        // The layout contract behind `Node::child`'s branchless select.
+        use std::mem::{offset_of, size_of};
+        fn check<K: 'static, V: 'static>() {
+            assert_eq!(
+                offset_of!(Node<K, V>, right),
+                offset_of!(Node<K, V>, left) + size_of::<AtomicEdge<Node<K, V>>>(),
+            );
+        }
+        check::<u64, ()>();
+        check::<u8, u8>();
+        check::<String, Vec<u64>>();
+        check::<i64, Box<[u8; 3]>>();
     }
 
     #[test]

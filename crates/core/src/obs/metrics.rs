@@ -31,6 +31,8 @@ struct Shard {
     removed: AtomicU64,
     remove_miss: AtomicU64,
     helps: AtomicU64,
+    finger_hits: AtomicU64,
+    finger_misses: AtomicU64,
 }
 
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
@@ -130,6 +132,12 @@ impl Metrics {
         shard
             .remove_miss
             .fetch_add(p.removes - p.removed, Ordering::Relaxed);
+        shard
+            .finger_hits
+            .fetch_add(p.finger_hits, Ordering::Relaxed);
+        shard
+            .finger_misses
+            .fetch_add(p.finger_misses, Ordering::Relaxed);
     }
 
     /// Sums the shards and folds in the reclaimer's gauges and the node
@@ -153,6 +161,8 @@ impl Metrics {
             s.removed += shard.removed.load(Ordering::Relaxed);
             s.removes += shard.remove_miss.load(Ordering::Relaxed);
             s.helps += shard.helps.load(Ordering::Relaxed);
+            s.finger_hits += shard.finger_hits.load(Ordering::Relaxed);
+            s.finger_misses += shard.finger_misses.load(Ordering::Relaxed);
         }
         // The shards store outcomes; the snapshot reports call totals.
         s.inserts += s.inserted;
@@ -173,11 +183,17 @@ pub(crate) struct PendingOps {
     pub(crate) inserted: u64,
     pub(crate) removes: u64,
     pub(crate) removed: u64,
+    pub(crate) finger_hits: u64,
+    pub(crate) finger_misses: u64,
 }
 
 impl PendingOps {
     fn is_empty(&self) -> bool {
-        self.searches == 0 && self.inserts == 0 && self.removes == 0
+        self.searches == 0
+            && self.inserts == 0
+            && self.removes == 0
+            && self.finger_hits == 0
+            && self.finger_misses == 0
     }
 
     pub(crate) fn clear(&mut self) {
@@ -223,6 +239,12 @@ pub struct MetricsSnapshot {
     /// Times an operation helped a conflicting delete's cleanup instead
     /// of progressing its own work.
     pub helps: u64,
+    /// Batch ops whose finger anchor revalidated: the descent started
+    /// from the previous op's seek record instead of the root.
+    pub finger_hits: u64,
+    /// Batch ops that fell back to a full root descent (first op of a
+    /// batch, stale anchor, or anchor's successor was a leaf).
+    pub finger_misses: u64,
     /// `inserted - removed`: live key count, exact at quiescence.
     pub size_estimate: i64,
     /// Deepest access path observed by any modify-path seek (edges below
@@ -247,6 +269,7 @@ impl MetricsSnapshot {
             concat!(
                 "{{\"searches\":{},\"inserts\":{},\"inserted\":{},",
                 "\"removes\":{},\"removed\":{},\"helps\":{},",
+                "\"finger_hits\":{},\"finger_misses\":{},",
                 "\"size_estimate\":{},\"max_depth\":{},",
                 "\"reclaim_epoch\":{},\"reclaim_epoch_lag\":{},",
                 "\"reclaim_pinned_threads\":{},\"reclaim_retired_backlog\":{},",
@@ -259,6 +282,8 @@ impl MetricsSnapshot {
             self.removes,
             self.removed,
             self.helps,
+            self.finger_hits,
+            self.finger_misses,
             self.size_estimate,
             self.max_depth,
             self.reclaim.epoch,
@@ -328,6 +353,18 @@ impl MetricsSnapshot {
             self.helps as i128,
         );
         metric(
+            "nmbst_finger_hits_total",
+            "counter",
+            "Batch ops whose finger anchor revalidated.",
+            self.finger_hits as i128,
+        );
+        metric(
+            "nmbst_finger_misses_total",
+            "counter",
+            "Batch ops that fell back to a full root descent.",
+            self.finger_misses as i128,
+        );
+        metric(
             "nmbst_size_estimate",
             "gauge",
             "Live keys (inserted - removed; exact at quiescence).",
@@ -395,7 +432,7 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "searches={} inserts={}/{} removes={}/{} helps={} size≈{} \
+            "searches={} inserts={}/{} removes={}/{} helps={} finger={}/{} size≈{} \
              max_depth={} epoch={} lag={} pinned={} backlog={} \
              pool_hits={} pool_misses={} pool_recycled={} pool_len={}",
             self.searches,
@@ -404,6 +441,8 @@ impl std::fmt::Display for MetricsSnapshot {
             self.removed,
             self.removes,
             self.helps,
+            self.finger_hits,
+            self.finger_hits + self.finger_misses,
             self.size_estimate,
             self.max_depth,
             self.reclaim.epoch,

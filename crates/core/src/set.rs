@@ -62,6 +62,23 @@ where
         }
     }
 
+    /// Builds a set from an iterator of ascending keys in O(n),
+    /// producing a perfectly balanced tree (see
+    /// [`NmTreeMap::from_sorted_iter`]). Unsorted input is sorted first;
+    /// duplicates collapse to one key.
+    ///
+    /// ```
+    /// use nmbst::NmTreeSet;
+    ///
+    /// let set: NmTreeSet<u32> = NmTreeSet::from_sorted_iter(0..100);
+    /// assert!(set.contains(&42));
+    /// ```
+    pub fn from_sorted_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        NmTreeSet {
+            map: NmTreeMap::from_sorted_iter(iter.into_iter().map(|k| (k, ()))),
+        }
+    }
+
     /// Returns a pin-amortizing [`SetHandle`](crate::SetHandle) bound to
     /// this set (see [`NmTreeMap::handle`]).
     pub fn handle(&self) -> crate::SetHandle<'_, K, R> {
@@ -159,6 +176,12 @@ where
     /// experiments).
     pub fn as_map(&self) -> &NmTreeMap<K, (), R> {
         &self.map
+    }
+
+    /// Exclusive access to the underlying map — the bulk-load path of
+    /// `Extend` needs `&mut` to take the single-publish shortcut.
+    pub(crate) fn map_mut(&mut self) -> &mut NmTreeMap<K, (), R> {
+        &mut self.map
     }
 }
 

@@ -14,16 +14,13 @@ where
     /// occurrence (inserts of existing keys are rejected, per the
     /// algorithm's dictionary semantics).
     ///
-    /// Runs through a [`MapHandle`](crate::MapHandle), so the whole bulk
-    /// load amortizes pinning and shares one node-allocation cache.
+    /// Routes through the O(n) balanced bulk-load (see
+    /// [`from_sorted_iter`](NmTreeMap::from_sorted_iter)): already-sorted
+    /// input skips the sort, everything else pays one `sort` and then
+    /// builds privately with zero CAS.
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let map = NmTreeMap::new();
-        {
-            let mut h = map.handle();
-            for (k, v) in iter {
-                h.insert(k, v);
-            }
-        }
+        let mut map = NmTreeMap::new();
+        map.bulk_extend(iter.into_iter().collect());
         map
     }
 }
@@ -34,14 +31,13 @@ where
     V: Send + Sync + 'static,
     R: Reclaim,
 {
-    /// Bulk insert through a [`MapHandle`](crate::MapHandle) (amortized
-    /// pinning, shared allocation cache). Duplicate keys are rejected as
-    /// in [`insert`](NmTreeMap::insert).
+    /// Bulk insert. On an empty tree this is the O(n) balanced build
+    /// with a single publish; on a populated tree it becomes a sorted
+    /// [`insert_batch`](crate::MapHandle::insert_batch) so each descent
+    /// anchors at the previous one. Duplicate keys are rejected as in
+    /// [`insert`](NmTreeMap::insert).
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
-        let mut h = self.handle();
-        for (k, v) in iter {
-            h.insert(k, v);
-        }
+        self.bulk_extend(iter.into_iter().collect());
     }
 }
 
@@ -50,17 +46,10 @@ where
     K: Ord + Clone + Send + Sync + 'static,
     R: Reclaim,
 {
-    /// Builds a set through a [`SetHandle`](crate::SetHandle) (amortized
-    /// pinning, shared allocation cache).
+    /// Builds a set through the O(n) balanced bulk-load (see
+    /// [`NmTreeSet::from_sorted_iter`]).
     fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
-        let set = NmTreeSet::new();
-        {
-            let mut h = set.handle();
-            for k in iter {
-                h.insert(k);
-            }
-        }
-        set
+        NmTreeSet::from_sorted_iter(iter)
     }
 }
 
@@ -69,13 +58,12 @@ where
     K: Ord + Clone + Send + Sync + 'static,
     R: Reclaim,
 {
-    /// Bulk insert through a [`SetHandle`](crate::SetHandle) (amortized
-    /// pinning, shared allocation cache).
+    /// Bulk insert: balanced single-publish build when empty,
+    /// finger-anchored sorted batch otherwise (see
+    /// [`Extend` on `NmTreeMap`](NmTreeMap::extend)).
     fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
-        let mut h = self.handle();
-        for k in iter {
-            h.insert(k);
-        }
+        self.map_mut()
+            .bulk_extend(iter.into_iter().map(|k| (k, ())).collect());
     }
 }
 

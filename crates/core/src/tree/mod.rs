@@ -1,5 +1,6 @@
 //! The lock-free external BST (the paper's Algorithm 1–4).
 
+mod bulk;
 mod collect;
 mod dot;
 mod range;

@@ -4,8 +4,61 @@
 
 use super::NmTreeMap;
 use crate::key::Key;
+use crate::node::Node;
 use nmbst_reclaim::Reclaim;
 use std::ops::{Bound, RangeBounds};
+
+/// Inline capacity of [`TraversalStack`]. A DFS stack never holds more
+/// than one pending sibling per level of the current path, so 64 slots
+/// cover any balanced tree (2⁶⁰⁺ keys) without touching the heap; only
+/// adversarially degenerate shapes (e.g. a loop-inserted sorted stream)
+/// spill.
+const INLINE_STACK: usize = 64;
+
+/// A DFS stack for tree traversals with inline storage: the first
+/// [`INLINE_STACK`] entries live on the *caller's* stack frame, so the
+/// common case does zero heap allocation; deeper pushes spill to a heap
+/// `Vec`.
+///
+/// Invariant: every spill entry is newer than every inline entry, so
+/// `pop` drains the spill first — which also means the inline half can
+/// never be part-empty while the spill is non-empty.
+struct TraversalStack<K, V> {
+    inline: [*mut Node<K, V>; INLINE_STACK],
+    len: usize,
+    spill: Vec<*mut Node<K, V>>,
+}
+
+impl<K, V> TraversalStack<K, V> {
+    #[inline]
+    fn new(root: *mut Node<K, V>) -> Self {
+        let mut s = TraversalStack {
+            inline: [std::ptr::null_mut(); INLINE_STACK],
+            len: 0,
+            spill: Vec::new(),
+        };
+        s.push(root);
+        s
+    }
+
+    #[inline]
+    fn push(&mut self, node: *mut Node<K, V>) {
+        if self.len < INLINE_STACK && self.spill.is_empty() {
+            self.inline[self.len] = node;
+            self.len += 1;
+        } else {
+            self.spill.push(node);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<*mut Node<K, V>> {
+        self.spill.pop().or_else(|| {
+            self.len = self.len.checked_sub(1)?;
+            Some(self.inline[self.len])
+        })
+    }
+}
 
 impl<K, V, R> NmTreeMap<K, V, R>
 where
@@ -47,7 +100,7 @@ where
             // Keys ≥ nk can intersect (.., e) iff nk < e.
             Bound::Excluded(e) => nk.cmp_user(e) == std::cmp::Ordering::Less,
         };
-        let mut stack = vec![self.s_node()];
+        let mut stack = TraversalStack::new(self.s_node());
         while let Some(node) = stack.pop() {
             // SAFETY: pointers read from live edges under the pin.
             unsafe {
@@ -119,7 +172,7 @@ where
         V: Clone,
     {
         let _guard = self.reclaim.pin();
-        let mut stack = vec![self.s_node()];
+        let mut stack = TraversalStack::new(self.s_node());
         while let Some(node) = stack.pop() {
             // SAFETY: descent under the pin.
             unsafe {
@@ -253,6 +306,71 @@ mod tests {
         assert_eq!(got, vec![-5, 0, 5]);
         assert_eq!(s.first(), Some(-5));
         assert_eq!(s.last(), Some(10));
+    }
+
+    #[test]
+    fn degenerate_deep_tree_spills_and_stays_correct() {
+        // Loop-inserting an ascending stream builds a right spine ~400
+        // deep — far past INLINE_STACK — so this drives the spill path
+        // of `TraversalStack` end to end.
+        let m: NmTreeMap<u32, u32, Ebr> = NmTreeMap::new();
+        for k in 0..400 {
+            m.insert(k, k);
+        }
+        let got: Vec<u32> = m.range_collect(..).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+        let window: Vec<u32> = m
+            .range_collect(100..300)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(window, (100..300).collect::<Vec<_>>());
+        assert_eq!(m.last().map(|(k, _)| k), Some(399));
+    }
+
+    /// The PR 5 chaos satellite: a traversal racing a splice must report
+    /// every key that is present for the *whole* call window. The
+    /// deleter is parked deterministically between its tag and its
+    /// splice CAS ([`Point::Splice`]) — the victim is flagged and its
+    /// parent tagged, so the traversal crosses marked edges mid-surgery
+    /// — and every innocent key must still surface.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn range_during_stalled_splice_reports_every_stable_key() {
+        use crate::chaos::{FaultPlan, Point, StallCell};
+
+        for victim in [3u32, 10, 17] {
+            let m: NmTreeMap<u32, u32, Ebr> = NmTreeMap::new();
+            for k in 0..20 {
+                m.insert(k, k);
+            }
+            let cell = StallCell::new();
+            std::thread::scope(|s| {
+                let deleter_cell = cell.clone();
+                let m2 = &m;
+                s.spawn(move || {
+                    let removed = FaultPlan::new()
+                        .stall_at(Point::Splice, deleter_cell)
+                        .run(|| m2.remove(&victim));
+                    assert!(removed, "victim {victim} was present");
+                });
+                // Only traverse once the deleter is provably parked
+                // mid-splice; every run exercises the same window.
+                cell.wait_arrival();
+                let mut seen = std::collections::BTreeSet::new();
+                m.range_for_each(.., |k, _| {
+                    seen.insert(*k);
+                });
+                for k in (0..20).filter(|k| *k != victim) {
+                    assert!(seen.contains(&k), "stable key {k} missing mid-splice");
+                }
+                cell.resume();
+            });
+            assert!(!m.contains(&victim));
+            let mut m = m;
+            let shape = m.check_invariants().unwrap();
+            assert_eq!(shape.user_keys, 19);
+        }
     }
 
     #[test]

@@ -15,12 +15,17 @@
 //! the splice at `ancestor` will excise the whole chain at once.
 
 use super::{NmTreeMap, RestartPolicy};
-use crate::node::{clean_edge, Node};
+use crate::chaos::{self, Action, Point};
+use crate::key::Key;
+use crate::node::{clean_edge, prefetch, Node};
 use crate::obs::{self, EventKind};
 use crate::stats;
 use nmbst_reclaim::Reclaim;
+use std::cmp::Ordering;
 
-/// The four addresses a seek returns (Algorithm 1, lines 6–11).
+/// The four addresses a seek returns (Algorithm 1, lines 6–11), plus the
+/// positional key bounds of the `(ancestor → successor)` edge that make
+/// the record reusable as a *finger* for a different key.
 ///
 /// Raw pointers are valid for dereference only under the reclamation
 /// guard the seek ran under.
@@ -29,6 +34,30 @@ pub(crate) struct SeekRecord<K, V> {
     pub(crate) successor: *mut Node<K, V>,
     pub(crate) parent: *mut Node<K, V>,
     pub(crate) leaf: *mut Node<K, V>,
+    /// Lower key bound of the anchor edge's position: every key that
+    /// routes through `(ancestor → successor)` is ≥ it. Null means −∞.
+    /// Points at the routing key of a node on the recorded access path —
+    /// dereference only under the record's guard.
+    ///
+    /// The stored bounds are those accumulated from the routing
+    /// decisions strictly *above* the successor — the edge's exact
+    /// positional window as of this descent. (They deliberately exclude
+    /// the successor's own routing decision: [`seek_from`] re-compares
+    /// at the successor, so a finger key may branch the other way there
+    /// and still be reachable through the edge.) A key inside the
+    /// window is guaranteed to route through the edge; a key outside it
+    /// merely forfeits the finger and re-seeks from the root. Splices
+    /// above the anchor only ever *widen* positional windows (they
+    /// remove routing nodes; inserts grow the tree at leaves, never
+    /// above an internal node), so "inside the stored window" keeps
+    /// implying "routes through the edge" under concurrent
+    /// restructuring.
+    ///
+    /// [`seek_from`]: NmTreeMap::seek_from
+    pub(crate) lo: *const Key<K>,
+    /// Upper (strict) key bound of the anchor edge's position; null
+    /// means +∞. Same provenance and caveats as `lo`.
+    pub(crate) hi: *const Key<K>,
 }
 
 impl<K, V> SeekRecord<K, V> {
@@ -38,6 +67,8 @@ impl<K, V> SeekRecord<K, V> {
             successor: std::ptr::null_mut(),
             parent: std::ptr::null_mut(),
             leaf: std::ptr::null_mut(),
+            lo: std::ptr::null(),
+            hi: std::ptr::null(),
         }
     }
 }
@@ -55,6 +86,9 @@ where
     ///
     /// Caller must hold a reclamation guard for this tree across the call
     /// and for as long as the returned record is dereferenced.
+    // Perf: inline so the per-op entry points in write.rs fuse the descent
+    // loop with their retry loops instead of paying a call per (re)seek.
+    #[inline]
     pub(crate) unsafe fn seek(&self, key: &K, rec: &mut SeekRecord<K, V>) {
         stats::record_seek();
         obs::emit(EventKind::SeekStart);
@@ -64,6 +98,20 @@ where
         rec.ancestor = r;
         rec.successor = s;
         rec.parent = s;
+        rec.lo = std::ptr::null();
+        rec.hi = std::ptr::null();
+        // Running positional bounds of the descent, snapshotted into the
+        // record whenever the anchor advances. The sentinel prefix (two
+        // hardcoded lefts past ∞₁ and ∞₀) contributes nothing a user key
+        // could violate, so both start at ±∞. Each node's routing
+        // decision is applied one iteration *late* (`pend_*`), so the
+        // snapshot taken when the anchor advances to `(parent, leaf)`
+        // holds the bounds from strictly above `leaf` — the exact window
+        // of the anchor edge, not one decision narrower.
+        let mut lo: *const Key<K> = std::ptr::null();
+        let mut hi: *const Key<K> = std::ptr::null();
+        let mut pend_key: *const Key<K> = std::ptr::null();
+        let mut pend_left = false;
         // SAFETY (all derefs in this function): pointers were read from
         // live edges under the caller's guard; retired nodes cannot be
         // freed while it is held, and sentinels are never retired.
@@ -82,12 +130,29 @@ where
             if !parent_field.tag() {
                 rec.ancestor = rec.parent;
                 rec.successor = rec.leaf;
+                rec.lo = lo;
+                rec.hi = hi;
+            }
+            if !pend_key.is_null() {
+                if pend_left {
+                    hi = pend_key;
+                } else {
+                    lo = pend_key;
+                }
             }
             rec.parent = rec.leaf;
             rec.leaf = current;
             parent_field = current_field;
-            current_field = unsafe { (*current).child_for_fin(key) }.load();
+            let node_key = unsafe { &(*current).key };
+            let go_left = node_key.user_goes_left_fin(key);
+            current_field = unsafe { (*current).child(!go_left) }.load();
+            pend_key = node_key;
+            pend_left = go_left;
             current = current_field.ptr();
+            // Start fetching the next node (the grandchild edge's target)
+            // while this iteration's tag bookkeeping and the loop test
+            // retire — hides one memory latency per level on cold paths.
+            prefetch(current);
             depth += 1;
         }
         self.metrics.note_depth(depth);
@@ -115,6 +180,9 @@ where
     /// Same contract as [`seek`](Self::seek); additionally `anchor` and
     /// `successor` must come from a seek record produced under the same
     /// continuously-held guard, with `successor` an internal node.
+    // Perf: inline for the same reason as `seek` — it is the hot half of
+    // every local-restart retry and every finger-anchored batch op.
+    #[inline]
     pub(crate) unsafe fn seek_from(
         &self,
         anchor: *mut Node<K, V>,
@@ -132,9 +200,25 @@ where
         rec.ancestor = anchor;
         rec.successor = successor;
         rec.parent = successor;
+        // Resume the positional bounds from the record: the caller
+        // guarantees `key` routes through the anchor edge (same key as
+        // the recorded seek, or a finger hit vetted against these very
+        // bounds), so the stored `[lo, hi)` is a valid starting point.
+        let mut lo = rec.lo;
+        let mut hi = rec.hi;
         // `anchor`/`successor` may be sentinels (R, S), so the first two
-        // routing steps use the general compare.
-        let mut parent_field = unsafe { (*successor).child_for(key) }.load();
+        // routing steps use the general compare. Sentinel keys are safe
+        // as bounds: only `hi` can ever take one (user keys never route
+        // right of an infinite key) and ∞ₓ compares above every user
+        // key, same as null.
+        let s_key = unsafe { &(*successor).key };
+        let go_left = s_key.user_goes_left(key);
+        let mut parent_field = unsafe { (*successor).child(!go_left) }.load();
+        if go_left {
+            hi = s_key;
+        } else {
+            lo = s_key;
+        }
         rec.leaf = parent_field.ptr();
         if rec.leaf.is_null() {
             // `successor` turned out to be a leaf: no record shape can be
@@ -143,7 +227,14 @@ where
             // guard against misuse.
             return false;
         }
-        let mut current_field = unsafe { (*rec.leaf).child_for(key) }.load();
+        let l_key = unsafe { &(*rec.leaf).key };
+        let go_left = l_key.user_goes_left(key);
+        let mut current_field = unsafe { (*rec.leaf).child(!go_left) }.load();
+        // `rec.leaf`'s decision stays pending (applied one iteration
+        // late), matching `seek`: an anchor snapshot stores the bounds
+        // from strictly above its successor.
+        let mut pend_key: *const Key<K> = l_key;
+        let mut pend_left = go_left;
         let mut current = current_field.ptr();
 
         // Identical to the descent loop of `seek`.
@@ -151,12 +242,26 @@ where
             if !parent_field.tag() {
                 rec.ancestor = rec.parent;
                 rec.successor = rec.leaf;
+                rec.lo = lo;
+                rec.hi = hi;
+            }
+            if !pend_key.is_null() {
+                if pend_left {
+                    hi = pend_key;
+                } else {
+                    lo = pend_key;
+                }
             }
             rec.parent = rec.leaf;
             rec.leaf = current;
             parent_field = current_field;
-            current_field = unsafe { (*current).child_for_fin(key) }.load();
+            let node_key = unsafe { &(*current).key };
+            let go_left = node_key.user_goes_left_fin(key);
+            current_field = unsafe { (*current).child(!go_left) }.load();
+            pend_key = node_key;
+            pend_left = go_left;
             current = current_field.ptr();
+            prefetch(current);
         }
         stats::record_local_restart();
         obs::emit(EventKind::LocalRestart);
@@ -173,6 +278,8 @@ where
     /// Same contract as [`seek`](Self::seek); additionally `rec` must
     /// hold the record of a prior seek for the same `key` performed
     /// under the same continuously-held guard.
+    // Perf: inline so the policy dispatch folds away at the call sites.
+    #[inline]
     pub(crate) unsafe fn seek_retry(&self, key: &K, rec: &mut SeekRecord<K, V>) {
         if self.restart == RestartPolicy::Local && !rec.ancestor.is_null() {
             let (anchor, successor) = (rec.ancestor, rec.successor);
@@ -185,6 +292,58 @@ where
         unsafe { self.seek(key, rec) };
     }
 
+    /// Batch-op seek: descend from a previous op's seek record — the
+    /// *finger* — when the caller says it has one and it revalidates,
+    /// from the root otherwise. Returns whether the finger was used (a
+    /// finger **hit**: sorted neighbors share most of their access path,
+    /// so the descent pays only the inter-key distance).
+    ///
+    /// Unlike a local-restart retry — which re-seeks the *same* key, so
+    /// the anchor edge is on its path by construction — a finger carries
+    /// the record to a **different** key, which is only sound if that key
+    /// routes through the anchor edge at all. The record's positional
+    /// bounds (`SeekRecord::lo`/`hi`) gate exactly that: a key inside
+    /// `[lo, hi)` provably reaches the edge, a key outside forfeits the
+    /// finger. After the gate, safety reduces to
+    /// [`seek_from`](Self::seek_from)'s revalidation — a stale or
+    /// torn-down anchor fails the clean-edge check and the op falls back
+    /// to a full root seek. The [`Point::BatchFinger`] chaos point fires
+    /// before the gate; [`Action::Abandon`] skips the anchor (a
+    /// deterministic forced miss), it does not abandon the op.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`seek`](Self::seek); when `finger` is true,
+    /// `rec` must additionally hold a record produced under the same
+    /// continuously-held guard (any key).
+    #[inline]
+    pub(crate) unsafe fn seek_finger(
+        &self,
+        key: &K,
+        rec: &mut SeekRecord<K, V>,
+        finger: bool,
+    ) -> bool {
+        if finger && !rec.ancestor.is_null() && chaos::hit(Point::BatchFinger) == Action::Continue {
+            // SAFETY: bound pointers target routing keys of nodes on the
+            // recorded path, guard-protected per the `finger` contract.
+            let in_bounds = unsafe {
+                (rec.lo.is_null() || (*rec.lo).cmp_user(key) != Ordering::Greater)
+                    && (rec.hi.is_null() || (*rec.hi).cmp_user(key) == Ordering::Greater)
+            };
+            if in_bounds {
+                let (anchor, successor) = (rec.ancestor, rec.successor);
+                // SAFETY: forwarded contract (`finger` vouches for the
+                // record, the bounds gate for the key).
+                if unsafe { self.seek_from(anchor, successor, key, rec) } {
+                    return true;
+                }
+            }
+        }
+        // SAFETY: forwarded contract.
+        unsafe { self.seek(key, rec) };
+        false
+    }
+
     /// Lightweight traversal for read-only operations: the paper's
     /// search (Algorithm 2, lines 34–39) only consults the final leaf,
     /// so the full record bookkeeping can be skipped.
@@ -192,6 +351,8 @@ where
     /// # Safety
     ///
     /// Same contract as [`seek`](Self::seek).
+    // Perf: inline — this is the whole body of `contains`/`get`.
+    #[inline]
     pub(crate) unsafe fn search_leaf(&self, key: &K) -> *mut Node<K, V> {
         // Sentinel prefix of every access path, hardcoded as in `seek`:
         // a user key routes left of `S` (∞₁) and left of the ∞₀-keyed
@@ -205,6 +366,7 @@ where
         while !next.is_null() {
             current = next;
             next = unsafe { (*current).child_for_fin(key) }.load().ptr();
+            prefetch(next);
         }
         current
     }

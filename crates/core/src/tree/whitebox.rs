@@ -52,7 +52,7 @@ where
                 return;
             }
             // SAFETY: record from a seek under this pin.
-            unsafe { self.cleanup(key, &rec, &guard) };
+            unsafe { self.cleanup(key, &mut rec, &guard) };
         }
     }
 }

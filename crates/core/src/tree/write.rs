@@ -69,24 +69,50 @@ where
         rec: &mut SeekRecord<K, V>,
         cache: &mut NodeCache<'_>,
     ) -> bool {
+        // SAFETY: forwarded contract (`finger = false` ignores `rec`).
+        unsafe { self.insert_from(key, value, guard, rec, cache, false) }.0
+    }
+
+    /// [`insert_in`](Self::insert_in) with a *finger*: when `finger` is
+    /// true, the first seek descends from `rec`'s previous
+    /// `(ancestor → successor)` anchor if it revalidates (the batch-op
+    /// fast path). Returns `(added, finger_hit)`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`insert_in`](Self::insert_in); when `finger` is
+    /// true, `rec` must additionally hold a record produced under the
+    /// same continuously-held guard (see
+    /// [`seek_finger`](Self::seek_finger)).
+    pub(crate) unsafe fn insert_from(
+        &self,
+        key: K,
+        value: V,
+        guard: &R::Guard<'_>,
+        rec: &mut SeekRecord<K, V>,
+        cache: &mut NodeCache<'_>,
+        finger: bool,
+    ) -> (bool, bool) {
         let mut value = Some(value);
         // Scratch nodes, allocated on first use and reused on retry;
         // they stay private until the publishing CAS succeeds.
         let mut new_leaf: *mut Node<K, V> = ptr::null_mut();
         let mut new_internal: *mut Node<K, V> = ptr::null_mut();
         let mut first_seek = true;
+        let mut hit = false;
 
         loop {
             if first_seek {
                 first_seek = false;
-                // SAFETY: `guard` held per contract.
-                unsafe { self.seek(&key, rec) };
+                // SAFETY: `guard` held per contract (`finger` vouches for
+                // the record's provenance).
+                hit = unsafe { self.seek_finger(&key, rec, finger) };
             } else {
                 if chaos::hit(Point::SeekRetry) == Action::Abandon {
                     // SAFETY: scratch nodes are unpublished (every CAS
                     // failed).
                     unsafe { discard_scratch(cache, new_leaf, new_internal) };
-                    return false;
+                    return (false, hit);
                 }
                 // SAFETY: `guard` held continuously since `rec` was
                 // produced, as `seek_retry` requires.
@@ -97,7 +123,7 @@ where
             if unsafe { (*leaf).key.is_user(&key) } {
                 // Key already present (Algorithm 2, line 59).
                 unsafe { discard_scratch(cache, new_leaf, new_internal) };
-                return false;
+                return (false, hit);
             }
 
             let parent = rec.parent;
@@ -136,11 +162,11 @@ where
             if chaos::hit(Point::InsertPublish) == Action::Abandon {
                 // SAFETY: scratch nodes are unpublished.
                 unsafe { discard_scratch(cache, new_leaf, new_internal) };
-                return false;
+                return (false, hit);
             }
             // The single publishing CAS (Algorithm 2, line 51).
             match child_edge.compare_exchange(clean_edge(leaf), clean_edge(new_internal)) {
-                Ok(()) => return true,
+                Ok(()) => return (true, hit),
                 Err(observed) => {
                     // Help a conflicting delete if the injection point is
                     // unchanged but marked (lines 55–57), then retry.
@@ -153,7 +179,7 @@ where
                         if outcome == CleanupOutcome::Abandoned {
                             // SAFETY: scratch nodes are unpublished.
                             unsafe { discard_scratch(cache, new_leaf, new_internal) };
-                            return false;
+                            return (false, hit);
                         }
                     }
                 }
@@ -205,26 +231,47 @@ where
         guard: &R::Guard<'_>,
         rec: &mut SeekRecord<K, V>,
     ) -> Option<T> {
+        // SAFETY: forwarded contract (`finger = false` ignores `rec`).
+        unsafe { self.remove_from(key, read, guard, rec, false) }.0
+    }
+
+    /// [`remove_in`](Self::remove_in) with a *finger* (see
+    /// [`insert_from`](Self::insert_from)). Returns
+    /// `(removed, finger_hit)`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`insert_from`](Self::insert_from).
+    pub(crate) unsafe fn remove_from<T>(
+        &self,
+        key: &K,
+        read: impl FnOnce(&Node<K, V>) -> T,
+        guard: &R::Guard<'_>,
+        rec: &mut SeekRecord<K, V>,
+        finger: bool,
+    ) -> (Option<T>, bool) {
         let mut read = Some(read);
         let mut injecting = true;
         let mut target: *mut Node<K, V> = ptr::null_mut();
         let mut result: Option<T> = None;
         let mut first_seek = true;
+        let mut hit = false;
 
         loop {
             if first_seek {
                 first_seek = false;
-                // SAFETY: `guard` held per contract; in cleanup mode it
-                // also keeps `target` comparable by address (the leaf
-                // cannot be freed and recycled while we are pinned).
-                unsafe { self.seek(key, rec) };
+                // SAFETY: `guard` held per contract (`finger` vouches for
+                // the record's provenance); in cleanup mode it also keeps
+                // `target` comparable by address (the leaf cannot be
+                // freed and recycled while we are pinned).
+                hit = unsafe { self.seek_finger(key, rec, finger) };
             } else {
                 if chaos::hit(Point::SeekRetry) == Action::Abandon {
                     // Before injection `result` is `None` (op never
                     // happened); after it, the delete already linearized
                     // and the planted flag lets any helper finish the
                     // splice.
-                    return result;
+                    return (result, hit);
                 }
                 // SAFETY: `guard` held continuously since `rec` was
                 // produced, as `seek_retry` requires.
@@ -238,10 +285,10 @@ where
                 let leaf = rec.leaf;
                 // SAFETY: read under `guard`.
                 if !unsafe { (*leaf).key.is_user(key) } {
-                    return None; // key absent (line 72)
+                    return (None, hit); // key absent (line 72)
                 }
                 if chaos::hit(Point::DeleteInject) == Action::Abandon {
-                    return None; // abandoned before linearizing: a no-op
+                    return (None, hit); // abandoned before linearizing: a no-op
                 }
                 // Injection: flag the edge to the victim (line 73). This
                 // is the linearization point of a successful delete.
@@ -257,7 +304,9 @@ where
                         match unsafe { self.cleanup(key, rec, guard) } {
                             // Abandoned: the delete already linearized at
                             // the flag; leave the splice to helpers.
-                            CleanupOutcome::Spliced | CleanupOutcome::Abandoned => return result,
+                            CleanupOutcome::Spliced | CleanupOutcome::Abandoned => {
+                                return (result, hit)
+                            }
                             CleanupOutcome::Lost => {}
                         }
                     }
@@ -268,7 +317,7 @@ where
                             // SAFETY: record protected by `guard`.
                             let outcome = unsafe { self.cleanup(key, rec, guard) };
                             if outcome == CleanupOutcome::Abandoned {
-                                return None; // not yet linearized: a no-op
+                                return (None, hit); // not yet linearized: a no-op
                             }
                         }
                     }
@@ -277,11 +326,11 @@ where
                 // Cleanup mode (lines 82–87): if the flagged leaf is no
                 // longer on the access path, a helper already removed it.
                 if rec.leaf != target {
-                    return result;
+                    return (result, hit);
                 }
                 // SAFETY: record protected by `guard`.
                 match unsafe { self.cleanup(key, rec, guard) } {
-                    CleanupOutcome::Spliced | CleanupOutcome::Abandoned => return result,
+                    CleanupOutcome::Spliced | CleanupOutcome::Abandoned => return (result, hit),
                     CleanupOutcome::Lost => {}
                 }
             }
@@ -292,13 +341,20 @@ where
     /// Invoked by the delete that owns the flag *and* by any operation
     /// helping it.
     ///
+    /// On a won splice the record's `successor` is repointed at the
+    /// hoisted survivor: `(ancestor → survivor)` is exactly the edge our
+    /// CAS just installed, so it is the freshest possible local-restart
+    /// anchor for the retry loops and the batch-op finger (it fails
+    /// revalidation harmlessly if the survivor is a leaf or the edge
+    /// moved again).
+    ///
     /// # Safety
     ///
     /// `rec` must come from a seek under `guard`, still held.
     pub(crate) unsafe fn cleanup(
         &self,
         key: &K,
-        rec: &SeekRecord<K, V>,
+        rec: &mut SeekRecord<K, V>,
         guard: &R::Guard<'_>,
     ) -> CleanupOutcome {
         stats::record_cleanup();
@@ -361,6 +417,14 @@ where
                 obs::emit(EventKind::Splice {
                     chain_len: chain_len.min(u32::MAX as u64) as u32,
                 });
+                // Repoint the record at the edge we just wrote (see the
+                // method docs); the detached `successor`/`parent`/`leaf`
+                // pointers stay guard-protected but are now stale. The
+                // positional bounds (`rec.lo`/`hi`) stay valid verbatim:
+                // they bound the *edge position* at `ancestor`, which the
+                // splice did not move — only the subtree hanging there
+                // changed.
+                rec.successor = sib.ptr();
                 CleanupOutcome::Spliced
             }
             Err(_) => CleanupOutcome::Lost,

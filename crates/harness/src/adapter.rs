@@ -34,6 +34,28 @@ pub trait ConcurrentSet: Send + Sync + 'static {
     fn metrics(&self) -> Option<MetricsSnapshot> {
         None
     }
+
+    /// Applies an ascending run of inserts; returns how many were new.
+    ///
+    /// The default loops over [`ConcurrentSet::insert`], so every
+    /// baseline gets measured on the same sorted-batch cells as NM. The
+    /// NM adapters override this to route through the finger-anchored
+    /// handle batch path.
+    fn insert_batch(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|&&k| self.insert(k)).count()
+    }
+
+    /// Applies an ascending run of deletes; returns how many were
+    /// present. Default loops [`ConcurrentSet::remove`].
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|&&k| self.remove(k)).count()
+    }
+
+    /// Applies an ascending run of searches; returns how many were
+    /// present. Default loops [`ConcurrentSet::contains`].
+    fn contains_batch(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|&&k| self.contains(k)).count()
+    }
 }
 
 /// NM-BST in the paper's evaluation regime: no memory reclamation.
@@ -63,6 +85,19 @@ impl ConcurrentSet for NmLeaky {
     fn metrics(&self) -> Option<MetricsSnapshot> {
         Some(NmTreeSet::metrics(self))
     }
+    fn insert_batch(&self, keys: &[u64]) -> usize {
+        self.handle().insert_batch(keys.iter().copied())
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        self.handle().remove_batch(keys.iter().copied())
+    }
+    fn contains_batch(&self, keys: &[u64]) -> usize {
+        self.handle()
+            .contains_batch(keys.iter().copied())
+            .into_iter()
+            .filter(|&hit| hit)
+            .count()
+    }
 }
 
 impl ConcurrentSet for NmEbr {
@@ -86,6 +121,19 @@ impl ConcurrentSet for NmEbr {
     }
     fn metrics(&self) -> Option<MetricsSnapshot> {
         Some(NmTreeSet::metrics(self))
+    }
+    fn insert_batch(&self, keys: &[u64]) -> usize {
+        self.handle().insert_batch(keys.iter().copied())
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        self.handle().remove_batch(keys.iter().copied())
+    }
+    fn contains_batch(&self, keys: &[u64]) -> usize {
+        self.handle()
+            .contains_batch(keys.iter().copied())
+            .into_iter()
+            .filter(|&hit| hit)
+            .count()
     }
 }
 
@@ -225,5 +273,44 @@ mod tests {
         exercise::<HjTree>();
         exercise::<BccoTree>();
         exercise::<LockedBTreeSet>();
+    }
+
+    fn exercise_batch<S: ConcurrentSet>() {
+        let s = S::make();
+        let run: Vec<u64> = (10..20).collect();
+        assert_eq!(s.insert_batch(&run), 10, "{}", S::label());
+        assert_eq!(s.insert_batch(&run), 0, "{}: re-insert", S::label());
+        assert_eq!(s.contains_batch(&run), 10, "{}", S::label());
+        assert_eq!(s.contains_batch(&[1, 15, 99]), 1, "{}", S::label());
+        assert_eq!(s.remove_batch(&[10, 11, 99]), 2, "{}", S::label());
+        assert_eq!(s.contains_batch(&run), 8, "{}", S::label());
+    }
+
+    /// Batch entry points agree with the single-op ones on every
+    /// adapter — the native NM overrides and the default loops alike.
+    #[test]
+    fn batch_entry_points_match_single_op_semantics() {
+        exercise_batch::<NmLeaky>();
+        exercise_batch::<NmEbr>();
+        exercise_batch::<NmCasOnly>();
+        exercise_batch::<EfrbTree>();
+        exercise_batch::<HjTree>();
+        exercise_batch::<BccoTree>();
+        exercise_batch::<LockedBTreeSet>();
+    }
+
+    /// The NM override actually exercises the finger path: a sorted
+    /// sweep through a persistent key run must record finger hits.
+    #[test]
+    fn nm_batch_override_reports_finger_hits() {
+        let s = NmEbr::make();
+        let run: Vec<u64> = (1..=256).collect();
+        assert_eq!(s.insert_batch(&run), 256);
+        assert_eq!(s.contains_batch(&run), 256);
+        let m = ConcurrentSet::metrics(&s).expect("NM exposes metrics");
+        assert!(
+            m.finger_hits > 0,
+            "sorted batches took zero finger-anchored descents"
+        );
     }
 }

@@ -32,8 +32,8 @@ pub mod zipf;
 pub use adapter::ConcurrentSet;
 pub use hist::Histogram;
 pub use runner::{
-    mean_mops, prepopulate, run_latency, run_throughput, BenchConfig, BenchResult, KeyDist,
-    LatencyResult,
+    mean_mops, prepopulate, run_batch_throughput, run_latency, run_throughput, BenchConfig,
+    BenchResult, KeyDist, LatencyResult,
 };
-pub use workload::{OpKind, Workload, FIGURE4_KEY_RANGES};
+pub use workload::{OpKind, SortedBatchGen, Workload, FIGURE4_KEY_RANGES};
 pub use zipf::ZipfGenerator;

@@ -8,7 +8,7 @@
 use crate::adapter::ConcurrentSet;
 use crate::hist::Histogram;
 use crate::rng::XorShift64Star;
-use crate::workload::{OpKind, Workload};
+use crate::workload::{OpKind, SortedBatchGen, Workload};
 use crate::zipf::ZipfGenerator;
 use nmbst::obs::MetricsSnapshot;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -217,6 +217,100 @@ pub fn run_throughput<S: ConcurrentSet>(cfg: &BenchConfig) -> BenchResult {
     }
 }
 
+/// Runs the PR 5 `sorted-batch` cell: like [`run_throughput`], but each
+/// worker draws ascending Zipf-clustered key runs from
+/// [`SortedBatchGen`] and applies whole runs through the adapter's
+/// batch entry points ([`ConcurrentSet::insert_batch`] and friends).
+///
+/// Implementations without a native batch path fall back to the
+/// default loop-of-singles, so NM's finger-anchored batches and every
+/// baseline are measured on identical cells. `total_ops` counts
+/// individual keys, not batches, keeping Mops comparable with
+/// [`run_throughput`]. Cluster skew follows `cfg.dist` when it is
+/// [`KeyDist::Zipf`], else a moderate default of 0.8.
+pub fn run_batch_throughput<S: ConcurrentSet>(cfg: &BenchConfig, batch_len: usize) -> BenchResult {
+    let set = S::make();
+    prepopulate(&set, cfg.key_range, cfg.seed);
+
+    let theta = match cfg.dist {
+        KeyDist::Zipf(t) => t,
+        KeyDist::Uniform => 0.8,
+    };
+    let gen = SortedBatchGen::new(cfg.key_range, batch_len, theta);
+    let stop = AtomicBool::new(false);
+    let start_barrier = Barrier::new(cfg.threads + 1);
+    let mut per_thread = vec![0u64; cfg.threads];
+    let mut elapsed = Duration::ZERO;
+    let mut samples: Vec<(Duration, MetricsSnapshot)> = Vec::new();
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for t in 0..cfg.threads {
+            let set = &set;
+            let stop = &stop;
+            let start_barrier = &start_barrier;
+            let gen = &gen;
+            let workload = cfg.workload;
+            let seed = cfg.seed;
+            handles.push(s.spawn(move || {
+                let mut rng = XorShift64Star::from_stream(seed, t as u64);
+                let mut buf = Vec::with_capacity(batch_len);
+                let mut ops = 0u64;
+                start_barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    // One stop-flag check per few batches; each batch is
+                    // already tens of ops deep.
+                    for _ in 0..4 {
+                        gen.fill(&mut rng, &mut buf);
+                        match workload.pick(&mut rng) {
+                            OpKind::Search => {
+                                std::hint::black_box(set.contains_batch(&buf));
+                            }
+                            OpKind::Insert => {
+                                std::hint::black_box(set.insert_batch(&buf));
+                            }
+                            OpKind::Delete => {
+                                std::hint::black_box(set.remove_batch(&buf));
+                            }
+                        }
+                        ops += buf.len() as u64;
+                    }
+                }
+                ops
+            }));
+        }
+        start_barrier.wait();
+        let t0 = Instant::now();
+        loop {
+            let remaining = cfg.duration.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            std::thread::sleep(remaining.min(SAMPLE_INTERVAL));
+            if let Some(m) = set.metrics() {
+                samples.push((t0.elapsed(), m));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        elapsed = t0.elapsed();
+        for (t, h) in handles.into_iter().enumerate() {
+            per_thread[t] = h.join().expect("batch bench worker panicked");
+        }
+    });
+
+    if let Some(m) = set.metrics() {
+        samples.push((elapsed, m));
+    }
+
+    BenchResult {
+        algorithm: S::label(),
+        total_ops: per_thread.iter().sum(),
+        elapsed,
+        per_thread,
+        samples,
+    }
+}
+
 /// Runs a cell `runs` times and returns the mean throughput in Mops/s
 /// (the paper averages over multiple runs).
 pub fn mean_mops<S: ConcurrentSet>(cfg: &BenchConfig, runs: usize) -> f64 {
@@ -357,6 +451,42 @@ mod tests {
         assert!(res.total_ops > 0);
         assert!(res.samples.is_empty(), "baselines sample nothing");
         assert!(res.final_metrics().is_none());
+    }
+
+    #[test]
+    fn batch_run_produces_throughput_and_finger_hits() {
+        let cfg = BenchConfig {
+            threads: 2,
+            key_range: 4_096,
+            workload: Workload::MIXED,
+            duration: Duration::from_millis(50),
+            seed: 9,
+            dist: KeyDist::Uniform,
+        };
+        let res = run_batch_throughput::<NmEbr>(&cfg, 32);
+        assert!(res.total_ops > 0);
+        assert!(res.per_thread.iter().all(|&c| c > 0));
+        let m = res.final_metrics().expect("NmEbr has metrics");
+        assert!(
+            m.finger_hits > 0,
+            "sorted-batch run recorded zero finger hits"
+        );
+    }
+
+    #[test]
+    fn batch_run_works_on_baselines_via_default_loop() {
+        use nmbst_baselines::locked::LockedBTreeSet;
+        let cfg = BenchConfig {
+            threads: 2,
+            key_range: 1_024,
+            workload: Workload::MIXED,
+            duration: Duration::from_millis(20),
+            seed: 4,
+            dist: KeyDist::Zipf(0.9),
+        };
+        let res = run_batch_throughput::<LockedBTreeSet>(&cfg, 16);
+        assert!(res.total_ops > 0);
+        assert!(res.final_metrics().is_none(), "baselines have no metrics");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Workload definitions — §4's three operation mixes and four key-space
-//! sizes.
+//! sizes, plus the PR 5 `sorted-batch` key generator.
 
 use crate::rng::XorShift64Star;
+use crate::zipf::ZipfGenerator;
 
 /// One of the paper's benchmark operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +94,67 @@ impl Workload {
 /// The paper's four key-space sizes (Figure 4 rows): 1K, 10K, 100K, 1M.
 pub const FIGURE4_KEY_RANGES: [u64; 4] = [1_000, 10_000, 100_000, 1_000_000];
 
+/// The `sorted-batch` key generator (PR 5): each draw yields an
+/// ascending, duplicate-free run of keys confined to one Zipf-popular
+/// *cluster* of the key space.
+///
+/// This models bulk ingest shapes — log replay, sorted file merges,
+/// time-ordered feeds — where consecutive operations land near each
+/// other in key order. It is the best case for NM's finger-anchored
+/// batch descents, and the same runs are replayable against any
+/// [`crate::adapter::ConcurrentSet`] so baselines are measured on
+/// identical cells.
+///
+/// Clusters are `cluster_width`-wide slices of `1..=key_range`; which
+/// cluster a run lands in follows a Zipf draw (rank 0 hottest), and the
+/// run itself walks upward with stride 1–2 from a random offset inside
+/// the cluster.
+#[derive(Debug, Clone)]
+pub struct SortedBatchGen {
+    key_range: u64,
+    batch_len: usize,
+    cluster_width: u64,
+    zipf: ZipfGenerator,
+}
+
+impl SortedBatchGen {
+    /// Builds a generator over `1..=key_range` producing runs of
+    /// `batch_len` keys, with cluster popularity skew `theta` ∈ [0, 1).
+    pub fn new(key_range: u64, batch_len: usize, theta: f64) -> Self {
+        assert!(key_range > 0, "empty key space");
+        assert!(batch_len > 0, "empty batches");
+        // A cluster holds a few batches' worth of keys, so repeated
+        // draws from a hot cluster overlap without being identical.
+        let cluster_width = (batch_len as u64 * 4).max(16).min(key_range);
+        let clusters = (key_range / cluster_width).max(1);
+        SortedBatchGen {
+            key_range,
+            batch_len,
+            cluster_width,
+            zipf: ZipfGenerator::new(clusters, theta),
+        }
+    }
+
+    /// The configured run length (output may be shorter after clamping
+    /// at the top of the key space deduplicates the tail).
+    pub fn batch_len(&self) -> usize {
+        self.batch_len
+    }
+
+    /// Fills `out` with the next ascending run. Keys are strictly
+    /// increasing, duplicate-free, and within `1..=key_range`.
+    pub fn fill(&self, rng: &mut XorShift64Star, out: &mut Vec<u64>) {
+        out.clear();
+        let base = self.zipf.next(rng) * self.cluster_width;
+        let mut key = base + rng.next_bounded(self.cluster_width.div_ceil(2));
+        for _ in 0..self.batch_len {
+            key += 1 + rng.next_bounded(2);
+            out.push(key.min(self.key_range));
+        }
+        out.dedup();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +201,64 @@ mod tests {
     #[should_panic(expected = "sum to 100")]
     fn custom_validates_sum() {
         let _ = Workload::custom("bad", 50, 50, 50);
+    }
+
+    #[test]
+    fn sorted_batch_runs_are_ascending_and_in_range() {
+        let gen = SortedBatchGen::new(10_000, 32, 0.8);
+        let mut rng = XorShift64Star::new(11);
+        let mut buf = Vec::new();
+        for _ in 0..1_000 {
+            gen.fill(&mut rng, &mut buf);
+            assert!(!buf.is_empty() && buf.len() <= 32);
+            assert!(buf.windows(2).all(|w| w[0] < w[1]), "run not ascending");
+            assert!(*buf.first().unwrap() >= 1);
+            assert!(*buf.last().unwrap() <= 10_000);
+        }
+    }
+
+    #[test]
+    fn sorted_batch_is_deterministic_per_seed() {
+        let gen = SortedBatchGen::new(4_096, 16, 0.6);
+        let (mut ra, mut rb) = (XorShift64Star::new(3), XorShift64Star::new(3));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..200 {
+            gen.fill(&mut ra, &mut a);
+            gen.fill(&mut rb, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sorted_batch_clusters_are_skewed() {
+        // With heavy skew, most runs should start in the hottest slice
+        // of the key space.
+        let gen = SortedBatchGen::new(100_000, 32, 0.99);
+        let mut rng = XorShift64Star::new(7);
+        let mut buf = Vec::new();
+        let mut in_head = 0;
+        const DRAWS: usize = 2_000;
+        for _ in 0..DRAWS {
+            gen.fill(&mut rng, &mut buf);
+            if buf[0] <= 10_000 {
+                in_head += 1;
+            }
+        }
+        assert!(
+            in_head as f64 > 0.35 * DRAWS as f64,
+            "only {in_head}/{DRAWS} runs in the hot 10%"
+        );
+    }
+
+    #[test]
+    fn sorted_batch_tiny_key_space_stays_valid() {
+        let gen = SortedBatchGen::new(8, 32, 0.5);
+        let mut rng = XorShift64Star::new(1);
+        let mut buf = Vec::new();
+        for _ in 0..100 {
+            gen.fill(&mut rng, &mut buf);
+            assert!(buf.windows(2).all(|w| w[0] < w[1]));
+            assert!(buf.iter().all(|&k| (1..=8).contains(&k)));
+        }
     }
 }

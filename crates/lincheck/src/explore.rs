@@ -88,6 +88,14 @@ pub struct ExploreConfig {
     /// [`ReclaimKind::Leaky`] the pool only ever reuses discarded insert
     /// scratch.
     pub reclaim: ReclaimKind,
+    /// Drive every worker through the finger-anchored batch API instead
+    /// of the plain one: each tape op becomes a size-1
+    /// `insert_batch`/`remove_batch`/`contains_batch` on a persistent
+    /// [`SetHandle`](nmbst::SetHandle). Schedules then also interleave
+    /// through [`chaos::Point::BatchFinger`] and the `seek_from` anchor
+    /// revalidation, sweeping the finger path under the same seeds. Off
+    /// by default to keep the historical seed corpus stable.
+    pub batch: bool,
 }
 
 /// The reclamation scheme a seeded run instantiates the tree with.
@@ -117,6 +125,7 @@ impl Default for ExploreConfig {
             restart: RestartPolicy::default(),
             pool: false,
             reclaim: ReclaimKind::default(),
+            batch: false,
         }
     }
 }
@@ -344,6 +353,16 @@ fn apply<R: Reclaim>(set: &NmTreeSet<u64, R>, op: SetOp) -> bool {
     }
 }
 
+/// Batch-mode twin of [`apply`]: one tape op = one size-1 batch on the
+/// worker's persistent handle, so every op crosses the finger path.
+fn apply_batch<R: Reclaim>(handle: &mut nmbst::SetHandle<'_, u64, R>, op: SetOp) -> bool {
+    match op {
+        SetOp::Insert(k) => handle.insert_batch([k]) == 1,
+        SetOp::Remove(k) => handle.remove_batch([k]) == 1,
+        SetOp::Contains(k) => handle.contains_batch([k])[0],
+    }
+}
+
 /// Runs the scenario and schedule derived from `seed` and validates it.
 /// The `Ok` report (schedule + history) is bit-for-bit reproducible:
 /// calling again with the same config and seed returns an equal report.
@@ -369,6 +388,7 @@ fn run_seed<R: Reclaim>(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box
     let threads = rng.in_range(cfg.min_threads as u64, cfg.max_threads as u64) as usize;
     let keys = rng.in_range(cfg.min_keys, cfg.max_keys);
     let inject_bug = cfg.inject_drop_flag_bug;
+    let batch = cfg.batch;
 
     let set: NmTreeSet<u64, R> =
         NmTreeSet::with_config(TreeConfig::default().with_restart(cfg.restart).with_pool(
@@ -435,6 +455,9 @@ fn run_seed<R: Reclaim>(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box
                 }
                 let mut local = Vec::with_capacity(tape.len());
                 let hook_sched = Arc::clone(&sched);
+                // Batch mode keeps one handle for the whole tape so each
+                // op's seek record is the next op's finger anchor.
+                let mut handle = batch.then(|| set.handle());
                 chaos::with_hook(
                     move |_point| {
                         hook_sched.gate(tid);
@@ -445,7 +468,10 @@ fn run_seed<R: Reclaim>(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box
                             // Schedule point at the op boundary; the hook
                             // adds one at every atomic step inside.
                             sched.gate(tid);
-                            local.push(rec.measure(op, || apply(set, op)));
+                            local.push(rec.measure(op, || match &mut handle {
+                                Some(h) => apply_batch(h, op),
+                                None => apply(set, op),
+                            }));
                         }
                     },
                 );
@@ -538,5 +564,46 @@ mod tests {
         let stats = explore_many(&cfg, 0..64).unwrap_or_else(|v| panic!("{v}"));
         assert_eq!(stats.schedules, 64);
         assert!(stats.events > 0);
+    }
+
+    #[test]
+    fn batch_mode_same_seed_same_run() {
+        let cfg = ExploreConfig {
+            batch: true,
+            ..ExploreConfig::default()
+        };
+        for seed in [0u64, 7, 0xBA7C_4ED5] {
+            let a = explore_seed(&cfg, seed).expect("correct tree passes");
+            let b = explore_seed(&cfg, seed).expect("correct tree passes");
+            assert_eq!(a, b, "batch seed {seed:#x} did not replay identically");
+        }
+    }
+
+    #[test]
+    fn batch_mode_bounded_sweep_is_clean() {
+        // Every op crosses Point::BatchFinger and the seek_from anchor
+        // revalidation; linearizability + probe + invariants must still
+        // hold on every schedule.
+        let cfg = ExploreConfig {
+            batch: true,
+            ..ExploreConfig::default()
+        };
+        let stats = explore_many(&cfg, 0..48).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(stats.schedules, 48);
+    }
+
+    #[test]
+    fn batch_mode_sweeps_ebr_with_pool() {
+        // Finger anchors + node recycling + real reclamation in one
+        // sweep: anchors must revalidate correctly even as retired nodes
+        // return through the pool.
+        let cfg = ExploreConfig {
+            batch: true,
+            pool: true,
+            reclaim: ReclaimKind::Ebr,
+            ..ExploreConfig::default()
+        };
+        let stats = explore_many(&cfg, 0..24).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(stats.schedules, 24);
     }
 }
