@@ -1,9 +1,10 @@
 //! The hot-path perf harness: machine-readable before/after cells for
-//! the PR 2 optimizations, the PR 4 node-recycling pool, and the PR 5
-//! locality work (bulk-load + finger-anchored batches), written as
-//! `BENCH_PR5.json` (override the path with `NMBST_BENCH_JSON`).
+//! the PR 2 optimizations, the PR 4 node-recycling pool, the PR 5
+//! locality work (bulk-load + finger-anchored batches), and the PR 6
+//! sharded serving tier, written as `BENCH_PR6.json` (override the
+//! path with `NMBST_BENCH_JSON`).
 //!
-//! Seven benches, each emitting `{bench, config, metrics}` cells in the
+//! Eight benches, each emitting `{bench, config, metrics}` cells in the
 //! `nmbst-bench-v1` schema shared with criterion-lite:
 //!
 //! * `single_thread_throughput` — one thread, read-heavy / mixed /
@@ -42,6 +43,19 @@
 //!   recorded zero `finger_hits`** — a dead finger means the anchor
 //!   gate is rejecting everything and the batch API has silently
 //!   degraded to root descents.
+//! * `serving_replay` — the PR 6 serving tier end to end: an
+//!   `nmbst-server` over a sharded store on loopback, driven by the
+//!   open-loop session replay in `nmbst-harness` (Zipf hot keys,
+//!   `NMBST_SESSIONS` simulated sessions, default 1 000 000). A
+//!   calibration pass at infinite arrival rate measures peak capacity,
+//!   then the measured runs replay at `NMBST_SERVE_UTIL` (default 0.7)
+//!   of that rate so p50/p99/p999 session latency reflects queueing
+//!   under a sustainable load, not time-to-drain. Median of three by
+//!   p999. **The process exits non-zero if any worker recorded zero
+//!   ops through its pinned handles** (worker/shard pinning broken),
+//!   **or if peak capacity trails the committed baseline cell by more
+//!   than `NMBST_SERVE_TOLERANCE`** (default 0.25 — loopback serving
+//!   on shared runners jitters far more than in-process cells).
 //!
 //! Knobs: `NMBST_SECS` (measured seconds per throughput cell, default
 //! 1.0; CI uses 0.2), `NMBST_KEYS` (first entry = single-thread key
@@ -57,12 +71,15 @@ use criterion::json::{self, Json};
 use nmbst::obs::MetricsSnapshot;
 use nmbst::{NmTreeSet, PoolConfig, RestartPolicy, SetHandle, TagMode, TreeConfig};
 use nmbst_bench::SweepConfig;
+use nmbst_harness::replay::{run_replay, ReplayConfig, ReplayReport, SessionOp, SessionTarget};
 use nmbst_harness::rng::XorShift64Star;
 use nmbst_harness::workload::OpKind;
 use nmbst_harness::{Histogram, SortedBatchGen, Workload};
 use nmbst_reclaim::{Ebr, Leaky, Reclaim};
+use nmbst_server::wire::BatchOp;
+use nmbst_server::{Client, Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which front end drives the operations.
@@ -402,7 +419,7 @@ fn main() {
     let out_path = std::env::var(criterion::BENCH_JSON_ENV)
         .ok()
         .filter(|p| !p.is_empty())
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
 
     let mut cells: Vec<Json> = Vec::new();
 
@@ -694,6 +711,97 @@ fn main() {
         batch_snap.as_ref().map_or(0, |s| s.finger_hits),
     );
 
+    // The PR 6 serving cell: open-loop session replay against the TCP
+    // server over loopback. Calibrate peak capacity first (every
+    // session due at t=0), then measure tail latency at a sustainable
+    // fraction of it so p999 means queueing, not time-to-drain.
+    let sessions = std::env::var("NMBST_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1_000_000)
+        .max(1_000);
+    let util = std::env::var("NMBST_SERVE_UTIL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.7)
+        .clamp(0.05, 1.0);
+    let serve_workers = 2;
+    let replay_cfg = ReplayConfig {
+        sessions,
+        clients: serve_workers,
+        seed,
+        ..ReplayConfig::default()
+    };
+    println!(
+        "== serving replay ({sessions} sessions, {serve_workers} workers/clients, Zipf θ={}, util {util:.2}, median of {REPEATS}) ==",
+        replay_cfg.zipf_theta
+    );
+    // Calibrate over the *full* session count: the store grows over the
+    // run (mixed mix nets ~+10% keys), so a short calibration measures
+    // a small, fast tree and overestimates the sustainable rate — the
+    // paced runs would then queue without bound and report drain time,
+    // not latency.
+    let calib_cfg = ReplayConfig {
+        arrival_rate: f64::INFINITY,
+        ..replay_cfg.clone()
+    };
+    let (calib, _, _) = serving_replay_run(&calib_cfg, serve_workers);
+    let max_rate = calib.sessions_per_sec();
+    let max_mops = calib.mops();
+    println!("  peak capacity      {max_rate:.0} sessions/s  ({max_mops:.3} Mops/s)");
+    let paced_cfg = ReplayConfig {
+        arrival_rate: max_rate * util,
+        ..replay_cfg.clone()
+    };
+    let mut serve_runs: Vec<(ReplayReport, MetricsSnapshot, Vec<u64>)> = (0..REPEATS)
+        .map(|_| serving_replay_run(&paced_cfg, serve_workers))
+        .collect();
+    serve_runs.sort_by_key(|(r, _, _)| r.percentile_ns(99.9));
+    let (report, serve_snap, worker_ops) = &serve_runs[REPEATS / 2];
+    println!(
+        "  paced @ {:.0}/s      {:.3} Mops/s  p50 {}µs  p99 {}µs  p999 {}µs",
+        paced_cfg.arrival_rate,
+        report.mops(),
+        report.percentile_ns(50.0) / 1_000,
+        report.percentile_ns(99.0) / 1_000,
+        report.percentile_ns(99.9) / 1_000,
+    );
+    cells.push(json::cell(
+        "serving_replay",
+        Json::obj([
+            ("workload", Json::from(paced_cfg.workload.name)),
+            ("sessions", Json::from(sessions)),
+            (
+                "ops_per_session",
+                Json::from(u64::from(paced_cfg.ops_per_session)),
+            ),
+            ("workers", Json::from(serve_workers)),
+            ("clients", Json::from(paced_cfg.clients)),
+            ("key_range", Json::from(paced_cfg.key_range)),
+            ("zipf_theta", Json::Num(paced_cfg.zipf_theta)),
+            ("util", Json::Num(util)),
+            ("arrival_rate", Json::Num(paced_cfg.arrival_rate)),
+            ("seed", Json::from(seed)),
+            ("repeats", Json::from(REPEATS)),
+        ]),
+        Json::obj([
+            ("max_mops", Json::Num(max_mops)),
+            ("max_sessions_per_sec", Json::Num(max_rate)),
+            ("mops", Json::Num(report.mops())),
+            ("sessions_per_sec", Json::Num(report.sessions_per_sec())),
+            ("ops", Json::from(report.ops)),
+            ("p50_ns", Json::from(report.percentile_ns(50.0))),
+            ("p99_ns", Json::from(report.percentile_ns(99.0))),
+            ("p999_ns", Json::from(report.percentile_ns(99.9))),
+            (
+                "worker_ops",
+                Json::Arr(worker_ops.iter().map(|&o| Json::from(o)).collect()),
+            ),
+            ("obs", snapshot_json(serve_snap)),
+        ]),
+    ));
+    let serving_gate_ok = check_serving_gate(max_mops, worker_ops);
+
     let path = std::path::Path::new(&out_path);
     json::write_bench_file(path, &cells).expect("write bench json");
     println!("wrote {} cells to {}", cells.len(), path.display());
@@ -718,9 +826,120 @@ fn main() {
         eprintln!("error: sorted-batch gate failed");
         std::process::exit(1);
     }
+    if !serving_gate_ok {
+        eprintln!("error: serving replay gate failed");
+        std::process::exit(1);
+    }
     if !baseline_ok {
         std::process::exit(1);
     }
+}
+
+/// A replay target that ships each coalesced session bundle as one
+/// BATCH frame on its own blocking connection — the replay engine's
+/// [`SessionOp`]s map 1:1 onto wire [`BatchOp`]s.
+struct WireTarget {
+    client: Client,
+    ops: Vec<BatchOp>,
+}
+
+impl SessionTarget for WireTarget {
+    fn run(&mut self, ops: &[SessionOp]) -> std::io::Result<()> {
+        self.ops.clear();
+        self.ops.extend(ops.iter().map(|op| match *op {
+            SessionOp::Get(k) => BatchOp::Get(k),
+            SessionOp::Insert(k, v) => BatchOp::Insert(k, v),
+            SessionOp::Remove(k) => BatchOp::Remove(k),
+        }));
+        self.client.batch(&self.ops).map(drop)
+    }
+}
+
+/// One fresh-server replay run: bind on loopback, connect one client
+/// per replay thread, replay, then shut the server down (joining the
+/// workers flushes every pinned handle) before snapshotting metrics.
+fn serving_replay_run(
+    cfg: &ReplayConfig,
+    workers: usize,
+) -> (ReplayReport, MetricsSnapshot, Vec<u64>) {
+    let server = Server::start(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let store = Arc::clone(server.store());
+    let targets: Vec<WireTarget> = (0..cfg.clients)
+        .map(|_| WireTarget {
+            client: Client::connect(server.addr()).expect("connect to server"),
+            ops: Vec::new(),
+        })
+        .collect();
+    let report = run_replay(cfg, targets);
+    let worker_ops = server.stats().worker_ops();
+    server.shutdown();
+    (report, store.metrics(), worker_ops)
+}
+
+/// The serving gate. Hard-fails if any worker routed zero ops through
+/// its pinned handles (traffic got served, but not through the
+/// per-shard handle path — the pinning is silently broken), and
+/// compares peak capacity against the committed `serving_replay`
+/// baseline cell under `NMBST_SERVE_TOLERANCE` (relative, default
+/// 0.25 — loopback serving jitters far more than in-process cells).
+/// A baseline file without the cell (pre-PR 6) skips the comparison.
+fn check_serving_gate(max_mops: f64, worker_ops: &[u64]) -> bool {
+    let mut pass = true;
+    for (w, &ops) in worker_ops.iter().enumerate() {
+        if ops == 0 {
+            eprintln!("error: serving worker {w} routed zero ops through its pinned handles");
+            pass = false;
+        }
+    }
+    let Some(baseline_path) = std::env::var("NMBST_BASELINE_JSON")
+        .ok()
+        .filter(|p| !p.is_empty())
+    else {
+        return pass;
+    };
+    let tolerance = std::env::var("NMBST_SERVE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    // Unreadable/unparseable baselines are already fatal in
+    // `check_against_baseline`; don't double-report here.
+    let Ok(text) = std::fs::read_to_string(&baseline_path) else {
+        return pass;
+    };
+    let Ok(baseline) = Json::parse(&text) else {
+        return pass;
+    };
+    let base = baseline
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .find_map(|c| {
+            (c.get("bench")?.as_str()? == "serving_replay")
+                .then(|| c.get("metrics")?.get("max_mops")?.as_f64())
+                .flatten()
+        });
+    let Some(base) = base else {
+        println!("  serving baseline: no serving_replay cell in {baseline_path} — skipped");
+        return pass;
+    };
+    let floor = base * (1.0 - tolerance);
+    let ok = max_mops >= floor;
+    println!(
+        "  serving peak {max_mops:.3} Mops/s vs baseline {base:.3} (floor {floor:.3}) — {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+    if !ok {
+        eprintln!(
+            "error: serving peak capacity trails the baseline by more than {:.0}%",
+            tolerance * 100.0
+        );
+    }
+    pass && ok
 }
 
 /// The bulk-load gate: the O(n) balanced build must beat loop-insert

@@ -139,6 +139,23 @@ where
         self.cache.flush_counters();
     }
 
+    /// Publishes this handle's batched operation counts (and node-cache
+    /// counters) into the tree's metrics shards *now*, without touching
+    /// the guard or the finger.
+    ///
+    /// Without this, batched counts only reach
+    /// [`metrics()`](NmTreeMap::metrics) on re-pin, [`unpin`](Self::unpin)
+    /// or drop — so a snapshot can lag a live handle by up to
+    /// `repin_every` operations (64 by default), and a handle with a
+    /// large budget that never re-pins is invisible for its whole
+    /// lifetime. Long-lived workers (e.g. server connection loops) should
+    /// call this on a sampling tick; between ticks the staleness bound is
+    /// the number of operations since the last flush/re-pin.
+    #[inline]
+    pub fn flush_stats(&mut self) {
+        self.flush_pending();
+    }
+
     /// Charges one operation against the re-pin budget, (re)pinning if
     /// the guard is missing or expired.
     #[inline]
@@ -438,6 +455,13 @@ where
     /// See [`MapHandle::repin`].
     pub fn repin(&mut self) {
         self.inner.repin();
+    }
+
+    /// Publishes batched operation counts into the tree's metrics shards
+    /// now; see [`MapHandle::flush_stats`] for the staleness contract.
+    #[inline]
+    pub fn flush_stats(&mut self) {
+        self.inner.flush_stats();
     }
 
     /// The paper's *insert* through this handle's guard.

@@ -72,6 +72,7 @@ pub mod obs;
 mod packed;
 mod pool;
 mod set;
+mod shard;
 pub mod stats;
 mod tree;
 
@@ -80,6 +81,7 @@ pub use key::Key;
 pub use packed::TagMode;
 pub use pool::{PoolConfig, DEFAULT_POOL_CAPACITY};
 pub use set::NmTreeSet;
+pub use shard::{ShardedMap, ShardedMapHandle, ShardedSet, ShardedSetHandle, DEFAULT_SHARD_COUNT};
 pub use tree::{NmTreeMap, RestartPolicy, TreeConfig, TreeShape};
 
 // Re-export the reclamation entry points users need to name the tree's

@@ -262,6 +262,39 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Folds another snapshot into this one, producing the aggregate view
+    /// a sharded front end (e.g. `ShardedMap::metrics`) reports for N
+    /// independent trees.
+    ///
+    /// Operation counters, `size_estimate`, pool counters, and the
+    /// retired backlog are *sums*; `max_depth`, the reclaim epoch, and
+    /// the epoch lag are *maxima* (each shard owns an independent
+    /// reclaimer, so the worst shard is the health signal).
+    /// `pinned_threads` is summed per shard — a thread pinned in several
+    /// shards at once counts once per shard.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.searches += other.searches;
+        self.inserts += other.inserts;
+        self.inserted += other.inserted;
+        self.removes += other.removes;
+        self.removed += other.removed;
+        self.helps += other.helps;
+        self.finger_hits += other.finger_hits;
+        self.finger_misses += other.finger_misses;
+        self.size_estimate += other.size_estimate;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.reclaim.epoch = self.reclaim.epoch.max(other.reclaim.epoch);
+        self.reclaim.epoch_lag = self.reclaim.epoch_lag.max(other.reclaim.epoch_lag);
+        self.reclaim.pinned_threads += other.reclaim.pinned_threads;
+        self.reclaim.retired_backlog += other.reclaim.retired_backlog;
+        self.pool.hits += other.pool.hits;
+        self.pool.misses += other.pool.misses;
+        self.pool.recycled += other.pool.recycled;
+        self.pool.dropped += other.pool.dropped;
+        self.pool.len += other.pool.len;
+        self.pool.capacity += other.pool.capacity;
+    }
+
     /// The snapshot as one flat JSON object (fixed key order, no
     /// dependencies — the same hand-rolled dialect as the bench schema).
     pub fn to_json(&self) -> String {

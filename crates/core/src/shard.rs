@@ -1,0 +1,802 @@
+//! Sharded front ends: N independent trees behind a cheap hash router.
+//!
+//! The serving tier's unit of scale. One [`NmTreeMap`] already scales
+//! with readers, but every writer ultimately contends on the same hot
+//! region of one tree, and every descent walks one shared root. Sharding
+//! by key hash splits the key space across `N` independent trees so hot
+//! keys land in different trees, roots stay in different cache lines,
+//! and each server worker can keep a *pinned per-shard handle* whose
+//! seek-record and node-cache scratch stay in that worker's core cache —
+//! the locality ELB-Trees (Bonnichsen et al.) buys with fat leaves, here
+//! bought one layer up.
+//!
+//! The router is a multiplicative hash (an FxHash-style folded
+//! multiply, finished with a SplitMix64 mix) reduced onto `0..N` with
+//! the high-bits range reduction `(h * N) >> 64` — no modulo, no
+//! dependence on `N` being a power of two. Routing is deterministic
+//! across threads and processes for a given key type and shard count,
+//! which is what lets a future partitioned server agree on placement.
+//!
+//! Ordered views (`range_for_each`, `keys`, `for_each`) are *merged*
+//! across shards: each shard's snapshot is weakly consistent exactly as
+//! documented on [`NmTreeMap::range_for_each`], and shards are sampled
+//! one after another, so cross-shard consistency is also weak. Every key
+//! present in its shard for the entire call is still reported exactly
+//! once, in ascending order.
+
+use crate::obs::MetricsSnapshot;
+use crate::tree::{NmTreeMap, TreeConfig, TreeShape};
+use crate::MapHandle;
+use nmbst_reclaim::{Ebr, Reclaim};
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, RangeBounds};
+
+/// Shard count used by [`ShardedMap::new`] / [`ShardedSet::new`]. Eight
+/// matches the metrics facade's counter striping: enough that a
+/// thread-per-core server on a small box gets one tree per worker,
+/// small enough that merged snapshots stay trivial.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// FxHash's multiplicative constant (a 64-bit truncation of π's golden
+/// spiral) — the "cheap multiply" half of the router.
+const ROUTE_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The router's hasher: a folded-multiply accumulator over whatever the
+/// key's `Hash` impl writes, finished with a SplitMix64-style avalanche
+/// so the *high* bits (the ones the range reduction keeps) depend on
+/// every input bit. Integer keys hash in two multiplies.
+struct RouteHasher(u64);
+
+impl RouteHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(ROUTE_K);
+    }
+}
+
+impl Hasher for RouteHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(tail) | 1 << 63);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.fold(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.fold(n as u64);
+        self.fold((n >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // SplitMix64 finalizer: spreads the multiply's entropy (which
+        // concentrates in the middle bits) into the high bits.
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Routes a key hash onto `0..shards` by multiplying into the high word
+/// — Lemire's range reduction, one multiply instead of a modulo.
+#[inline]
+fn reduce(hash: u64, shards: usize) -> usize {
+    ((hash as u128 * shards as u128) >> 64) as usize
+}
+
+/// A hash-sharded collection of [`NmTreeMap`]s behind one map-shaped
+/// front end — the store the serving tier (`nmbst-server`) runs.
+///
+/// Point operations route to exactly one shard and inherit that tree's
+/// linearizability; there are **no cross-shard transactions**, and
+/// multi-key views (`metrics`, `count`, ranges) compose the per-shard
+/// weak-consistency contracts. Hot loops should go through
+/// [`handle()`](Self::handle), which keeps one pinned [`MapHandle`] per
+/// shard.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst::ShardedMap;
+///
+/// let map: ShardedMap<u64, u64> = ShardedMap::with_shards(4);
+/// let mut h = map.handle();
+/// for k in 0..100 {
+///     h.insert(k, k * 10);
+/// }
+/// assert_eq!(h.get(&42), Some(420));
+/// drop(h);
+/// assert_eq!(map.metrics().inserted, 100);
+/// ```
+pub struct ShardedMap<K, V, R: Reclaim = Ebr> {
+    shards: Box<[NmTreeMap<K, V, R>]>,
+}
+
+impl<K, V, R> ShardedMap<K, V, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// A sharded map with [`DEFAULT_SHARD_COUNT`] default-configured
+    /// trees.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARD_COUNT)
+    }
+
+    /// A sharded map with `shards` default-configured trees. The shard
+    /// count is fixed for the map's lifetime — it is part of the routing
+    /// function. Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_config(shards, TreeConfig::default())
+    }
+
+    /// A sharded map whose every tree runs the given [`TreeConfig`].
+    /// Panics if `shards` is zero.
+    pub fn with_config(shards: usize, config: TreeConfig) -> Self {
+        assert!(shards > 0, "a sharded map needs at least one shard");
+        ShardedMap {
+            shards: (0..shards)
+                .map(|_| NmTreeMap::with_config(config))
+                .collect(),
+        }
+    }
+
+    /// The number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to. Deterministic for a given key
+    /// type and shard count.
+    #[inline]
+    pub fn shard_of(&self, key: &K) -> usize {
+        let mut h = RouteHasher(0);
+        key.hash(&mut h);
+        reduce(h.finish(), self.shards.len())
+    }
+
+    /// Direct access to one shard's tree (diagnostics, per-shard
+    /// metrics). Writing through this bypasses nothing — the shard *is*
+    /// a plain tree — but keys inserted into the wrong shard are
+    /// invisible to routed reads, so mutate only via the routed API.
+    pub fn shard(&self, idx: usize) -> &NmTreeMap<K, V, R> {
+        &self.shards[idx]
+    }
+
+    /// A per-worker cursor holding one pinned [`MapHandle`] per shard.
+    pub fn handle(&self) -> ShardedMapHandle<'_, K, V, R> {
+        ShardedMapHandle {
+            map: self,
+            handles: self.shards.iter().map(|t| t.handle()).collect(),
+        }
+    }
+
+    /// Routed [`NmTreeMap::insert`].
+    #[inline]
+    pub fn insert(&self, key: K, value: V) -> bool {
+        self.shards[self.shard_of(&key)].insert(key, value)
+    }
+
+    /// Routed [`NmTreeMap::remove`].
+    #[inline]
+    pub fn remove(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)].remove(key)
+    }
+
+    /// Routed [`NmTreeMap::contains`].
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)].contains(key)
+    }
+
+    /// Routed [`NmTreeMap::with_value`].
+    #[inline]
+    pub fn with_value<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
+        self.shards[self.shard_of(key)].with_value(key, f)
+    }
+
+    /// Routed [`NmTreeMap::get`].
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Routed [`NmTreeMap::remove_get`].
+    #[inline]
+    pub fn remove_get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shards[self.shard_of(key)].remove_get(key)
+    }
+
+    /// Visits every pair in ascending key order by merging per-shard
+    /// range snapshots; see [`Self::range_for_each`] for the consistency
+    /// contract.
+    pub fn for_each(&self, f: impl FnMut(&K, &V))
+    where
+        V: Clone,
+    {
+        self.range_for_each(.., f)
+    }
+
+    /// Visits every pair in `range` in ascending key order.
+    ///
+    /// Each shard is snapshotted with [`NmTreeMap::range_collect`]
+    /// (weakly consistent under concurrent writers, every stable key
+    /// exactly once), one shard after another, and the snapshots are
+    /// merged before `f` runs — so `f` observes a sorted view that never
+    /// blocks writers but may interleave shard states from slightly
+    /// different times.
+    pub fn range_for_each<Q: RangeBounds<K>>(&self, range: Q, mut f: impl FnMut(&K, &V))
+    where
+        V: Clone,
+    {
+        for (k, v) in self.range_collect(range) {
+            f(&k, &v);
+        }
+    }
+
+    /// Collects `range` across all shards into one ascending `Vec`; the
+    /// allocation behind [`Self::range_for_each`].
+    pub fn range_collect<Q: RangeBounds<K>>(&self, range: Q) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        let lo: Bound<K> = range.start_bound().cloned();
+        let hi: Bound<K> = range.end_bound().cloned();
+        let mut merged: Vec<(K, V)> = Vec::new();
+        for tree in self.shards.iter() {
+            merged.extend(tree.range_collect((lo.clone(), hi.clone())));
+        }
+        // Shards partition the key space, so per-shard ascending runs
+        // never share keys; an unstable sort by key is a pure merge.
+        merged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        merged
+    }
+
+    /// Sums [`NmTreeMap::count`] across shards (snapshot, each shard
+    /// weakly consistent).
+    pub fn count(&self) -> usize {
+        self.shards.iter().map(|t| t.count()).sum()
+    }
+
+    /// Whether every shard is empty (racy under writers, like
+    /// [`NmTreeMap::is_empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|t| t.is_empty())
+    }
+
+    /// Exact live-key count across shards (`&mut self` = quiescent).
+    pub fn len(&mut self) -> usize {
+        self.shards.iter_mut().map(|t| t.len()).sum()
+    }
+
+    /// Every key, ascending, across shards (`&mut self` = quiescent).
+    pub fn keys(&mut self) -> Vec<K> {
+        let mut all: Vec<K> = Vec::new();
+        for tree in self.shards.iter_mut() {
+            all.extend(tree.keys());
+        }
+        all.sort_unstable();
+        all
+    }
+
+    /// Empties every shard (`&mut self` = quiescent).
+    pub fn clear(&mut self) {
+        for tree in self.shards.iter_mut() {
+            tree.clear();
+        }
+    }
+
+    /// Bulk-loads `pairs` by routing each to its shard and running the
+    /// per-shard bulk extend (balanced build into vacant
+    /// shards, finger-batched inserts otherwise). First occurrence of a
+    /// duplicate key wins, matching `insert` against a vacant map.
+    pub fn bulk_extend(&mut self, pairs: Vec<(K, V)>) {
+        let mut routed: Vec<Vec<(K, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (k, v) in pairs {
+            routed[self.shard_of(&k)].push((k, v));
+        }
+        for (tree, pairs) in self.shards.iter_mut().zip(routed) {
+            tree.bulk_extend(pairs);
+        }
+    }
+
+    /// Runs [`NmTreeMap::check_invariants`] on every shard, returning
+    /// the per-shard shapes or the first shard's failure (prefixed with
+    /// its index).
+    pub fn check_invariants(&mut self) -> Result<Vec<TreeShape>, String> {
+        self.shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| t.check_invariants().map_err(|e| format!("shard {i}: {e}")))
+            .collect()
+    }
+
+    /// One [`MetricsSnapshot`] aggregated over all shards with
+    /// [`MetricsSnapshot::merge`] — what the server's METRICS verb
+    /// serves. Sums are exact at quiescence; each shard is sampled
+    /// independently.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut agg = MetricsSnapshot::default();
+        for tree in self.shards.iter() {
+            agg.merge(&tree.metrics());
+        }
+        agg
+    }
+
+    /// Per-shard snapshots, index-aligned with the router (load-balance
+    /// diagnostics).
+    pub fn metrics_per_shard(&self) -> Vec<MetricsSnapshot> {
+        self.shards.iter().map(|t| t.metrics()).collect()
+    }
+
+    /// [`NmTreeMap::flush`] on every shard's reclaimer.
+    pub fn flush(&self) {
+        for tree in self.shards.iter() {
+            tree.flush();
+        }
+    }
+}
+
+impl<K, V, R> Default for ShardedMap<K, V, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, R: Reclaim> std::fmt::Debug for ShardedMap<K, V, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-worker cursor over a [`ShardedMap`]: one pin-amortizing
+/// [`MapHandle`] per shard, so a worker's descents into any shard reuse
+/// that shard's guard, seek scratch, and node cache. Single-threaded
+/// like the handles it wraps — give each worker its own.
+pub struct ShardedMapHandle<'t, K, V, R: Reclaim = Ebr> {
+    map: &'t ShardedMap<K, V, R>,
+    handles: Box<[MapHandle<'t, K, V, R>]>,
+}
+
+impl<'t, K, V, R> ShardedMapHandle<'t, K, V, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// The sharded map this cursor operates on.
+    pub fn map(&self) -> &'t ShardedMap<K, V, R> {
+        self.map
+    }
+
+    /// Borrows the pinned handle for one shard (index-aligned with the
+    /// router); escape hatch for shard-aware callers.
+    pub fn shard_handle(&mut self, idx: usize) -> &mut MapHandle<'t, K, V, R> {
+        &mut self.handles[idx]
+    }
+
+    #[inline]
+    fn route(&mut self, key: &K) -> &mut MapHandle<'t, K, V, R> {
+        let idx = self.map.shard_of(key);
+        &mut self.handles[idx]
+    }
+
+    /// Routed [`MapHandle::insert`].
+    #[inline]
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.route(&key).insert(key, value)
+    }
+
+    /// Routed [`MapHandle::remove`].
+    #[inline]
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.route(key).remove(key)
+    }
+
+    /// Routed [`MapHandle::remove_get`].
+    #[inline]
+    pub fn remove_get(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.route(key).remove_get(key)
+    }
+
+    /// Routed [`MapHandle::contains`].
+    #[inline]
+    pub fn contains(&mut self, key: &K) -> bool {
+        self.route(key).contains(key)
+    }
+
+    /// Routed [`MapHandle::get`].
+    #[inline]
+    pub fn get(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.route(key).get(key)
+    }
+
+    /// Routed [`MapHandle::with_value`].
+    #[inline]
+    pub fn with_value<T>(&mut self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
+        self.route(key).with_value(key, f)
+    }
+
+    /// Partitions `items` by shard and runs each shard's
+    /// [`MapHandle::insert_batch`] (finger-anchored within a shard).
+    /// Returns how many keys were newly added.
+    pub fn insert_batch(&mut self, items: impl IntoIterator<Item = (K, V)>) -> usize {
+        let mut routed: Vec<Vec<(K, V)>> = (0..self.handles.len()).map(|_| Vec::new()).collect();
+        for (k, v) in items {
+            routed[self.map.shard_of(&k)].push((k, v));
+        }
+        routed
+            .into_iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .map(|(i, batch)| self.handles[i].insert_batch(batch))
+            .sum()
+    }
+
+    /// Partitions `keys` by shard and runs each shard's
+    /// [`MapHandle::remove_batch`]. Returns how many keys were removed.
+    pub fn remove_batch(&mut self, keys: impl IntoIterator<Item = K>) -> usize {
+        let mut routed: Vec<Vec<K>> = (0..self.handles.len()).map(|_| Vec::new()).collect();
+        for k in keys {
+            routed[self.map.shard_of(&k)].push(k);
+        }
+        routed
+            .into_iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .map(|(i, batch)| self.handles[i].remove_batch(batch))
+            .sum()
+    }
+
+    /// Partitions `keys` by shard, runs each shard's
+    /// [`MapHandle::get_batch`], and scatters the results back into the
+    /// callers' order.
+    pub fn get_batch(&mut self, keys: impl IntoIterator<Item = K>) -> Vec<Option<V>>
+    where
+        V: Clone,
+    {
+        let mut routed: Vec<(Vec<usize>, Vec<K>)> = (0..self.handles.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        let mut n = 0;
+        for (pos, k) in keys.into_iter().enumerate() {
+            let (positions, batch) = &mut routed[self.map.shard_of(&k)];
+            positions.push(pos);
+            batch.push(k);
+            n = pos + 1;
+        }
+        let mut out = vec![None; n];
+        for (i, (positions, batch)) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let results = self.handles[i].get_batch(batch);
+            for (pos, r) in positions.into_iter().zip(results) {
+                out[pos] = r;
+            }
+        }
+        out
+    }
+
+    /// [`MapHandle::flush_stats`] on every shard handle — publishes all
+    /// batched counts so a concurrent [`ShardedMap::metrics`] stops
+    /// lagging this worker.
+    pub fn flush_stats(&mut self) {
+        for h in self.handles.iter_mut() {
+            h.flush_stats();
+        }
+    }
+
+    /// [`MapHandle::unpin`] on every shard handle. Call before parking
+    /// the worker.
+    pub fn unpin(&mut self) {
+        for h in self.handles.iter_mut() {
+            h.unpin();
+        }
+    }
+}
+
+impl<K, V, R: Reclaim> std::fmt::Debug for ShardedMapHandle<'_, K, V, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMapHandle")
+            .field("shards", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// [`ShardedMap`] without values: N independent [`crate::NmTreeSet`]s
+/// behind the same router, with the same aggregation contracts.
+///
+/// # Examples
+///
+/// ```
+/// use nmbst::ShardedSet;
+///
+/// let set: ShardedSet<u64> = ShardedSet::with_shards(4);
+/// set.insert(7);
+/// set.insert(3);
+/// let mut seen = Vec::new();
+/// set.range_for_each(.., |k| seen.push(*k));
+/// assert_eq!(seen, vec![3, 7]);
+/// ```
+pub struct ShardedSet<K, R: Reclaim = Ebr> {
+    inner: ShardedMap<K, (), R>,
+}
+
+impl<K, R> ShardedSet<K, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// A sharded set with [`DEFAULT_SHARD_COUNT`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARD_COUNT)
+    }
+
+    /// A sharded set with `shards` shards; panics if zero.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedSet {
+            inner: ShardedMap::with_shards(shards),
+        }
+    }
+
+    /// A sharded set whose every tree runs the given [`TreeConfig`].
+    pub fn with_config(shards: usize, config: TreeConfig) -> Self {
+        ShardedSet {
+            inner: ShardedMap::with_config(shards, config),
+        }
+    }
+
+    /// The number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// The shard index `key` routes to.
+    #[inline]
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.inner.shard_of(key)
+    }
+
+    /// A per-worker cursor holding one pinned handle per shard (the
+    /// set-flavored [`ShardedMapHandle`]).
+    pub fn handle(&self) -> ShardedSetHandle<'_, K, R> {
+        ShardedSetHandle {
+            inner: self.inner.handle(),
+        }
+    }
+
+    /// Routed insert; `true` if the key set changed.
+    #[inline]
+    pub fn insert(&self, key: K) -> bool {
+        self.inner.insert(key, ())
+    }
+
+    /// Routed remove; `true` if the key was present.
+    #[inline]
+    pub fn remove(&self, key: &K) -> bool {
+        self.inner.remove(key)
+    }
+
+    /// Routed membership test.
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+
+    /// Visits every key ascending (merged shard snapshots; see
+    /// [`ShardedMap::range_for_each`]).
+    pub fn for_each(&self, mut f: impl FnMut(&K)) {
+        self.inner.for_each(|k, ()| f(k));
+    }
+
+    /// Visits every key in `range` ascending (merged shard snapshots).
+    pub fn range_for_each<Q: RangeBounds<K>>(&self, range: Q, mut f: impl FnMut(&K)) {
+        self.inner.range_for_each(range, |k, ()| f(k));
+    }
+
+    /// Sums [`crate::NmTreeSet::count`] across shards.
+    pub fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    /// Whether every shard is empty (racy under writers).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Exact live-key count (`&mut self` = quiescent).
+    pub fn len(&mut self) -> usize {
+        self.inner.len()
+    }
+
+    /// Every key, ascending (`&mut self` = quiescent).
+    pub fn keys(&mut self) -> Vec<K> {
+        self.inner.keys()
+    }
+
+    /// Empties every shard (`&mut self` = quiescent).
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Per-shard invariant check; see [`ShardedMap::check_invariants`].
+    pub fn check_invariants(&mut self) -> Result<Vec<TreeShape>, String> {
+        self.inner.check_invariants()
+    }
+
+    /// Aggregated metrics; see [`ShardedMap::metrics`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    /// Reclaimer flush on every shard.
+    pub fn flush(&self) {
+        self.inner.flush()
+    }
+}
+
+impl<K, R> Default for ShardedSet<K, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, R: Reclaim> std::fmt::Debug for ShardedSet<K, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSet")
+            .field("shards", &self.inner.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-worker cursor over a [`ShardedSet`]; see [`ShardedMapHandle`].
+pub struct ShardedSetHandle<'t, K, R: Reclaim = Ebr> {
+    inner: ShardedMapHandle<'t, K, (), R>,
+}
+
+impl<K, R> ShardedSetHandle<'_, K, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Routed insert through the shard's pinned handle.
+    #[inline]
+    pub fn insert(&mut self, key: K) -> bool {
+        self.inner.insert(key, ())
+    }
+
+    /// Routed remove through the shard's pinned handle.
+    #[inline]
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.inner.remove(key)
+    }
+
+    /// Routed membership test through the shard's pinned handle.
+    #[inline]
+    pub fn contains(&mut self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+
+    /// Shard-partitioned batch insert; returns keys newly added.
+    pub fn insert_batch(&mut self, keys: impl IntoIterator<Item = K>) -> usize {
+        self.inner.insert_batch(keys.into_iter().map(|k| (k, ())))
+    }
+
+    /// Shard-partitioned batch remove; returns keys removed.
+    pub fn remove_batch(&mut self, keys: impl IntoIterator<Item = K>) -> usize {
+        self.inner.remove_batch(keys)
+    }
+
+    /// Publishes batched op counts from every shard handle; see
+    /// [`MapHandle::flush_stats`].
+    pub fn flush_stats(&mut self) {
+        self.inner.flush_stats()
+    }
+
+    /// Unpins every shard handle; call before parking the worker.
+    pub fn unpin(&mut self) {
+        self.inner.unpin()
+    }
+}
+
+impl<K, R: Reclaim> std::fmt::Debug for ShardedSetHandle<'_, K, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSetHandle")
+            .field("shards", &self.inner.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_is_deterministic_and_in_range() {
+        let map: ShardedMap<u64, u64> = ShardedMap::with_shards(7);
+        for k in 0..10_000u64 {
+            let s = map.shard_of(&k);
+            assert!(s < 7);
+            assert_eq!(s, map.shard_of(&k));
+        }
+    }
+
+    #[test]
+    fn router_spreads_sequential_keys() {
+        // Sequential integer keys are the adversarial case for a weak
+        // router; every shard must get a meaningful share.
+        let map: ShardedMap<u64, u64> = ShardedMap::with_shards(8);
+        let mut counts = [0usize; 8];
+        const N: usize = 64_000;
+        for k in 0..N as u64 {
+            counts[map.shard_of(&k)] += 1;
+        }
+        let expected = N / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "shard {i} got {c} of {N} (expected ≈{expected})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _: ShardedMap<u64, u64> = ShardedMap::with_shards(0);
+    }
+}

@@ -46,10 +46,20 @@ where
     K: Ord + Clone + Send + Sync + 'static,
     R: Reclaim,
 {
-    /// Builds a set through the O(n) balanced bulk-load (see
-    /// [`NmTreeSet::from_sorted_iter`]).
+    /// Builds a set from keys in any order. Duplicate keys collapse to
+    /// one (first occurrence, matching [`insert`](NmTreeSet::insert)
+    /// semantics), and the result is the O(n) balanced bulk-load.
+    ///
+    /// Routes through the same `bulk_extend` as the map's
+    /// `FromIterator` — *not* through
+    /// [`from_sorted_iter`](NmTreeSet::from_sorted_iter) — so that a
+    /// future sorted-only fast path in `from_sorted_iter` can never
+    /// change what arbitrary-order collection means.
     fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
-        NmTreeSet::from_sorted_iter(iter)
+        let mut set = NmTreeSet::new();
+        set.map_mut()
+            .bulk_extend(iter.into_iter().map(|k| (k, ())).collect());
+        set
     }
 }
 

@@ -355,21 +355,89 @@ mod tests {
                     assert!(removed, "victim {victim} was present");
                 });
                 // Only traverse once the deleter is provably parked
-                // mid-splice; every run exercises the same window.
+                // mid-splice; every run exercises the same window. The
+                // tested guarantee (DESIGN.md §8, and the server's SCAN
+                // verb): every key present for the entire call is
+                // visited **exactly once** — the mid-splice chain, with
+                // its transient second path to the hoisted sibling, must
+                // yield neither misses nor duplicates.
                 cell.wait_arrival();
-                let mut seen = std::collections::BTreeSet::new();
+                let mut seen = std::collections::BTreeMap::new();
                 m.range_for_each(.., |k, _| {
-                    seen.insert(*k);
+                    *seen.entry(*k).or_insert(0u32) += 1;
                 });
                 for k in (0..20).filter(|k| *k != victim) {
-                    assert!(seen.contains(&k), "stable key {k} missing mid-splice");
+                    assert_eq!(
+                        seen.get(&k),
+                        Some(&1),
+                        "stable key {k} must appear exactly once mid-splice"
+                    );
                 }
+                // The victim is logically deleted (its edge is flagged)
+                // but may still be physically present: at most once.
+                assert!(
+                    seen.get(&victim).is_none_or(|c| *c == 1),
+                    "victim {victim} duplicated mid-splice"
+                );
                 cell.resume();
             });
             assert!(!m.contains(&victim));
             let mut m = m;
             let shape = m.check_invariants().unwrap();
             assert_eq!(shape.user_keys, 19);
+        }
+    }
+
+    /// The same exactly-once guarantee at the *other* deterministic
+    /// window — the deleter parked between the flag and the tag (the
+    /// hoisted edge not yet tagged) — and through a *bounded* range, so
+    /// the pruned descent crosses the in-progress delete too.
+    #[test]
+    #[cfg(feature = "chaos")]
+    fn bounded_range_during_stalled_tag_is_exactly_once() {
+        use crate::chaos::{FaultPlan, Point, StallCell};
+
+        for victim in [5u32, 11] {
+            let m: NmTreeMap<u32, u32, Ebr> = NmTreeMap::new();
+            for k in 0..24 {
+                m.insert(k, k);
+            }
+            let cell = StallCell::new();
+            std::thread::scope(|s| {
+                let deleter_cell = cell.clone();
+                let m2 = &m;
+                s.spawn(move || {
+                    let removed = FaultPlan::new()
+                        .stall_at(Point::Tag, deleter_cell)
+                        .run(|| m2.remove(&victim));
+                    assert!(removed, "victim {victim} was present");
+                });
+                cell.wait_arrival();
+                let mut seen = std::collections::BTreeMap::new();
+                m.range_for_each(4..=20, |k, _| {
+                    *seen.entry(*k).or_insert(0u32) += 1;
+                });
+                for k in (4..=20).filter(|k| *k != victim) {
+                    assert_eq!(
+                        seen.get(&k),
+                        Some(&1),
+                        "stable key {k} must appear exactly once mid-tag"
+                    );
+                }
+                assert!(
+                    seen.get(&victim).is_none_or(|c| *c == 1),
+                    "victim {victim} duplicated mid-tag"
+                );
+                assert!(
+                    seen.keys().all(|k| (4..=20).contains(k)),
+                    "keys outside the bound leaked into the range"
+                );
+                cell.resume();
+            });
+            assert!(!m.contains(&victim));
+            let mut m = m;
+            let shape = m.check_invariants().unwrap();
+            assert_eq!(shape.user_keys, 23);
         }
     }
 

@@ -207,3 +207,49 @@ fn reclaim_gauges_flow_through_tree_metrics() {
     );
     drop(held);
 }
+
+/// The flush_stats bugfix: a long-lived handle whose re-pin budget is
+/// never exhausted used to be invisible to `metrics()` until it was
+/// dropped — the batched counts only flushed on repin/unpin/drop. An
+/// explicit `flush_stats` must publish them immediately, without
+/// disturbing the guard.
+#[test]
+fn flush_stats_publishes_counts_from_live_handle() {
+    let map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::new();
+    // A budget far larger than the op count: this handle never re-pins
+    // after its first op, so nothing flushes organically.
+    let mut h = map.handle().with_repin_every(1_000_000);
+    for k in 0..100 {
+        h.insert(k, k);
+    }
+    for k in 0..50 {
+        h.contains(&k);
+    }
+    // The bug: a snapshot taken now used to show none of the 150 ops.
+    h.flush_stats();
+    let m = map.metrics();
+    assert_eq!(m.inserts, 100, "inserts visible after flush_stats");
+    assert_eq!(m.inserted, 100);
+    assert_eq!(m.searches, 50, "searches visible after flush_stats");
+    assert_eq!(m.size_estimate, 100);
+
+    // flush_stats must not invalidate the handle: it keeps operating,
+    // and a second flush publishes only the delta.
+    for k in 100..120 {
+        h.insert(k, k);
+    }
+    h.flush_stats();
+    assert_eq!(map.metrics().inserted, 120);
+    drop(h);
+    // Drop after an explicit flush must not double-count.
+    assert_eq!(map.metrics().inserted, 120);
+
+    // The set handle exposes the same valve.
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+    let mut sh = set.handle().with_repin_every(1_000_000);
+    for k in 0..40 {
+        sh.insert(k);
+    }
+    sh.flush_stats();
+    assert_eq!(set.metrics().inserted, 40);
+}

@@ -217,3 +217,101 @@ fn interleaved_two_batches_concurrently() {
             .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }
+
+/// Bulk construction from arbitrary iterators must match `insert`-loop
+/// semantics exactly: any order accepted, duplicate keys keep the
+/// *first* occurrence, and the built tree is structurally valid. Runs
+/// the same seeded cases through the map and set `FromIterator` routes
+/// (which must agree — the set route historically diverged by going
+/// through `from_sorted_iter`).
+#[test]
+fn bulk_construction_from_shuffled_duplicated_streams() {
+    let mut rng = Rng(0xB17D_0CAB);
+    for case in 0..24 {
+        // A stream with heavy duplication: keys drawn from a small
+        // range, values tagged with the occurrence index so we can tell
+        // which duplicate survived.
+        let len = 1 + rng.below(300);
+        let stream: Vec<(u64, u64)> = (0..len).map(|i| (rng.below(1 + len / 2), i)).collect();
+
+        // Model: first occurrence wins, like `insert` on a fresh map.
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(k, v) in &stream {
+            model.entry(k).or_insert(v);
+        }
+
+        let mut map: NmTreeMap<u64, u64, Ebr> = stream.iter().copied().collect();
+        let shape = map
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case} (map): {e}"));
+        assert_eq!(shape.user_keys, model.len(), "case {case}: key count");
+        for (k, v) in &model {
+            assert_eq!(map.get(k), Some(*v), "case {case}: map[{k}]");
+        }
+        assert_eq!(
+            map.keys(),
+            model.keys().copied().collect::<Vec<_>>(),
+            "case {case}: key order"
+        );
+
+        let mut set: NmTreeSet<u64, Ebr> = stream.iter().map(|&(k, _)| k).collect();
+        set.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case} (set): {e}"));
+        assert_eq!(
+            set.keys(),
+            model.keys().copied().collect::<Vec<_>>(),
+            "case {case}: set keys"
+        );
+    }
+}
+
+/// `Extend` onto a *populated* tree must keep the same first-wins
+/// contract: keys already present reject the incoming value, duplicate
+/// keys within the extension keep their first occurrence.
+#[test]
+fn extend_populated_tree_from_shuffled_duplicated_streams() {
+    let mut rng = Rng(0x5EED_E47E_u64.wrapping_mul(3));
+    for case in 0..12 {
+        let pre_len = 1 + rng.below(100);
+        let ext_len = 1 + rng.below(200);
+        let key_space = 1 + (pre_len + ext_len) / 2;
+        let pre: Vec<(u64, u64)> = (0..pre_len)
+            .map(|i| (rng.below(key_space), 10_000 + i))
+            .collect();
+        let ext: Vec<(u64, u64)> = (0..ext_len)
+            .map(|i| (rng.below(key_space), 20_000 + i))
+            .collect();
+
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::new();
+        for &(k, v) in &pre {
+            model.entry(k).or_insert(v);
+            map.insert(k, v);
+        }
+        map.extend(ext.iter().copied());
+        for &(k, v) in &ext {
+            model.entry(k).or_insert(v);
+        }
+
+        map.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(map.len(), model.len(), "case {case}");
+        for (k, v) in &model {
+            assert_eq!(map.get(k), Some(*v), "case {case}: map[{k}]");
+        }
+
+        // The set twin through Extend.
+        let mut set: NmTreeSet<u64, Ebr> = NmTreeSet::new();
+        for &(k, _) in &pre {
+            set.insert(k);
+        }
+        set.extend(ext.iter().map(|&(k, _)| k));
+        assert_eq!(
+            set.keys(),
+            model.keys().copied().collect::<Vec<_>>(),
+            "case {case}: set keys"
+        );
+        set.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case} (set): {e}"));
+    }
+}

@@ -1,0 +1,181 @@
+//! `ShardedMap`/`ShardedSet` against flat models: routing must be a
+//! pure partition (every key readable back through the same front end),
+//! merged ordered views must match a `BTreeMap`, and aggregated metrics
+//! must add up exactly at quiescence.
+
+use nmbst::{Ebr, ShardedMap, ShardedSet};
+use std::collections::BTreeMap;
+use std::sync::Barrier;
+
+/// SplitMix64, same fixed-seed idiom as `properties.rs`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn matches_model_across_shard_counts() {
+    for shards in [1usize, 2, 3, 8, 13] {
+        let mut rng = Rng(0xCAFE + shards as u64);
+        let mut map: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(shards);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..4_000 {
+            let r = rng.next();
+            let k = r % 512;
+            match r % 10 {
+                0..=4 => {
+                    let inserted = map.insert(k, r);
+                    assert_eq!(inserted, !model.contains_key(&k), "shards={shards} k={k}");
+                    model.entry(k).or_insert(r);
+                }
+                5..=6 => {
+                    let removed = map.remove(&k);
+                    assert_eq!(removed, model.remove(&k).is_some(), "shards={shards} k={k}");
+                }
+                _ => {
+                    assert_eq!(map.get(&k), model.get(&k).copied(), "shards={shards} k={k}");
+                }
+            }
+        }
+        // Quiescent aggregates.
+        assert_eq!(map.len(), model.len(), "shards={shards}");
+        assert_eq!(map.count(), model.len(), "shards={shards}");
+        assert_eq!(
+            map.keys(),
+            model.keys().copied().collect::<Vec<_>>(),
+            "shards={shards}"
+        );
+        let collected = map.range_collect(100..400);
+        let expected: Vec<(u64, u64)> = model.range(100..400).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(collected, expected, "shards={shards}: merged range");
+        map.check_invariants()
+            .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+        // Metrics: exact at quiescence, aggregated across shards.
+        assert_eq!(map.metrics().size_estimate, model.len() as i64);
+    }
+}
+
+#[test]
+fn handle_agrees_with_plain_front_end() {
+    let map: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(4);
+    let mut h = map.handle();
+    for k in 0..1_000 {
+        assert!(h.insert(k, k * 7));
+    }
+    for k in 0..1_000 {
+        // Handle writes visible through the plain routed API and back.
+        assert_eq!(map.get(&k), Some(k * 7));
+        assert_eq!(h.get(&k), Some(k * 7));
+    }
+    assert_eq!(h.remove_batch(0..500), 500);
+    assert_eq!(h.insert_batch((0..10).map(|k| (k, k))), 10);
+    let back = h.get_batch(vec![3, 999, 700, 250]);
+    assert_eq!(back, vec![Some(3), Some(999 * 7), Some(700 * 7), None]);
+    drop(h);
+    let mut map = map;
+    assert_eq!(map.len(), 510);
+}
+
+#[test]
+fn bulk_extend_routes_and_keeps_first_duplicate() {
+    let mut map: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(5);
+    let mut stream = Vec::new();
+    let mut rng = Rng(7);
+    for i in 0..2_000u64 {
+        stream.push((rng.next() % 600, i));
+    }
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(k, v) in &stream {
+        model.entry(k).or_insert(v);
+    }
+    map.bulk_extend(stream);
+    assert_eq!(map.len(), model.len());
+    for (k, v) in &model {
+        assert_eq!(map.get(k), Some(*v), "key {k}");
+    }
+    map.check_invariants().unwrap();
+}
+
+/// Each worker thread drives its own `ShardedMapHandle` over disjoint
+/// key stripes; after the join every stripe must be fully present and
+/// the aggregated metrics exact.
+#[test]
+fn concurrent_workers_with_per_worker_handles() {
+    const WORKERS: u64 = 4;
+    const PER: u64 = 2_000;
+    let map: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(8);
+    let start = Barrier::new(WORKERS as usize);
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let map = &map;
+            let start = &start;
+            s.spawn(move || {
+                let mut h = map.handle();
+                start.wait();
+                for i in 0..PER {
+                    let k = w * PER + i;
+                    assert!(h.insert(k, k));
+                }
+                for i in 0..PER {
+                    let k = w * PER + i;
+                    assert_eq!(h.get(&k), Some(k));
+                }
+                h.flush_stats();
+            });
+        }
+    });
+    let mut map = map;
+    assert_eq!(map.len(), (WORKERS * PER) as usize);
+    let m = map.metrics();
+    assert_eq!(m.inserted, WORKERS * PER);
+    assert_eq!(m.searches, WORKERS * PER);
+    assert_eq!(m.size_estimate, (WORKERS * PER) as i64);
+    map.check_invariants().unwrap();
+}
+
+/// A live never-repinned sharded handle becomes visible to `metrics()`
+/// after `flush_stats` — the serving tier's sampling-tick contract.
+#[test]
+fn sharded_flush_stats_makes_live_worker_visible() {
+    let map: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(4);
+    let mut h = map.handle();
+    for k in 0..200 {
+        h.insert(k, k);
+    }
+    h.flush_stats();
+    assert_eq!(map.metrics().inserted, 200);
+    drop(h);
+    assert_eq!(map.metrics().inserted, 200, "no double count on drop");
+}
+
+#[test]
+fn sharded_set_round_trip_and_merged_order() {
+    let set: ShardedSet<u64, Ebr> = ShardedSet::with_shards(6);
+    let mut h = set.handle();
+    // Insert in descending order to make merged ascending output earn it.
+    for k in (0..500).rev() {
+        assert!(h.insert(k));
+    }
+    assert!(!h.insert(250));
+    assert!(h.contains(&499));
+    assert!(h.remove(&499));
+    drop(h);
+    let mut seen = Vec::new();
+    set.range_for_each(10..20, |k| seen.push(*k));
+    assert_eq!(seen, (10..20).collect::<Vec<_>>());
+    let mut ordered = Vec::new();
+    set.for_each(|k| ordered.push(*k));
+    assert_eq!(ordered, (0..499).collect::<Vec<_>>());
+    let mut set = set;
+    assert_eq!(set.len(), 499);
+    set.check_invariants().unwrap();
+    set.clear();
+    assert_eq!(set.len(), 0);
+}

@@ -22,6 +22,7 @@
 pub mod adapter;
 pub mod chart;
 pub mod hist;
+pub mod replay;
 pub mod report;
 pub mod rng;
 pub mod runner;
@@ -31,6 +32,7 @@ pub mod zipf;
 
 pub use adapter::ConcurrentSet;
 pub use hist::Histogram;
+pub use replay::{run_replay, ReplayConfig, ReplayReport, SessionOp, SessionTarget};
 pub use runner::{
     mean_mops, prepopulate, run_batch_throughput, run_latency, run_throughput, BenchConfig,
     BenchResult, KeyDist, LatencyResult,

@@ -1,0 +1,127 @@
+//! A blocking client for the wire protocol — what the tests and the
+//! replay harness drive. One TCP connection, strict request/response
+//! (no pipelining), reused encode/decode buffers, no allocations per
+//! request beyond the reply's own payload.
+
+use crate::wire::{
+    read_frame, write_frame, BatchOp, BatchReply, MetricsFormat, Request, Response, WireError,
+};
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to an [`crate::Server`].
+///
+/// Not thread-safe by design — like a [`nmbst::MapHandle`], give each
+/// client thread its own. See [`crate::Server`] for a usage example.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    out: Vec<u8>,
+    body: Vec<u8>,
+}
+
+impl Client {
+    /// Connects (TCP, `TCP_NODELAY`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            out: Vec::with_capacity(256),
+            body: Vec::with_capacity(256),
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        self.out.clear();
+        req.encode(&mut self.out);
+        let op = self.out[0];
+        write_frame(&mut self.writer, &self.out)?;
+        self.writer.flush()?;
+        if !read_frame(&mut self.reader, &mut self.body)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(Response::decode(op, &self.body)?)
+    }
+
+    fn unexpected(resp: Response) -> io::Error {
+        match resp {
+            Response::Err(msg) => io::Error::other(format!("server error: {msg}")),
+            other => WireError(format!("mismatched response {other:?}")).into(),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &u64) -> io::Result<Option<u64>> {
+        match self.round_trip(&Request::Get(*key))? {
+            Response::Get(v) => Ok(v),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Insert; `Ok(true)` iff the key was added (duplicates rejected,
+    /// like [`nmbst::NmTreeMap::insert`]).
+    pub fn insert(&mut self, key: u64, value: u64) -> io::Result<bool> {
+        match self.round_trip(&Request::Insert(key, value))? {
+            Response::Insert(added) => Ok(added),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Remove; `Ok(true)` iff the key was present.
+    pub fn remove(&mut self, key: &u64) -> io::Result<bool> {
+        match self.round_trip(&Request::Remove(*key))? {
+            Response::Remove(removed) => Ok(removed),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Runs `ops` server-side in one frame; replies line up with `ops`.
+    pub fn batch(&mut self, ops: &[BatchOp]) -> io::Result<Vec<BatchReply>> {
+        match self.round_trip(&Request::Batch(ops.to_vec()))? {
+            Response::Batch(replies) if replies.len() == ops.len() => Ok(replies),
+            Response::Batch(replies) => {
+                Err(WireError(format!("{} replies for {} ops", replies.len(), ops.len())).into())
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Ordered scan of `lo..=hi`, at most `max` entries (0 = unlimited).
+    /// Returns the ascending entries and whether the cap truncated them.
+    pub fn scan(&mut self, lo: u64, hi: u64, max: u32) -> io::Result<(Vec<(u64, u64)>, bool)> {
+        match self.round_trip(&Request::Scan { lo, hi, max })? {
+            Response::Scan { entries, truncated } => Ok((entries, truncated)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Scrapes the server's metrics in the requested format.
+    pub fn metrics(&mut self, format: MetricsFormat) -> io::Result<String> {
+        match self.round_trip(&Request::Metrics(format))? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.reader.peer_addr().ok())
+            .finish_non_exhaustive()
+    }
+}

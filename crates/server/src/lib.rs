@@ -1,0 +1,40 @@
+//! # nmbst-server — the sharded serving tier
+//!
+//! A from-scratch TCP key-value server over [`nmbst::ShardedMap`]: the
+//! "millions of users" leg of the roadmap, built with zero external
+//! dependencies (std networking, hand-rolled wire format).
+//!
+//! Three layers:
+//!
+//! * [`wire`] — the length-prefixed binary protocol
+//!   (GET/INSERT/REMOVE/BATCH/SCAN/METRICS/PING) shared by both sides.
+//! * [`Server`] — thread-per-core workers over one shared listener;
+//!   each worker drives the store through per-shard pinned handles and
+//!   publishes its batched op counts on a sampling tick.
+//! * [`Client`] — the blocking client the tests and the replay harness
+//!   in `nmbst-harness` use.
+//!
+//! ```
+//! use nmbst_server::{wire::BatchOp, Client, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig {
+//!     workers: 2,
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//! let mut c = Client::connect(server.addr()).unwrap();
+//! c.batch(&[BatchOp::Insert(1, 10), BatchOp::Insert(2, 20)]).unwrap();
+//! let (entries, _) = c.scan(0, 100, 0).unwrap();
+//! assert_eq!(entries, vec![(1, 10), (2, 20)]);
+//! drop(c);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+mod client;
+mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig, ServerStats, Store};

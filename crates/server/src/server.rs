@@ -1,0 +1,437 @@
+//! The serving loop: a std `TcpListener` shared by thread-per-core
+//! workers, each serving one connection at a time through a pinned
+//! per-shard [`ShardedMapHandle`].
+//!
+//! Worker/handle pinning is the design's point: a worker thread owns
+//! one `ShardedMapHandle` per *connection* — one pin-amortizing
+//! [`nmbst::MapHandle`] per shard — so every descent that worker makes
+//! into a given shard reuses that shard's guard, seek record, and node
+//! cache, all resident in the worker's core cache. There is no
+//! cross-worker handle sharing and therefore no handle synchronization.
+//!
+//! Concurrency model: `workers` threads block in `accept()` on one
+//! shared listener (the kernel load-balances) and serve their accepted
+//! connection to completion before accepting again. Clients beyond the
+//! worker count wait in the accept backlog — the tier is sized for a
+//! small fixed fleet of long-lived connections (the replay harness and
+//! tests connect exactly `workers` clients), not for C10K fan-in.
+//!
+//! Shutdown: a stop flag plus self-connections to wake blocked
+//! `accept()`s, and a 100 ms read timeout so workers parked in an idle
+//! connection notice the flag. The read-timeout tick doubles as the
+//! stats sampling tick: workers `flush_stats()` their handles there and
+//! every `flush_every` ops, which is what keeps the METRICS verb's view
+//! of in-flight workers honest (the `flush_stats` bugfix this PR ships).
+
+use crate::wire::{read_frame, write_frame, BatchOp, BatchReply, MetricsFormat, Request, Response};
+use nmbst::{Ebr, ShardedMap, ShardedMapHandle, TreeConfig};
+use nmbst_sync::CachePadded;
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The store the tier serves: `u64 → u64` over epoch-reclaimed sharded
+/// trees. Fixed-width keys keep the wire protocol trivial; richer
+/// payloads belong in a layer above.
+pub type Store = ShardedMap<u64, u64, Ebr>;
+
+/// Everything tunable about a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads, each serving one connection at a time. Defaults
+    /// to the machine's available parallelism (thread-per-core).
+    pub workers: usize,
+    /// Tree shards in the store; `0` (default) means one per worker.
+    pub shards: usize,
+    /// Configuration for every shard's tree.
+    pub tree: TreeConfig,
+    /// Ops between a worker's `flush_stats` sampling ticks.
+    pub flush_every: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shards: 0,
+            tree: TreeConfig::default(),
+            flush_every: 1024,
+        }
+    }
+}
+
+/// Server-level counters, one step above the store's tree metrics.
+/// Worker op counts are cache-padded like the tree's own counter shards
+/// — workers must not ping-pong a stats line while serving.
+#[derive(Debug)]
+pub struct ServerStats {
+    worker_ops: Box<[CachePadded<AtomicU64>]>,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    wire_errors: AtomicU64,
+}
+
+impl ServerStats {
+    fn new(workers: usize) -> Self {
+        ServerStats {
+            worker_ops: (0..workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            wire_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Tree operations each worker has routed through its pinned
+    /// handles, index-aligned with worker threads. The replay gate
+    /// hard-fails if any entry is zero — a worker that served traffic
+    /// without touching its handle means the pinning is broken.
+    pub fn worker_ops(&self) -> Vec<u64> {
+        self.worker_ops
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Request frames served.
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Malformed frames (connection dropped after each).
+    pub fn wire_errors(&self) -> u64 {
+        self.wire_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// A running serving tier over one [`Store`].
+///
+/// # Examples
+///
+/// ```
+/// use nmbst_server::{Client, Server, ServerConfig};
+///
+/// let server = Server::start(ServerConfig {
+///     workers: 2,
+///     ..ServerConfig::default()
+/// })
+/// .unwrap();
+/// let mut client = Client::connect(server.addr()).unwrap();
+/// assert!(client.insert(7, 70).unwrap());
+/// assert_eq!(client.get(&7).unwrap(), Some(70));
+/// drop(client);
+/// server.shutdown();
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    store: Arc<Store>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and spawns the workers; serving begins before this returns.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let workers = config.workers.max(1);
+        let shards = if config.shards == 0 {
+            workers
+        } else {
+            config.shards
+        };
+        let listener = Arc::new(TcpListener::bind(&config.addr)?);
+        let addr = listener.local_addr()?;
+        let store = Arc::new(Store::with_config(shards, config.tree));
+        let stats = Arc::new(ServerStats::new(workers));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let handles = (0..workers)
+            .map(|w| {
+                let listener = Arc::clone(&listener);
+                let store = Arc::clone(&store);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let flush_every = config.flush_every.max(1);
+                std::thread::Builder::new()
+                    .name(format!("nmbst-worker-{w}"))
+                    .spawn(move || worker_loop(w, &listener, &store, &stats, &stop, flush_every))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(Server {
+            addr,
+            store,
+            stats,
+            stop,
+            workers: handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The store being served (e.g. for out-of-band verification).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Server-level counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Aggregated store metrics — the same snapshot the METRICS verb
+    /// serves, minus the server counters.
+    pub fn metrics(&self) -> nmbst::obs::MetricsSnapshot {
+        self.store.metrics()
+    }
+
+    /// Stops accepting, wakes every worker, and joins them. Established
+    /// connections are drained: a worker finishes its current request,
+    /// then notices the flag on its next read tick and closes.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake workers blocked in accept(): each dummy connection
+        // unblocks exactly one accept, which then observes the flag.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(
+    idx: usize,
+    listener: &TcpListener,
+    store: &Store,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+    flush_every: u32,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return; // the wake-up dummy connection
+                }
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                // A broken connection only kills itself, not the worker.
+                let _ = serve_conn(idx, stream, store, stats, stop, flush_every);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Listener failure: nothing to serve anymore.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn serve_conn(
+    idx: usize,
+    stream: TcpStream,
+    store: &Store,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+    flush_every: u32,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    let mut handle = store.handle();
+    let mut in_body = Vec::new();
+    let mut out_body = Vec::new();
+    let mut ops_since_flush: u32 = 0;
+
+    loop {
+        match read_frame(&mut reader, &mut in_body) {
+            Ok(true) => {}
+            Ok(false) => break, // client closed
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick: publish batched stats, bail if shutting down.
+                handle.flush_stats();
+                ops_since_flush = 0;
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // desync/EOF mid-frame: drop the connection
+        }
+        stats.frames.fetch_add(1, Ordering::Relaxed);
+
+        let response = match Request::decode(&in_body) {
+            Ok(req) => {
+                let ops = op_count(&req);
+                stats.worker_ops[idx].fetch_add(ops, Ordering::Relaxed);
+                ops_since_flush = ops_since_flush.saturating_add(ops as u32);
+                execute(&req, &mut handle, store, stats)
+            }
+            Err(e) => {
+                stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                // Answer, then drop the connection: after a framing
+                // error the stream cannot be trusted.
+                out_body.clear();
+                Response::Err(e.to_string()).encode(&mut out_body);
+                write_frame(&mut writer, &out_body)?;
+                writer.flush()?;
+                break;
+            }
+        };
+
+        out_body.clear();
+        response.encode(&mut out_body);
+        write_frame(&mut writer, &out_body)?;
+        writer.flush()?;
+
+        if ops_since_flush >= flush_every {
+            handle.flush_stats();
+            ops_since_flush = 0;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    handle.flush_stats();
+    Ok(())
+}
+
+/// Tree operations a request will route through the worker's handle.
+fn op_count(req: &Request) -> u64 {
+    match req {
+        Request::Get(_) | Request::Insert(..) | Request::Remove(_) => 1,
+        Request::Batch(ops) => ops.len() as u64,
+        // SCAN/METRICS/PING read through the store front end, not the
+        // pinned handle; they don't count toward handle-routed ops.
+        Request::Scan { .. } | Request::Metrics(_) | Request::Ping => 0,
+    }
+}
+
+fn execute(
+    req: &Request,
+    handle: &mut ShardedMapHandle<'_, u64, u64, Ebr>,
+    store: &Store,
+    stats: &ServerStats,
+) -> Response {
+    match req {
+        Request::Get(k) => Response::Get(handle.get(k)),
+        Request::Insert(k, v) => Response::Insert(handle.insert(*k, *v)),
+        Request::Remove(k) => Response::Remove(handle.remove(k)),
+        Request::Batch(ops) => {
+            // Executed in request order through the pinned handles —
+            // no shard-partitioned reordering, because the reply array
+            // must line up with the request and a client may care about
+            // op order within a session.
+            let replies = ops
+                .iter()
+                .map(|op| match op {
+                    BatchOp::Get(k) => match handle.get(k) {
+                        Some(v) => BatchReply::Found(v),
+                        None => BatchReply::Missing,
+                    },
+                    BatchOp::Insert(k, v) => BatchReply::Added(handle.insert(*k, *v)),
+                    BatchOp::Remove(k) => BatchReply::Removed(handle.remove(k)),
+                })
+                .collect();
+            Response::Batch(replies)
+        }
+        Request::Scan { lo, hi, max } => {
+            let mut entries = store.range_collect(*lo..=*hi);
+            let cap = if *max == 0 { usize::MAX } else { *max as usize };
+            let truncated = entries.len() > cap;
+            entries.truncate(cap);
+            Response::Scan { entries, truncated }
+        }
+        Request::Metrics(fmt) => Response::Metrics(metrics_text(store, stats, *fmt)),
+        Request::Ping => Response::Pong,
+    }
+}
+
+/// The METRICS verb's payload: the aggregated tree snapshot plus the
+/// server counters, in the requested exposition format.
+fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> String {
+    let snap = store.metrics();
+    match fmt {
+        MetricsFormat::Json => {
+            let ops: Vec<String> = stats.worker_ops().iter().map(u64::to_string).collect();
+            format!(
+                "{{\"tree\":{},\"server\":{{\"connections\":{},\"frames\":{},\
+                 \"wire_errors\":{},\"worker_ops\":[{}]}}}}",
+                snap.to_json(),
+                stats.connections(),
+                stats.frames(),
+                stats.wire_errors(),
+                ops.join(",")
+            )
+        }
+        MetricsFormat::Prometheus => {
+            let mut out = snap.to_prometheus();
+            out.push_str("# HELP nmbst_server_connections_total Connections accepted.\n");
+            out.push_str("# TYPE nmbst_server_connections_total counter\n");
+            out.push_str(&format!(
+                "nmbst_server_connections_total {}\n",
+                stats.connections()
+            ));
+            out.push_str("# HELP nmbst_server_frames_total Request frames served.\n");
+            out.push_str("# TYPE nmbst_server_frames_total counter\n");
+            out.push_str(&format!("nmbst_server_frames_total {}\n", stats.frames()));
+            out.push_str("# HELP nmbst_server_wire_errors_total Malformed frames.\n");
+            out.push_str("# TYPE nmbst_server_wire_errors_total counter\n");
+            out.push_str(&format!(
+                "nmbst_server_wire_errors_total {}\n",
+                stats.wire_errors()
+            ));
+            out.push_str(
+                "# HELP nmbst_server_worker_ops_total Tree ops routed through each worker's pinned handle.\n",
+            );
+            out.push_str("# TYPE nmbst_server_worker_ops_total counter\n");
+            for (w, n) in stats.worker_ops().iter().enumerate() {
+                out.push_str(&format!(
+                    "nmbst_server_worker_ops_total{{worker=\"{w}\"}} {n}\n"
+                ));
+            }
+            out
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! The wire protocol: length-prefixed binary frames, hand-rolled (the
+//! build is offline — no serde, no protobuf).
+//!
+//! ## Frame layout
+//!
+//! Every message in either direction is one frame:
+//!
+//! ```text
+//! [ body_len: u32 LE ][ body: body_len bytes ]
+//! ```
+//!
+//! `body_len` covers the body only (not itself) and is capped at
+//! [`MAX_FRAME`]; a peer announcing more is malformed and the
+//! connection is dropped. All integers are little-endian.
+//!
+//! ## Request bodies
+//!
+//! ```text
+//! GET     = [0x01][key u64]
+//! INSERT  = [0x02][key u64][val u64]
+//! REMOVE  = [0x03][key u64]
+//! BATCH   = [0x04][count u32] then count × [kind u8][key u64]([val u64] iff kind=INSERT)
+//! SCAN    = [0x05][lo u64][hi u64][max u32]      (hi inclusive; max 0 = unlimited)
+//! METRICS = [0x06][format u8]                    (0 = JSON, 1 = Prometheus text)
+//! PING    = [0x07]
+//! ```
+//!
+//! `BATCH` kinds reuse the single-op opcodes (GET/INSERT/REMOVE).
+//!
+//! ## Response bodies
+//!
+//! The first byte is a status: `0x00` OK, `0x01` error (rest of the
+//! body is a UTF-8 message). After an OK status:
+//!
+//! ```text
+//! GET     → [found u8]([val u64] iff found)
+//! INSERT  → [added u8]
+//! REMOVE  → [removed u8]
+//! BATCH   → [count u32] then count × the single-op encoding, request order
+//! SCAN    → [n u32][truncated u8] then n × [key u64][val u64], ascending
+//! METRICS → UTF-8 text (rest of body)
+//! PING    → empty
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame body. Large enough for a ~1M-entry SCAN reply,
+/// small enough that a corrupt length prefix cannot OOM the peer.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+pub(crate) const OP_GET: u8 = 0x01;
+pub(crate) const OP_INSERT: u8 = 0x02;
+pub(crate) const OP_REMOVE: u8 = 0x03;
+pub(crate) const OP_BATCH: u8 = 0x04;
+pub(crate) const OP_SCAN: u8 = 0x05;
+pub(crate) const OP_METRICS: u8 = 0x06;
+pub(crate) const OP_PING: u8 = 0x07;
+
+pub(crate) const STATUS_OK: u8 = 0x00;
+pub(crate) const STATUS_ERR: u8 = 0x01;
+
+/// Which exposition format a METRICS request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// One flat JSON object (tree snapshot + server counters).
+    Json,
+    /// Prometheus text exposition.
+    Prometheus,
+}
+
+/// One operation inside a BATCH request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Point lookup.
+    Get(u64),
+    /// Insert key → value (rejected if the key exists).
+    Insert(u64, u64),
+    /// Remove a key.
+    Remove(u64),
+}
+
+/// One reply inside a BATCH response, request order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchReply {
+    /// GET hit, with the value.
+    Found(u64),
+    /// GET miss.
+    Missing,
+    /// INSERT outcome: `true` = key added.
+    Added(bool),
+    /// REMOVE outcome: `true` = key was present.
+    Removed(bool),
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get(u64),
+    /// Insert key → value.
+    Insert(u64, u64),
+    /// Remove a key.
+    Remove(u64),
+    /// Many point ops in one frame (the replay tier's unit of work).
+    Batch(Vec<BatchOp>),
+    /// Ordered range scan over `lo..=hi`, at most `max` entries
+    /// (`max == 0` = unlimited).
+    Scan {
+        /// Low key, inclusive.
+        lo: u64,
+        /// High key, inclusive.
+        hi: u64,
+        /// Entry cap; 0 means no cap.
+        max: u32,
+    },
+    /// Metrics scrape.
+    Metrics(MetricsFormat),
+    /// Liveness probe.
+    Ping,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET result.
+    Get(Option<u64>),
+    /// INSERT result: `true` = key added.
+    Insert(bool),
+    /// REMOVE result: `true` = key was present.
+    Remove(bool),
+    /// BATCH results, request order.
+    Batch(Vec<BatchReply>),
+    /// SCAN result: ascending entries plus whether the cap truncated it.
+    Scan {
+        /// `(key, value)` pairs, ascending by key.
+        entries: Vec<(u64, u64)>,
+        /// `true` if `max` cut the scan short.
+        truncated: bool,
+    },
+    /// Metrics text in the requested format.
+    Metrics(String),
+    /// PING acknowledged.
+    Pong,
+    /// Server-side failure; the connection stays usable.
+    Err(String),
+}
+
+/// A malformed frame (bad opcode, truncated payload, oversized length).
+#[derive(Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Byte-slice cursor for decoding; every read is bounds-checked so a
+/// hostile frame can only produce a [`WireError`], never a panic.
+struct Cur<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError(format!("truncated frame: need {n} more bytes")))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.at..];
+        self.at = self.buf.len();
+        s
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+impl Request {
+    /// Appends this request's body (no length prefix) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Get(k) => {
+                out.push(OP_GET);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            Request::Insert(k, v) => {
+                out.push(OP_INSERT);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Request::Remove(k) => {
+                out.push(OP_REMOVE);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            Request::Batch(ops) => {
+                out.push(OP_BATCH);
+                out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for op in ops {
+                    match op {
+                        BatchOp::Get(k) => {
+                            out.push(OP_GET);
+                            out.extend_from_slice(&k.to_le_bytes());
+                        }
+                        BatchOp::Insert(k, v) => {
+                            out.push(OP_INSERT);
+                            out.extend_from_slice(&k.to_le_bytes());
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                        BatchOp::Remove(k) => {
+                            out.push(OP_REMOVE);
+                            out.extend_from_slice(&k.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Request::Scan { lo, hi, max } => {
+                out.push(OP_SCAN);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+                out.extend_from_slice(&max.to_le_bytes());
+            }
+            Request::Metrics(fmt) => {
+                out.push(OP_METRICS);
+                out.push(match fmt {
+                    MetricsFormat::Json => 0,
+                    MetricsFormat::Prometheus => 1,
+                });
+            }
+            Request::Ping => out.push(OP_PING),
+        }
+    }
+
+    /// Decodes one request body.
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cur::new(body);
+        let req = match c.u8()? {
+            OP_GET => Request::Get(c.u64()?),
+            OP_INSERT => Request::Insert(c.u64()?, c.u64()?),
+            OP_REMOVE => Request::Remove(c.u64()?),
+            OP_BATCH => {
+                let n = c.u32()? as usize;
+                // 9 bytes is the smallest record; pre-reject counts the
+                // remaining bytes cannot possibly satisfy.
+                if n > body.len() / 9 + 1 {
+                    return Err(WireError(format!("batch count {n} exceeds frame")));
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(match c.u8()? {
+                        OP_GET => BatchOp::Get(c.u64()?),
+                        OP_INSERT => BatchOp::Insert(c.u64()?, c.u64()?),
+                        OP_REMOVE => BatchOp::Remove(c.u64()?),
+                        k => return Err(WireError(format!("bad batch kind {k:#x}"))),
+                    });
+                }
+                Request::Batch(ops)
+            }
+            OP_SCAN => Request::Scan {
+                lo: c.u64()?,
+                hi: c.u64()?,
+                max: c.u32()?,
+            },
+            OP_METRICS => Request::Metrics(match c.u8()? {
+                0 => MetricsFormat::Json,
+                1 => MetricsFormat::Prometheus,
+                f => return Err(WireError(format!("bad metrics format {f:#x}"))),
+            }),
+            OP_PING => Request::Ping,
+            op => return Err(WireError(format!("bad opcode {op:#x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Appends this response's body (status byte included, no length
+    /// prefix) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Err(msg) => {
+                out.push(STATUS_ERR);
+                out.extend_from_slice(msg.as_bytes());
+                return;
+            }
+            _ => out.push(STATUS_OK),
+        }
+        match self {
+            Response::Get(v) => match v {
+                Some(v) => {
+                    out.push(1);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                None => out.push(0),
+            },
+            Response::Insert(added) => out.push(*added as u8),
+            Response::Remove(removed) => out.push(*removed as u8),
+            Response::Batch(replies) => {
+                out.extend_from_slice(&(replies.len() as u32).to_le_bytes());
+                for r in replies {
+                    match r {
+                        BatchReply::Found(v) => {
+                            out.push(1);
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                        BatchReply::Missing => out.push(0),
+                        BatchReply::Added(b) => out.push(2 | (*b as u8) << 4),
+                        BatchReply::Removed(b) => out.push(3 | (*b as u8) << 4),
+                    }
+                }
+            }
+            Response::Scan { entries, truncated } => {
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                out.push(*truncated as u8);
+                for (k, v) in entries {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Metrics(text) => out.extend_from_slice(text.as_bytes()),
+            Response::Pong => {}
+            Response::Err(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// Decodes one response body. The caller must know which request it
+    /// answers (the protocol is strictly request/response in order), so
+    /// the expected opcode is passed in.
+    pub fn decode(for_op: u8, body: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cur::new(body);
+        match c.u8()? {
+            STATUS_OK => {}
+            STATUS_ERR => {
+                let msg = String::from_utf8_lossy(c.rest()).into_owned();
+                return Ok(Response::Err(msg));
+            }
+            s => return Err(WireError(format!("bad status {s:#x}"))),
+        }
+        let resp = match for_op {
+            OP_GET => Response::Get(match c.u8()? {
+                0 => None,
+                _ => Some(c.u64()?),
+            }),
+            OP_INSERT => Response::Insert(c.u8()? != 0),
+            OP_REMOVE => Response::Remove(c.u8()? != 0),
+            OP_BATCH => {
+                let n = c.u32()? as usize;
+                if n > body.len() {
+                    return Err(WireError(format!("batch reply count {n} exceeds frame")));
+                }
+                let mut replies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = c.u8()?;
+                    replies.push(match (tag & 0x0F, tag >> 4) {
+                        (1, _) => BatchReply::Found(c.u64()?),
+                        (0, _) => BatchReply::Missing,
+                        (2, b) => BatchReply::Added(b != 0),
+                        (3, b) => BatchReply::Removed(b != 0),
+                        _ => return Err(WireError(format!("bad batch reply tag {tag:#x}"))),
+                    });
+                }
+                Response::Batch(replies)
+            }
+            OP_SCAN => {
+                let n = c.u32()? as usize;
+                if n > body.len() / 16 + 1 {
+                    return Err(WireError(format!("scan count {n} exceeds frame")));
+                }
+                let truncated = c.u8()? != 0;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((c.u64()?, c.u64()?));
+                }
+                Response::Scan { entries, truncated }
+            }
+            OP_METRICS => Response::Metrics(String::from_utf8_lossy(c.rest()).into_owned()),
+            OP_PING => Response::Pong,
+            op => return Err(WireError(format!("bad request opcode {op:#x}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes `body` as one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one frame body into `buf` (cleared and resized). Returns
+/// `Ok(false)` on clean EOF at a frame boundary; mid-frame EOF and
+/// oversized lengths are `Err`.
+///
+/// Read-timeout contract (the server polls with a timeout so shutdown
+/// can interrupt an idle connection): a timeout *before any byte of a
+/// frame* surfaces as `Err(WouldBlock | TimedOut)` with nothing
+/// consumed — the caller may treat it as an idle tick and call again.
+/// Once any byte has been consumed, timeouts are retried internally so
+/// a slow writer can never desync the stream.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    fn is_timeout(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+    /// `read_exact` that survives timeouts once mid-object.
+    fn fill(r: &mut impl Read, mut dst: &mut [u8], what: &str) -> io::Result<()> {
+        while !dst.is_empty() {
+            match r.read(dst) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("eof inside frame {what}"),
+                    ));
+                }
+                Ok(n) => dst = &mut dst[n..],
+                Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    let mut len = [0u8; 4];
+    // First read: EOF = clean close, timeout = idle tick (nothing
+    // consumed either way).
+    let got = loop {
+        match r.read(&mut len) {
+            Ok(0) => return Ok(false),
+            Ok(n) => break n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    };
+    fill(r, &mut len[got..], "length")?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    buf.clear();
+    buf.resize(n, 0);
+    fill(r, buf, "body")?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut body = Vec::new();
+        req.encode(&mut body);
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn round_trip_response(op: u8, resp: Response) {
+        let mut body = Vec::new();
+        resp.encode(&mut body);
+        assert_eq!(Response::decode(op, &body).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip_request(Request::Get(42));
+        round_trip_request(Request::Insert(u64::MAX, 0));
+        round_trip_request(Request::Remove(7));
+        round_trip_request(Request::Batch(vec![
+            BatchOp::Get(1),
+            BatchOp::Insert(2, 20),
+            BatchOp::Remove(3),
+        ]));
+        round_trip_request(Request::Batch(Vec::new()));
+        round_trip_request(Request::Scan {
+            lo: 5,
+            hi: 500,
+            max: 0,
+        });
+        round_trip_request(Request::Metrics(MetricsFormat::Json));
+        round_trip_request(Request::Metrics(MetricsFormat::Prometheus));
+        round_trip_request(Request::Ping);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        round_trip_response(OP_GET, Response::Get(Some(9)));
+        round_trip_response(OP_GET, Response::Get(None));
+        round_trip_response(OP_INSERT, Response::Insert(true));
+        round_trip_response(OP_REMOVE, Response::Remove(false));
+        round_trip_response(
+            OP_BATCH,
+            Response::Batch(vec![
+                BatchReply::Found(1),
+                BatchReply::Missing,
+                BatchReply::Added(true),
+                BatchReply::Added(false),
+                BatchReply::Removed(true),
+            ]),
+        );
+        round_trip_response(
+            OP_SCAN,
+            Response::Scan {
+                entries: vec![(1, 10), (2, 20)],
+                truncated: true,
+            },
+        );
+        round_trip_response(OP_METRICS, Response::Metrics("x y z".into()));
+        round_trip_response(OP_PING, Response::Pong);
+        round_trip_response(OP_GET, Response::Err("boom".into()));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xFF]).is_err());
+        assert!(Request::decode(&[OP_GET, 1, 2]).is_err(), "truncated key");
+        // Trailing garbage after a valid payload.
+        let mut body = Vec::new();
+        Request::Ping.encode(&mut body);
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+        // Batch count larger than the frame could hold.
+        let mut body = vec![OP_BATCH];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&body).is_err());
+    }
+
+    /// Seeded fuzz: random bytes must never panic the decoder, and every
+    /// encodable request must survive a round trip.
+    #[test]
+    fn decoder_survives_random_bytes() {
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..5_000 {
+            let len = (next() % 64) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let _ = Request::decode(&bytes); // must not panic
+            let _ = Response::decode((next() % 9) as u8, &bytes);
+        }
+    }
+
+    #[test]
+    fn frame_io_round_trips() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"hello");
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"");
+        assert!(!read_frame(&mut r, &mut buf).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).is_err());
+    }
+}

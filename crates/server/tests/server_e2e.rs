@@ -1,0 +1,233 @@
+//! End-to-end tests over loopback: protocol semantics against a model,
+//! concurrent clients, metrics exposition, malformed-frame handling,
+//! and clean shutdown.
+
+use nmbst_server::wire::{BatchOp, BatchReply, MetricsFormat};
+use nmbst_server::{Client, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn start(workers: usize) -> Server {
+    Server::start(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+/// SplitMix64, the workspace's seeded-test idiom.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn point_ops_match_model() {
+    let server = start(1);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = Rng(0xE2E);
+    c.ping().unwrap();
+    for _ in 0..2_000 {
+        let r = rng.next();
+        let k = r % 256;
+        match r % 3 {
+            0 => {
+                let added = c.insert(k, r).unwrap();
+                assert_eq!(added, !model.contains_key(&k), "insert {k}");
+                model.entry(k).or_insert(r);
+            }
+            1 => {
+                let removed = c.remove(&k).unwrap();
+                assert_eq!(removed, model.remove(&k).is_some(), "remove {k}");
+            }
+            _ => assert_eq!(c.get(&k).unwrap(), model.get(&k).copied(), "get {k}"),
+        }
+    }
+    // SCAN agrees with the model, ascending.
+    let (entries, truncated) = c.scan(0, u64::MAX, 0).unwrap();
+    assert!(!truncated);
+    assert_eq!(
+        entries,
+        model.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+    );
+    drop(c);
+    server.shutdown();
+}
+
+#[test]
+fn batch_replies_line_up_with_requests() {
+    let server = start(1);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let replies = c
+        .batch(&[
+            BatchOp::Insert(1, 10),
+            BatchOp::Insert(1, 11), // duplicate → rejected
+            BatchOp::Get(1),
+            BatchOp::Get(2),
+            BatchOp::Remove(1),
+            BatchOp::Remove(1),
+        ])
+        .unwrap();
+    assert_eq!(
+        replies,
+        vec![
+            BatchReply::Added(true),
+            BatchReply::Added(false),
+            BatchReply::Found(10),
+            BatchReply::Missing,
+            BatchReply::Removed(true),
+            BatchReply::Removed(false),
+        ]
+    );
+    assert_eq!(c.batch(&[]).unwrap(), vec![]);
+    drop(c);
+    server.shutdown();
+}
+
+#[test]
+fn scan_bounds_and_truncation() {
+    let server = start(1);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let ops: Vec<BatchOp> = (0..100).map(|k| BatchOp::Insert(k, k * 2)).collect();
+    c.batch(&ops).unwrap();
+    let (entries, truncated) = c.scan(10, 19, 0).unwrap();
+    assert!(!truncated);
+    assert_eq!(entries, (10..=19).map(|k| (k, k * 2)).collect::<Vec<_>>());
+    let (entries, truncated) = c.scan(0, u64::MAX, 7).unwrap();
+    assert!(truncated);
+    assert_eq!(entries.len(), 7);
+    assert_eq!(entries[0], (0, 0), "cap keeps the ascending prefix");
+    drop(c);
+    server.shutdown();
+}
+
+/// `workers` clients hammer disjoint stripes concurrently; the final
+/// state and the aggregated metrics must both be exact, and *every*
+/// worker must have routed ops through its pinned handle.
+#[test]
+fn concurrent_clients_and_worker_stats() {
+    const WORKERS: usize = 3;
+    const PER: u64 = 1_500;
+    let server = start(WORKERS);
+    std::thread::scope(|s| {
+        for w in 0..WORKERS as u64 {
+            let addr = server.addr();
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for i in 0..PER {
+                    let k = w * PER + i;
+                    assert!(c.insert(k, k).unwrap());
+                }
+                for i in 0..PER {
+                    let k = w * PER + i;
+                    assert_eq!(c.get(&k).unwrap(), Some(k));
+                }
+            });
+        }
+    });
+    let total = WORKERS as u64 * PER;
+    // The sampling tick + connection teardown flush every handle, so the
+    // aggregated snapshot is exact once the clients are gone.
+    let m = server.metrics();
+    assert_eq!(m.inserted, total);
+    assert_eq!(m.size_estimate, total as i64);
+    let per_worker = server.stats().worker_ops();
+    assert_eq!(per_worker.len(), WORKERS);
+    assert_eq!(per_worker.iter().sum::<u64>(), 2 * total);
+    for (w, &ops) in per_worker.iter().enumerate() {
+        assert!(ops > 0, "worker {w} routed zero ops through its handle");
+    }
+    assert_eq!(server.stats().connections(), WORKERS as u64);
+    server.shutdown();
+}
+
+/// A live, mid-connection METRICS scrape must see the ops the serving
+/// worker has already executed — the `flush_stats` sampling tick at
+/// `flush_every` ops is what makes this hold without waiting for the
+/// connection to close.
+#[test]
+fn live_metrics_see_in_flight_worker() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        flush_every: 64,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    // Two sampling windows of ops, then scrape *on the same live
+    // connection* (the worker never unpinned or dropped its handle).
+    let ops: Vec<BatchOp> = (0..128).map(|k| BatchOp::Insert(k, k)).collect();
+    c.batch(&ops).unwrap();
+    let json = c.metrics(MetricsFormat::Json).unwrap();
+    assert!(
+        json.contains("\"inserted\":128"),
+        "live scrape must not undercount: {json}"
+    );
+    assert!(json.contains("\"worker_ops\""), "server counters present");
+
+    let prom = c.metrics(MetricsFormat::Prometheus).unwrap();
+    assert!(prom.contains("nmbst_inserted_total 128"), "{prom}");
+    assert!(prom.contains("nmbst_server_worker_ops_total{worker=\"0\"}"));
+    assert!(prom.contains("nmbst_server_connections_total 1"));
+    drop(c);
+    server.shutdown();
+}
+
+/// Malformed frames get an error response and a dropped connection;
+/// the server survives and keeps serving new clients.
+#[test]
+fn malformed_frame_drops_connection_not_server() {
+    let server = start(1);
+
+    // Garbage opcode.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(&3u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0xFF, 0x00, 0x01]).unwrap();
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap(); // error frame, then EOF
+    assert!(reply.len() > 5, "an error frame came back");
+    assert_eq!(reply[4], 0x01, "status byte = ERR");
+    drop(raw);
+
+    // Oversized length prefix: dropped without a reply.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap();
+    assert!(reply.is_empty());
+    drop(raw);
+
+    // The server is still healthy.
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.ping().unwrap();
+    assert!(c.insert(1, 1).unwrap());
+    assert_eq!(server.stats().wire_errors(), 1);
+    drop(c);
+    server.shutdown();
+}
+
+/// Shutdown with an idle connected client joins promptly (the read
+/// timeout tick notices the stop flag) and leaves the store intact.
+#[test]
+fn shutdown_with_idle_connection_joins() {
+    let server = start(2);
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert!(c.insert(5, 50).unwrap());
+    let store = std::sync::Arc::clone(server.store());
+    let t0 = std::time::Instant::now();
+    server.shutdown(); // client `c` still connected and idle
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown hung on the idle connection"
+    );
+    assert_eq!(store.get(&5), Some(50), "store survives the server");
+}

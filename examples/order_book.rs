@@ -2,18 +2,20 @@
 //! *write-dominated* workload (≈50% insert / 50% delete) in application
 //! form, plus ordered traversal for top-of-book queries.
 //!
-//! Each side of the book is an `NmTreeSet<u64>` of active price levels
-//! (prices in ticks). Matching engines add a level when the first order
-//! arrives at a price and remove it when the last order leaves — pure
-//! insert/delete churn, exactly the regime where the NM algorithm's
-//! single-CAS insert and three-atomic delete shine (Figure 4, left
-//! column).
+//! Each side of the book is a [`ShardedSet<u64>`] of active price
+//! levels (prices in ticks): hash-sharded for write throughput, while
+//! `range_for_each` still merges the shards into one globally ascending
+//! pass for the market-data feed. Matching engines drive their side
+//! through a [`nmbst::ShardedSetHandle`], using the batch entry points
+//! for quote-ladder refreshes — pure insert/delete churn, exactly the
+//! regime where the NM algorithm's single-CAS insert and three-atomic
+//! delete shine (Figure 4, left column).
 //!
 //! ```text
 //! cargo run --release --example order_book
 //! ```
 
-use nmbst::NmTreeSet;
+use nmbst::ShardedSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -28,8 +30,8 @@ fn xorshift(x: &mut u64) -> u64 {
 }
 
 fn main() {
-    let bids: NmTreeSet<u64> = NmTreeSet::new();
-    let asks: NmTreeSet<u64> = NmTreeSet::new();
+    let bids: ShardedSet<u64> = ShardedSet::with_shards(4);
+    let asks: ShardedSet<u64> = ShardedSet::with_shards(4);
 
     // Seed a plausible book around the mid price.
     for d in 1..200 {
@@ -50,23 +52,41 @@ fn main() {
             let stop = &stop;
             let churn_ops = &churn_ops;
             s.spawn(move || {
+                let mut bid_h = bids.handle();
+                let mut ask_h = asks.handle();
                 let mut rng = 0xB00C + t;
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let r = xorshift(&mut rng);
                     // Price levels cluster near the mid (geometric-ish).
                     let depth = (r >> 48).trailing_zeros() as u64 * 13 % 400 + 1;
-                    let (side, price) = if r & 1 == 0 {
-                        (bids, MID.saturating_sub(depth).max(1))
+                    if r & 0xFF == 0 {
+                        // Occasional quote refresh: replace a ladder of
+                        // levels on one side in two batched calls.
+                        let (side, sign) = if r & 1 == 0 {
+                            (&mut bid_h, -1i64)
+                        } else {
+                            (&mut ask_h, 1i64)
+                        };
+                        let rung = |i: u64| {
+                            let p = MID as i64 + sign * (depth + 3 * i) as i64;
+                            (p.clamp(1, TICKS as i64 - 1)) as u64
+                        };
+                        ops += side.insert_batch((0..8).map(rung)) as u64;
+                        ops += side.remove_batch((8..16).map(rung)) as u64;
                     } else {
-                        (asks, (MID + depth).min(TICKS - 1))
-                    };
-                    if r & 2 == 0 {
-                        side.insert(price);
-                    } else {
-                        side.remove(&price);
+                        let (side, price) = if r & 1 == 0 {
+                            (&mut bid_h, MID.saturating_sub(depth).max(1))
+                        } else {
+                            (&mut ask_h, (MID + depth).min(TICKS - 1))
+                        };
+                        if r & 2 == 0 {
+                            side.insert(price);
+                        } else {
+                            side.remove(&price);
+                        }
+                        ops += 1;
                     }
-                    ops += 1;
                 }
                 churn_ops.fetch_add(ops, Ordering::Relaxed);
             });
@@ -79,12 +99,13 @@ fn main() {
             let snapshots = &snapshots;
             s.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    // Best bid = max key; best ask = min key. for_each is
-                    // ascending, so track the last/first seen.
+                    // `range_for_each` merges all shards and visits in
+                    // ascending order: best bid = last key below the
+                    // mid, best ask = first key at/above it.
                     let mut best_bid = None;
-                    bids.for_each(|p| best_bid = Some(*p));
+                    bids.range_for_each(1..MID, |p| best_bid = Some(*p));
                     let mut best_ask = None;
-                    asks.for_each(|p| {
+                    asks.range_for_each(MID..TICKS, |p| {
                         if best_ask.is_none() {
                             best_ask = Some(*p);
                         }
@@ -114,13 +135,22 @@ fn main() {
         snapshots.load(Ordering::Relaxed)
     );
     println!(
-        "book at close: {} bid levels, {} ask levels",
+        "book at close: {} bid levels, {} ask levels ({} shards/side)",
         bids.count(),
-        asks.count()
+        asks.count(),
+        bids.shard_count()
     );
 
-    // Deterministic post-run check: both sides stay inside the grid.
-    bids.for_each(|p| assert!((1..MID).contains(p)));
-    asks.for_each(|p| assert!((MID + 1..TICKS).contains(p)));
-    println!("post-run range invariants: ok");
+    // Deterministic post-run checks: both sides stay inside the grid,
+    // in merged ascending order, and every shard's tree is well-formed.
+    let mut last = 0;
+    bids.for_each(|p| {
+        assert!((1..MID).contains(p));
+        assert!(*p > last || last == 0, "merged traversal stays sorted");
+        last = *p;
+    });
+    asks.for_each(|p| assert!((MID..TICKS).contains(p)));
+    let mut bids = bids;
+    bids.check_invariants().expect("bid shards well-formed");
+    println!("post-run range + shard invariants: ok");
 }

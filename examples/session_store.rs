@@ -1,17 +1,19 @@
 //! A concurrent web-session store — the paper's *mixed workload*
-//! (70% search / 20% insert / 10% delete) in application form.
+//! (70% search / 20% insert / 10% delete) in application form, served
+//! from a [`ShardedMap`]: the same front end the `nmbst-server` crate
+//! puts behind a socket.
 //!
 //! Front-end threads look sessions up on every request; login handlers
-//! create sessions; logout/expiry removes them. The store is an
-//! `NmTreeMap<u64, Session>` with epoch reclamation, so memory of
-//! expired sessions is actually returned to the allocator (unlike the
-//! paper's leak-everything benchmark regime).
+//! create sessions; logout/expiry removes them. Every thread drives the
+//! store through its own [`ShardedMapHandle`] (per-shard pinned
+//! cursors), and the run ends with the store's *aggregated* metrics —
+//! exact because dropping a handle flushes its batched counters.
 //!
 //! ```text
 //! cargo run --release --example session_store
 //! ```
 
-use nmbst::NmTreeMap;
+use nmbst::{ShardedMap, DEFAULT_SHARD_COUNT};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -35,25 +37,31 @@ fn main() {
     const SESSION_SPACE: u64 = 50_000;
     const FRONTENDS: u64 = 6;
     const AUTH_WORKERS: u64 = 2;
-    let store: NmTreeMap<u64, Session> = NmTreeMap::new();
+    let mut store: ShardedMap<u64, Session> = ShardedMap::new();
     let epoch = Instant::now();
 
     // Seed half the session space, like the paper pre-populates trees.
+    // One `bulk_extend` routes every pair to its shard's O(n) bulk
+    // path; duplicate ids collapse first-wins, so overdraw the stream
+    // until enough *distinct* ids accumulated.
     let mut seed = 1u64;
-    let mut seeded = 0;
-    while seeded < SESSION_SPACE / 2 {
+    let mut seen = vec![false; SESSION_SPACE as usize];
+    let mut pairs = Vec::new();
+    while pairs.len() < (SESSION_SPACE / 2) as usize {
         let id = splitmix(&mut seed) % SESSION_SPACE;
-        if store.insert(
-            id,
-            Session {
-                user: id ^ 0xABCD,
-                issued_ms: 0,
-                scopes: 0b111,
-            },
-        ) {
-            seeded += 1;
+        if !std::mem::replace(&mut seen[id as usize], true) {
+            pairs.push((
+                id,
+                Session {
+                    user: id ^ 0xABCD,
+                    issued_ms: 0,
+                    scopes: 0b111,
+                },
+            ));
         }
     }
+    store.bulk_extend(pairs);
+    let store = store; // shared from here on
 
     let stop = AtomicBool::new(false);
     let hits = AtomicU64::new(0);
@@ -62,22 +70,26 @@ fn main() {
     let logouts = AtomicU64::new(0);
 
     std::thread::scope(|s| {
-        // Front-end request handlers: mostly lookups.
+        // Front-end request handlers: mostly lookups, each through its
+        // own per-shard-pinned handle.
         for t in 0..FRONTENDS {
             let store = &store;
             let stop = &stop;
             let hits = &hits;
             let misses = &misses;
             s.spawn(move || {
+                let mut h = store.handle();
                 let mut rng = 0x1000 + t;
                 while !stop.load(Ordering::Relaxed) {
                     let id = splitmix(&mut rng) % SESSION_SPACE;
                     // Zero-copy authorization check under the guard.
-                    match store.with_value(&id, |sess| sess.scopes & 0b001 != 0) {
+                    match h.with_value(&id, |sess| sess.scopes & 0b001 != 0) {
                         Some(_authorized) => hits.fetch_add(1, Ordering::Relaxed),
                         None => misses.fetch_add(1, Ordering::Relaxed),
                     };
                 }
+                // Dropping `h` flushes its batched op counts into the
+                // store's aggregated metrics.
             });
         }
         // Auth workers: logins (inserts) and logouts/expiry (deletes).
@@ -88,6 +100,7 @@ fn main() {
             let logouts = &logouts;
             let epoch = &epoch;
             s.spawn(move || {
+                let mut h = store.handle();
                 let mut rng = 0x2000 + t;
                 while !stop.load(Ordering::Relaxed) {
                     let r = splitmix(&mut rng);
@@ -99,13 +112,14 @@ fn main() {
                             issued_ms: epoch.elapsed().as_millis() as u64,
                             scopes: (r >> 32) as u32 & 0b111,
                         };
-                        if store.insert(id, sess) {
+                        if h.insert(id, sess) {
                             logins.fetch_add(1, Ordering::Relaxed);
                         }
-                    } else if store.remove(&id) {
+                    } else if h.remove(&id) {
                         logouts.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                drop(h);
                 store.flush(); // hand retired sessions to the collector
             });
         }
@@ -117,7 +131,10 @@ fn main() {
     let elapsed = epoch.elapsed().as_secs_f64();
     let h = hits.load(Ordering::Relaxed);
     let m = misses.load(Ordering::Relaxed);
-    println!("ran {FRONTENDS} front-ends + {AUTH_WORKERS} auth workers for {elapsed:.2}s");
+    println!(
+        "ran {FRONTENDS} front-ends + {AUTH_WORKERS} auth workers over {} shards for {elapsed:.2}s",
+        DEFAULT_SHARD_COUNT
+    );
     println!(
         "lookups : {h} hits / {m} misses ({:.1}% hit rate)",
         100.0 * h as f64 / (h + m).max(1) as f64
@@ -130,4 +147,14 @@ fn main() {
         (h + m + logins.load(Ordering::Relaxed) + logouts.load(Ordering::Relaxed)) as f64 / 1e6,
         (h + m) as f64 / elapsed / 1e6
     );
+
+    // The aggregated snapshot sums every shard; every handle above has
+    // been dropped, so the counters are exact, not estimates.
+    let snap = store.metrics();
+    println!(
+        "metrics : searches {} inserted {} removed {} size_estimate {}",
+        snap.searches, snap.inserted, snap.removed, snap.size_estimate
+    );
+    assert_eq!(snap.searches, h + m, "drop-flush makes the counts exact");
+    assert_eq!(snap.size_estimate as usize, store.count());
 }
