@@ -1,10 +1,10 @@
 //! The hot-path perf harness: machine-readable before/after cells for
 //! the PR 2 optimizations, the PR 4 node-recycling pool, the PR 5
-//! locality work (bulk-load + finger-anchored batches), and the PR 6
-//! sharded serving tier, written as `BENCH_PR6.json` (override the
-//! path with `NMBST_BENCH_JSON`).
+//! locality work (bulk-load + finger-anchored batches), the PR 6
+//! sharded serving tier, and the PR 7 fat-leaf blocks, written as
+//! `BENCH_PR7.json` (override the path with `NMBST_BENCH_JSON`).
 //!
-//! Eight benches, each emitting `{bench, config, metrics}` cells in the
+//! Nine benches, each emitting `{bench, config, metrics}` cells in the
 //! `nmbst-bench-v1` schema shared with criterion-lite:
 //!
 //! * `single_thread_throughput` — one thread, read-heavy / mixed /
@@ -27,6 +27,18 @@
 //!   trails pool-off by more than `NMBST_POOL_TOLERANCE`** (default
 //!   0.10; CI uses a looser bound for jittery shared runners), or if
 //!   the mixed pool-on cell somehow recorded zero pool hits.
+//! * `leaf_ablation` — the PR 7 one-flag A/B: read-dominated and mixed
+//!   handle cells at `leaf_cap = 1` (every leaf a single key — the
+//!   PR 6 shape, on the new arena) vs the default fat-leaf capacity.
+//!   Each cell embeds its obs snapshot, so the committed file carries
+//!   the attribution: the thin tree's `max_depth`/`depth_hist` must
+//!   reproduce the old deep shape while the fat tree's is measurably
+//!   flatter. **The process exits non-zero if the fat read-dominated
+//!   cell trails the thin one by more than `NMBST_LEAF_TOLERANCE`**
+//!   (relative, default 0.05 — the fat leaves exist to *win* this
+//!   cell), **or if the thin tree's max depth is not strictly deeper**
+//!   (the ablation stopped reproducing the pre-PR 7 shape, so the cell
+//!   no longer attributes the win to leaf compaction).
 //! * `bulk_load` — the PR 5 O(n) balanced build:
 //!   `NmTreeSet::from_sorted_iter` over `NMBST_BULK_KEYS` keys (default
 //!   100 000) vs handle loop-inserting the same keys in *shuffled*
@@ -279,7 +291,11 @@ fn latency_hist(api: Api, key_range: u64, ops: u64, seed: u64) -> Histogram {
 fn table1_counts(api: Api) -> (f64, f64, f64, f64) {
     const BASE: u64 = 1_000;
     const OPS: u64 = 500;
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    // leaf_cap = 1: the paper's Table-1 costs are stated for one-key
+    // leaves; a fat block COWs (1 alloc, 1 CAS) instead of running the
+    // classic 2-alloc insert / flag-tag-splice delete being counted.
+    let set: NmTreeSet<u64, Leaky> =
+        NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     let mut h = set.handle();
     let set = &set;
     let mut run = |key: u64, op: OpKind| match api {
@@ -419,7 +435,7 @@ fn main() {
     let out_path = std::env::var(criterion::BENCH_JSON_ENV)
         .ok()
         .filter(|p| !p.is_empty())
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
 
     let mut cells: Vec<Json> = Vec::new();
 
@@ -429,7 +445,7 @@ fn main() {
     println!(
         "== single-thread throughput (key range {key_range}, {secs:.2}s/cell, median of {REPEATS}) =="
     );
-    let mut mixed_mops: Vec<(&'static str, f64)> = Vec::new();
+    let mut gate_mops: Vec<(&'static str, &'static str, f64)> = Vec::new();
     for workload in Workload::FIGURE4 {
         for api in [Api::PerOpPin, Api::Handle] {
             let mut runs: Vec<(f64, u64, MetricsSnapshot)> = (0..REPEATS)
@@ -444,8 +460,10 @@ fn main() {
                 workload.name,
                 api.label()
             );
-            if workload.name == Workload::MIXED.name {
-                mixed_mops.push((api.label(), mops));
+            if workload.name == Workload::MIXED.name
+                || workload.name == Workload::READ_DOMINATED.name
+            {
+                gate_mops.push((workload.name, api.label(), mops));
             }
             cells.push(json::cell(
                 "single_thread_throughput",
@@ -615,6 +633,53 @@ fn main() {
         }
     }
     pool_gate_ok &= check_pool_gate(insert_heavy[0], insert_heavy[1]);
+
+    // The PR 7 ablation: identical handle cells, the only difference
+    // being `TreeConfig::leaf_cap`. Capacity 1 reproduces the pre-PR 7
+    // one-key-per-leaf shape on the same arena, so the delta isolates
+    // the fat-leaf blocks (shorter descents, one cache line per final
+    // hop) from everything else this PR changed.
+    println!("== leaf ablation (1 thread, handle, key range {key_range}, median of {REPEATS}) ==");
+    let mut leaf_read_dom = [0.0f64; 2]; // [cap 1, cap 8] Mops/s
+    let mut leaf_depths = [0u64; 2]; // [cap 1, cap 8] max observed depth
+    for workload in [Workload::READ_DOMINATED, Workload::MIXED] {
+        for fat in [false, true] {
+            let leaf_cap = if fat { nmbst::LEAF_CAP } else { 1 };
+            let config = TreeConfig::default().with_leaf_cap(leaf_cap);
+            let mut runs: Vec<(f64, u64, MetricsSnapshot)> = (0..REPEATS)
+                .map(|_| single_thread_mops(Api::Handle, config, workload, key_range, secs, seed))
+                .collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (mops, ops, snap) = runs[REPEATS / 2];
+            println!(
+                "  {:<24} leaf_cap={leaf_cap} {mops:.3} Mops/s  (max_depth {})",
+                workload.name, snap.max_depth,
+            );
+            if workload.name == Workload::READ_DOMINATED.name {
+                leaf_read_dom[fat as usize] = mops;
+                leaf_depths[fat as usize] = snap.max_depth;
+            }
+            cells.push(json::cell(
+                "leaf_ablation",
+                Json::obj([
+                    ("workload", Json::from(workload.name)),
+                    ("api", Json::from(Api::Handle.label())),
+                    ("leaf_cap", Json::from(leaf_cap as u64)),
+                    ("threads", Json::Int(1)),
+                    ("key_range", Json::from(key_range)),
+                    ("secs", Json::Num(secs)),
+                    ("seed", Json::from(seed)),
+                    ("repeats", Json::from(REPEATS)),
+                ]),
+                Json::obj([
+                    ("mops", Json::Num(mops)),
+                    ("ops", Json::from(ops)),
+                    ("obs", snapshot_json(&snap)),
+                ]),
+            ));
+        }
+    }
+    let leaf_gate_ok = check_leaf_gate(leaf_read_dom, leaf_depths);
 
     // The PR 5 bulk-load cell. Fixed key count (not time-budgeted):
     // build cost is what's being measured, and a fixed n keeps the cell
@@ -806,10 +871,14 @@ fn main() {
     json::write_bench_file(path, &cells).expect("write bench json");
     println!("wrote {} cells to {}", cells.len(), path.display());
 
-    let baseline_ok = check_against_baseline(&mixed_mops);
+    let baseline_ok = check_against_baseline(&gate_mops);
 
     if !pool_gate_ok {
         eprintln!("error: pool ablation gate failed");
+        std::process::exit(1);
+    }
+    if !leaf_gate_ok {
+        eprintln!("error: leaf ablation gate failed");
         std::process::exit(1);
     }
     if !table1_ok {
@@ -997,6 +1066,47 @@ fn check_batch_gate(singles_mops: f64, batched_mops: f64, finger_hits: u64) -> b
     fast_enough && finger_alive
 }
 
+/// The leaf ablation gate, two clauses:
+///
+/// * **Win** — the fat-leaf read-dominated cell must not trail the
+///   `leaf_cap = 1` cell by more than `NMBST_LEAF_TOLERANCE` (relative,
+///   default 0.05). Fat leaves exist to win the read path; the
+///   tolerance only absorbs single-core scheduler jitter.
+/// * **Attribution** — the thin tree's max observed descent depth must
+///   be *strictly deeper* than the fat tree's. Both cells run the same
+///   seeded key stream, so this is deterministic: if it ever fails, the
+///   ablation stopped reproducing the pre-PR 7 one-key-per-leaf shape
+///   and the throughput delta no longer isolates leaf compaction.
+fn check_leaf_gate(read_dom_mops: [f64; 2], max_depths: [u64; 2]) -> bool {
+    let tolerance = std::env::var("NMBST_LEAF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.05);
+    let [thin_mops, fat_mops] = read_dom_mops;
+    let [thin_depth, fat_depth] = max_depths;
+    let floor = thin_mops * (1.0 - tolerance);
+    let fast_enough = fat_mops >= floor;
+    let shape_ok = thin_depth > fat_depth;
+    println!(
+        "== leaf gate (tolerance {:.0}%) ==\n  read-dominated fat {fat_mops:.3} Mops/s vs cap-1 {thin_mops:.3} (floor {floor:.3}), depth {fat_depth} vs {thin_depth}  [{}]",
+        tolerance * 100.0,
+        if fast_enough && shape_ok { "ok" } else { "REGRESSED" },
+    );
+    if !fast_enough {
+        eprintln!(
+            "error: fat-leaf read-dominated throughput trails leaf_cap=1 by more than {:.1}%",
+            tolerance * 100.0
+        );
+    }
+    if !shape_ok {
+        eprintln!(
+            "error: leaf_cap=1 ablation no longer reproduces the deep pre-fat-leaf shape \
+             (thin max_depth {thin_depth} vs fat {fat_depth}) — attribution lost"
+        );
+    }
+    fast_enough && shape_ok
+}
+
 /// The pool ablation gate: pool-on must not trail pool-off on the
 /// insert-heavy cell by more than `NMBST_POOL_TOLERANCE` (relative,
 /// default 0.10). The pool exists to *win* this cell; the tolerance
@@ -1023,11 +1133,11 @@ fn check_pool_gate(off_mops: f64, on_mops: f64) -> bool {
     pass
 }
 
-/// The throughput regression gate: compares this run's mixed-workload
-/// single-thread cells against the bench file named by
+/// The throughput regression gate: compares this run's mixed and
+/// read-dominated single-thread cells against the bench file named by
 /// `NMBST_BASELINE_JSON` (no-op when unset). Tolerance is relative, from
 /// `NMBST_PERF_TOLERANCE` (default 0.03 = 3%, the observability budget).
-fn check_against_baseline(mixed_mops: &[(&'static str, f64)]) -> bool {
+fn check_against_baseline(gate_mops: &[(&'static str, &'static str, f64)]) -> bool {
     let Some(baseline_path) = std::env::var("NMBST_BASELINE_JSON")
         .ok()
         .filter(|p| !p.is_empty())
@@ -1056,11 +1166,11 @@ fn check_against_baseline(mixed_mops: &[(&'static str, f64)]) -> bool {
         .get("cells")
         .and_then(Json::as_arr)
         .unwrap_or_default();
-    let baseline_mops = |api: &str| -> Option<f64> {
+    let baseline_mops = |workload: &str, api: &str| -> Option<f64> {
         cells.iter().find_map(|c| {
             let cfg = c.get("config")?;
             (c.get("bench")?.as_str()? == "single_thread_throughput"
-                && cfg.get("workload")?.as_str()? == Workload::MIXED.name
+                && cfg.get("workload")?.as_str()? == workload
                 && cfg.get("api")?.as_str()? == api)
                 .then(|| c.get("metrics")?.get("mops")?.as_f64())
                 .flatten()
@@ -1072,21 +1182,21 @@ fn check_against_baseline(mixed_mops: &[(&'static str, f64)]) -> bool {
         tolerance * 100.0
     );
     let mut ok = true;
-    for &(api, current) in mixed_mops {
-        let Some(base) = baseline_mops(api) else {
-            println!("  {api:<10} no baseline cell — skipped");
+    for &(workload, api, current) in gate_mops {
+        let Some(base) = baseline_mops(workload, api) else {
+            println!("  {workload:<24} {api:<10} no baseline cell — skipped");
             continue;
         };
         let floor = base * (1.0 - tolerance);
         let pass = current >= floor;
         ok &= pass;
         println!(
-            "  {api:<10} {current:.3} Mops/s vs baseline {base:.3} (floor {floor:.3})  [{}]",
+            "  {workload:<24} {api:<10} {current:.3} Mops/s vs baseline {base:.3} (floor {floor:.3})  [{}]",
             if pass { "ok" } else { "REGRESSED" },
         );
         if !pass {
             eprintln!(
-                "error: mixed-workload throughput ({api}) regressed more than {:.1}% vs {baseline_path}",
+                "error: {workload} throughput ({api}) regressed more than {:.1}% vs {baseline_path}",
                 tolerance * 100.0
             );
         }

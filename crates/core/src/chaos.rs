@@ -82,10 +82,11 @@ pub enum Point {
     Splice,
     /// A won splice is about to retire the detached chain.
     Retire,
-    /// A recycle deferral is about to return a reclaimed node's block to
-    /// the tree's pool. [`Action::Abandon`] sends the block to the global
-    /// allocator instead (the pool-overflow fall-through path), which lets
-    /// tests pin down *where* a given block may reappear.
+    /// A recycle deferral is about to return a reclaimed node's slot to
+    /// the tree's pool. [`Action::Abandon`] abandons the slot in place
+    /// instead (the free-list-overflow fall-through path — arena memory,
+    /// reclaimed when the tree drops), which lets tests pin down *where*
+    /// a given slot may reappear.
     Recycle,
     /// A batch operation is about to revalidate the previous op's seek
     /// record as its descent anchor. Unlike every other point,

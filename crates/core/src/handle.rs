@@ -189,7 +189,11 @@ where
         self.tick();
         let guard = self.guard.as_ref().expect("pinned by tick");
         // SAFETY: as in `insert`.
-        let removed = unsafe { self.tree.remove_in(key, |_| (), guard, &mut self.rec) }.is_some();
+        let removed = unsafe {
+            self.tree
+                .remove_in(key, |_| (), guard, &mut self.rec, &mut self.cache)
+        }
+        .is_some();
         self.pending.removes += 1;
         self.pending.removed += u64::from(removed);
         removed
@@ -206,9 +210,8 @@ where
         // SAFETY: as in `insert`.
         let removed = unsafe {
             self.tree
-                .remove_in(key, |leaf| leaf.value.clone(), guard, &mut self.rec)
-        }
-        .flatten();
+                .remove_in(key, V::clone, guard, &mut self.rec, &mut self.cache)
+        };
         self.pending.removes += 1;
         self.pending.removed += u64::from(removed.is_some());
         removed
@@ -373,7 +376,7 @@ where
         // SAFETY: as in `insert_fingered`.
         let (removed, hit) = unsafe {
             self.tree
-                .remove_from(key, |_| (), guard, &mut self.rec, finger)
+                .remove_from(key, |_| (), guard, &mut self.rec, &mut self.cache, finger)
         };
         self.finger = true;
         self.pending.removes += 1;

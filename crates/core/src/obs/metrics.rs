@@ -10,12 +10,26 @@
 use nmbst_reclaim::{PoolStats, ReclaimGauges};
 use nmbst_sync::CachePadded;
 use std::cell::Cell;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of counter shards. More than the container's typical core
 /// count so that threads rarely share a line even under round-robin
 /// assignment; small enough that snapshot sums stay trivial.
 const SHARDS: usize = 8;
+
+/// Buckets in the descent-depth histogram. Power-of-two buckets: bucket
+/// `b` counts descents that touched `2^(b-1) ..= 2^b - 1` nodes (bucket
+/// 0 is the degenerate zero-node descent), saturating in the last
+/// bucket, so 16 buckets cover any depth a 2³⁰-slot arena can produce.
+pub const DEPTH_BUCKETS: usize = 16;
+
+/// The histogram bucket a given descent depth lands in: the bit length
+/// of `depth`, saturated to the last bucket.
+#[inline]
+fn depth_bucket(depth: u64) -> usize {
+    ((u64::BITS - depth.leading_zeros()) as usize).min(DEPTH_BUCKETS - 1)
+}
 
 /// One shard of operation counters. All bumps are relaxed: counts have
 /// no ordering role, they only need to add up.
@@ -33,6 +47,12 @@ struct Shard {
     helps: AtomicU64,
     finger_hits: AtomicU64,
     finger_misses: AtomicU64,
+    /// Power-of-two histogram of nodes touched per modify-path descent
+    /// (see [`DEPTH_BUCKETS`]), plus the running sum for averages. Lives
+    /// in the shard so the per-seek bump shares the line the op counter
+    /// bump already owns.
+    depth_hist: [AtomicU64; DEPTH_BUCKETS],
+    depth_sum: AtomicU64,
 }
 
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
@@ -108,13 +128,19 @@ impl Metrics {
         self.shard().helps.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Folds a new observed access-path depth into the max gauge. The
-    /// common case (not a new maximum) is a single relaxed load.
+    /// Folds a new observed access-path depth into the max gauge and the
+    /// sharded power-of-two histogram. The max update's common case (not
+    /// a new maximum) is a single relaxed load; the histogram costs two
+    /// relaxed `fetch_add`s on this thread's shard — the line the op
+    /// counter bump for the same operation already owns.
     #[inline]
     pub(crate) fn note_depth(&self, depth: u64) {
         if depth > self.max_depth.load(Ordering::Relaxed) {
             self.max_depth.fetch_max(depth, Ordering::Relaxed);
         }
+        let shard = self.shard();
+        shard.depth_hist[depth_bucket(depth)].fetch_add(1, Ordering::Relaxed);
+        shard.depth_sum.fetch_add(depth, Ordering::Relaxed);
     }
 
     /// Adds a handle's batched counts in one pass (see [`PendingOps`]).
@@ -163,6 +189,10 @@ impl Metrics {
             s.helps += shard.helps.load(Ordering::Relaxed);
             s.finger_hits += shard.finger_hits.load(Ordering::Relaxed);
             s.finger_misses += shard.finger_misses.load(Ordering::Relaxed);
+            for (dst, src) in s.depth_hist.iter_mut().zip(shard.depth_hist.iter()) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+            s.depth_sum += shard.depth_sum.load(Ordering::Relaxed);
         }
         // The shards store outcomes; the snapshot reports call totals.
         s.inserts += s.inserted;
@@ -247,9 +277,20 @@ pub struct MetricsSnapshot {
     pub finger_misses: u64,
     /// `inserted - removed`: live key count, exact at quiescence.
     pub size_estimate: i64,
-    /// Deepest access path observed by any modify-path seek (edges below
-    /// the sentinel pair; 0 until the first modify op).
+    /// Deepest access path observed by any modify-path seek (nodes
+    /// touched below the sentinel pair, the fat leaf *block* counting as
+    /// one node; 0 until the first modify op).
     pub max_depth: u64,
+    /// Power-of-two histogram of nodes touched per modify-path descent:
+    /// bucket `b` counts descents of depth `2^(b-1) ..= 2^b - 1` (bucket
+    /// 0 holds the degenerate zero-node case, the last bucket
+    /// saturates). This is the production-observable form of the
+    /// fat-leaf miss-reduction claim: shrinking depth moves mass into
+    /// lower buckets.
+    pub depth_hist: [u64; DEPTH_BUCKETS],
+    /// Sum of all observed descent depths (`depth_sum / modify ops` =
+    /// mean nodes touched per descent).
+    pub depth_sum: u64,
     /// Reclamation health at snapshot time (see
     /// [`ReclaimGauges`]); all zeros under schemes
     /// without deferred state, like `Leaky`.
@@ -283,6 +324,10 @@ impl MetricsSnapshot {
         self.finger_misses += other.finger_misses;
         self.size_estimate += other.size_estimate;
         self.max_depth = self.max_depth.max(other.max_depth);
+        for (dst, src) in self.depth_hist.iter_mut().zip(other.depth_hist.iter()) {
+            *dst += src;
+        }
+        self.depth_sum += other.depth_sum;
         self.reclaim.epoch = self.reclaim.epoch.max(other.reclaim.epoch);
         self.reclaim.epoch_lag = self.reclaim.epoch_lag.max(other.reclaim.epoch_lag);
         self.reclaim.pinned_threads += other.reclaim.pinned_threads;
@@ -298,12 +343,19 @@ impl MetricsSnapshot {
     /// The snapshot as one flat JSON object (fixed key order, no
     /// dependencies — the same hand-rolled dialect as the bench schema).
     pub fn to_json(&self) -> String {
+        let depth_hist = self
+            .depth_hist
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"searches\":{},\"inserts\":{},\"inserted\":{},",
                 "\"removes\":{},\"removed\":{},\"helps\":{},",
                 "\"finger_hits\":{},\"finger_misses\":{},",
                 "\"size_estimate\":{},\"max_depth\":{},",
+                "\"depth_hist\":[{}],\"depth_sum\":{},",
                 "\"reclaim_epoch\":{},\"reclaim_epoch_lag\":{},",
                 "\"reclaim_pinned_threads\":{},\"reclaim_retired_backlog\":{},",
                 "\"pool_hits\":{},\"pool_misses\":{},",
@@ -319,6 +371,8 @@ impl MetricsSnapshot {
             self.finger_misses,
             self.size_estimate,
             self.max_depth,
+            depth_hist,
+            self.depth_sum,
             self.reclaim.epoch,
             self.reclaim.epoch_lag,
             self.reclaim.pinned_threads,
@@ -333,8 +387,8 @@ impl MetricsSnapshot {
     /// The snapshot in the Prometheus text exposition format, ready to
     /// serve from a `/metrics` endpoint.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::with_capacity(1024);
-        let mut metric = |name: &str, kind: &str, help: &str, value: i128| {
+        let mut out = String::with_capacity(2048);
+        fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: i128) {
             out.push_str("# HELP ");
             out.push_str(name);
             out.push(' ');
@@ -348,110 +402,148 @@ impl MetricsSnapshot {
             out.push(' ');
             out.push_str(&value.to_string());
             out.push('\n');
-        };
+        }
         metric(
+            &mut out,
             "nmbst_searches_total",
             "counter",
             "Search operations.",
             self.searches as i128,
         );
         metric(
+            &mut out,
             "nmbst_inserts_total",
             "counter",
             "Insert operations (incl. duplicate-rejected).",
             self.inserts as i128,
         );
         metric(
+            &mut out,
             "nmbst_inserted_total",
             "counter",
             "Inserts that added a key.",
             self.inserted as i128,
         );
         metric(
+            &mut out,
             "nmbst_removes_total",
             "counter",
             "Remove operations (incl. key-absent).",
             self.removes as i128,
         );
         metric(
+            &mut out,
             "nmbst_removed_total",
             "counter",
             "Removes that deleted a key.",
             self.removed as i128,
         );
         metric(
+            &mut out,
             "nmbst_helps_total",
             "counter",
             "Operations that helped a conflicting delete.",
             self.helps as i128,
         );
         metric(
+            &mut out,
             "nmbst_finger_hits_total",
             "counter",
             "Batch ops whose finger anchor revalidated.",
             self.finger_hits as i128,
         );
         metric(
+            &mut out,
             "nmbst_finger_misses_total",
             "counter",
             "Batch ops that fell back to a full root descent.",
             self.finger_misses as i128,
         );
         metric(
+            &mut out,
             "nmbst_size_estimate",
             "gauge",
             "Live keys (inserted - removed; exact at quiescence).",
             self.size_estimate as i128,
         );
         metric(
+            &mut out,
             "nmbst_max_depth",
             "gauge",
             "Deepest access path observed by a modify-path seek.",
             self.max_depth as i128,
         );
+        // Descent-depth distribution as a Prometheus histogram:
+        // cumulative `le` buckets at the power-of-two upper bounds.
+        out.push_str(concat!(
+            "# HELP nmbst_descent_depth Nodes touched per modify-path descent.\n",
+            "# TYPE nmbst_descent_depth histogram\n"
+        ));
+        let mut cumulative = 0u64;
+        for (b, count) in self.depth_hist.iter().enumerate() {
+            cumulative += count;
+            // Bucket b covers 2^(b-1) ..= 2^b - 1; its upper bound is
+            // 2^b - 1 (bucket 0 is the exact-zero bucket). The saturated
+            // last bucket is unbounded, so it folds into +Inf.
+            if b + 1 < DEPTH_BUCKETS {
+                let le = (1u64 << b) - 1;
+                let _ = writeln!(out, "nmbst_descent_depth_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "nmbst_descent_depth_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "nmbst_descent_depth_sum {}", self.depth_sum);
+        let _ = writeln!(out, "nmbst_descent_depth_count {cumulative}");
         metric(
+            &mut out,
             "nmbst_reclaim_epoch",
             "gauge",
             "Reclaimer global epoch.",
             self.reclaim.epoch as i128,
         );
         metric(
+            &mut out,
             "nmbst_reclaim_epoch_lag",
             "gauge",
             "Global epoch minus oldest pinned epoch.",
             self.reclaim.epoch_lag as i128,
         );
         metric(
+            &mut out,
             "nmbst_reclaim_pinned_threads",
             "gauge",
             "Threads currently pinned.",
             self.reclaim.pinned_threads as i128,
         );
         metric(
+            &mut out,
             "nmbst_reclaim_retired_backlog",
             "gauge",
             "Objects retired but not yet freed.",
             self.reclaim.retired_backlog as i128,
         );
         metric(
+            &mut out,
             "nmbst_pool_hits_total",
             "counter",
             "Node allocations served from recycled pool memory.",
             self.pool.hits as i128,
         );
         metric(
+            &mut out,
             "nmbst_pool_misses_total",
             "counter",
             "Node allocations that fell through to the allocator.",
             self.pool.misses as i128,
         );
         metric(
+            &mut out,
             "nmbst_pool_recycled_total",
             "counter",
             "Reclaimed nodes returned to the pool.",
             self.pool.recycled as i128,
         );
         metric(
+            &mut out,
             "nmbst_pool_len",
             "gauge",
             "Free blocks currently in the shared pool.",
@@ -466,7 +558,7 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "searches={} inserts={}/{} removes={}/{} helps={} finger={}/{} size≈{} \
-             max_depth={} epoch={} lag={} pinned={} backlog={} \
+             max_depth={} mean_depth≈{:.1} epoch={} lag={} pinned={} backlog={} \
              pool_hits={} pool_misses={} pool_recycled={} pool_len={}",
             self.searches,
             self.inserted,
@@ -478,6 +570,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.finger_hits + self.finger_misses,
             self.size_estimate,
             self.max_depth,
+            self.depth_sum as f64 / self.depth_hist.iter().sum::<u64>().max(1) as f64,
             self.reclaim.epoch,
             self.reclaim.epoch_lag,
             self.reclaim.pinned_threads,

@@ -31,7 +31,7 @@ mod metrics;
 #[cfg(feature = "obs")]
 mod trace;
 
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, DEPTH_BUCKETS};
 pub(crate) use metrics::{Metrics, PendingOps};
 #[cfg(feature = "obs")]
 pub(crate) use trace::emit;

@@ -1,65 +1,69 @@
-//! Pool-aware node allocation (the PR 4 recycling layer).
+//! Pool-aware node allocation over the arena slab (PR 4's recycling
+//! layer, re-based onto PR 7's slot storage).
 //!
-//! Every insert builds two nodes. Without a pool they come from the
-//! global allocator and, once deleted, go back to it after the grace
-//! period — a `malloc`/`free` pair per churned key. With the pool
-//! ([`PoolConfig::enabled`], the default), the tree owns one shared
-//! [`NodePool`] sized for its `Node<K, V>` layout:
+//! Since PR 7 the shared [`NodePool`] is not an *optional* free list in
+//! front of `malloc` — it **is** the node store. Every tree owns one
+//! arena sized for its `Node<K, V>` layout; every node the tree ever
+//! creates is a `u32` slot in it:
 //!
 //! * **retire → recycle**: the cleanup routine retires detached nodes
 //!   with a *recycle deferral* ([`recycle_deferred`]) instead of a plain
 //!   drop; when the reclaimer proves the grace period elapsed, the
-//!   deferral drops the node's key/value and pushes the block onto the
-//!   pool (overflow falls through to the real allocator).
+//!   deferral drops the entries the node's drop hint says it still owns
+//!   and pushes the slot onto the free list (overflow abandons the slot
+//!   in place — arena memory, reclaimed when the tree drops).
 //! * **alloc → reuse**: allocation goes through a [`NodeCache`] — a
 //!   per-handle (or per-call) unsynchronized cache over the shared pool —
-//!   so hot loops pop recycled blocks without touching shared state.
+//!   so hot loops pop recycled slots without touching shared state, and
+//!   fall through to the arena's bump cursor (never `malloc`) on a miss.
 //!
 //! Reuse is ABA-safe *by construction*: the deferral only runs once no
-//! live reference to the block can exist, which is exactly the guarantee
-//! reclamation already provides for freeing (DESIGN.md §11). Under
+//! live reference to the slot can exist, which is exactly the guarantee
+//! reclamation already provides for freeing (DESIGN.md §11, §14). Under
 //! [`Leaky`](nmbst_reclaim::Leaky) (`Reclaim::RECLAIMS == false`)
-//! deferrals never run, so retired nodes keep leaking — the pool then
-//! only ever reuses insert scratch that was discarded unpublished.
+//! deferrals never run, so retired slots keep leaking inside the arena —
+//! the free list then only ever reuses insert scratch that was discarded
+//! unpublished.
 
 use crate::chaos::{self, Action, Point};
 use crate::node::Node;
 use crate::stats;
 use nmbst_reclaim::{Deferred, NodePool};
 use std::alloc::Layout;
-use std::ptr;
 use std::sync::Arc;
 
 /// Default bound on a tree's shared free list, in nodes. Two nodes per
 /// insert means this absorbs ~128 churned keys of garbage — enough to
-/// make steady-state churn allocation-free, small enough (a few dozen KiB
-/// for typical keys) that an idle tree is not hoarding memory.
+/// make steady-state churn bump-free, small enough that an idle tree is
+/// not hoarding recyclable slots.
 pub const DEFAULT_POOL_CAPACITY: usize = 256;
 
-/// How many blocks a handle's [`NodeCache`] keeps privately. Refills and
-/// give-backs move blocks between this cache and the shared pool in
+/// How many slots a handle's [`NodeCache`] keeps privately. Refills and
+/// give-backs move slots between this cache and the shared pool in
 /// batches, so the shared lock is touched once per ~batch, not per node.
 pub(crate) const HANDLE_CACHE_CAP: usize = 32;
 
-/// Blocks moved from the shared pool into a cache per refill.
+/// Slots moved from the shared pool into a cache per refill.
 const REFILL_BATCH: usize = 8;
 
 /// The `pool` knob on [`TreeConfig`](crate::TreeConfig): whether retired
-/// nodes are recycled into new inserts, and how many free blocks the
+/// nodes are recycled into new inserts, and how many free slots the
 /// tree may hold. One flag for A/B ablation — see the perf bin's
-/// pool-on/pool-off cells.
+/// pool-on/pool-off cells. The arena itself always exists (it is the
+/// node store); this knob only governs the *recycling* free list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolConfig {
     /// Recycle retired nodes through a shared free list (default `true`).
     pub enabled: bool,
-    /// Maximum free blocks the shared list holds; overflow is freed to
-    /// the global allocator (default [`DEFAULT_POOL_CAPACITY`]).
+    /// Maximum free slots the shared list holds; overflow is abandoned
+    /// in place until the tree drops (default [`DEFAULT_POOL_CAPACITY`]).
     pub capacity: usize,
 }
 
 impl PoolConfig {
-    /// Pooling off: every allocation hits the global allocator and every
-    /// reclaimed node is freed — the pre-PR 4 behaviour.
+    /// Recycling off: every allocation bump-allocates fresh arena space
+    /// and every reclaimed slot is abandoned until the tree drops — the
+    /// pre-PR 4 behaviour, arena-backed.
     pub fn disabled() -> Self {
         PoolConfig {
             enabled: false,
@@ -67,11 +71,20 @@ impl PoolConfig {
         }
     }
 
-    /// Pooling on with an explicit free-list bound.
+    /// Recycling on with an explicit free-list bound.
     pub fn with_capacity(capacity: usize) -> Self {
         PoolConfig {
             enabled: true,
             capacity,
+        }
+    }
+
+    /// The free-list bound this config asks of the arena.
+    pub(crate) fn effective_capacity(&self) -> usize {
+        if self.enabled {
+            self.capacity
+        } else {
+            0
         }
     }
 }
@@ -90,13 +103,12 @@ impl Default for PoolConfig {
 /// Handles keep one alive across operations (capacity
 /// [`HANDLE_CACHE_CAP`]); the plain API builds a transient zero-capacity
 /// one per modify call, which then reads/writes the shared pool directly.
-/// Either way this is the single choke point where node memory enters
-/// and leaves an operation, so hit/miss accounting batches here in plain
+/// Either way this is the single choke point where node slots enter
+/// and leave an operation, so hit/miss accounting batches here in plain
 /// fields and flushes to the pool's atomics on drop/repin.
 pub(crate) struct NodeCache<'t> {
-    /// `None` iff the tree was configured with the pool off.
-    shared: Option<&'t NodePool>,
-    local: Vec<*mut u8>,
+    shared: &'t NodePool,
+    local: Vec<u32>,
     local_cap: usize,
     hits: u64,
     misses: u64,
@@ -104,12 +116,12 @@ pub(crate) struct NodeCache<'t> {
 
 impl<'t> NodeCache<'t> {
     /// A transient cache that keeps nothing locally (plain-API calls).
-    pub(crate) fn direct(shared: Option<&'t NodePool>) -> Self {
+    pub(crate) fn direct(shared: &'t NodePool) -> Self {
         Self::with_local(shared, 0)
     }
 
-    /// A cache holding up to `local_cap` blocks privately (handles).
-    pub(crate) fn with_local(shared: Option<&'t NodePool>, local_cap: usize) -> Self {
+    /// A cache holding up to `local_cap` slots privately (handles).
+    pub(crate) fn with_local(shared: &'t NodePool, local_cap: usize) -> Self {
         NodeCache {
             shared,
             local: Vec::new(),
@@ -119,72 +131,71 @@ impl<'t> NodeCache<'t> {
         }
     }
 
-    /// Allocates and initializes one node, preferring pooled memory.
-    pub(crate) fn alloc<T>(&mut self, value: T) -> *mut T {
-        if let Some(pool) = self.shared {
-            debug_assert_eq!(
-                Layout::new::<T>(),
-                pool.layout(),
-                "cache serves exactly the tree's node layout"
-            );
-            if let Some(block) = self.local.pop().or_else(|| refill(&mut self.local, pool)) {
-                self.hits += 1;
-                stats::record_pool_hit();
-                let node = block.cast::<T>();
-                // SAFETY: pooled blocks are exclusively owned, uninitialized
-                // memory of `T`'s layout (pool provenance contract).
-                unsafe { ptr::write(node, value) };
-                return node;
-            }
-            self.misses += 1;
-        }
-        stats::record_alloc();
-        Box::into_raw(Box::new(value))
+    /// The arena this cache serves slots of.
+    #[inline]
+    pub(crate) fn arena(&self) -> &'t NodePool {
+        self.shared
     }
 
-    /// Drops `ptr`'s contents and returns its block to the cache/pool
-    /// (or the global allocator when pooling is off or the pool is full).
+    /// Carves out one uninitialized slot for a `T`, preferring recycled
+    /// slots and bump-allocating on a miss. Returns the slot's index and
+    /// its (stable) address; the caller must initialize it before the
+    /// node can be published or freed.
+    pub(crate) fn alloc_raw<T>(&mut self) -> (u32, *mut T) {
+        debug_assert_eq!(
+            Layout::new::<T>(),
+            self.shared.layout(),
+            "cache serves exactly the tree's node layout"
+        );
+        if let Some(idx) = self.local.pop().or_else(|| refill(&mut self.local, self.shared)) {
+            self.hits += 1;
+            stats::record_pool_hit();
+            return (idx, self.shared.slot_ptr(idx).cast());
+        }
+        self.misses += 1;
+        stats::record_alloc();
+        let (idx, ptr) = self.shared.bump();
+        (idx, ptr.as_ptr().cast())
+    }
+
+    /// Returns a node's slot to the cache/pool. The node must already be
+    /// a *shell*: whatever entries and routing key it owned were dropped
+    /// by the caller (`drop_retired_contents` or entry extraction).
     ///
     /// # Safety
     ///
-    /// `ptr` must be an exclusively owned, never-published node from
-    /// [`alloc`](Self::alloc) (or `Box::into_raw` of the same type).
-    pub(crate) unsafe fn free<T>(&mut self, ptr: *mut T) {
-        // SAFETY: exclusive ownership per contract.
-        unsafe { ptr::drop_in_place(ptr) };
-        if let Some(pool) = self.shared {
-            debug_assert_eq!(Layout::new::<T>(), pool.layout());
-            if self.local.len() < self.local_cap {
-                self.local.push(ptr.cast());
-            } else {
-                // SAFETY: block provenance per contract, contents dropped.
-                unsafe { pool.release(ptr.cast()) };
-            }
+    /// `node` must be an exclusively owned, never-published (or fully
+    /// unlinked and grace-period-expired) slot of this cache's arena,
+    /// with all owned contents already dropped or moved out.
+    pub(crate) unsafe fn free_shell<K, V>(&mut self, node: *mut Node<K, V>) {
+        // SAFETY: the slot is exclusively owned per contract; `idx` is
+        // plain data, valid even after the contents were dropped.
+        let idx = unsafe { (*node).idx };
+        if self.local.len() < self.local_cap {
+            self.local.push(idx);
         } else {
-            // SAFETY: `alloc` fell through to `Box::new` (no pool).
-            unsafe { std::alloc::dealloc(ptr.cast(), Layout::new::<T>()) };
+            // SAFETY: slot provenance and dead contents per contract.
+            unsafe { self.shared.release(idx) };
         }
     }
 
     /// Publishes batched hit/miss counts into the shared pool's stats.
     pub(crate) fn flush_counters(&mut self) {
-        if let Some(pool) = self.shared {
-            if self.hits != 0 || self.misses != 0 {
-                pool.note_usage(self.hits, self.misses);
-                self.hits = 0;
-                self.misses = 0;
-            }
+        if self.hits != 0 || self.misses != 0 {
+            self.shared.note_usage(self.hits, self.misses);
+            self.hits = 0;
+            self.misses = 0;
         }
     }
 }
 
-fn refill(local: &mut Vec<*mut u8>, pool: &NodePool) -> Option<*mut u8> {
+fn refill(local: &mut Vec<u32>, pool: &NodePool) -> Option<u32> {
     let mut first = None;
-    pool.acquire_batch(REFILL_BATCH, |block| {
+    pool.acquire_batch(REFILL_BATCH, |idx| {
         if first.is_none() {
-            first = Some(block);
+            first = Some(idx);
         } else {
-            local.push(block);
+            local.push(idx);
         }
     });
     first
@@ -193,21 +204,17 @@ fn refill(local: &mut Vec<*mut u8>, pool: &NodePool) -> Option<*mut u8> {
 impl Drop for NodeCache<'_> {
     fn drop(&mut self) {
         self.flush_counters();
-        if let Some(pool) = self.shared {
-            // SAFETY: every cached block satisfies the release contract
-            // (came from this pool or `Box::into_raw` of the node type,
-            // contents dropped before caching).
-            unsafe { pool.release_batch(&mut self.local) };
-        } else {
-            debug_assert!(self.local.is_empty(), "cached blocks without a pool");
-        }
+        // SAFETY: every cached slot satisfies the release contract (came
+        // from this pool, contents dropped before caching).
+        unsafe { self.shared.release_batch(&mut self.local) };
     }
 }
 
 /// Builds the deferral that recycles `node` once its grace period has
-/// elapsed: drop the key/value in place, then hand the block back to
-/// `pool` (the [`Point::Recycle`] chaos hook can force the
-/// fall-through-to-allocator path instead).
+/// elapsed: drop the entries its drop hint says it still owns plus the
+/// routing key, then hand the slot back to `pool` (the
+/// [`Point::Recycle`] chaos hook can force the abandon-in-place overflow
+/// path instead).
 ///
 /// The deferral carries only a *raw* pointer to `pool` — no per-node
 /// refcount traffic. The tree makes that sound by parking an `Arc` clone
@@ -220,11 +227,11 @@ impl Drop for NodeCache<'_> {
 ///
 /// `node` must be unlinked and retired exactly once (the
 /// [`RetireGuard::retire_deferred`](nmbst_reclaim::RetireGuard) contract
-/// transfers to the caller) and must come from `Box::into_raw` or this
-/// pool. The scheme running the deferral must prove the grace period
-/// before calling it, and the caller must have parked a pool keepalive
-/// in that scheme (see above) so `pool` is alive whenever the deferral
-/// can run.
+/// transfers to the caller), must be a slot of this pool, and its drop
+/// hint must already describe which entries it still owns. The scheme
+/// running the deferral must prove the grace period before calling it,
+/// and the caller must have parked a pool keepalive in that scheme (see
+/// above) so `pool` is alive whenever the deferral can run.
 pub(crate) unsafe fn recycle_deferred<K: Send, V: Send>(
     node: *mut Node<K, V>,
     pool: &Arc<NodePool>,
@@ -235,42 +242,49 @@ pub(crate) unsafe fn recycle_deferred<K: Send, V: Send>(
         // call (function contract).
         let pool = unsafe { &*(ctx as *const NodePool) };
         // SAFETY: the grace period elapsed — this deferral is the unique
-        // owner. Drop the key and value; the block itself stays raw.
-        unsafe { ptr::drop_in_place(node) };
+        // owner. Read the slot index out before the contents die.
+        let idx = unsafe { (*node).idx };
+        // SAFETY: unique ownership; the drop hint was set before retire.
+        unsafe { crate::node::drop_retired_contents(node) };
         if chaos::hit(Point::Recycle) == Action::Abandon {
-            // Chaos: pretend the pool declined; free to the allocator.
-            // SAFETY: block provenance per the function contract.
-            unsafe { std::alloc::dealloc(node.cast(), Layout::new::<Node<K, V>>()) };
+            // Chaos: pretend the free list declined; abandon the slot in
+            // place (arena memory, reclaimed when the pool drops).
         } else {
-            // SAFETY: provenance per contract, contents just dropped.
-            unsafe { pool.release(node.cast()) };
+            // SAFETY: slot provenance per contract, contents just dropped.
+            unsafe { pool.release(idx) };
         }
     }
     let ctx = Arc::as_ptr(pool) as *mut ();
     // SAFETY: `recycle::<K, V>` releases exactly once; `K: Send, V: Send`
     // makes running it on a collector thread sound; leaking it uncalled
-    // (Leaky) leaks only the node, as intended.
+    // (Leaky) leaks only the slot's contents, as intended.
     unsafe { Deferred::from_raw(node.cast(), ctx, recycle::<K, V>) }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::key::Key;
+    use crate::node::{drop_retired_contents, HINT_ALL, HINT_NONE};
 
     fn pool_for<K, V>(cap: usize) -> NodePool {
         NodePool::new(Layout::new::<Node<K, V>>(), cap)
     }
 
     #[test]
-    fn alloc_free_round_trip_reuses_block() {
+    fn alloc_free_round_trip_reuses_slot() {
         let pool = pool_for::<u64, u64>(8);
-        let mut cache = NodeCache::direct(Some(&pool));
-        let a = Node::<u64, u64>::new_leaf_in(&mut cache, Key::Fin(1), Some(10));
-        unsafe { cache.free(a) };
-        let b = Node::<u64, u64>::new_leaf_in(&mut cache, Key::Fin(2), Some(20));
-        assert_eq!(a, b, "freed block is reused LIFO");
-        unsafe { cache.free(b) };
+        let mut cache = NodeCache::direct(&pool);
+        let a = Node::<u64, u64>::new_user_leaf_in(&mut cache, 1, 10);
+        unsafe {
+            drop_retired_contents(a);
+            cache.free_shell(a);
+        }
+        let b = Node::<u64, u64>::new_user_leaf_in(&mut cache, 2, 20);
+        assert_eq!(a, b, "freed slot is reused LIFO");
+        unsafe {
+            drop_retired_contents(b);
+            cache.free_shell(b);
+        }
         drop(cache);
         let s = pool.stats();
         assert_eq!(s.hits, 1);
@@ -278,38 +292,57 @@ mod tests {
     }
 
     #[test]
-    fn disabled_cache_is_plain_malloc() {
-        let mut cache = NodeCache::<'_>::direct(None);
-        let a = Node::<u64, ()>::new_leaf_in(&mut cache, Key::Fin(1), Some(()));
-        unsafe { cache.free(a) };
+    fn capacity_zero_cache_always_bumps() {
+        let pool = pool_for::<u64, ()>(0);
+        let mut cache = NodeCache::direct(&pool);
+        let a = Node::<u64, ()>::new_user_leaf_in(&mut cache, 1, ());
+        unsafe {
+            drop_retired_contents(a);
+            cache.free_shell(a);
+        }
+        let b = Node::<u64, ()>::new_user_leaf_in(&mut cache, 2, ());
+        assert_ne!(a, b, "no recycling at capacity 0");
+        unsafe {
+            drop_retired_contents(b);
+            cache.free_shell(b);
+        }
         drop(cache);
+        let s = pool.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
     }
 
     #[test]
     fn local_cache_batches_shared_traffic() {
         let pool = pool_for::<u64, ()>(64);
-        // Seed the shared pool with a few blocks.
+        // Seed the shared pool with a few slots.
         {
-            let mut seed = NodeCache::direct(Some(&pool));
+            let mut seed = NodeCache::direct(&pool);
             let nodes: Vec<_> = (0..6)
-                .map(|i| Node::<u64, ()>::new_leaf_in(&mut seed, Key::Fin(i), Some(())))
+                .map(|i| Node::<u64, ()>::new_user_leaf_in(&mut seed, i, ()))
                 .collect();
             for n in nodes {
-                unsafe { seed.free(n) };
+                unsafe {
+                    drop_retired_contents(n);
+                    seed.free_shell(n);
+                }
             }
         }
         assert_eq!(pool.len(), 6);
-        let mut cache = NodeCache::with_local(Some(&pool), 16);
+        let mut cache = NodeCache::with_local(&pool, 16);
         // One alloc refills a batch: the shared pool drains more than one.
-        let n = Node::<u64, ()>::new_leaf_in(&mut cache, Key::Fin(9), Some(()));
+        let n = Node::<u64, ()>::new_user_leaf_in(&mut cache, 9, ());
         assert!(pool.len() < 6);
-        unsafe { cache.free(n) };
-        drop(cache); // gives all cached blocks back
+        unsafe {
+            drop_retired_contents(n);
+            cache.free_shell(n);
+        }
+        drop(cache); // gives all cached slots back
         assert_eq!(pool.len(), 6);
     }
 
     #[test]
-    fn free_drops_key_and_value() {
+    fn recycle_deferred_honours_drop_hints() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         struct D(Arc<AtomicUsize>);
         impl Drop for D {
@@ -318,23 +351,36 @@ mod tests {
             }
         }
         let drops = Arc::new(AtomicUsize::new(0));
-        let pool = pool_for::<u64, D>(8);
-        let mut cache = NodeCache::direct(Some(&pool));
-        let n = Node::<u64, D>::new_leaf_in(&mut cache, Key::Fin(1), Some(D(Arc::clone(&drops))));
-        unsafe { cache.free(n) };
-        assert_eq!(drops.load(Ordering::Relaxed), 1, "value dropped on free");
+        let pool = Arc::new(pool_for::<u64, D>(8));
+        let mut cache = NodeCache::direct(&pool);
+        let moved = Node::<u64, D>::new_user_leaf_in(&mut cache, 1, D(Arc::clone(&drops)));
+        let owned = Node::<u64, D>::new_user_leaf_in(&mut cache, 2, D(Arc::clone(&drops)));
         drop(cache);
+        unsafe {
+            // A COW-replaced block: its entry moved on, nothing drops.
+            (*moved).set_drop_hint(HINT_NONE);
+            recycle_deferred(moved, &pool).call();
+            assert_eq!(drops.load(Ordering::Relaxed), 0);
+            // But the orphaned entry must be dropped by *someone*; here
+            // the test plays the replacement block's role.
+            (*owned).set_drop_hint(HINT_ALL);
+            recycle_deferred(owned, &pool).call();
+            assert_eq!(drops.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(pool.len(), 2, "both slots recycled, not abandoned");
     }
 
     #[test]
-    fn recycle_deferred_returns_block_to_pool() {
+    fn recycle_deferred_returns_slot_to_pool() {
         let pool = Arc::new(pool_for::<u64, u64>(8));
-        let node = Node::<u64, u64>::new_leaf(Key::Fin(7), Some(70));
+        let mut cache = NodeCache::direct(&pool);
+        let node = Node::<u64, u64>::new_user_leaf_in(&mut cache, 7, 70);
+        drop(cache);
         let d = unsafe { recycle_deferred(node, &pool) };
         assert_eq!(d.address(), node as usize);
         assert_eq!(pool.len(), 0);
         d.call();
-        assert_eq!(pool.len(), 1, "block recycled, not freed");
+        assert_eq!(pool.len(), 1, "slot recycled, not abandoned");
         assert_eq!(
             Arc::strong_count(&pool),
             1,

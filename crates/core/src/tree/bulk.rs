@@ -80,16 +80,18 @@ where
         }
 
         let n = pairs.len() as u64;
+        let cap = self.leaf_cap;
         let mut cache = self.node_cache();
         let mut it = pairs.into_iter().peekable();
-        let user_root = build_n(&mut cache, &mut it, n as usize);
+        let nblocks = (n as usize).div_ceil(cap);
+        let user_root = build_blocks(&mut cache, &mut it, nblocks, n as usize, cap);
         debug_assert!(it.next().is_none(), "builder consumed every pair");
 
         // SAFETY: `&mut self` gives exclusive access; sentinels are
         // always live.
         unsafe {
             let s = self.s_node();
-            let inf0_leaf = (*s).left.load().ptr();
+            let inf0_leaf = (*s).left.load(&self.pool).ptr();
             debug_assert!(
                 (*inf0_leaf).is_leaf(),
                 "vacant tree has the ∞₀ leaf under S"
@@ -117,32 +119,49 @@ where
     /// still hangs directly under `S`). Exact under `&mut self`.
     fn is_vacant(&mut self) -> bool {
         // SAFETY: sentinels are always live; exclusive access.
-        unsafe { (*(*self.s_node()).left.load().ptr()).is_leaf() }
+        unsafe { (*(*self.s_node()).left.load(&self.pool).ptr()).is_leaf() }
     }
 }
 
-/// Builds a perfectly balanced external BST over the next `n` pairs of
-/// `it` (ascending, unique), returning its root. Leaves hold the pairs
-/// in order; each internal node's routing key is the smallest key of its
-/// right subtree, satisfying the external-tree invariant
-/// left < key ≤ right. Recursion depth is ⌈log₂ n⌉.
-fn build_n<K, V, I>(cache: &mut NodeCache<'_>, it: &mut Peekable<I>, n: usize) -> *mut Node<K, V>
+/// Builds a perfectly balanced external BST over the next `nentries`
+/// pairs of `it` (ascending, unique), packed into `nblocks` leaf blocks
+/// of up to `cap` entries, returning its root. Every block except
+/// possibly the very last is full, so a bulk-loaded tree is maximally
+/// compact: ⌈log₂⌈n/cap⌉⌉ pointer hops instead of ⌈log₂ n⌉. Each
+/// internal node's routing key is the smallest key of its right subtree,
+/// satisfying the external-tree invariant left < key ≤ right.
+fn build_blocks<K, V, I>(
+    cache: &mut NodeCache<'_>,
+    it: &mut Peekable<I>,
+    nblocks: usize,
+    nentries: usize,
+    cap: usize,
+) -> *mut Node<K, V>
 where
     K: Ord + Clone,
     I: Iterator<Item = (K, V)>,
 {
-    debug_assert!(n >= 1);
-    if n == 1 {
-        let (k, v) = it.next().expect("n pairs remain");
-        return Node::new_leaf_in(cache, Key::Fin(k), Some(v));
+    debug_assert!(nblocks >= 1 && nentries >= 1);
+    if nblocks == 1 {
+        debug_assert!(nentries <= cap);
+        return Node::block_from_iter(cache, it, nentries);
     }
-    let left_n = n.div_ceil(2);
-    let left = build_n(cache, it, left_n);
+    // Left half: fully packed blocks (the partial block, if any, always
+    // lands rightmost, matching what ascending inserts would build).
+    let left_blocks = nblocks.div_ceil(2);
+    let left_entries = left_blocks * cap;
+    let left = build_blocks(cache, it, left_blocks, left_entries, cap);
     // The next pair is the first of the right half: its key is the
     // smallest the right subtree will contain — exactly the routing key
     // an insert-built tree would have used.
     let split = it.peek().expect("right half nonempty").0.clone();
-    let right = build_n(cache, it, n - left_n);
+    let right = build_blocks(
+        cache,
+        it,
+        nblocks - left_blocks,
+        nentries - left_entries,
+        cap,
+    );
     Node::new_internal_in(cache, Key::Fin(split), left, right)
 }
 

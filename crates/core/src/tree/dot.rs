@@ -5,6 +5,18 @@ use crate::key::Key;
 use nmbst_reclaim::Reclaim;
 use std::fmt::Write as _;
 
+/// Escapes the characters Graphviz record labels treat as structure.
+fn record_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(c, '{' | '}' | '|' | '<' | '>' | '"' | '\\') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
 impl<K, V, R> NmTreeMap<K, V, R>
 where
     K: Ord + std::fmt::Debug + Send + Sync + 'static,
@@ -13,10 +25,13 @@ where
 {
     /// Renders the tree as a Graphviz `digraph` (exclusive access).
     ///
-    /// Internal nodes are ellipses, leaves boxes, sentinels grey; marked
-    /// edges (impossible at quiescence, but this method is also useful
-    /// from whitebox tests staging in-flight states) render dashed with
-    /// their flag/tag annotation.
+    /// Internal nodes are ellipses, sentinel leaves grey boxes, and user
+    /// leaves **records**: the first field is the router key, the rest
+    /// one field per stored entry, so a fat leaf block reads as
+    /// `Fin(30) | 10 | 20 | 30` instead of eight anonymous boxes.
+    /// Marked edges (impossible at quiescence, but this method is also
+    /// useful from whitebox tests staging in-flight states) render
+    /// dashed with their flag/tag annotation.
     ///
     /// ```
     /// use nmbst::NmTreeMap;
@@ -26,35 +41,51 @@ where
     /// let dot = map.to_dot();
     /// assert!(dot.starts_with("digraph nmbst {"));
     /// assert!(dot.contains("Fin(5)"));
+    /// assert!(dot.contains("shape=record"));
     /// ```
     pub fn to_dot(&mut self) -> String {
+        let arena = self.arena();
+        let root = self.root;
         let mut out = String::from("digraph nmbst {\n  node [fontname=\"monospace\"];\n");
         // SAFETY: exclusive access for the whole walk.
         unsafe {
-            let mut stack = vec![self.root];
+            let mut stack = vec![root];
             while let Some(n) = stack.pop() {
                 if n.is_null() {
                     continue;
                 }
                 let id = n as usize;
-                let (label, sentinel) = match &(*n).key {
+                let (router, sentinel) = match &(*n).key {
                     Key::Fin(k) => (format!("Fin({k:?})"), false),
                     Key::Inf0 => ("inf0".to_string(), true),
                     Key::Inf1 => ("inf1".to_string(), true),
                     Key::Inf2 => ("inf2".to_string(), true),
                 };
                 let leaf = (*n).is_leaf();
-                let _ = writeln!(
-                    out,
-                    "  n{id} [label=\"{label}\" shape={}{}];",
-                    if leaf { "box" } else { "ellipse" },
-                    if sentinel {
-                        " style=filled fillcolor=lightgrey"
-                    } else {
-                        ""
+                if leaf && (*n).len() > 0 {
+                    // Fat user leaf: record node, router first, then the
+                    // block's entries in stored (ascending) order.
+                    let mut label = record_escape(&router);
+                    for k in (*n).entry_keys() {
+                        let _ = write!(label, " | {}", record_escape(&format!("{k:?}")));
                     }
-                );
-                for (side, edge) in [("L", (*n).left.load_mut()), ("R", (*n).right.load_mut())] {
+                    let _ = writeln!(out, "  n{id} [label=\"{label}\" shape=record];");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  n{id} [label=\"{router}\" shape={}{}];",
+                        if leaf { "box" } else { "ellipse" },
+                        if sentinel {
+                            " style=filled fillcolor=lightgrey"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                for (side, edge) in [
+                    ("L", (*n).left.load_mut(arena)),
+                    ("R", (*n).right.load_mut(arena)),
+                ] {
                     let child = edge.ptr();
                     if child.is_null() {
                         continue;
@@ -83,7 +114,8 @@ where
 
 #[cfg(test)]
 mod tests {
-    use crate::NmTreeMap;
+    use crate::tree::TreeConfig;
+    use crate::{NmTreeMap, PoolConfig};
     use nmbst_reclaim::Ebr;
 
     #[test]
@@ -97,17 +129,39 @@ mod tests {
     }
 
     #[test]
-    fn populated_tree_lists_all_keys() {
+    fn populated_tree_renders_one_record_block() {
+        // Default leaf_cap = 8: three keys coalesce into one fat leaf.
         let mut m: NmTreeMap<u32, (), Ebr> = NmTreeMap::new();
         for k in [4, 2, 6] {
             m.insert(k, ());
         }
         let dot = m.to_dot();
+        // Router is the block max; entries appear as record fields.
+        assert!(dot.contains("Fin(6) | 2 | 4 | 6"), "block missing\n{dot}");
+        assert_eq!(dot.matches("shape=record").count(), 1);
+        // Sentinel leaves stay plain grey boxes.
+        assert_eq!(dot.matches("shape=box").count(), 3);
+    }
+
+    #[test]
+    fn leaf_cap_one_renders_singleton_records() {
+        // The ablation shape: every user leaf is a 1-entry record.
+        let mut m: NmTreeMap<u32, (), Ebr> = NmTreeMap::with_config(
+            TreeConfig::default()
+                .with_leaf_cap(1)
+                .with_pool(PoolConfig::disabled()),
+        );
         for k in [4, 2, 6] {
-            assert!(dot.contains(&format!("Fin({k})")), "missing {k}\n{dot}");
+            m.insert(k, ());
         }
-        // External tree: node count = 5 sentinels + 3 leaves + 3 internals.
-        assert_eq!(dot.matches("shape=box").count(), 3 + 3);
+        let dot = m.to_dot();
+        for k in [4, 2, 6] {
+            assert!(
+                dot.contains(&format!("Fin({k}) | {k}")),
+                "missing singleton record for {k}\n{dot}"
+            );
+        }
+        assert_eq!(dot.matches("shape=record").count(), 3);
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub use validate::TreeShape;
 pub(crate) use seek::SeekRecord;
 
 use crate::handle::MapHandle;
-use crate::node::{self, Node};
+use crate::node::{self, Node, LEAF_CAP};
 use crate::obs::{self, MetricsSnapshot};
 use crate::packed::TagMode;
 use crate::pool::{NodeCache, PoolConfig, HANDLE_CACHE_CAP};
@@ -50,11 +50,13 @@ pub enum RestartPolicy {
 /// ```
 /// use nmbst::{NmTreeMap, PoolConfig, TreeConfig};
 ///
-/// let ablation = TreeConfig::default().with_pool(PoolConfig::disabled());
+/// let ablation = TreeConfig::default()
+///     .with_pool(PoolConfig::disabled())
+///     .with_leaf_cap(1); // the pre-PR 7 one-key-per-leaf shape
 /// let map: NmTreeMap<u64, u64> = NmTreeMap::with_config(ablation);
 /// assert!(map.insert(1, 10));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeConfig {
     /// BTS vs CAS-only tagging in the cleanup routine (§6).
     pub tag_mode: TagMode,
@@ -62,6 +64,11 @@ pub struct TreeConfig {
     pub restart: RestartPolicy,
     /// Node-recycling pool: on/off and free-list capacity.
     pub pool: PoolConfig,
+    /// Maximum entries per leaf block, `1..=LEAF_CAP` (values outside are
+    /// clamped). `1` reproduces the classic one-key-per-leaf shape
+    /// exactly (every insert publishes a two-node subtree, every remove
+    /// runs flag/tag/splice); the default packs a cache line.
+    pub leaf_cap: usize,
 }
 
 impl TreeConfig {
@@ -82,20 +89,43 @@ impl TreeConfig {
         self.pool = pool;
         self
     }
+
+    /// Overrides the leaf-block capacity (clamped to `1..=LEAF_CAP` at
+    /// tree construction).
+    pub fn with_leaf_cap(mut self, leaf_cap: usize) -> Self {
+        self.leaf_cap = leaf_cap;
+        self
+    }
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            tag_mode: TagMode::default(),
+            restart: RestartPolicy::default(),
+            pool: PoolConfig::default(),
+            leaf_cap: LEAF_CAP,
+        }
+    }
 }
 
 /// A concurrent lock-free ordered map backed by the Natarajan–Mittal
-/// external binary search tree.
+/// external binary search tree, with cache-line leaf blocks.
 ///
 /// * `search`/`get`/`contains` are wait-free with respect to other
 ///   readers and lock-free overall.
-/// * `insert` publishes with **one** CAS; `remove` needs one CAS to
-///   linearize (flagging the victim's incoming edge) and two more atomic
-///   instructions (a BTS and a CAS) to physically splice — the costs of
-///   Table 1.
+/// * `insert` publishes with **one** CAS; `remove` of a multi-entry leaf
+///   publishes a copied block with **one** CAS, and removing a leaf's
+///   last entry needs one CAS to linearize (flagging the victim's
+///   incoming edge) and two more atomic instructions (a BTS and a CAS)
+///   to physically splice — the costs of Table 1 at `leaf_cap = 1`.
 /// * Conflicts are coordinated purely through two bits stolen from child
-///   pointers; there are no operation descriptor objects and helping
+///   edge words; there are no operation descriptor objects and helping
 ///   never allocates.
+///
+/// Nodes live in a per-tree slab arena addressed by `u32` slot indices
+/// (half-width edges); user keys live in immutable sorted leaf blocks of
+/// up to [`TreeConfig::leaf_cap`] entries.
 ///
 /// The tree is generic over the reclamation scheme `R`
 /// ([`Ebr`](nmbst_reclaim::Ebr) by default;
@@ -126,12 +156,15 @@ pub struct NmTreeMap<K, V, R: Reclaim = Ebr> {
     pub(crate) reclaim: R,
     pub(crate) tag_mode: TagMode,
     pub(crate) restart: RestartPolicy,
+    /// Effective leaf-block capacity, `1..=LEAF_CAP`.
+    pub(crate) leaf_cap: usize,
     pub(crate) metrics: obs::Metrics,
-    /// `Some` when node recycling is on ([`PoolConfig::enabled`]).
-    /// Declared after `reclaim` so the reclaimer — whose drop runs
-    /// pending recycle deferrals — goes first; deferrals that outlive
-    /// even that (straggler collector threads) own their own `Arc`.
-    pub(crate) pool: Option<Arc<NodePool>>,
+    /// The slab arena every node of this tree lives in. Declared after
+    /// `reclaim` so the reclaimer — whose drop runs pending recycle
+    /// deferrals against arena slots — goes first; deferrals that outlive
+    /// even that (straggler collector threads) are covered by the `Arc`
+    /// clone parked in the reclaimer at construction.
+    pub(crate) pool: Arc<NodePool>,
     /// The tree logically owns its nodes.
     _own: PhantomData<Box<Node<K, V>>>,
 }
@@ -169,27 +202,24 @@ where
 
     /// Creates an empty map with every tuning knob explicit.
     pub fn with_config(config: TreeConfig) -> Self {
-        let pool = if config.pool.enabled && config.pool.capacity > 0 {
-            Some(Arc::new(NodePool::new(
-                Layout::new::<Node<K, V>>(),
-                config.pool.capacity,
-            )))
-        } else {
-            None
-        };
+        let pool = Arc::new(NodePool::new(
+            Layout::new::<Node<K, V>>(),
+            config.pool.effective_capacity(),
+        ));
         let reclaim = R::new();
-        if let Some(pool) = &pool {
-            // Recycle deferrals reference the pool by raw pointer; this
-            // parked clone is what keeps it alive for straggling
-            // collector threads that run deferrals after the tree is
-            // gone (see `pool::recycle_deferred`).
-            reclaim.hold(Box::new(Arc::clone(pool)));
-        }
+        // Recycle deferrals reference the pool by raw pointer; this
+        // parked clone is what keeps it alive for straggling collector
+        // threads that run deferrals after the tree is gone (see
+        // `pool::recycle_deferred`). The arena is the node store now, so
+        // the keepalive is unconditional.
+        reclaim.hold(Box::new(Arc::clone(&pool)));
+        let root = node::sentinel_tree(&mut NodeCache::direct(&pool));
         NmTreeMap {
-            root: node::sentinel_tree(),
+            root,
             reclaim,
             tag_mode: config.tag_mode,
             restart: config.restart,
+            leaf_cap: config.leaf_cap.clamp(1, LEAF_CAP),
             metrics: obs::Metrics::new(),
             pool,
             _own: PhantomData,
@@ -197,26 +227,33 @@ where
     }
 
     /// A point-in-time [`MetricsSnapshot`] of this tree: operation
-    /// counters, size estimate, max observed depth, the reclaimer's
-    /// health gauges, and the node pool's hit/recycle stats. Cheap (sums
-    /// a few cache lines); never blocks operations. See the
-    /// [`obs`](crate::obs) module docs.
+    /// counters, size estimate, depth histogram and max observed depth,
+    /// the reclaimer's health gauges, and the node pool's hit/recycle
+    /// stats. Cheap (sums a few cache lines); never blocks operations.
+    /// See the [`obs`](crate::obs) module docs.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics
-            .snapshot(self.reclaim.gauges(), self.pool.as_ref().map(|p| p.stats()))
+            .snapshot(self.reclaim.gauges(), Some(self.pool.stats()))
+    }
+
+    /// The arena every node of this tree lives in: the context for
+    /// resolving edge words into node addresses.
+    #[inline]
+    pub(crate) fn arena(&self) -> &NodePool {
+        &self.pool
     }
 
     /// A transient [`NodeCache`] for one plain-API modify call: no local
-    /// block hoarding, shared pool touched directly.
+    /// slot hoarding, shared pool touched directly.
     #[inline]
     pub(crate) fn node_cache(&self) -> NodeCache<'_> {
-        NodeCache::direct(self.pool.as_deref())
+        NodeCache::direct(&self.pool)
     }
 
     /// The [`NodeCache`] a long-lived handle embeds: keeps a private
-    /// block stash so hot loops skip the shared free list.
+    /// slot stash so hot loops skip the shared free list.
     pub(crate) fn handle_cache(&self) -> NodeCache<'_> {
-        NodeCache::with_local(self.pool.as_deref(), HANDLE_CACHE_CAP)
+        NodeCache::with_local(&self.pool, HANDLE_CACHE_CAP)
     }
 
     /// Pins the current thread, returning a guard other read methods can
@@ -238,7 +275,7 @@ where
     pub(crate) fn s_node(&self) -> *mut Node<K, V> {
         // SAFETY: `root` is always the live sentinel `R`, whose left edge
         // is never marked and always points at the live sentinel `S`.
-        unsafe { (*self.root).left.load().ptr() }
+        unsafe { (*self.root).left.load(&self.pool).ptr() }
     }
 }
 
@@ -272,10 +309,12 @@ impl<K, V, R: Reclaim> Drop for NmTreeMap<K, V, R> {
     fn drop(&mut self) {
         // Exclusive access: free every node still reachable from the
         // root. Nodes already retired are unreachable from the root and
-        // are freed by the reclaimer's own drop.
+        // are handled by the reclaimer's own drop (which runs after this,
+        // field order) or by straggling deferrals against the Arc-kept
+        // arena.
         // SAFETY: `&mut self` gives exclusive ownership of the reachable
-        // subtree.
-        unsafe { node::free_subtree(self.root) };
+        // subtree, and every reachable node owns all its entries.
+        unsafe { node::free_subtree(self.root, &self.pool) };
     }
 }
 
@@ -289,6 +328,7 @@ where
         f.debug_struct("NmTreeMap")
             .field("tag_mode", &self.tag_mode)
             .field("restart", &self.restart)
+            .field("leaf_cap", &self.leaf_cap)
             .finish_non_exhaustive()
     }
 }

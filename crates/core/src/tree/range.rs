@@ -4,7 +4,7 @@
 
 use super::NmTreeMap;
 use crate::key::Key;
-use crate::node::Node;
+use crate::node::{prefetch_wide, Node};
 use nmbst_reclaim::Reclaim;
 use std::ops::{Bound, RangeBounds};
 
@@ -58,6 +58,20 @@ impl<K, V> TraversalStack<K, V> {
             Some(self.inline[self.len])
         })
     }
+
+    /// Hints the next frame to pop — header line plus entry line, since
+    /// a traversal block-scans every leaf it visits.
+    #[inline]
+    fn prefetch_top(&self) {
+        let next = self
+            .spill
+            .last()
+            .copied()
+            .or_else(|| self.len.checked_sub(1).map(|i| self.inline[i]));
+        if let Some(node) = next {
+            prefetch_wide(node);
+        }
+    }
 }
 
 impl<K, V, R> NmTreeMap<K, V, R>
@@ -100,13 +114,20 @@ where
             // Keys ≥ nk can intersect (.., e) iff nk < e.
             Bound::Excluded(e) => nk.cmp_user(e) == std::cmp::Ordering::Less,
         };
+        let arena = self.arena();
         let mut stack = TraversalStack::new(self.s_node());
         while let Some(node) = stack.pop() {
+            // The scan visits (and block-scans) every node it pops, so
+            // fetching both the header line and the entry lines of the
+            // *next* frame overlaps this frame's work.
+            stack.prefetch_top();
             // SAFETY: pointers read from live edges under the pin.
             unsafe {
-                let left = (*node).left.load().ptr();
+                let left = (*node).left.load(arena).ptr();
                 if left.is_null() {
-                    if let (Key::Fin(k), Some(v)) = (&(*node).key, &(*node).value) {
+                    // Leaf block: entries are sorted, so the in-range ones
+                    // form a contiguous run.
+                    for (k, v) in (*node).entry_keys().iter().zip((*node).entry_vals()) {
                         if range.contains(k) {
                             f(k, v);
                         }
@@ -114,7 +135,7 @@ where
                 } else {
                     let nk = &(*node).key;
                     if may_go_right(nk) {
-                        stack.push((*node).right.load().ptr());
+                        stack.push((*node).right.load(arena).ptr());
                     }
                     if may_go_left(nk) {
                         stack.push(left);
@@ -145,20 +166,22 @@ where
         V: Clone,
     {
         let _guard = self.reclaim.pin();
+        let arena = self.arena();
         let mut node = self.s_node();
         // SAFETY: descent under the pin; sentinels are permanent.
         unsafe {
             loop {
-                let left = (*node).left.load().ptr();
+                let left = (*node).left.load(arena).ptr();
                 if left.is_null() {
                     break;
                 }
                 node = left;
             }
-            match (&(*node).key, &(*node).value) {
-                (Key::Fin(k), Some(v)) => Some((k.clone(), v.clone())),
-                _ => None,
-            }
+            // The leftmost leaf is a sentinel only when the tree is
+            // empty; otherwise its first (smallest) entry is the minimum.
+            let keys = (*node).entry_keys();
+            let vals = (*node).entry_vals();
+            keys.first().map(|k| (k.clone(), vals[0].clone()))
         }
     }
 
@@ -172,20 +195,27 @@ where
         V: Clone,
     {
         let _guard = self.reclaim.pin();
+        let arena = self.arena();
         let mut stack = TraversalStack::new(self.s_node());
         while let Some(node) = stack.pop() {
             // SAFETY: descent under the pin.
             unsafe {
-                let left = (*node).left.load().ptr();
+                let left = (*node).left.load(arena).ptr();
                 if left.is_null() {
-                    if let (Key::Fin(k), Some(v)) = (&(*node).key, &(*node).value) {
-                        return Some((k.clone(), v.clone()));
+                    let n = (*node).len();
+                    if n > 0 {
+                        // Rightmost populated block: its last entry is
+                        // the maximum.
+                        return Some((
+                            (*node).entry_keys()[n - 1].clone(),
+                            (*node).entry_vals()[n - 1].clone(),
+                        ));
                     }
                     // Sentinel leaf: backtrack.
                 } else {
                     // Left pushed first so right pops (and resolves) first.
                     stack.push(left);
-                    stack.push((*node).right.load().ptr());
+                    stack.push((*node).right.load(arena).ptr());
                 }
             }
         }
@@ -195,7 +225,7 @@ where
 
 #[cfg(test)]
 mod tests {
-    use crate::{NmTreeMap, NmTreeSet};
+    use crate::{NmTreeMap, NmTreeSet, TreeConfig};
     use nmbst_reclaim::Ebr;
 
     fn map_0_to(n: u32) -> NmTreeMap<u32, u32, Ebr> {
@@ -312,8 +342,10 @@ mod tests {
     fn degenerate_deep_tree_spills_and_stays_correct() {
         // Loop-inserting an ascending stream builds a right spine ~400
         // deep — far past INLINE_STACK — so this drives the spill path
-        // of `TraversalStack` end to end.
-        let m: NmTreeMap<u32, u32, Ebr> = NmTreeMap::new();
+        // of `TraversalStack` end to end. Single-entry leaves keep the
+        // spine one node per key (fat blocks would compress it 8×).
+        let m: NmTreeMap<u32, u32, Ebr> =
+            NmTreeMap::with_config(TreeConfig::default().with_leaf_cap(1));
         for k in 0..400 {
             m.insert(k, k);
         }
@@ -340,7 +372,11 @@ mod tests {
         use crate::chaos::{FaultPlan, Point, StallCell};
 
         for victim in [3u32, 10, 17] {
-            let m: NmTreeMap<u32, u32, Ebr> = NmTreeMap::new();
+            // cap 1: every remove runs the flag/tag/splice protocol (a
+            // multi-entry block would COW instead and never reach the
+            // stalled point).
+            let m: NmTreeMap<u32, u32, Ebr> =
+                NmTreeMap::with_config(TreeConfig::default().with_leaf_cap(1));
             for k in 0..20 {
                 m.insert(k, k);
             }
@@ -398,7 +434,9 @@ mod tests {
         use crate::chaos::{FaultPlan, Point, StallCell};
 
         for victim in [5u32, 11] {
-            let m: NmTreeMap<u32, u32, Ebr> = NmTreeMap::new();
+            // cap 1: see `range_during_stalled_splice_reports_every_stable_key`.
+            let m: NmTreeMap<u32, u32, Ebr> =
+                NmTreeMap::with_config(TreeConfig::default().with_leaf_cap(1));
             for k in 0..24 {
                 m.insert(k, k);
             }

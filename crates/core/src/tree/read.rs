@@ -2,7 +2,6 @@
 //! and weakly consistent traversal.
 
 use super::{NmTreeMap, SeekRecord};
-use crate::key::Key;
 use nmbst_reclaim::Reclaim;
 
 impl<K, V, R> NmTreeMap<K, V, R>
@@ -12,7 +11,8 @@ where
     R: Reclaim,
 {
     /// `true` if `key` is in the map. Linearizable; never blocks and
-    /// never restarts: a search is one root-to-leaf descent.
+    /// never restarts: a search is one root-to-leaf descent plus one
+    /// in-block scan.
     pub fn contains(&self, key: &K) -> bool {
         let guard = self.reclaim.pin();
         self.metrics.note_search();
@@ -32,8 +32,8 @@ where
         let _ = guard;
         // SAFETY: pinned for the duration of the traversal.
         let leaf = unsafe { self.search_leaf(key) };
-        // SAFETY: guard-protected; keys are immutable.
-        unsafe { (*leaf).key.is_user(key) }
+        // SAFETY: guard-protected; published blocks are immutable.
+        unsafe { (*leaf).find(key).is_ok() }
     }
 
     /// Applies `f` to the value stored under `key`, if present.
@@ -62,13 +62,12 @@ where
         let _ = guard;
         // SAFETY: pinned.
         let leaf = unsafe { self.search_leaf(key) };
-        // SAFETY: guard-protected; leaf contents are immutable after
+        // SAFETY: guard-protected; block contents are immutable after
         // publication.
         unsafe {
-            if (*leaf).key.is_user(key) {
-                (*leaf).value.as_ref().map(f)
-            } else {
-                None
+            match (*leaf).find(key) {
+                Ok(pos) => Some(f(&(*leaf).entry_vals()[pos])),
+                Err(_) => None,
             }
         }
     }
@@ -104,13 +103,12 @@ where
         // SAFETY: pinned per contract; `finger` vouches for the record.
         let hit = unsafe { self.seek_finger(key, rec, finger) };
         let leaf = rec.leaf;
-        // SAFETY: guard-protected; leaf contents are immutable after
+        // SAFETY: guard-protected; block contents are immutable after
         // publication.
         let value = unsafe {
-            if (*leaf).key.is_user(key) {
-                (*leaf).value.as_ref().map(f)
-            } else {
-                None
+            match (*leaf).find(key) {
+                Ok(pos) => Some(f(&(*leaf).entry_vals()[pos])),
+                Err(_) => None,
             }
         };
         (value, hit)
@@ -129,21 +127,22 @@ where
     /// [`keys`](Self::keys) (requires `&mut`).
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
         let _guard = self.reclaim.pin();
+        let arena = self.arena();
         let mut stack = vec![self.s_node()];
         while let Some(node) = stack.pop() {
             // SAFETY: every pointer on the stack was read from a live
             // edge under the pin.
             unsafe {
-                let left = (*node).left.load().ptr();
+                let left = (*node).left.load(arena).ptr();
                 if left.is_null() {
-                    // Leaf: report user keys only (sentinel leaves carry
-                    // no value).
-                    if let (Key::Fin(k), Some(v)) = (&(*node).key, &(*node).value) {
+                    // Leaf block: entries are stored sorted ascending
+                    // (sentinel leaves hold none).
+                    for (k, v) in (*node).entry_keys().iter().zip((*node).entry_vals()) {
                         f(k, v);
                     }
                 } else {
                     // In-order: right pushed first so left pops first.
-                    stack.push((*node).right.load().ptr());
+                    stack.push((*node).right.load(arena).ptr());
                     stack.push(left);
                 }
             }
@@ -160,22 +159,24 @@ where
 
     /// `true` if a weakly consistent traversal found no keys.
     ///
-    /// Short-circuits on the first user leaf encountered, so a populated
-    /// tree answers in O(depth of leftmost descent), not O(n).
+    /// Short-circuits on the first populated leaf block encountered, so
+    /// a populated tree answers in O(depth of leftmost descent), not
+    /// O(n).
     pub fn is_empty(&self) -> bool {
         let _guard = self.reclaim.pin();
+        let arena = self.arena();
         let mut stack = vec![self.s_node()];
         while let Some(node) = stack.pop() {
             // SAFETY: every pointer on the stack was read from a live
             // edge under the pin.
             unsafe {
-                let left = (*node).left.load().ptr();
+                let left = (*node).left.load(arena).ptr();
                 if left.is_null() {
-                    if matches!(&(*node).key, Key::Fin(_)) {
+                    if (*node).len() > 0 {
                         return false;
                     }
                 } else {
-                    stack.push((*node).right.load().ptr());
+                    stack.push((*node).right.load(arena).ptr());
                     stack.push(left);
                 }
             }

@@ -15,13 +15,16 @@ use nmbst_reclaim::Reclaim;
 /// [`check_invariants`](NmTreeMap::check_invariants).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeShape {
-    /// Number of user keys (finite-key leaves).
+    /// Number of user keys (entries summed across all leaf blocks).
     pub user_keys: usize,
     /// Number of internal (routing) nodes, sentinels included.
     pub internal_nodes: usize,
-    /// Number of leaf nodes, sentinels included.
+    /// Number of leaf nodes (blocks and sentinels alike — a block of 8
+    /// entries counts once).
     pub leaf_nodes: usize,
-    /// Longest root-to-leaf path, in edges.
+    /// Longest root-to-leaf path, in edges. Entries inside a block add
+    /// no depth: this is the pointer-chase depth a descent pays, the
+    /// same quantity the `max_depth` metrics gauge tracks.
     pub max_depth: usize,
 }
 
@@ -39,19 +42,26 @@ where
     ///    (two non-null children),
     /// 4. BST order: left-subtree keys `<` node key `≤` right-subtree
     ///    keys,
-    /// 5. exactly the finite-key leaves carry values, and every internal
-    ///    node has exactly two children (external-tree shape).
+    /// 5. every internal node has exactly two children (external-tree
+    ///    shape),
+    /// 6. leaf-block invariants: entries strictly ascending, occupancy
+    ///    between 1 and this tree's `leaf_cap` for user blocks and 0 for
+    ///    sentinels, the block's routing key equal to its largest entry,
+    ///    and every entry inside the key window its position implies
+    ///    (blocks of neighbouring subtrees are disjoint).
     ///
     /// Returns the tree's shape on success, a description of the first
     /// violation otherwise.
     pub fn check_invariants(&mut self) -> Result<TreeShape, String> {
+        let leaf_cap = self.leaf_cap;
         // SAFETY: exclusive access throughout.
         unsafe {
+            let arena = &*self.pool;
             let root = self.root;
             if (*root).key != Key::Inf2 {
                 return Err("root key is not ∞₂".into());
             }
-            let root_right = (*root).right.load_mut();
+            let root_right = (*root).right.load_mut(arena);
             if root_right.marked() {
                 return Err("edge R→leaf(∞₂) is marked".into());
             }
@@ -59,7 +69,7 @@ where
             if r_leaf.is_null() || !(*r_leaf).is_leaf() || (*r_leaf).key != Key::Inf2 {
                 return Err("right child of R is not the ∞₂ sentinel leaf".into());
             }
-            let root_left = (*root).left.load_mut();
+            let root_left = (*root).left.load_mut(arena);
             if root_left.marked() {
                 return Err("edge R→S is marked".into());
             }
@@ -93,8 +103,8 @@ where
                         return Err(format!("ordering violated: a key sits at/above its upper bound at depth {depth}"));
                     }
                 }
-                let left = (*n).left.load_mut();
-                let right = (*n).right.load_mut();
+                let left = (*n).left.load_mut(arena);
+                let right = (*n).right.load_mut(arena);
                 if left.marked() || right.marked() {
                     return Err(format!(
                         "marked edge reachable in quiescent tree at depth {depth}"
@@ -103,24 +113,57 @@ where
                 match (left.ptr().is_null(), right.ptr().is_null()) {
                     (true, true) => {
                         shape.leaf_nodes += 1;
+                        let entries = (*n).entry_keys();
                         match key {
                             Key::Fin(_) => {
-                                shape.user_keys += 1;
-                                if (*n).value.is_none() {
-                                    return Err("user leaf without a value".into());
+                                if entries.is_empty() {
+                                    return Err("user leaf block with zero entries".into());
                                 }
                             }
                             _ => {
-                                if (*n).value.is_some() {
-                                    return Err("sentinel leaf carries a value".into());
+                                if !entries.is_empty() {
+                                    return Err("sentinel leaf carries entries".into());
                                 }
                             }
                         }
+                        if entries.len() > leaf_cap {
+                            return Err(format!(
+                                "block occupancy {} above leaf_cap {leaf_cap}",
+                                entries.len()
+                            ));
+                        }
+                        if entries.windows(2).any(|w| w[0] >= w[1]) {
+                            return Err(format!(
+                                "block entries not strictly ascending at depth {depth}"
+                            ));
+                        }
+                        if let Some(last) = entries.last() {
+                            // Router = max entry, so sibling blocks stay
+                            // disjoint and router-consistent.
+                            if !key.is_user(last) {
+                                return Err(format!(
+                                    "block routing key is not its largest entry at depth {depth}"
+                                ));
+                            }
+                            // Sortedness makes the first/last entries the
+                            // extremes; the router bound check above
+                            // already pinned the router (= max) inside
+                            // [low, high), so only the low side remains.
+                            let first = &entries[0];
+                            if let Some(low) = low {
+                                if low.cmp_user(first) == std::cmp::Ordering::Greater {
+                                    return Err(format!(
+                                        "block entry below its subtree's lower bound at depth {depth}"
+                                    ));
+                                }
+                            }
+                        }
+                        shape.user_keys += entries.len();
                     }
                     (false, false) => {
                         shape.internal_nodes += 1;
-                        if (*n).value.is_some() {
-                            return Err("internal node carries a value".into());
+                        if (*n).len() != 0 {
+                            return Err("internal node carries entries".into());
                         }
                         // Left strictly below `key`; right at/above it.
                         stack.push((left.ptr(), low, Some(&(*n).key), depth + 1));
@@ -162,19 +205,20 @@ where
     }
 
     /// Removes every key, resetting the tree to the empty sentinel shape
-    /// and freeing all user nodes immediately.
+    /// and freeing all user nodes immediately (their arena slots return
+    /// to this tree's pool).
     pub fn clear(&mut self) {
         // SAFETY: exclusive access; rebuild from scratch.
         unsafe {
-            node::free_subtree(self.root);
+            node::free_subtree(self.root, &self.pool);
         }
-        self.root = node::sentinel_tree();
+        self.root = node::sentinel_tree(&mut crate::pool::NodeCache::direct(&self.pool));
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::NmTreeMap;
+    use crate::{NmTreeMap, TreeConfig};
     use nmbst_reclaim::Ebr;
 
     type Map = NmTreeMap<i64, i64, Ebr>;
@@ -197,7 +241,23 @@ mod tests {
         }
         let shape = map.check_invariants().unwrap();
         assert_eq!(shape.user_keys, 100);
-        // External tree: each insert adds one internal + one leaf.
+        // Ascending inserts pack full blocks of LEAF_CAP = 8: 13 blocks
+        // (12 full + one of 4) + 3 sentinel leaves, each block creation
+        // having added one internal to the 2 sentinel internals.
+        assert_eq!(shape.leaf_nodes, 16);
+        assert_eq!(shape.internal_nodes, 15);
+    }
+
+    #[test]
+    fn shape_after_inserts_cap1_matches_paper_arithmetic() {
+        let mut map: NmTreeMap<i64, i64, Ebr> =
+            NmTreeMap::with_config(TreeConfig::default().with_leaf_cap(1));
+        for k in 0..100 {
+            map.insert(k, k);
+        }
+        let shape = map.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 100);
+        // External tree at cap 1: each insert adds one internal + one leaf.
         assert_eq!(shape.leaf_nodes, 103);
         assert_eq!(shape.internal_nodes, 102);
     }
@@ -237,11 +297,29 @@ mod tests {
 
     #[test]
     fn sorted_inserts_make_degenerate_but_valid_tree() {
-        let mut map = Map::new();
+        let mut map: NmTreeMap<i64, i64, Ebr> =
+            NmTreeMap::with_config(TreeConfig::default().with_leaf_cap(1));
         for k in 0..1000 {
             map.insert(k, k);
         }
         let shape = map.check_invariants().unwrap();
         assert!(shape.max_depth >= 1000, "expected a deep spine");
+    }
+
+    #[test]
+    fn fat_leaves_compress_the_degenerate_spine() {
+        // The same adversarial stream at the default cap: one spine node
+        // per *block*, so the pointer-chase depth shrinks ~8×.
+        let mut map = Map::new();
+        for k in 0..1000 {
+            map.insert(k, k);
+        }
+        let shape = map.check_invariants().unwrap();
+        assert_eq!(shape.user_keys, 1000);
+        assert!(
+            shape.max_depth <= 1000 / 8 + 8,
+            "expected a block-compressed spine, got depth {}",
+            shape.max_depth
+        );
     }
 }

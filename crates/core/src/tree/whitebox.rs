@@ -33,6 +33,10 @@ where
     /// first atomic step after injection. When our injection CAS loses
     /// to a rival's flag, the same rule also abandons the *helping*
     /// cleanup before it mutates anything, preserving the staged state.
+    ///
+    /// Only meaningful on `leaf_cap = 1` trees: a remove from a
+    /// multi-entry fat leaf takes the copy-on-write path, which has no
+    /// flag/tag/splice steps to stall.
     pub(crate) fn stall_delete_after_injection(&self, key: &K) -> bool {
         FaultPlan::new()
             .abandon_at(Point::Tag)
@@ -48,7 +52,7 @@ where
             // SAFETY: pinned.
             unsafe { self.seek(key, &mut rec) };
             // SAFETY: read under the pin.
-            if !unsafe { (*rec.leaf).key.is_user(key) } {
+            if unsafe { (*rec.leaf).find(key).is_err() } {
                 return;
             }
             // SAFETY: record from a seek under this pin.
@@ -59,11 +63,19 @@ where
 
 #[cfg(test)]
 mod tests {
-    use crate::{NmTreeMap, NmTreeSet};
+    use crate::{NmTreeMap, NmTreeSet, TreeConfig};
     use nmbst_reclaim::{Ebr, HazardEras, Leaky, Reclaim};
 
+    /// Every scenario here stages the classic flag/tag/splice protocol,
+    /// which only runs for singleton leaves — so the whole module works
+    /// on `leaf_cap = 1` trees (the ablation shape, where every remove
+    /// is a structural delete exactly as in the paper).
+    fn cap1() -> TreeConfig {
+        TreeConfig::default().with_leaf_cap(1)
+    }
+
     fn set_with<R: Reclaim>(keys: &[u64]) -> NmTreeSet<u64, R> {
-        let s = NmTreeSet::new();
+        let s = NmTreeSet::with_config(cap1());
         for &k in keys {
             s.insert(k);
         }
@@ -282,7 +294,7 @@ mod tests {
             }
         }
         let drops = Arc::new(AtomicUsize::new(0));
-        let map: NmTreeMap<u64, D, Ebr> = NmTreeMap::new();
+        let map: NmTreeMap<u64, D, Ebr> = NmTreeMap::with_config(cap1());
         for k in [10, 20, 30, 40, 50] {
             map.insert(k, D(Arc::clone(&drops)));
         }

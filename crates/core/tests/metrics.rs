@@ -2,8 +2,8 @@
 //! nothing (exact sums, not estimates), handle batching must flush on
 //! drop, and the exposition formats must carry every counter.
 
-use nmbst::obs::MetricsSnapshot;
-use nmbst::{NmTreeMap, NmTreeSet};
+use nmbst::obs::{MetricsSnapshot, DEPTH_BUCKETS};
+use nmbst::{NmTreeMap, NmTreeSet, TreeConfig};
 use nmbst_reclaim::{Ebr, Leaky};
 use std::sync::Barrier;
 
@@ -42,6 +42,48 @@ fn sharded_counters_sum_exactly_across_threads() {
     assert_eq!(m.removed, n);
     assert_eq!(m.size_estimate, 0, "inserted == removed");
     assert!(m.max_depth > 0);
+    // Every modify op ran at least one descent (contended CAS failures
+    // re-seek and record again; searches don't record depth), and the
+    // sharded histogram must lose none of them.
+    assert!(
+        m.depth_hist.iter().sum::<u64>() >= 2 * n,
+        "at least one histogram observation per insert and per remove"
+    );
+    assert!(m.depth_sum > 0);
+}
+
+/// The descent-depth histogram is the production-observable form of the
+/// fat-leaf win: the same key stream at `leaf_cap = 1` must put its mass
+/// in strictly deeper buckets than the default fat-leaf tree.
+#[test]
+fn depth_histogram_shows_fat_leaf_compression() {
+    let mean_depth = |leaf_cap: usize| {
+        let map: NmTreeMap<u64, u64, Ebr> =
+            NmTreeMap::with_config(TreeConfig::default().with_leaf_cap(leaf_cap));
+        // Shuffled stream (multiplicative hash of 0..1024) so both trees
+        // are reasonably balanced rather than spines.
+        for i in 0..1024u64 {
+            let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            map.insert(k, k);
+        }
+        let m = map.metrics();
+        let observations: u64 = m.depth_hist.iter().sum();
+        assert_eq!(observations, 1024, "uncontended: one descent per insert");
+        (m.depth_sum as f64 / observations as f64, m.max_depth)
+    };
+    let (mean_fat, max_fat) = mean_depth(8);
+    let (mean_thin, max_thin) = mean_depth(1);
+    // The mean is taken over the whole growth stream (early inserts are
+    // shallow in both trees), so the steady-state gap is diluted — still,
+    // the fat tree must be measurably flatter.
+    assert!(
+        mean_fat + 0.5 < mean_thin,
+        "fat leaves must shorten the mean descent: {mean_fat:.1} vs {mean_thin:.1}"
+    );
+    assert!(
+        max_fat < max_thin,
+        "and the max gauge must agree: {max_fat} vs {max_thin}"
+    );
 }
 
 /// The same exactness through handles: per-handle pending counts are
@@ -136,11 +178,17 @@ fn exposition_formats_are_complete_and_consistent() {
         "reclaim_epoch_lag",
         "reclaim_pinned_threads",
         "reclaim_retired_backlog",
+        "depth_hist",
+        "depth_sum",
     ] {
         assert!(json.contains(&format!("\"{key}\":")), "json missing {key}");
     }
     assert!(json.contains("\"inserted\":5"));
     assert!(json.contains("\"size_estimate\":4"));
+    // The histogram renders as a JSON array with one cell per bucket.
+    let hist = json.split("\"depth_hist\":[").nth(1).unwrap();
+    let hist = hist.split(']').next().unwrap();
+    assert_eq!(hist.split(',').count(), DEPTH_BUCKETS);
 
     let prom = m.to_prometheus();
     for metric in [
@@ -168,6 +216,22 @@ fn exposition_formats_are_complete_and_consistent() {
     }
     assert!(prom.contains("nmbst_inserted_total 5\n"));
     assert!(prom.contains("nmbst_size_estimate 4\n"));
+
+    // The depth histogram uses the Prometheus histogram convention:
+    // cumulative le-buckets, +Inf, _sum, and _count.
+    assert!(prom.contains("# TYPE nmbst_descent_depth histogram"));
+    for needle in [
+        "nmbst_descent_depth_bucket{le=\"1\"} ",
+        "nmbst_descent_depth_bucket{le=\"3\"} ",
+        "nmbst_descent_depth_bucket{le=\"+Inf\"} ",
+        "nmbst_descent_depth_sum ",
+        "nmbst_descent_depth_count ",
+    ] {
+        assert!(prom.contains(needle), "prometheus missing {needle}");
+    }
+    // 6 modify ops ⇒ count 6, and +Inf agrees with _count.
+    assert!(prom.contains("nmbst_descent_depth_bucket{le=\"+Inf\"} 6\n"));
+    assert!(prom.contains("nmbst_descent_depth_count 6\n"));
 
     // Snapshots are plain copyable values; Display goes through and the
     // default snapshot is all zeros.

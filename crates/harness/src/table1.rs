@@ -47,11 +47,17 @@ fn odd_keys() -> impl Iterator<Item = u64> {
 /// The node pool is disabled: Table 1 counts the *algorithm's* allocator
 /// traffic, and pool-served nodes would show up as `pool_hits` instead
 /// of `allocs`, measuring the recycling layer rather than the paper.
+/// Likewise `leaf_cap = 1`: the paper's costs are stated for 1-key
+/// leaves, where every insert is the classic two-node subtree and every
+/// delete is a structural flag/tag/splice (fat leaves replace most of
+/// those with cheaper copy-on-write block publishes, which is the PR 7
+/// optimisation, not the paper's row).
 pub fn measure_nm(tag_mode: TagMode) -> CostRow {
     let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_config(
         TreeConfig::default()
             .with_tag_mode(tag_mode)
-            .with_pool(PoolConfig::disabled()),
+            .with_pool(PoolConfig::disabled())
+            .with_leaf_cap(1),
     );
     for k in odd_keys() {
         set.insert(k);

@@ -96,6 +96,14 @@ pub struct ExploreConfig {
     /// revalidation, sweeping the finger path under the same seeds. Off
     /// by default to keep the historical seed corpus stable.
     pub batch: bool,
+    /// Fat-leaf block capacity of the tree under test (clamped by the
+    /// tree to `1..=LEAF_CAP`). Defaults to **1** — the paper's 1-key
+    /// leaf shape — which keeps the historical seed corpus meaningful:
+    /// at capacity 1 every remove is a structural flag/tag/splice, so
+    /// the [`chaos::Bug::DropFlagOnSplice`] canary still fires. Sweep
+    /// `{2, 8}` to drive the copy-on-write block publish paths instead
+    /// (COW inserts/removes and block splits become the common case).
+    pub leaf_cap: usize,
 }
 
 /// The reclamation scheme a seeded run instantiates the tree with.
@@ -126,6 +134,7 @@ impl Default for ExploreConfig {
             pool: false,
             reclaim: ReclaimKind::default(),
             batch: false,
+            leaf_cap: 1,
         }
     }
 }
@@ -390,14 +399,16 @@ fn run_seed<R: Reclaim>(cfg: &ExploreConfig, seed: u64) -> Result<RunReport, Box
     let inject_bug = cfg.inject_drop_flag_bug;
     let batch = cfg.batch;
 
-    let set: NmTreeSet<u64, R> =
-        NmTreeSet::with_config(TreeConfig::default().with_restart(cfg.restart).with_pool(
-            if cfg.pool {
+    let set: NmTreeSet<u64, R> = NmTreeSet::with_config(
+        TreeConfig::default()
+            .with_restart(cfg.restart)
+            .with_leaf_cap(cfg.leaf_cap)
+            .with_pool(if cfg.pool {
                 PoolConfig::default()
             } else {
                 PoolConfig::disabled()
-            },
-        ));
+            }),
+    );
     let rec = Recorder::new();
     // Capture-scoped flight recorder: sequence numbers start at 0 for
     // every run, and the token-passing scheduler serializes all recording

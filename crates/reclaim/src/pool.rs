@@ -1,56 +1,88 @@
-//! Bounded free lists that recycle retired blocks back into allocations.
+//! Slab arena node storage with a bounded recycling free list.
 //!
-//! The paper's delete is allocation-free, but every insert pays the
-//! global allocator for two fresh nodes, and this crate's reclaimers
-//! historically handed grace-period-expired memory straight back to that
-//! allocator. A [`NodePool`] closes the loop: once a reclaimer proves a
-//! retired block unreachable, the block's deferral pushes it onto the
-//! pool instead of freeing it, and the next insert pops it back off —
-//! retire → grace period → recycle → realloc, no `malloc`/`free` pair.
+//! Since PR 7 the pool *is* the node store: trees no longer `Box` their
+//! nodes, they carve fixed-layout slots out of per-tree arena segments
+//! and address them with `u32` indices. That buys two things at once:
+//!
+//! * **Half-width edges.** A child reference inside a tree node is a
+//!   32-bit slot index instead of a 64-bit pointer, so both edges of a
+//!   node fit in one 8-byte word-pair and the mark bits ride in the low
+//!   bits of a `u32`.
+//! * **A closed allocation loop.** Retired slots flow through the
+//!   reclaimer's grace period back onto the free list (retire → grace
+//!   period → recycle → realloc), exactly as in PR 4 — but now even the
+//!   *miss* path (bump allocation) stays inside the arena, so steady
+//!   state never touches `malloc`.
+//!
+//! # Geometry
+//!
+//! Slots live in doubling segments: segment `s` holds `2^18 << s`
+//! slots, and 13 segments cover indices up to 2³⁰ (the widest index an
+//! edge word can carry next to its two mark bits). Index 0 is reserved
+//! as the null edge.
+//!
+//! Segment 0 is allocated *eagerly* and its base is mirrored in a plain
+//! (non-atomic) field: for every index below 2¹⁸ — in practice all of
+//! them, since recycling keeps the bump cursor low — `slot_ptr` is one
+//! predicted branch and a `base + idx * stride` address computation.
+//! That keeps index resolution off the descent loop's dependent-load
+//! chain: the base is immutable, so the compiler hoists it out of the
+//! loop, where an atomic segment-table load would have to re-issue at
+//! every level (measured ~25% of single-thread point-op throughput).
+//! The reservation is virtual — 2¹⁸ slots of untouched pages cost
+//! address space, not memory. Overflow segments are allocated lazily
+//! and published with a CAS; the loser of a racing grow frees its
+//! segment and adopts the winner's, so growth stays lock-free. A
+//! resolved slot pointer is stable for the arena's lifetime — segments
+//! are never moved or freed before the pool drops.
 //!
 //! # Safety model
 //!
-//! The pool itself never decides *when* a block may be reused — that is
-//! the reclaimer's job, and it is exactly the guarantee reclamation
-//! already provides: a deferral fires only after the grace period, i.e.
-//! after no live reference to the block can exist. Reuse after that point
-//! is therefore ABA-safe by construction (DESIGN.md §11). The pool's own
-//! contract is purely about memory provenance: every block pushed must be
-//! a global-allocator allocation of exactly [`layout`](NodePool::layout),
-//! with its contents already dropped, so a block popped from the pool is
-//! indistinguishable from one returned by `std::alloc::alloc` — and on
-//! overflow (or contention, or pool drop) the pool can hand it to
-//! `std::alloc::dealloc` directly.
+//! The pool never decides *when* a slot may be reused — that is the
+//! reclaimer's job. A recycle deferral fires only after the grace
+//! period, i.e. after no live reference to the slot can exist, so reuse
+//! is ABA-safe by construction (DESIGN.md §11, §14). Unlike the PR 4
+//! pool there is no dealloc fall-through: a slot the free list declines
+//! (capacity, contention) is simply abandoned in place — counted in
+//! [`PoolStats::dropped`] — and its memory returns when the arena drops.
 //!
 //! # Concurrency
 //!
-//! The free list is a bounded LIFO `Vec` under a spin lock, accessed with
-//! `try_lock` only: a contended pop reports "empty" (caller falls through
-//! to the real allocator) and a contended push frees the block instead of
-//! waiting. The pool can therefore never block an operation or degrade
-//! below plain-malloc behaviour; the lock is a fast path, not a
-//! serialization point. Callers batch (see the per-handle caches in
-//! `nmbst`) so the common case touches no shared state at all.
+//! The free list is a bounded LIFO `Vec<u32>` under a spin lock,
+//! accessed with `try_lock` only: a contended pop reports "empty" (the
+//! caller bump-allocates) and a contended push abandons the slot. The
+//! pool therefore never blocks an operation; the lock is a fast path,
+//! not a serialization point.
 
 use nmbst_sync::SpinLock;
 use std::alloc::Layout;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// log2 of the first segment's slot count.
+const SEG0_BITS: u32 = 18;
+/// Slot count of the eagerly allocated segment 0; indices below this
+/// take `slot_ptr`'s flat fast path.
+const SEG0_SLOTS: usize = 1 << SEG0_BITS;
+/// Number of doubling segments; together they cover indices past 2³⁰.
+const SEGMENTS: usize = 13;
+/// Largest allocatable index: an edge word keeps 2 bits for marks.
+const MAX_INDEX: u32 = (1 << 30) - 1;
 
 /// Point-in-time counters of one [`NodePool`]; see [`NodePool::stats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Allocations served from the pool (recycled or cached memory)
-    /// instead of the global allocator.
+    /// Allocations served from recycled free-list slots instead of
+    /// fresh (bump-allocated) arena space.
     pub hits: u64,
-    /// Allocation attempts the pool could not serve (empty or contended);
-    /// the caller paid the global allocator.
+    /// Allocations the free list could not serve (empty or contended);
+    /// the caller bump-allocated a fresh slot.
     pub misses: u64,
-    /// Blocks accepted into the free list (from recycling deferrals and
+    /// Slots accepted into the free list (from recycling deferrals and
     /// cache give-backs).
     pub recycled: u64,
-    /// Blocks the pool declined (full or contended) and freed to the
-    /// global allocator instead.
+    /// Slots the free list declined (full or contended) and abandoned in
+    /// place; their memory returns when the arena drops.
     pub dropped: u64,
     /// Current free-list length (racy snapshot).
     pub len: u64,
@@ -58,21 +90,36 @@ pub struct PoolStats {
     pub capacity: u64,
 }
 
-/// A bounded LIFO free list of fixed-layout memory blocks.
+/// A slab arena of fixed-layout slots addressed by `u32` indices, with a
+/// bounded LIFO free list recycling retired slots.
 ///
-/// One pool serves one block layout (one `Node<K, V>` type); pushing any
-/// other layout is a contract violation. LIFO because the most recently
-/// retired block is the most likely to still be cache-hot when the next
-/// insert reuses it.
+/// One pool serves one slot layout (one `Node<K, V>` type). LIFO because
+/// the most recently retired slot is the most likely to still be
+/// cache-hot when the next insert reuses it.
 ///
 /// Shared by `Arc`: the owning tree holds one reference and parks a
 /// second inside the reclaimer via [`Reclaim::hold`](crate::Reclaim::hold),
 /// so recycling deferrals can carry a plain raw pointer — the reclaimer
-/// guarantees the pool outlives every deferral it ever runs, including
-/// on straggling collector threads.
+/// guarantees the pool (and with it every slot a straggling deferral
+/// touches) outlives every deferral it ever runs.
 pub struct NodePool {
     layout: Layout,
+    /// Distance between consecutive slots: the layout padded to its
+    /// alignment.
+    stride: usize,
     capacity: usize,
+    /// Segment 0's base, duplicated out of `segments[0]` as a plain
+    /// field: immutable after construction, so the hot resolution path
+    /// reads it without an atomic load (and loop-invariant code motion
+    /// can keep it in a register across a descent).
+    seg0: NonNull<u8>,
+    /// Doubling segments; entry `s` holds `SEG0_SLOTS << s` slots.
+    /// Entry 0 is allocated in `new`; the rest lazily, published by
+    /// CAS, so growth is lock-free.
+    segments: [AtomicPtr<u8>; SEGMENTS],
+    /// Bump cursor over the index space. Starts at 1: index 0 is the
+    /// null edge.
+    next: AtomicU32,
     free: SpinLock<FreeList>,
     /// Mirror of the free-list length, maintained inside the lock, so
     /// gauges and the empty-pool fast path need no lock at all.
@@ -84,33 +131,67 @@ pub struct NodePool {
 
 /// The lock-protected half of the pool. `recycled` lives here (not as an
 /// atomic) because it is only ever bumped while the push already holds
-/// the lock — keeping the per-block release path at a single RMW (the
-/// lock acquisition itself), which is what lets recycling beat a
-/// `free`/`malloc` round trip.
+/// the lock — keeping the per-slot release path at a single RMW (the
+/// lock acquisition itself).
 struct FreeList {
-    blocks: Vec<*mut u8>,
+    slots: Vec<u32>,
     recycled: u64,
 }
 
-// SAFETY: the raw pointers in the free list are owned blocks (no aliases
-// exist once a block is pushed — the pusher proved it dead), and all
-// access to the list is synchronized by the spin lock.
+// SAFETY: segment pointers are owned allocations freed only in Drop, the
+// free list holds plain indices, and all free-list access is
+// synchronized by the spin lock.
 unsafe impl Send for NodePool {}
 unsafe impl Sync for NodePool {}
 
+/// Splits an index into (segment, offset-within-segment).
+#[inline]
+fn locate(idx: u32) -> (usize, usize) {
+    debug_assert!(idx != 0 && idx <= MAX_INDEX);
+    let adj = idx + (1 << SEG0_BITS);
+    let bit = 31 - adj.leading_zeros();
+    ((bit - SEG0_BITS) as usize, (adj - (1 << bit)) as usize)
+}
+
+/// Slot count of segment `seg`.
+#[inline]
+fn segment_slots(seg: usize) -> usize {
+    1usize << (SEG0_BITS as usize + seg)
+}
+
+/// Allocates the backing memory of segment `seg`. Untouched pages are
+/// only a virtual reservation; the kernel commits them on first write.
+fn alloc_segment(seg: usize, stride: usize, align: usize) -> *mut u8 {
+    let layout =
+        Layout::from_size_align(segment_slots(seg) * stride, align).expect("segment layout");
+    // SAFETY: non-zero size (stride > 0, slots > 0).
+    let ptr = unsafe { std::alloc::alloc(layout) };
+    assert!(!ptr.is_null(), "arena segment allocation failed");
+    ptr
+}
+
 impl NodePool {
-    /// Creates an empty pool for blocks of `layout`, holding at most
-    /// `capacity` free blocks. Zero-size layouts are rejected — there is
-    /// nothing to recycle.
+    /// Creates an empty arena for slots of `layout`, recycling at most
+    /// `capacity` free slots (`0` disables reuse: every allocation bumps
+    /// fresh space and every release abandons its slot). Zero-size
+    /// layouts are rejected — there is nothing to store.
     pub fn new(layout: Layout, capacity: usize) -> Self {
-        assert!(layout.size() > 0, "cannot pool zero-sized blocks");
+        assert!(layout.size() > 0, "cannot pool zero-sized slots");
+        let stride = layout.pad_to_align().size();
+        let seg0 = alloc_segment(0, stride, layout.align());
+        let segments = [const { AtomicPtr::new(std::ptr::null_mut()) }; SEGMENTS];
+        segments[0].store(seg0, Ordering::Relaxed);
         NodePool {
             layout,
+            stride,
             capacity,
+            seg0: NonNull::new(seg0).expect("checked non-null above"),
+            segments,
+            next: AtomicU32::new(1),
             free: SpinLock::new(FreeList {
                 // Reserve up front (bounded for pathological capacities)
                 // so steady-state pushes never grow the Vec.
-                blocks: Vec::with_capacity(capacity.min(4096)),
+                slots: Vec::with_capacity(capacity.min(4096)),
                 recycled: 0,
             }),
             len: AtomicUsize::new(0),
@@ -120,13 +201,13 @@ impl NodePool {
         }
     }
 
-    /// The one block layout this pool serves.
+    /// The one slot layout this arena serves.
     #[inline]
     pub fn layout(&self) -> Layout {
         self.layout
     }
 
-    /// Maximum number of free blocks held.
+    /// Maximum number of free slots recycled.
     #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -138,30 +219,134 @@ impl NodePool {
         self.len.load(Ordering::Relaxed)
     }
 
-    /// `true` if no free block is currently pooled.
+    /// `true` if no free slot is currently pooled.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Pops one free block, or `None` if the pool is empty or contended
-    /// (the caller then uses the global allocator). The returned block is
-    /// uninitialized memory of [`layout`](Self::layout), exclusively
-    /// owned by the caller.
+    /// Resolves a slot index to its address. The returned pointer is
+    /// stable for the arena's lifetime.
+    ///
+    /// The index must have been produced by this pool ([`acquire`]
+    /// (Self::acquire) or [`bump`](Self::bump)); index 0 (the null edge)
+    /// is not a slot.
+    #[inline]
+    pub fn slot_ptr(&self, idx: u32) -> *mut u8 {
+        debug_assert!(idx != 0 && idx <= MAX_INDEX);
+        if (idx as usize) < SEG0_SLOTS {
+            // Segment 0: `locate`'s bias cancels, the offset *is* the
+            // index, and the base is a plain immutable field — no
+            // atomic load on the descent's dependent chain.
+            unsafe { self.seg0.as_ptr().add(idx as usize * self.stride) }
+        } else {
+            self.slot_ptr_overflow(idx)
+        }
+    }
+
+    /// [`slot_ptr`](Self::slot_ptr) with the stride taken from `N` at
+    /// compile time, so the hot path's offset computation is constant
+    /// arithmetic instead of a multiply by a loaded field. `N` must be
+    /// the type this arena's layout was created for.
+    #[inline]
+    pub fn slot_ptr_typed<N>(&self, idx: u32) -> *mut N {
+        debug_assert_eq!(
+            Layout::new::<N>().pad_to_align().size(),
+            self.stride,
+            "slot_ptr_typed called with a type foreign to this arena"
+        );
+        debug_assert!(idx != 0 && idx <= MAX_INDEX);
+        if (idx as usize) < SEG0_SLOTS {
+            // SAFETY: same address arithmetic as `slot_ptr`; the stride
+            // equality is asserted above.
+            unsafe { self.seg0.as_ptr().cast::<N>().add(idx as usize) }
+        } else {
+            self.slot_ptr_overflow(idx).cast()
+        }
+    }
+
+    /// Index resolution for slots past segment 0. Out of line: the fast
+    /// path must stay small enough to inline into every descent step.
+    #[cold]
+    fn slot_ptr_overflow(&self, idx: u32) -> *mut u8 {
+        let (seg, off) = locate(idx);
+        // Acquire pairs with the Release CAS in `segment`; any thread
+        // that learned `idx` through a published edge already
+        // happens-after the segment's publication, so the pointer is
+        // always visible here.
+        let base = self.segments[seg].load(Ordering::Acquire);
+        debug_assert!(!base.is_null(), "slot {idx} resolved before allocation");
+        unsafe { base.add(off * self.stride) }
+    }
+
+    /// Returns segment `seg`'s base, allocating and publishing it if this
+    /// is the first touch. Lock-free: a racing loser frees its fresh
+    /// segment and adopts the winner's.
+    fn segment(&self, seg: usize) -> *mut u8 {
+        let entry = &self.segments[seg];
+        let base = entry.load(Ordering::Acquire);
+        if !base.is_null() {
+            return base;
+        }
+        let fresh = alloc_segment(seg, self.stride, self.layout.align());
+        match entry.compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => fresh,
+            Err(winner) => {
+                let layout = Layout::from_size_align(
+                    segment_slots(seg) * self.stride,
+                    self.layout.align(),
+                )
+                .expect("segment layout");
+                // SAFETY: `fresh` is ours and was never published.
+                unsafe { std::alloc::dealloc(fresh, layout) };
+                winner
+            }
+        }
+    }
+
+    /// Bump-allocates a fresh slot (never consults the free list). The
+    /// returned slot is uninitialized memory of [`layout`](Self::layout),
+    /// exclusively owned by the caller.
+    ///
+    /// Does not count a hit or miss — callers batch accounting through
+    /// [`note_usage`](Self::note_usage).
+    pub fn bump(&self) -> (u32, NonNull<u8>) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(idx <= MAX_INDEX, "node arena exhausted (2^30 slots)");
+        let (seg, off) = locate(idx);
+        let base = self.segment(seg);
+        // SAFETY: `off` is within the segment by construction.
+        let ptr = unsafe { base.add(off * self.stride) };
+        (idx, NonNull::new(ptr).expect("segment base is non-null"))
+    }
+
+    /// Pops one recycled slot, or `None` if the free list is empty or
+    /// contended (the caller then bump-allocates). The returned slot is
+    /// uninitialized memory, exclusively owned by the caller.
     ///
     /// Does not count a hit or miss — callers batch accounting through
     /// [`note_usage`](Self::note_usage).
     #[inline]
-    pub fn acquire(&self) -> Option<NonNull<u8>> {
-        let mut out: Option<NonNull<u8>> = None;
-        self.acquire_batch(1, |p| out = NonNull::new(p));
-        out
+    pub fn acquire(&self) -> Option<(u32, NonNull<u8>)> {
+        let mut out = None;
+        self.acquire_batch(1, |idx| out = Some(idx));
+        out.map(|idx| {
+            (
+                idx,
+                NonNull::new(self.slot_ptr(idx)).expect("pooled slot resolves"),
+            )
+        })
     }
 
-    /// Pops up to `max` free blocks, passing each to `sink`; returns the
-    /// number popped. One lock acquisition for the whole batch — this is
-    /// what per-thread caches refill through.
-    pub fn acquire_batch(&self, max: usize, mut sink: impl FnMut(*mut u8)) -> usize {
+    /// Pops up to `max` recycled slots, passing each index to `sink`;
+    /// returns the number popped. One lock acquisition for the whole
+    /// batch — this is what per-thread caches refill through.
+    pub fn acquire_batch(&self, max: usize, mut sink: impl FnMut(u32)) -> usize {
         // Lock-free fast path: an empty pool is the common case in grow-
         // only phases, and it must not pay even an uncontended lock CAS.
         if max == 0 || self.len.load(Ordering::Relaxed) == 0 {
@@ -170,70 +355,62 @@ impl NodePool {
         let Some(mut free) = self.free.try_lock() else {
             return 0;
         };
-        let take = free.blocks.len().min(max);
+        let take = free.slots.len().min(max);
         for _ in 0..take {
-            let p = free.blocks.pop().expect("len checked");
-            sink(p);
+            let idx = free.slots.pop().expect("len checked");
+            sink(idx);
         }
-        self.len.store(free.blocks.len(), Ordering::Relaxed);
+        self.len.store(free.slots.len(), Ordering::Relaxed);
         take
     }
 
-    /// Gives a dead block back to the pool. If the pool is full (or the
-    /// lock contended), the block is freed to the global allocator
-    /// instead — release never blocks and never leaks.
+    /// Gives a dead slot back to the free list. If the list is full (or
+    /// the lock contended), the slot is abandoned in place — counted in
+    /// [`PoolStats::dropped`], reclaimed when the arena drops — so
+    /// release never blocks.
     ///
     /// # Safety
     ///
-    /// `ptr` must be a global-allocator allocation of exactly
-    /// [`layout`](Self::layout) (e.g. `Box::into_raw` of the pooled node
-    /// type), exclusively owned by the caller, with its contents already
-    /// dropped. Ownership transfers to the pool.
+    /// `idx` must be a slot of this pool, exclusively owned by the
+    /// caller, with its contents already dropped. Ownership transfers to
+    /// the pool.
     #[inline]
-    pub unsafe fn release(&self, ptr: *mut u8) {
+    pub unsafe fn release(&self, idx: u32) {
         if let Some(mut free) = self.free.try_lock() {
-            if free.blocks.len() < self.capacity {
-                free.blocks.push(ptr);
+            if free.slots.len() < self.capacity {
+                free.slots.push(idx);
                 free.recycled += 1;
-                self.len.store(free.blocks.len(), Ordering::Relaxed);
+                self.len.store(free.slots.len(), Ordering::Relaxed);
                 return;
             }
         }
-        // Full or contended: fall through to the real allocator.
-        // SAFETY: release contract — global-allocator block of
-        // `self.layout`.
-        unsafe { std::alloc::dealloc(ptr, self.layout) };
+        // Full or contended: abandon the slot (arena memory, freed at
+        // pool drop).
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Gives many dead blocks back in one lock acquisition, draining
-    /// `blocks`. Blocks that do not fit (full or contended) are freed to
-    /// the global allocator. This is what per-thread caches flush
-    /// through.
+    /// Gives many dead slots back in one lock acquisition, draining
+    /// `slots`. Slots that do not fit (full or contended) are abandoned
+    /// in place. This is what per-thread caches flush through.
     ///
     /// # Safety
     ///
-    /// Every block in `blocks` must satisfy the
-    /// [`release`](Self::release) contract.
-    pub unsafe fn release_batch(&self, blocks: &mut Vec<*mut u8>) {
-        if blocks.is_empty() {
+    /// Every index in `slots` must satisfy the [`release`](Self::release)
+    /// contract.
+    pub unsafe fn release_batch(&self, slots: &mut Vec<u32>) {
+        if slots.is_empty() {
             return;
         }
         if let Some(mut free) = self.free.try_lock() {
-            while free.blocks.len() < self.capacity {
-                let Some(ptr) = blocks.pop() else { break };
-                free.blocks.push(ptr);
+            while free.slots.len() < self.capacity {
+                let Some(idx) = slots.pop() else { break };
+                free.slots.push(idx);
                 free.recycled += 1;
             }
-            self.len.store(free.blocks.len(), Ordering::Relaxed);
+            self.len.store(free.slots.len(), Ordering::Relaxed);
         }
-        let dropped = blocks.len() as u64;
-        for ptr in blocks.drain(..) {
-            // Full or contended: fall through to the real allocator.
-            // SAFETY: release contract — global-allocator block of
-            // `self.layout`.
-            unsafe { std::alloc::dealloc(ptr, self.layout) };
-        }
+        let dropped = slots.len() as u64;
+        slots.clear();
         if dropped > 0 {
             self.dropped.fetch_add(dropped, Ordering::Relaxed);
         }
@@ -266,12 +443,18 @@ impl NodePool {
 
 impl Drop for NodePool {
     fn drop(&mut self) {
-        for &ptr in self.free.get_mut().blocks.iter() {
-            // SAFETY: every pooled block is an exclusively owned global-
-            // allocator allocation of `self.layout` (release contract),
-            // and `&mut self` proves no other reference to the pool
-            // exists.
-            unsafe { std::alloc::dealloc(ptr, self.layout) };
+        for (seg, entry) in self.segments.iter_mut().enumerate() {
+            let base = *entry.get_mut();
+            if base.is_null() {
+                continue;
+            }
+            let layout =
+                Layout::from_size_align(segment_slots(seg) * self.stride, self.layout.align())
+                    .expect("segment layout");
+            // SAFETY: `base` is an owned allocation of exactly this
+            // layout (see `segment`), and `&mut self` proves no other
+            // reference to the pool exists.
+            unsafe { std::alloc::dealloc(base, layout) };
         }
     }
 }
@@ -281,6 +464,7 @@ impl std::fmt::Debug for NodePool {
         f.debug_struct("NodePool")
             .field("layout", &self.layout)
             .field("capacity", &self.capacity)
+            .field("next", &self.next.load(Ordering::Relaxed))
             .field("len", &self.len())
             .finish()
     }
@@ -290,89 +474,125 @@ impl std::fmt::Debug for NodePool {
 mod tests {
     use super::*;
 
-    fn block(pool: &NodePool) -> *mut u8 {
-        // SAFETY: non-zero layout, asserted in `NodePool::new`.
-        let p = unsafe { std::alloc::alloc(pool.layout()) };
-        assert!(!p.is_null());
-        p
-    }
-
     fn test_pool(capacity: usize) -> NodePool {
         NodePool::new(Layout::new::<[u64; 4]>(), capacity)
     }
 
     #[test]
-    fn round_trip_returns_same_block() {
+    fn locate_walks_doubling_segments() {
+        const S0: u32 = SEG0_SLOTS as u32;
+        // Segment 0: the bias cancels and the offset is the index
+        // itself — the invariant the flat fast path relies on.
+        assert_eq!(locate(1), (0, 1));
+        assert_eq!(locate(S0 - 1), (0, SEG0_SLOTS - 1));
+        // First overflow segment holds twice the slots.
+        assert_eq!(locate(S0), (1, 0));
+        assert_eq!(locate(3 * S0 - 1), (1, 2 * SEG0_SLOTS - 1));
+        assert_eq!(locate(3 * S0), (2, 0));
+        assert_eq!(locate(MAX_INDEX).0 < SEGMENTS, true);
+    }
+
+    #[test]
+    fn typed_resolution_matches_untyped() {
+        let pool = test_pool(0);
+        let (idx, ptr) = pool.bump();
+        assert_eq!(pool.slot_ptr_typed::<[u64; 4]>(idx).cast::<u8>(), ptr.as_ptr());
+        assert_eq!(pool.slot_ptr(idx), ptr.as_ptr());
+    }
+
+    #[test]
+    fn bump_yields_distinct_stable_slots() {
+        let pool = test_pool(4);
+        let (i1, p1) = pool.bump();
+        let (i2, p2) = pool.bump();
+        assert_ne!(i1, i2);
+        assert_ne!(p1, p2);
+        assert_ne!(i1, 0, "index 0 is the null edge");
+        // Resolution is stable and agrees with the allocation.
+        assert_eq!(pool.slot_ptr(i1), p1.as_ptr());
+        assert_eq!(pool.slot_ptr(i2), p2.as_ptr());
+    }
+
+    #[test]
+    fn bump_crosses_segment_boundaries() {
+        let pool = test_pool(0);
+        let mut prev = 0u32;
+        // Run past segment 0 into the first lazily-grown overflow
+        // segment, writing through every slot near the boundary to let
+        // asan catch bad geometry.
+        for _ in 0..(SEG0_SLOTS + 200) {
+            let (idx, ptr) = pool.bump();
+            assert!(idx > prev, "bump repeated or reordered index {idx}");
+            prev = idx;
+            if idx as usize > SEG0_SLOTS - 100 || idx < 200 {
+                unsafe { ptr.as_ptr().cast::<[u64; 4]>().write([idx as u64; 4]) };
+                assert_eq!(pool.slot_ptr(idx), ptr.as_ptr());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_returns_same_slot() {
         let pool = test_pool(4);
         assert!(pool.acquire().is_none(), "fresh pool is empty");
-        let p = block(&pool);
-        unsafe { pool.release(p) };
+        let (idx, ptr) = pool.bump();
+        unsafe { pool.release(idx) };
         assert_eq!(pool.len(), 1);
-        let got = pool.acquire().expect("pooled block");
-        assert_eq!(got.as_ptr(), p);
+        let (got, got_ptr) = pool.acquire().expect("pooled slot");
+        assert_eq!(got, idx);
+        assert_eq!(got_ptr, ptr);
         assert_eq!(pool.len(), 0);
-        unsafe { std::alloc::dealloc(got.as_ptr(), pool.layout()) };
     }
 
     #[test]
     fn lifo_order() {
         let pool = test_pool(4);
-        let a = block(&pool);
-        let b = block(&pool);
+        let (a, _) = pool.bump();
+        let (b, _) = pool.bump();
         unsafe {
             pool.release(a);
             pool.release(b);
         }
-        assert_eq!(pool.acquire().unwrap().as_ptr(), b, "most recent first");
-        assert_eq!(pool.acquire().unwrap().as_ptr(), a);
-        unsafe {
-            std::alloc::dealloc(a, pool.layout());
-            std::alloc::dealloc(b, pool.layout());
-        }
+        assert_eq!(pool.acquire().unwrap().0, b, "most recent first");
+        assert_eq!(pool.acquire().unwrap().0, a);
     }
 
     #[test]
-    fn overflow_falls_through_to_allocator() {
+    fn overflow_abandons_slots() {
         let pool = test_pool(2);
         for _ in 0..5 {
-            let p = block(&pool);
-            unsafe { pool.release(p) };
+            let (idx, _) = pool.bump();
+            unsafe { pool.release(idx) };
         }
         let s = pool.stats();
         assert_eq!(s.recycled, 2, "capacity bounds the free list");
-        assert_eq!(s.dropped, 3, "overflow blocks freed, not leaked");
+        assert_eq!(s.dropped, 3, "overflow slots abandoned, not recycled");
         assert_eq!(pool.len(), 2);
     }
 
     #[test]
-    fn drop_frees_remaining_blocks() {
-        // Miri/asan would flag the leak if Drop failed to dealloc.
-        let pool = test_pool(8);
-        for _ in 0..8 {
-            let p = block(&pool);
-            unsafe { pool.release(p) };
-        }
-        assert_eq!(pool.len(), 8);
-        drop(pool);
+    fn capacity_zero_disables_reuse() {
+        let pool = test_pool(0);
+        let (idx, _) = pool.bump();
+        unsafe { pool.release(idx) };
+        assert!(pool.acquire().is_none());
+        assert_eq!(pool.stats().dropped, 1);
     }
 
     #[test]
     fn batch_acquire_pops_up_to_max() {
         let pool = test_pool(8);
         for _ in 0..5 {
-            let p = block(&pool);
-            unsafe { pool.release(p) };
+            let (idx, _) = pool.bump();
+            unsafe { pool.release(idx) };
         }
         let mut got = Vec::new();
-        let n = pool.acquire_batch(3, |p| got.push(p));
+        let n = pool.acquire_batch(3, |idx| got.push(idx));
         assert_eq!(n, 3);
         assert_eq!(pool.len(), 2);
-        let n = pool.acquire_batch(10, |p| got.push(p));
+        let n = pool.acquire_batch(10, |idx| got.push(idx));
         assert_eq!(n, 2);
         assert!(pool.acquire().is_none());
-        for p in got {
-            unsafe { std::alloc::dealloc(p, pool.layout()) };
-        }
     }
 
     #[test]
@@ -387,21 +607,29 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_churn_loses_no_blocks() {
-        // 4 threads alternately release fresh blocks and acquire them
-        // back; every block must end up either freed by the test or
-        // owned by the pool — asan would catch a leak or double free.
+    fn concurrent_churn_loses_no_slots() {
+        // 4 threads alternately bump fresh slots, release them, and
+        // acquire them back; every index must stay unique among live
+        // owners (checked by writing a thread tag through the slot and
+        // reading it back before release).
         let pool = std::sync::Arc::new(test_pool(64));
         std::thread::scope(|s| {
-            for _ in 0..4 {
+            for t in 0..4u64 {
                 let pool = std::sync::Arc::clone(&pool);
                 s.spawn(move || {
                     for i in 0..500 {
-                        if i % 2 == 0 {
-                            let p = block(&pool);
-                            unsafe { pool.release(p) };
-                        } else if let Some(p) = pool.acquire() {
-                            unsafe { std::alloc::dealloc(p.as_ptr(), pool.layout()) };
+                        let slot = if i % 2 == 0 {
+                            Some(pool.bump())
+                        } else {
+                            pool.acquire()
+                        };
+                        if let Some((idx, ptr)) = slot {
+                            let cell = ptr.as_ptr().cast::<[u64; 4]>();
+                            unsafe {
+                                cell.write([t; 4]);
+                                assert_eq!((*cell)[3], t, "slot {idx} not exclusive");
+                                pool.release(idx);
+                            }
                         }
                     }
                 });

@@ -8,7 +8,7 @@
 //! that the violating seed replays deterministically.
 
 use nmbst::chaos::{self, FaultPlan, Point, StallCell};
-use nmbst::NmTreeSet;
+use nmbst::{NmTreeSet, TreeConfig};
 use nmbst_lincheck::explore::{explore_many, explore_seed, ExploreConfig, ReclaimKind};
 
 /// The bounded per-PR seed budget (CI runs exactly this test). The wide
@@ -82,6 +82,38 @@ fn bounded_seed_sweep_is_clean_with_recycling_pool() {
 }
 
 #[test]
+fn bounded_seed_sweep_is_clean_across_leaf_capacities() {
+    // PR 7 sweep: the same seed window must check out on the paper's
+    // 1-key leaf shape (`leaf_cap = 1`, the ablation and historical
+    // corpus) and on fat-leaf trees, where most inserts and removes
+    // become copy-on-write block publishes and full blocks split.
+    for leaf_cap in [1usize, 2, 8] {
+        let cfg = ExploreConfig {
+            leaf_cap,
+            ..Default::default()
+        };
+        let stats =
+            explore_many(&cfg, 0..32).unwrap_or_else(|v| panic!("leaf_cap {leaf_cap}: {v}"));
+        assert_eq!(stats.schedules, 32, "leaf_cap {leaf_cap}");
+        // Same-seed determinism at every capacity: the block COW/split
+        // paths must be pure functions of the schedule too.
+        let first = explore_seed(&cfg, 11).unwrap_or_else(|v| panic!("{v}"));
+        let second = explore_seed(&cfg, 11).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(first, second, "leaf_cap {leaf_cap}: replay diverged");
+    }
+    // Fat leaves + recycling pool + EBR: retired blocks carry multiple
+    // entries through retire → grace period → recycle → realloc.
+    let cfg = ExploreConfig {
+        leaf_cap: 8,
+        pool: true,
+        reclaim: ReclaimKind::Ebr,
+        ..Default::default()
+    };
+    let stats = explore_many(&cfg, 0..16).unwrap_or_else(|v| panic!("leaf_cap 8 + pool: {v}"));
+    assert_eq!(stats.schedules, 16);
+}
+
+#[test]
 fn pool_enabled_exploration_is_deterministic() {
     // The token-passing scheduler serializes every step, so epoch
     // advancement, deferral execution, and pool traffic are pure
@@ -101,7 +133,9 @@ fn fault_plan_stalls_a_delete_until_resumed() {
     // A delete stalled *between* its injection CAS and its cleanup is
     // the canonical helping scenario; StallCell lets a test hold an
     // operation there for as long as it wants, deterministically.
-    let set: NmTreeSet<u64> = NmTreeSet::new();
+    // leaf_cap 1 so the remove runs the protocol (a multi-entry block
+    // COWs past `Point::Tag` and the plan would never engage).
+    let set: NmTreeSet<u64> = NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     for k in [50, 25, 75] {
         set.insert(k);
     }
@@ -194,7 +228,9 @@ fn flag_copy_on_splice_survives_without_bug_switch() {
     // copy 10's flag onto the hoisted edge (Algorithm 4, lines 107–108);
     // if it did, the resumed owner still owns its victim: a rival
     // remove(10) helps the owner's delete and reports false.
-    let set: NmTreeSet<u64> = NmTreeSet::new();
+    // leaf_cap = 1: the staged state needs singleton leaves so both
+    // removes take the structural flag/tag/splice path.
+    let set: NmTreeSet<u64> = NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     for k in [10, 20] {
         set.insert(k);
     }
@@ -220,7 +256,7 @@ fn bug_switch_drops_the_flag_copy() {
     // longer sees an owned edge — it deletes 10 as if it were free,
     // returning true. This inverted result is exactly the class of
     // misbehavior the explorer's checker flags on concurrent schedules.
-    let set: NmTreeSet<u64> = NmTreeSet::new();
+    let set: NmTreeSet<u64> = NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     for k in [10, 20] {
         set.insert(k);
     }

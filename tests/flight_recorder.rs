@@ -5,7 +5,7 @@
 //! sequence order.
 
 use nmbst::obs::{EventKind, FlightRecorder};
-use nmbst::NmTreeSet;
+use nmbst::{NmTreeSet, TreeConfig};
 use nmbst_lincheck::explore::{explore_many, explore_seed, ExploreConfig};
 use nmbst_reclaim::Leaky;
 
@@ -95,7 +95,11 @@ fn violation_postmortem_names_the_delete_protocol_steps() {
 #[test]
 fn recorder_captures_tree_operations_directly() {
     let flight = FlightRecorder::new();
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    // leaf_cap = 1: the remove must take the structural
+    // flag/tag/splice path for its protocol events to appear (a fat-leaf
+    // COW remove publishes a new block and emits no helping events).
+    let set: NmTreeSet<u64, Leaky> =
+        NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     {
         let _attached = flight.attach(0);
         for k in [10, 5, 15, 3, 7] {

@@ -8,7 +8,15 @@
 //! `[dev-dependencies]`).
 
 use nmbst::chaos::{FaultPlan, Point, StallCell};
-use nmbst::{stats, Leaky, NmTreeSet, RestartPolicy};
+use nmbst::{stats, Leaky, NmTreeSet, RestartPolicy, TreeConfig};
+
+/// The staged interleavings below reason about the paper's 1-key-leaf
+/// shape (an insert publishes a two-node subtree, a remove splices) —
+/// `leaf_cap = 1` keeps those scripts exact. The free-running stress
+/// test sweeps fat leaves too.
+fn cap1() -> TreeConfig {
+    TreeConfig::default().with_leaf_cap(1)
+}
 
 /// Stalls `insert(key)` on a fresh thread right before its publishing
 /// CAS, runs `rival` on this thread while it is parked, resumes, and
@@ -47,7 +55,7 @@ fn insert_conflict_restarts_from_local_anchor() {
     // leaf. The rival's CAS rewrote only the *parent's* child edge — the
     // record's (ancestor → successor) edge is untouched — so the retry
     // must revalidate the anchor and descend from there, not the root.
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_config(cap1());
     for k in [10, 20] {
         assert!(set.insert(k));
     }
@@ -70,7 +78,7 @@ fn invalidated_anchor_falls_back_to_root_seek() {
     // leads to the successor. The retry must *reject* the stale anchor
     // and fall back to a full root seek — restarting from a detached
     // node would descend into a frozen region.
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_config(cap1());
     for k in [10, 20] {
         assert!(set.insert(k));
     }
@@ -96,7 +104,8 @@ fn root_policy_never_takes_the_local_path() {
     // The paper-faithful ablation: under `RestartPolicy::Root` the exact
     // interleaving of `insert_conflict_restarts_from_local_anchor` must
     // retry with a second full seek instead.
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_restart_policy(RestartPolicy::Root);
+    let set: NmTreeSet<u64, Leaky> =
+        NmTreeSet::with_config(cap1().with_restart(RestartPolicy::Root));
     for k in [10, 20] {
         assert!(set.insert(k));
     }
@@ -116,10 +125,19 @@ fn local_restart_stress_matches_model() {
     // the final contents must agree key-for-key with a per-key ownership
     // model. Exercises the local-restart path probabilistically on top
     // of the deterministic tests above.
-    for restart in [RestartPolicy::Local, RestartPolicy::Root] {
+    for (restart, leaf_cap) in [
+        (RestartPolicy::Local, 1),
+        (RestartPolicy::Root, 1),
+        (RestartPolicy::Local, 8),
+        (RestartPolicy::Root, 8),
+    ] {
         const THREADS: u64 = 8;
         const PER_THREAD: u64 = 512;
-        let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_restart_policy(restart);
+        let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_config(
+            TreeConfig::default()
+                .with_restart(restart)
+                .with_leaf_cap(leaf_cap),
+        );
         std::thread::scope(|s| {
             let set = &set;
             for t in 0..THREADS {

@@ -16,6 +16,11 @@ use std::rc::Rc;
 const KEYS: u64 = 32;
 const ROUNDS: u64 = 50;
 
+/// Arena allocations made by tree construction itself: two internal
+/// sentinels plus three sentinel leaves. Since PR 7 the arena is the
+/// node store, so these five count as pool misses before any user op.
+const SENTINELS: u64 = 5;
+
 /// Insert-then-remove churn: every round retires `2 * KEYS` nodes and
 /// allocates `2 * KEYS` fresh ones — the workload recycling exists for.
 fn churn<R: Reclaim>(map: &NmTreeMap<u64, u64, R>, rounds: u64) {
@@ -90,12 +95,30 @@ fn leaky_never_recycles_retired_nodes() {
 fn pool_off_is_a_true_ablation() {
     let map: NmTreeMap<u64, u64, Ebr> =
         NmTreeMap::with_config(TreeConfig::default().with_pool(PoolConfig::disabled()));
-    churn(&map, 10);
+    let rounds = 10;
+    churn(&map, rounds);
     let stats = map.metrics().pool;
+    // "Disabled" turns off the *free list*, not the arena: every
+    // allocation still bump-allocates a slot (a miss), and every
+    // recycle deferral finds a zero-capacity list and abandons its slot
+    // in place (dropped). What must be dead is reuse.
+    assert_eq!(stats.hits, 0, "no free list, no reuse ({stats:?})");
+    assert_eq!(stats.recycled, 0, "nothing enters a capacity-0 list ({stats:?})");
+    assert_eq!(stats.len, 0, "{stats:?}");
+    assert_eq!(stats.capacity, 0, "{stats:?}");
+    // Every insert/remove pair costs exactly 2 slots at any leaf_cap
+    // dividing KEYS: a block of B keys takes 2 + (B-1) insert-path
+    // allocations (one classic two-node subtree, then COW merges) and
+    // B-1 remove-path COW shrinks (the last entry splices, 0 allocs).
     assert_eq!(
-        stats,
-        nmbst::PoolStats::default(),
-        "disabled pool reports zeros"
+        stats.misses,
+        2 * KEYS * rounds + SENTINELS,
+        "all allocations bump ({stats:?})"
+    );
+    assert_eq!(
+        stats.dropped,
+        2 * KEYS * rounds,
+        "every retired slot abandoned in place ({stats:?})"
     );
 }
 
@@ -107,7 +130,11 @@ fn pool_off_is_a_true_ablation() {
 /// straggler resumes and unpins, recycling proceeds.
 #[test]
 fn stalled_seeker_never_observes_a_recycled_node() {
-    let map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::new();
+    // leaf_cap 1: the parked remove must run the classic flag/tag/splice
+    // protocol — a multi-entry block would COW its way past `Point::Tag`
+    // and the stall would never engage.
+    let map: NmTreeMap<u64, u64, Ebr> =
+        NmTreeMap::with_config(TreeConfig::default().with_leaf_cap(1));
     for k in 0..KEYS {
         map.insert(k, 0);
     }
@@ -231,9 +258,12 @@ fn handle_churn_reuses_through_the_local_cache() {
         stats.hits > 0,
         "handle inserts must be served from recycled blocks ({stats:?})"
     );
+    // 2 slots per insert/remove pair (see `pool_off_is_a_true_ablation`
+    // for the per-block arithmetic) plus the construction-time
+    // sentinels: the arena sees every allocation as a hit or a miss.
     assert_eq!(
         stats.hits + stats.misses,
-        2 * KEYS * ROUNDS,
+        2 * KEYS * ROUNDS + SENTINELS,
         "every node allocation is either a hit or a miss ({stats:?})"
     );
 }

@@ -11,7 +11,7 @@
 //! | This work        | 2 / 0                 | 1 / 3                 |
 
 use nmbst::stats;
-use nmbst::{NmTreeSet, TagMode};
+use nmbst::{NmTreeSet, TagMode, TreeConfig};
 use nmbst_harness::table1::{measure_efrb, measure_hj, measure_nm};
 use nmbst_reclaim::Leaky;
 
@@ -63,8 +63,11 @@ fn hj_row_matches_paper_bounds() {
 #[test]
 fn nm_delete_breakdown_is_one_cas_one_bts_one_cas() {
     // Finer grain than the table: the three delete atomics are exactly
-    // {injection CAS, sibling BTS, splice CAS}.
-    let set: NmTreeSet<u64, Leaky> = NmTreeSet::new();
+    // {injection CAS, sibling BTS, splice CAS}. Like `measure_nm`, this
+    // pins `leaf_cap = 1` — the paper's costs are stated for one-key
+    // leaves; a multi-entry block would COW (1 alloc, 1 CAS) instead.
+    let set: NmTreeSet<u64, Leaky> =
+        NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     for k in [10, 5, 15, 3, 7] {
         set.insert(k);
     }
