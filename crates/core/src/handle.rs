@@ -14,7 +14,7 @@
 //! too); clone-free, allocation-free, and safe — every unsafe internal
 //! entry point is sealed behind the guard the handle itself manages.
 
-use crate::obs::{self, EventKind, PendingOps};
+use crate::obs::{self, EventKind, OpClass, PendingLat, PendingOps};
 use crate::pool::NodeCache;
 use crate::tree::{NmTreeMap, SeekRecord};
 use nmbst_reclaim::{Ebr, Reclaim};
@@ -65,6 +65,10 @@ pub struct MapHandle<'t, K, V, R: Reclaim = Ebr> {
     /// Metrics batched in plain fields, flushed into the tree's sharded
     /// counters on re-pin/unpin/drop so the per-op path stays atomic-free.
     pending: PendingOps,
+    /// Sampled latency durations batched the same way (flushed into the
+    /// tree's concurrent histograms alongside `pending`). Zero-sized
+    /// when `feature = "obs-latency"` is off.
+    pending_lat: PendingLat,
     /// `true` while `rec` holds a record produced under the *current*
     /// guard — the validity bit of the batch-op finger. Cleared whenever
     /// the guard is dropped or refreshed ([`unpin`](Self::unpin) /
@@ -89,6 +93,7 @@ where
             ops_since_repin: 0,
             repin_every: DEFAULT_REPIN_EVERY,
             pending: PendingOps::default(),
+            pending_lat: PendingLat::default(),
             finger: false,
         }
     }
@@ -136,6 +141,7 @@ where
     fn flush_pending(&mut self) {
         self.tree.metrics.add_pending(&self.pending);
         self.pending.clear();
+        self.tree.metrics.flush_pending_lat(&mut self.pending_lat);
         self.cache.flush_counters();
     }
 
@@ -170,6 +176,7 @@ where
     #[inline]
     pub fn insert(&mut self, key: K, value: V) -> bool {
         self.tick();
+        let t = self.tree.metrics.op_timer_buffered(&mut self.pending_lat);
         let guard = self.guard.as_ref().expect("pinned by tick");
         // SAFETY: `guard` pins this tree's reclaimer (pinned from
         // `self.tree` in `repin`) and lives across the call; `rec` is
@@ -180,6 +187,9 @@ where
         };
         self.pending.inserts += 1;
         self.pending.inserted += u64::from(added);
+        self.tree
+            .metrics
+            .op_finish_buffered(OpClass::Insert, t, &mut self.pending_lat);
         added
     }
 
@@ -187,6 +197,7 @@ where
     #[inline]
     pub fn remove(&mut self, key: &K) -> bool {
         self.tick();
+        let t = self.tree.metrics.op_timer_buffered(&mut self.pending_lat);
         let guard = self.guard.as_ref().expect("pinned by tick");
         // SAFETY: as in `insert`.
         let removed = unsafe {
@@ -196,6 +207,9 @@ where
         .is_some();
         self.pending.removes += 1;
         self.pending.removed += u64::from(removed);
+        self.tree
+            .metrics
+            .op_finish_buffered(OpClass::Remove, t, &mut self.pending_lat);
         removed
     }
 
@@ -206,6 +220,7 @@ where
         V: Clone,
     {
         self.tick();
+        let t = self.tree.metrics.op_timer_buffered(&mut self.pending_lat);
         let guard = self.guard.as_ref().expect("pinned by tick");
         // SAFETY: as in `insert`.
         let removed = unsafe {
@@ -214,6 +229,9 @@ where
         };
         self.pending.removes += 1;
         self.pending.removed += u64::from(removed.is_some());
+        self.tree
+            .metrics
+            .op_finish_buffered(OpClass::Remove, t, &mut self.pending_lat);
         removed
     }
 
@@ -221,20 +239,30 @@ where
     #[inline]
     pub fn contains(&mut self, key: &K) -> bool {
         self.tick();
+        let t = self.tree.metrics.op_timer_buffered(&mut self.pending_lat);
         let guard = self.guard.as_ref().expect("pinned by tick");
         self.pending.searches += 1;
         // SAFETY: as in `insert`.
-        unsafe { self.tree.contains_in(key, guard) }
+        let found = unsafe { self.tree.contains_in(key, guard) };
+        self.tree
+            .metrics
+            .op_finish_buffered(OpClass::Get, t, &mut self.pending_lat);
+        found
     }
 
     /// [`NmTreeMap::with_value`] through this handle's guard.
     #[inline]
     pub fn with_value<T>(&mut self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         self.tick();
+        let t = self.tree.metrics.op_timer_buffered(&mut self.pending_lat);
         let guard = self.guard.as_ref().expect("pinned by tick");
         self.pending.searches += 1;
         // SAFETY: as in `insert`.
-        unsafe { self.tree.with_value_in(key, f, guard) }
+        let out = unsafe { self.tree.with_value_in(key, f, guard) };
+        self.tree
+            .metrics
+            .op_finish_buffered(OpClass::Get, t, &mut self.pending_lat);
+        out
     }
 
     /// [`NmTreeMap::get`] through this handle's guard.
@@ -273,6 +301,8 @@ where
     /// assert_eq!(h.get(&42), Some(84));
     /// ```
     pub fn insert_batch(&mut self, items: impl IntoIterator<Item = (K, V)>) -> usize {
+        // Whole-call timing: one clock pair amortized over the batch.
+        let t = self.tree.metrics.call_timer();
         let mut items: Vec<(K, V)> = items.into_iter().collect();
         // Already-ascending input — the common bulk-ingest shape — skips
         // the sort; equal neighbors are fine (first one wins either way).
@@ -283,6 +313,7 @@ where
         for (key, value) in items {
             added += usize::from(self.insert_fingered(key, value));
         }
+        self.tree.metrics.op_finish(OpClass::Batch, t);
         added
     }
 
@@ -293,6 +324,7 @@ where
     /// finger hit rate is workload-dependent (a survivor that is a leaf
     /// cannot anchor a descent and the next op pays a root seek).
     pub fn remove_batch(&mut self, keys: impl IntoIterator<Item = K>) -> usize {
+        let t = self.tree.metrics.call_timer();
         let mut keys: Vec<K> = keys.into_iter().collect();
         if !keys.is_sorted() {
             keys.sort();
@@ -301,6 +333,7 @@ where
         for key in &keys {
             removed += usize::from(self.remove_fingered(key));
         }
+        self.tree.metrics.op_finish(OpClass::Batch, t);
         removed
     }
 
@@ -311,19 +344,23 @@ where
     where
         V: Clone,
     {
+        let t = self.tree.metrics.call_timer();
         let keys: Vec<K> = keys.into_iter().collect();
-        if keys.is_sorted() {
+        let out = if keys.is_sorted() {
             // Already-ascending input: sorted order *is* input order, so
             // skip the index pairing and the result scatter entirely.
-            return keys.iter().map(|key| self.get_fingered(key)).collect();
-        }
-        let mut order: Vec<(usize, &K)> = keys.iter().enumerate().collect();
-        order.sort_by(|a, b| a.1.cmp(b.1));
-        let mut out: Vec<Option<V>> = Vec::new();
-        out.resize_with(order.len(), || None);
-        for (idx, key) in order {
-            out[idx] = self.get_fingered(key);
-        }
+            keys.iter().map(|key| self.get_fingered(key)).collect()
+        } else {
+            let mut order: Vec<(usize, &K)> = keys.iter().enumerate().collect();
+            order.sort_by(|a, b| a.1.cmp(b.1));
+            let mut out: Vec<Option<V>> = Vec::new();
+            out.resize_with(order.len(), || None);
+            for (idx, key) in order {
+                out[idx] = self.get_fingered(key);
+            }
+            out
+        };
+        self.tree.metrics.op_finish(OpClass::Batch, t);
         out
     }
 
@@ -395,8 +432,9 @@ where
 impl<K, V, R: Reclaim> Drop for MapHandle<'_, K, V, R> {
     fn drop(&mut self) {
         // Flush the batched metrics; a handle abandoned without a final
-        // unpin/repin must not lose its counts.
+        // unpin/repin must not lose its counts (or latency samples).
         self.tree.metrics.add_pending(&self.pending);
+        self.tree.metrics.flush_pending_lat(&mut self.pending_lat);
     }
 }
 

@@ -79,6 +79,7 @@ mod tree;
 pub use handle::{MapHandle, SetHandle, DEFAULT_REPIN_EVERY};
 pub use key::Key;
 pub use node::LEAF_CAP;
+pub use obs::{LatencyConfig, OpClass};
 pub use packed::TagMode;
 pub use pool::{PoolConfig, DEFAULT_POOL_CAPACITY};
 pub use set::NmTreeSet;

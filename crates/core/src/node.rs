@@ -127,13 +127,7 @@ impl<K, V> Node<K, V> {
     where
         K: Clone,
     {
-        let node = Self::alloc_shell(
-            cache,
-            Key::Fin(key.clone()),
-            Edge::null(),
-            Edge::null(),
-            1,
-        );
+        let node = Self::alloc_shell(cache, Key::Fin(key.clone()), Edge::null(), Edge::null(), 1);
         // SAFETY: fresh exclusive shell; slot 0 is within LEAF_CAP.
         unsafe {
             Self::key_slot(node, 0).write(key);
@@ -359,12 +353,8 @@ impl<K, V> Node<K, V> {
             Edge::null(),
             total - left_n,
         );
-        let internal = Self::new_internal_in(
-            cache,
-            Key::Fin(merged_key(left_n).clone()),
-            left,
-            right,
-        );
+        let internal =
+            Self::new_internal_in(cache, Key::Fin(merged_key(left_n).clone()), left, right);
         let key = MaybeUninit::new(key);
         let value = MaybeUninit::new(value);
         // SAFETY: each merged position is written to exactly one fresh
@@ -408,7 +398,7 @@ impl<K, V> Node<K, V> {
     where
         K: Clone,
     {
-        debug_assert!(n >= 1 && n <= LEAF_CAP);
+        debug_assert!((1..=LEAF_CAP).contains(&n));
         // The router is known only after the entries are drawn; park a
         // placeholder and overwrite it below.
         let node = Self::alloc_shell(cache, Key::Inf0, Edge::null(), Edge::null(), n);
@@ -824,15 +814,13 @@ mod tests {
         let mut leaf = Node::<i64, i64>::new_user_leaf_in(&mut cache, 0, 0);
         unsafe {
             for i in 1..LEAF_CAP as i64 {
-                let next =
-                    Node::block_insert_copy(&mut cache, &*leaf, i as usize, i * 10, i * 10);
+                let next = Node::block_insert_copy(&mut cache, &*leaf, i as usize, i * 10, i * 10);
                 (*leaf).set_drop_hint(HINT_NONE);
                 drop_retired_contents(leaf);
                 cache.free_shell(leaf);
                 leaf = next;
             }
-            let (internal, holder, hpos) =
-                Node::block_split_insert(&mut cache, &*leaf, 4, 35, 35);
+            let (internal, holder, hpos) = Node::block_split_insert(&mut cache, &*leaf, 4, 35, 35);
             let left = (*internal).left.load(&arena).ptr();
             let right = (*internal).right.load(&arena).ptr();
             assert_eq!((*left).entry_keys(), &[0, 10, 20, 30, 35]);

@@ -1,4 +1,6 @@
-//! The always-on metrics facade: sharded relaxed counters + gauges.
+//! The always-on metrics facade: sharded relaxed counters + gauges,
+//! and (with `feature = "obs-latency"`, default on) sampled per-op-type
+//! latency histograms plus slow-op capture.
 //!
 //! Counter writes must not create the cross-core cache-line traffic the
 //! tree itself avoids, so counts live in [`SHARDS`] cache-padded shards;
@@ -6,12 +8,31 @@
 //! with relaxed `fetch_add`s. Reads ([`Metrics::snapshot`]) sum the
 //! shards — exact once writers are quiescent, racy-but-monotonic while
 //! they are not, which is the usual scrape contract.
+//!
+//! Latency recording follows the same cost discipline at a second
+//! remove: a tree op costs ~100 ns while a clock read costs ~20 ns, so
+//! timing *every* op would blow the ≤3% observability budget several
+//! times over. Point ops are therefore **sampled** — a thread-local
+//! tick arms a timer every `2^sample_shift`-th call (see
+//! [`LatencyConfig`]) — while batch and range calls, which amortize a
+//! clock pair over many keys, are timed on every call. Handles buffer
+//! their sampled durations in plain fields ([`PendingLat`]) and flush
+//! them into the shared [`ConcurrentHistogram`]s on re-pin, exactly
+//! like their op counters. Ops that cross
+//! [`LatencyConfig::slow_op_ns`] additionally deposit a [`SlowOp`]
+//! record (with the flight-recorder event chain, when `feature = "obs"`
+//! has a recorder attached) into a lock-free [`SlowRing`].
 
 use nmbst_reclaim::{PoolStats, ReclaimGauges};
 use nmbst_sync::CachePadded;
 use std::cell::Cell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use super::hist::LatencySnapshot;
+use super::slow::SlowOp;
+#[cfg(feature = "obs-latency")]
+use super::{hist::ConcurrentHistogram, slow::SlowRing, OpClass};
 
 /// Number of counter shards. More than the container's typical core
 /// count so that threads rarely share a line even under round-robin
@@ -29,6 +50,64 @@ pub const DEPTH_BUCKETS: usize = 16;
 #[inline]
 fn depth_bucket(depth: u64) -> usize {
     ((u64::BITS - depth.leading_zeros()) as usize).min(DEPTH_BUCKETS - 1)
+}
+
+/// How latency recording behaves on a tree (`TreeConfig::lat`).
+///
+/// Runtime knobs, deliberately separate from the `obs-latency` cargo
+/// feature: the feature compiles the recording sites (and the per-tree
+/// histogram memory) out entirely, while this config lets one binary
+/// A/B the cost or retune the threshold without rebuilding — which is
+/// exactly what the perf harness's overhead gate does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Master switch. Off: every op pays one field load + branch.
+    pub enabled: bool,
+    /// Point ops (get/insert/remove) are timed once every
+    /// `2^sample_shift` calls per thread (0 = every call — useful in
+    /// tests, too hot for production). Batch/range calls ignore this
+    /// and are always timed: one clock pair amortized over the whole
+    /// call. Default 6 (1 in 64), which keeps the measured overhead
+    /// comfortably inside the ≤3% budget.
+    pub sample_shift: u32,
+    /// Sampled ops (and every batch/range call) whose duration reaches
+    /// this many nanoseconds deposit a [`SlowOp`] into the tree's slow
+    /// ring. 0 disables capture. Default 1 ms — pathological for a
+    /// sub-microsecond tree op.
+    pub slow_op_ns: u64,
+}
+
+impl LatencyConfig {
+    /// Recording disabled (the config the perf A/B's "off" arm uses).
+    pub fn disabled() -> Self {
+        LatencyConfig {
+            enabled: false,
+            ..LatencyConfig::default()
+        }
+    }
+
+    /// Returns the config with the point-op sampling period set to
+    /// `2^shift` (clamped to 31).
+    pub fn with_sample_shift(mut self, shift: u32) -> Self {
+        self.sample_shift = shift.min(31);
+        self
+    }
+
+    /// Returns the config with the slow-op threshold set (0 = off).
+    pub fn with_slow_op_ns(mut self, ns: u64) -> Self {
+        self.slow_op_ns = ns;
+        self
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            enabled: true,
+            sample_shift: 6,
+            slow_op_ns: 1_000_000,
+        }
+    }
 }
 
 /// One shard of operation counters. All bumps are relaxed: counts have
@@ -64,6 +143,123 @@ thread_local! {
     static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
+#[cfg(feature = "obs-latency")]
+thread_local! {
+    /// Per-thread sampling tick for latency timers (see
+    /// [`LatencyConfig::sample_shift`]). Shared across trees: sampling
+    /// needs no per-tree phase, only the right long-run rate.
+    static LAT_TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// This thread's counter-shard index (round-robin assigned on first
+/// use) — shared with the concurrent latency histograms so a recording
+/// thread keeps bumping lines it already owns.
+#[inline]
+pub(crate) fn my_shard() -> usize {
+    MY_SHARD.with(|s| {
+        let idx = s.get();
+        if idx != usize::MAX {
+            idx
+        } else {
+            let assigned = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(assigned);
+            assigned
+        }
+    })
+}
+
+/// The per-tree latency recording state: one concurrent histogram per
+/// op class plus the slow-op ring. Only compiled (and only allocated)
+/// with `feature = "obs-latency"`.
+#[cfg(feature = "obs-latency")]
+struct LatencyState {
+    config: LatencyConfig,
+    /// `2^sample_shift - 1`, cached at construction so the per-op
+    /// sampling test is a single AND, not a shift+clamp.
+    sample_mask: u32,
+    hists: [ConcurrentHistogram; OpClass::COUNT],
+    slow: SlowRing,
+}
+
+/// An armed-or-idle latency timer handed out by [`Metrics::op_timer`] /
+/// [`Metrics::call_timer`] and consumed by the `op_finish` family.
+/// Without `feature = "obs-latency"` it is a zero-sized token and every
+/// method on it is an empty inline.
+#[cfg(feature = "obs-latency")]
+#[derive(Clone, Copy)]
+pub(crate) struct LatTimer {
+    t0: Option<std::time::Instant>,
+    /// Flight-recorder ring position at arm time, so a slow op can
+    /// report exactly the events recorded during it.
+    #[cfg(feature = "obs")]
+    mark: u64,
+}
+
+#[cfg(feature = "obs-latency")]
+impl LatTimer {
+    #[inline]
+    fn idle() -> Self {
+        LatTimer {
+            t0: None,
+            #[cfg(feature = "obs")]
+            mark: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn armed() -> Self {
+        LatTimer {
+            t0: Some(std::time::Instant::now()),
+            #[cfg(feature = "obs")]
+            mark: super::trace::local_mark(),
+        }
+    }
+}
+
+/// See the `obs-latency` variant; this is the compiled-out token.
+#[cfg(not(feature = "obs-latency"))]
+#[derive(Clone, Copy)]
+pub(crate) struct LatTimer;
+
+/// Sampled `(op class, duration)` pairs a handle buffers in plain
+/// fields between guard refreshes, flushed into the shared histograms
+/// on re-pin/unpin/drop — the latency twin of [`PendingOps`]. Fixed
+/// capacity: at the default 1-in-64 sampling and 64-op re-pin budget a
+/// window yields ~1 sample, so 8 slots absorb even a forced
+/// every-op-sampled test loop between organic flushes.
+#[cfg(feature = "obs-latency")]
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PendingLat {
+    buf: [(u8, u64); Self::CAP],
+    len: u8,
+    /// The owning handle's sampling tick (see
+    /// [`Metrics::op_timer_buffered`]) — handle ops sample off this
+    /// plain field rather than the thread-local the plain API uses.
+    tick: u32,
+}
+
+#[cfg(feature = "obs-latency")]
+impl PendingLat {
+    const CAP: usize = 8;
+
+    /// Appends a sample; false when full (caller flushes and retries).
+    #[inline]
+    fn push(&mut self, class: u8, ns: u64) -> bool {
+        let i = usize::from(self.len);
+        if i >= Self::CAP {
+            return false;
+        }
+        self.buf[i] = (class, ns);
+        self.len += 1;
+        true
+    }
+}
+
+/// See the `obs-latency` variant; this is the compiled-out token.
+#[cfg(not(feature = "obs-latency"))]
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PendingLat;
+
 /// Per-tree metrics state, owned by `NmTreeMap`.
 pub(crate) struct Metrics {
     shards: [CachePadded<Shard>; SHARDS],
@@ -71,29 +267,30 @@ pub(crate) struct Metrics {
     /// edges below the sentinel pair). Racy max: updated with a relaxed
     /// load-then-`fetch_max` only when a new maximum is seen.
     max_depth: AtomicU64,
+    #[cfg(feature = "obs-latency")]
+    lat: LatencyState,
 }
 
 impl Metrics {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(lat: LatencyConfig) -> Self {
+        #[cfg(not(feature = "obs-latency"))]
+        let _ = lat;
         Metrics {
             shards: Default::default(),
             max_depth: AtomicU64::new(0),
+            #[cfg(feature = "obs-latency")]
+            lat: LatencyState {
+                config: lat,
+                sample_mask: (1u32 << lat.sample_shift.min(31)) - 1,
+                hists: Default::default(),
+                slow: SlowRing::new(super::slow::TREE_SLOW_CAP),
+            },
         }
     }
 
     #[inline]
     fn shard(&self) -> &Shard {
-        let idx = MY_SHARD.with(|s| {
-            let idx = s.get();
-            if idx != usize::MAX {
-                idx
-            } else {
-                let assigned = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
-                s.set(assigned);
-                assigned
-            }
-        });
-        &self.shards[idx]
+        &self.shards[my_shard()]
     }
 
     #[inline]
@@ -141,6 +338,173 @@ impl Metrics {
         let shard = self.shard();
         shard.depth_hist[depth_bucket(depth)].fetch_add(1, Ordering::Relaxed);
         shard.depth_sum.fetch_add(depth, Ordering::Relaxed);
+    }
+
+    /// Arms a sampled point-op timer: idle unless recording is enabled
+    /// and this thread's tick hits the sampling period. The unsampled
+    /// path costs one field load, one TLS bump, and a branch.
+    #[cfg(feature = "obs-latency")]
+    #[inline]
+    pub(crate) fn op_timer(&self) -> LatTimer {
+        if !self.lat.config.enabled {
+            return LatTimer::idle();
+        }
+        let mask = self.lat.sample_mask;
+        let sampled = LAT_TICK.with(|c| {
+            let v = c.get().wrapping_add(1);
+            c.set(v);
+            v & mask == 0
+        });
+        if sampled {
+            LatTimer::armed()
+        } else {
+            LatTimer::idle()
+        }
+    }
+
+    /// The handle-op twin of [`op_timer`](Metrics::op_timer): the
+    /// sampling tick lives in the handle's [`PendingLat`] (a plain
+    /// field the handle already owns) instead of thread-local storage,
+    /// so the unsampled path is a load, an add, and a branch on memory
+    /// that's already hot — handles are the throughput-critical front
+    /// end, and the ≤3% budget is measured through them.
+    #[cfg(feature = "obs-latency")]
+    #[inline]
+    pub(crate) fn op_timer_buffered(&self, buf: &mut PendingLat) -> LatTimer {
+        if !self.lat.config.enabled {
+            return LatTimer::idle();
+        }
+        buf.tick = buf.tick.wrapping_add(1);
+        if buf.tick & self.lat.sample_mask == 0 {
+            LatTimer::armed()
+        } else {
+            LatTimer::idle()
+        }
+    }
+
+    /// Arms an unsampled timer for whole batch/range calls, where one
+    /// clock pair amortizes over many keys.
+    #[cfg(feature = "obs-latency")]
+    #[inline]
+    pub(crate) fn call_timer(&self) -> LatTimer {
+        if self.lat.config.enabled {
+            LatTimer::armed()
+        } else {
+            LatTimer::idle()
+        }
+    }
+
+    /// Finishes a timer directly into the shared histograms (the plain
+    /// API path, and batch/range calls).
+    #[cfg(feature = "obs-latency")]
+    #[inline]
+    pub(crate) fn op_finish(&self, class: OpClass, t: LatTimer) {
+        if let Some(t0) = t.t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.lat.hists[class as usize].record(ns);
+            self.check_slow(class, ns, &t);
+        }
+    }
+
+    /// Finishes a timer into a handle's [`PendingLat`] buffer (flushed
+    /// on re-pin, like the op counters). Slow-op detection still
+    /// happens immediately — a 1 ms outlier should not wait for a
+    /// flush to become visible.
+    #[cfg(feature = "obs-latency")]
+    #[inline]
+    pub(crate) fn op_finish_buffered(&self, class: OpClass, t: LatTimer, buf: &mut PendingLat) {
+        if let Some(t0) = t.t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.check_slow(class, ns, &t);
+            if !buf.push(class as u8, ns) {
+                self.flush_pending_lat(buf);
+                let _ = buf.push(class as u8, ns);
+            }
+        }
+    }
+
+    /// Drains a handle's buffered latency samples into the shared
+    /// histograms.
+    #[cfg(feature = "obs-latency")]
+    pub(crate) fn flush_pending_lat(&self, buf: &mut PendingLat) {
+        for &(class, ns) in &buf.buf[..usize::from(buf.len)] {
+            self.lat.hists[usize::from(class).min(OpClass::COUNT - 1)].record(ns);
+        }
+        buf.len = 0;
+    }
+
+    #[cfg(feature = "obs-latency")]
+    #[inline]
+    fn check_slow(&self, class: OpClass, ns: u64, t: &LatTimer) {
+        let thr = self.lat.config.slow_op_ns;
+        if thr != 0 && ns >= thr {
+            self.push_slow(class, ns, t);
+        }
+    }
+
+    /// Deposits a slow-op record, attaching the flight-recorder event
+    /// chain for the op when a recorder is active on this thread.
+    #[cfg(feature = "obs-latency")]
+    #[cold]
+    fn push_slow(&self, class: OpClass, ns: u64, t: &LatTimer) {
+        #[cfg(feature = "obs")]
+        let (events, n_events) = super::trace::local_events_since(t.mark);
+        #[cfg(not(feature = "obs"))]
+        let (events, n_events) = {
+            let _ = t;
+            ([0u8; super::slow::SLOW_EVENTS], 0u8)
+        };
+        self.lat.slow.push(SlowOp {
+            kind: class as u8,
+            origin: 0,
+            n_events,
+            key: 0,
+            ns,
+            events,
+        });
+    }
+
+    // Compiled-out latency recording: zero-sized timers, empty inlines.
+    #[cfg(not(feature = "obs-latency"))]
+    #[inline(always)]
+    pub(crate) fn op_timer(&self) -> LatTimer {
+        LatTimer
+    }
+
+    #[cfg(not(feature = "obs-latency"))]
+    #[inline(always)]
+    pub(crate) fn op_timer_buffered(&self, buf: &mut PendingLat) -> LatTimer {
+        let _ = buf;
+        LatTimer
+    }
+
+    #[cfg(not(feature = "obs-latency"))]
+    #[inline(always)]
+    pub(crate) fn call_timer(&self) -> LatTimer {
+        LatTimer
+    }
+
+    #[cfg(not(feature = "obs-latency"))]
+    #[inline(always)]
+    pub(crate) fn op_finish(&self, class: super::OpClass, t: LatTimer) {
+        let _ = (class, t);
+    }
+
+    #[cfg(not(feature = "obs-latency"))]
+    #[inline(always)]
+    pub(crate) fn op_finish_buffered(
+        &self,
+        class: super::OpClass,
+        t: LatTimer,
+        buf: &mut PendingLat,
+    ) {
+        let _ = (class, t, buf);
+    }
+
+    #[cfg(not(feature = "obs-latency"))]
+    #[inline(always)]
+    pub(crate) fn flush_pending_lat(&self, buf: &mut PendingLat) {
+        let _ = buf;
     }
 
     /// Adds a handle's batched counts in one pass (see [`PendingOps`]).
@@ -198,6 +562,17 @@ impl Metrics {
         s.inserts += s.inserted;
         s.removes += s.removed;
         s.size_estimate = s.inserted as i64 - s.removed as i64;
+        #[cfg(feature = "obs-latency")]
+        {
+            s.latency = LatencySnapshot {
+                get: self.lat.hists[OpClass::Get as usize].snapshot(),
+                insert: self.lat.hists[OpClass::Insert as usize].snapshot(),
+                remove: self.lat.hists[OpClass::Remove as usize].snapshot(),
+                batch: self.lat.hists[OpClass::Batch as usize].snapshot(),
+                range: self.lat.hists[OpClass::Range as usize].snapshot(),
+            };
+            s.slow_ops = self.lat.slow.snapshot();
+        }
         s
     }
 }
@@ -238,7 +613,9 @@ impl PendingOps {
 /// point samples. `searches`/`inserts`/`removes` count *calls*;
 /// `inserted`/`removed` count the calls that changed the key set, so
 /// `inserted - removed` estimates the live key count (exact once writers
-/// are quiescent).
+/// are quiescent). The latency histograms carry the sampled per-op-type
+/// distributions (see [`LatencyConfig`]); `slow_ops` is the current
+/// window of threshold-crossing op records.
 ///
 /// # Examples
 ///
@@ -254,7 +631,7 @@ impl PendingOps {
 /// assert_eq!(m.size_estimate, 1);
 /// assert!(m.to_prometheus().contains("nmbst_size_estimate 1"));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// `contains`/`get`/`with_value` calls.
     pub searches: u64,
@@ -291,6 +668,13 @@ pub struct MetricsSnapshot {
     /// Sum of all observed descent depths (`depth_sum / modify ops` =
     /// mean nodes touched per descent).
     pub depth_sum: u64,
+    /// Sampled per-op-type latency histograms (all empty when
+    /// `feature = "obs-latency"` is off or recording is disabled).
+    pub latency: LatencySnapshot,
+    /// The latest window of slow-op records (ops that crossed
+    /// [`LatencyConfig::slow_op_ns`]); oldest first from a single tree,
+    /// slowest first after [`merge`](MetricsSnapshot::merge).
+    pub slow_ops: Vec<SlowOp>,
     /// Reclamation health at snapshot time (see
     /// [`ReclaimGauges`]); all zeros under schemes
     /// without deferred state, like `Leaky`.
@@ -307,12 +691,14 @@ impl MetricsSnapshot {
     /// a sharded front end (e.g. `ShardedMap::metrics`) reports for N
     /// independent trees.
     ///
-    /// Operation counters, `size_estimate`, pool counters, and the
-    /// retired backlog are *sums*; `max_depth`, the reclaim epoch, and
-    /// the epoch lag are *maxima* (each shard owns an independent
-    /// reclaimer, so the worst shard is the health signal).
+    /// Operation counters, `size_estimate`, pool counters, the latency
+    /// histograms (slot counts and sums add exactly), and the retired
+    /// backlog are *sums*; `max_depth`, per-histogram maxima, the
+    /// reclaim epoch, and the epoch lag are *maxima* (each shard owns an
+    /// independent reclaimer, so the worst shard is the health signal).
     /// `pinned_threads` is summed per shard — a thread pinned in several
-    /// shards at once counts once per shard.
+    /// shards at once counts once per shard. Slow-op records
+    /// concatenate, slowest first, capped at the per-tree ring size.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         self.searches += other.searches;
         self.inserts += other.inserts;
@@ -328,6 +714,10 @@ impl MetricsSnapshot {
             *dst += src;
         }
         self.depth_sum += other.depth_sum;
+        self.latency.merge(&other.latency);
+        self.slow_ops.extend_from_slice(&other.slow_ops);
+        self.slow_ops.sort_by_key(|r| std::cmp::Reverse(r.ns));
+        self.slow_ops.truncate(super::slow::TREE_SLOW_CAP);
         self.reclaim.epoch = self.reclaim.epoch.max(other.reclaim.epoch);
         self.reclaim.epoch_lag = self.reclaim.epoch_lag.max(other.reclaim.epoch_lag);
         self.reclaim.pinned_threads += other.reclaim.pinned_threads;
@@ -342,11 +732,21 @@ impl MetricsSnapshot {
 
     /// The snapshot as one flat JSON object (fixed key order, no
     /// dependencies — the same hand-rolled dialect as the bench schema).
+    /// Latency histograms render as per-op-type summary objects
+    /// (`{count, sum, max, p50, p99, p999}`, percentiles computed from
+    /// the full-resolution slots); `slow_ops` as the captured count.
     pub fn to_json(&self) -> String {
         let depth_hist = self
             .depth_hist
             .iter()
             .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let latency = self
+            .latency
+            .by_class()
+            .iter()
+            .map(|(label, h)| format!("\"{label}\":{}", h.summary_json()))
             .collect::<Vec<_>>()
             .join(",");
         format!(
@@ -356,6 +756,7 @@ impl MetricsSnapshot {
                 "\"finger_hits\":{},\"finger_misses\":{},",
                 "\"size_estimate\":{},\"max_depth\":{},",
                 "\"depth_hist\":[{}],\"depth_sum\":{},",
+                "\"latency\":{{{}}},\"slow_ops\":{},",
                 "\"reclaim_epoch\":{},\"reclaim_epoch_lag\":{},",
                 "\"reclaim_pinned_threads\":{},\"reclaim_retired_backlog\":{},",
                 "\"pool_hits\":{},\"pool_misses\":{},",
@@ -373,6 +774,8 @@ impl MetricsSnapshot {
             self.max_depth,
             depth_hist,
             self.depth_sum,
+            latency,
+            self.slow_ops.len(),
             self.reclaim.epoch,
             self.reclaim.epoch_lag,
             self.reclaim.pinned_threads,
@@ -385,9 +788,11 @@ impl MetricsSnapshot {
     }
 
     /// The snapshot in the Prometheus text exposition format, ready to
-    /// serve from a `/metrics` endpoint.
+    /// serve from a `/metrics` endpoint. Latency renders as one
+    /// histogram family (`nmbst_op_latency_ns`) with an `op` label per
+    /// op type, cumulative `le` buckets at the power-of-two bounds.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::with_capacity(2048);
+        let mut out = String::with_capacity(8192);
         fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: i128) {
             out.push_str("# HELP ");
             out.push_str(name);
@@ -487,12 +892,33 @@ impl MetricsSnapshot {
             // last bucket is unbounded, so it folds into +Inf.
             if b + 1 < DEPTH_BUCKETS {
                 let le = (1u64 << b) - 1;
-                let _ = writeln!(out, "nmbst_descent_depth_bucket{{le=\"{le}\"}} {cumulative}");
+                let _ = writeln!(
+                    out,
+                    "nmbst_descent_depth_bucket{{le=\"{le}\"}} {cumulative}"
+                );
             }
         }
-        let _ = writeln!(out, "nmbst_descent_depth_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "nmbst_descent_depth_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
         let _ = writeln!(out, "nmbst_descent_depth_sum {}", self.depth_sum);
         let _ = writeln!(out, "nmbst_descent_depth_count {cumulative}");
+        // Per-op-type latency: one histogram family, labelled series.
+        out.push_str(concat!(
+            "# HELP nmbst_op_latency_ns Sampled operation latency by op type (ns).\n",
+            "# TYPE nmbst_op_latency_ns histogram\n"
+        ));
+        for (label, hist) in self.latency.by_class() {
+            hist.fmt_prometheus_series(&mut out, "nmbst_op_latency_ns", &format!("op=\"{label}\""));
+        }
+        metric(
+            &mut out,
+            "nmbst_slow_ops_captured",
+            "gauge",
+            "Slow-op records currently in the capture ring.",
+            self.slow_ops.len() as i128,
+        );
         metric(
             &mut out,
             "nmbst_reclaim_epoch",
@@ -558,7 +984,8 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "searches={} inserts={}/{} removes={}/{} helps={} finger={}/{} size≈{} \
-             max_depth={} mean_depth≈{:.1} epoch={} lag={} pinned={} backlog={} \
+             max_depth={} mean_depth≈{:.1} lat_samples={} slow_ops={} \
+             epoch={} lag={} pinned={} backlog={} \
              pool_hits={} pool_misses={} pool_recycled={} pool_len={}",
             self.searches,
             self.inserted,
@@ -571,6 +998,8 @@ impl std::fmt::Display for MetricsSnapshot {
             self.size_estimate,
             self.max_depth,
             self.depth_sum as f64 / self.depth_hist.iter().sum::<u64>().max(1) as f64,
+            self.latency.len(),
+            self.slow_ops.len(),
             self.reclaim.epoch,
             self.reclaim.epoch_lag,
             self.reclaim.pinned_threads,

@@ -26,17 +26,79 @@
 //! linearizability violation, it dumps the merged, sequence-ordered
 //! trace as a postmortem, so the violating interleaving can be read
 //! without re-running the explorer.
+//!
+//! A third price point sits between the two (`feature = "obs-latency"`,
+//! default on): **latency distributions**. [`hist`] holds the
+//! concurrent log-bucketed histogram; [`slow`] the lock-free ring of
+//! slow-op records; recording follows the metrics cost discipline
+//! (sampled point ops, handle-buffered flush on re-pin — see
+//! [`LatencyConfig`]). Disabling the feature compiles the timers down
+//! to zero-sized tokens and empty inlines.
 
+pub mod hist;
 mod metrics;
+pub mod slow;
 #[cfg(feature = "obs")]
 mod trace;
 
-pub use metrics::{MetricsSnapshot, DEPTH_BUCKETS};
-pub(crate) use metrics::{Metrics, PendingOps};
+mod prom;
+
+pub use hist::{ConcurrentHistogram, Histogram, LatencySnapshot};
+pub use metrics::{LatencyConfig, MetricsSnapshot, DEPTH_BUCKETS};
+pub(crate) use metrics::{Metrics, PendingLat, PendingOps};
+pub use prom::validate_prometheus;
+pub use slow::{slow_event_name, SlowOp, SLOW_EVENTS};
 #[cfg(feature = "obs")]
 pub(crate) use trace::emit;
 #[cfg(feature = "obs")]
 pub use trace::{FlightRecorder, RecorderGuard, TraceEvent};
+
+/// The operation classes latency is recorded under — one concurrent
+/// histogram per class (see [`hist::LatencySnapshot`]), and the `kind`
+/// discriminant of tree-deposited [`slow::SlowOp`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpClass {
+    /// `contains` / `get` / `with_value` / `get_batch`.
+    Get = 0,
+    /// `insert` (plain API or sampled handle op).
+    Insert = 1,
+    /// `remove` / `remove_get`.
+    Remove = 2,
+    /// A whole `insert_batch` / `remove_batch` / `get_batch` call
+    /// (timed per call, not per key).
+    Batch = 3,
+    /// A whole `range_for_each` / `range_collect` call.
+    Range = 4,
+}
+
+impl OpClass {
+    /// Number of op classes (the histogram array length).
+    pub const COUNT: usize = 5;
+
+    /// The class's label in exposition output (`op="..."`).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Get => "get",
+            OpClass::Insert => "insert",
+            OpClass::Remove => "remove",
+            OpClass::Batch => "batch",
+            OpClass::Range => "range",
+        }
+    }
+
+    /// The class for a stored discriminant, if in range.
+    pub fn from_u8(v: u8) -> Option<OpClass> {
+        match v {
+            0 => Some(OpClass::Get),
+            1 => Some(OpClass::Insert),
+            2 => Some(OpClass::Remove),
+            3 => Some(OpClass::Batch),
+            4 => Some(OpClass::Range),
+            _ => None,
+        }
+    }
+}
 
 /// A structural event of the algorithm, as recorded by the
 /// `FlightRecorder` (`feature = "obs"`).

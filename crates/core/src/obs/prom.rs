@@ -1,0 +1,281 @@
+//! A strict validator for the Prometheus text exposition format, used
+//! by tests so a malformed scrape fails in CI rather than in Grafana.
+//!
+//! This checks the contract the crate's emitters promise, which is
+//! tighter than what a lenient Prometheus scraper would accept:
+//!
+//! * every metric has a `# HELP` line immediately followed by its
+//!   `# TYPE` line, declared exactly once, before any of its samples;
+//! * all samples of a metric are contiguous (no interleaving between
+//!   families);
+//! * `counter` metrics are named `*_total`;
+//! * `histogram` metrics emit, per label series, cumulative
+//!   `_bucket{le=...}` rows with strictly ascending bounds and
+//!   non-decreasing counts ending in `le="+Inf"`, plus `_sum` and
+//!   `_count` rows where `_count` equals the `+Inf` bucket.
+
+use std::collections::BTreeMap;
+
+/// Validates `text` against the exposition contract described in the
+/// [module docs](self). Returns the first violation found, prefixed
+/// with its 1-based line number.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut help: Vec<String> = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // The metric whose block we are currently inside, with its kind.
+    let mut current: Option<(String, String)> = None;
+    // Name of the metric a dangling HELP line announced.
+    let mut pending_help: Option<String> = None;
+    // Histogram series state, keyed by (base name, non-le labels):
+    // bucket rows in file order, then sum/count.
+    type Series = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
+    let mut hists: BTreeMap<(String, String), Series> = BTreeMap::new();
+    let mut samples_seen: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        let err = |msg: String| Err(format!("line {n}: {msg}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default().to_string();
+            let payload = parts.next().unwrap_or_default();
+            match keyword {
+                "HELP" => {
+                    if name.is_empty() || payload.is_empty() {
+                        return err(format!("HELP without name or text: {line:?}"));
+                    }
+                    if pending_help.is_some() {
+                        return err(format!("HELP {name} while a HELP still awaits its TYPE"));
+                    }
+                    if help.contains(&name) {
+                        return err(format!("duplicate HELP for {name}"));
+                    }
+                    help.push(name.clone());
+                    pending_help = Some(name);
+                }
+                "TYPE" => {
+                    let kind = payload.to_string();
+                    if pending_help.as_deref() != Some(name.as_str()) {
+                        return err(format!("TYPE {name} not immediately after its HELP"));
+                    }
+                    pending_help = None;
+                    if !matches!(kind.as_str(), "counter" | "gauge" | "histogram" | "summary") {
+                        return err(format!("unknown TYPE kind {kind:?} for {name}"));
+                    }
+                    if types.insert(name.clone(), kind.clone()).is_some() {
+                        return err(format!("duplicate TYPE for {name}"));
+                    }
+                    if kind == "counter" && !name.ends_with("_total") {
+                        return err(format!("counter {name} not named *_total"));
+                    }
+                    current = Some((name, kind));
+                }
+                _ => return err(format!("unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+        // A sample row: name[{labels}] value
+        if pending_help.is_some() {
+            return err(format!("sample before TYPE: {line:?}"));
+        }
+        let (name_labels, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return err(format!("sample without value: {line:?}")),
+        };
+        let value: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => return err(format!("unparsable sample value {value:?}")),
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((name, rest)) => match rest.strip_suffix('}') {
+                Some(labels) => (name, labels),
+                None => return err(format!("unterminated label set: {line:?}")),
+            },
+            None => (name_labels, ""),
+        };
+        let (name_b, kind) = match &current {
+            Some((n0, k)) => (n0.clone(), k.clone()),
+            None => return err(format!("sample {name} before any TYPE")),
+        };
+        // Resolve the owning family and check block contiguity.
+        let owner = if kind == "histogram" {
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"));
+            match base {
+                Some(base) if base == name_b => base.to_string(),
+                _ => {
+                    return err(format!(
+                        "sample {name} inside histogram {name_b}'s block \
+                         is not one of its _bucket/_sum/_count rows"
+                    ))
+                }
+            }
+        } else {
+            if name != name_b {
+                return err(format!("sample {name} interleaved into {name_b}'s block"));
+            }
+            name.to_string()
+        };
+        *samples_seen.entry(owner.clone()).or_insert(0) += 1;
+        if kind != "histogram" {
+            continue;
+        }
+        // Split off the `le` label; the rest keys the series.
+        let mut le: Option<&str> = None;
+        let mut rest: Vec<&str> = Vec::new();
+        for part in labels.split(',').filter(|p| !p.is_empty()) {
+            match part.strip_prefix("le=") {
+                Some(bound) => le = Some(bound.trim_matches('"')),
+                None => rest.push(part),
+            }
+        }
+        let series = hists.entry((owner, rest.join(","))).or_default();
+        if name.ends_with("_bucket") {
+            let bound = match le {
+                Some("+Inf") => f64::INFINITY,
+                Some(raw) => match raw.parse() {
+                    Ok(b) => b,
+                    Err(_) => return err(format!("unparsable le bound {raw:?}")),
+                },
+                None => return err(format!("_bucket row without le label: {line:?}")),
+            };
+            series.0.push((bound, value));
+        } else if name.ends_with("_sum") {
+            if series.1.replace(value).is_some() {
+                return err(format!("duplicate _sum for series {labels:?}"));
+            }
+        } else {
+            if le.is_some() {
+                return err(format!("le label on non-bucket row: {line:?}"));
+            }
+            if series.2.replace(value).is_some() {
+                return err(format!("duplicate _count for series {labels:?}"));
+            }
+        }
+    }
+    if let Some(name) = pending_help {
+        return Err(format!("HELP {name} never followed by its TYPE"));
+    }
+    for name in &help {
+        if !types.contains_key(name) {
+            return Err(format!("HELP {name} has no TYPE"));
+        }
+    }
+    for name in types.keys() {
+        if !help.contains(name) {
+            return Err(format!("TYPE {name} has no HELP"));
+        }
+        if samples_seen.get(name).copied().unwrap_or(0) == 0 {
+            return Err(format!("metric {name} declared but has no samples"));
+        }
+    }
+    for ((name, labels), (buckets, sum, count)) in &hists {
+        let series = if labels.is_empty() {
+            name.clone()
+        } else {
+            format!("{name}{{{labels}}}")
+        };
+        if buckets.is_empty() {
+            return Err(format!("histogram {series} has no _bucket rows"));
+        }
+        for pair in buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!("histogram {series} le bounds not ascending"));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!("histogram {series} bucket counts not cumulative"));
+            }
+        }
+        let (last_le, last_count) = *buckets.last().unwrap();
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {series} does not end in le=\"+Inf\""));
+        }
+        if sum.is_none() {
+            return Err(format!("histogram {series} missing _sum"));
+        }
+        match count {
+            None => return Err(format!("histogram {series} missing _count")),
+            Some(c) if *c != last_count => {
+                return Err(format!(
+                    "histogram {series} _count {c} != +Inf bucket {last_count}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = "\
+# HELP demo_ops_total Operations.
+# TYPE demo_ops_total counter
+demo_ops_total 7
+# HELP demo_lat_ns Latency.
+# TYPE demo_lat_ns histogram
+demo_lat_ns_bucket{op=\"get\",le=\"1\"} 1
+demo_lat_ns_bucket{op=\"get\",le=\"2\"} 3
+demo_lat_ns_bucket{op=\"get\",le=\"+Inf\"} 4
+demo_lat_ns_sum{op=\"get\"} 9
+demo_lat_ns_count{op=\"get\"} 4
+# HELP demo_size Size.
+# TYPE demo_size gauge
+demo_size -2
+";
+
+    #[test]
+    fn accepts_a_valid_exposition() {
+        validate_prometheus(VALID).unwrap();
+    }
+
+    #[test]
+    fn rejects_the_classic_regressions() {
+        // (mutation, expected error fragment)
+        let cases = [
+            (
+                "# TYPE demo_size gauge",
+                "# TYPE demo_size counter",
+                "not named *_total",
+            ),
+            (
+                "# HELP demo_size Size.\n",
+                "",
+                "TYPE demo_size not immediately after",
+            ),
+            ("le=\"+Inf\"} 4", "le=\"+Inf\"} 2", "not cumulative"),
+            (
+                "demo_lat_ns_count{op=\"get\"} 4",
+                "demo_lat_ns_count{op=\"get\"} 5",
+                "!= +Inf bucket",
+            ),
+            ("demo_lat_ns_sum{op=\"get\"} 9\n", "", "missing _sum"),
+            ("le=\"2\"", "le=\"0.5\"", "not ascending"),
+            ("demo_size -2", "demo_other -2", "interleaved"),
+        ];
+        for (from, to, fragment) in cases {
+            let mutated = VALID.replace(from, to);
+            assert_ne!(mutated, VALID, "mutation {from:?} did not apply");
+            let e = validate_prometheus(&mutated).unwrap_err();
+            assert!(
+                e.contains(fragment),
+                "expected {fragment:?} in error, got: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_histogram_without_inf() {
+        let text = VALID.replace("demo_lat_ns_bucket{op=\"get\",le=\"+Inf\"} 4\n", "");
+        let e = validate_prometheus(&text).unwrap_err();
+        assert!(e.contains("+Inf"), "got: {e}");
+    }
+}

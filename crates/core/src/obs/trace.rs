@@ -139,6 +139,50 @@ pub(crate) fn emit(kind: EventKind) {
     });
 }
 
+/// This thread's position in its innermost attached ring (events
+/// recorded so far), or `u64::MAX` when unattached. An armed latency
+/// timer takes this at op start so a slow op can report exactly the
+/// events recorded during it.
+#[cfg(feature = "obs-latency")]
+#[inline]
+pub(crate) fn local_mark() -> u64 {
+    CURRENT.with(|current| {
+        current
+            .borrow()
+            .last()
+            .map_or(u64::MAX, |(_, ring)| ring.head.load(Ordering::Relaxed))
+    })
+}
+
+/// The event discriminants this thread recorded into its innermost ring
+/// since `mark` (from [`local_mark`]), keeping the latest
+/// [`SLOW_EVENTS`](super::slow::SLOW_EVENTS) when the op recorded more
+/// (the tail of a retry storm is where the resolution is). Reading our
+/// own ring is safe without validation: the owner is the only writer.
+#[cfg(feature = "obs-latency")]
+pub(crate) fn local_events_since(mark: u64) -> ([u8; super::slow::SLOW_EVENTS], u8) {
+    let mut out = [0u8; super::slow::SLOW_EVENTS];
+    let mut n = 0u8;
+    if mark == u64::MAX {
+        return (out, n);
+    }
+    CURRENT.with(|current| {
+        if let Some((_, ring)) = current.borrow().last() {
+            let head = ring.head.load(Ordering::Relaxed);
+            let cap = ring.slots.len() as u64;
+            let start = mark
+                .max(head.saturating_sub(cap))
+                .max(head.saturating_sub(out.len() as u64));
+            for i in start..head {
+                let slot = &ring.slots[(i % cap) as usize];
+                out[usize::from(n)] = (slot.data.load(Ordering::Relaxed) & 0xFF) as u8;
+                n += 1;
+            }
+        }
+    });
+    (out, n)
+}
+
 /// A capture-scoped flight recorder (see the [module docs](self)).
 ///
 /// Cloning is cheap and shares the capture: clone one recorder into each

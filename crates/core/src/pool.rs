@@ -147,7 +147,11 @@ impl<'t> NodeCache<'t> {
             self.shared.layout(),
             "cache serves exactly the tree's node layout"
         );
-        if let Some(idx) = self.local.pop().or_else(|| refill(&mut self.local, self.shared)) {
+        if let Some(idx) = self
+            .local
+            .pop()
+            .or_else(|| refill(&mut self.local, self.shared))
+        {
             self.hits += 1;
             stats::record_pool_hit();
             return (idx, self.shared.slot_ptr(idx).cast());

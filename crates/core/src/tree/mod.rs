@@ -16,7 +16,7 @@ pub(crate) use seek::SeekRecord;
 
 use crate::handle::MapHandle;
 use crate::node::{self, Node, LEAF_CAP};
-use crate::obs::{self, MetricsSnapshot};
+use crate::obs::{self, LatencyConfig, MetricsSnapshot};
 use crate::packed::TagMode;
 use crate::pool::{NodeCache, PoolConfig, HANDLE_CACHE_CAP};
 use nmbst_reclaim::{Ebr, NodePool, Reclaim};
@@ -69,6 +69,9 @@ pub struct TreeConfig {
     /// exactly (every insert publishes a two-node subtree, every remove
     /// runs flag/tag/splice); the default packs a cache line.
     pub leaf_cap: usize,
+    /// Latency recording behavior: sampling rate and slow-op threshold
+    /// (ignored when compiled without `feature = "obs-latency"`).
+    pub lat: LatencyConfig,
 }
 
 impl TreeConfig {
@@ -96,6 +99,12 @@ impl TreeConfig {
         self.leaf_cap = leaf_cap;
         self
     }
+
+    /// Overrides the [`LatencyConfig`] knob.
+    pub fn with_latency(mut self, lat: LatencyConfig) -> Self {
+        self.lat = lat;
+        self
+    }
 }
 
 impl Default for TreeConfig {
@@ -105,6 +114,7 @@ impl Default for TreeConfig {
             restart: RestartPolicy::default(),
             pool: PoolConfig::default(),
             leaf_cap: LEAF_CAP,
+            lat: LatencyConfig::default(),
         }
     }
 }
@@ -220,7 +230,7 @@ where
             tag_mode: config.tag_mode,
             restart: config.restart,
             leaf_cap: config.leaf_cap.clamp(1, LEAF_CAP),
-            metrics: obs::Metrics::new(),
+            metrics: obs::Metrics::new(config.lat),
             pool,
             _own: PhantomData,
         }

@@ -98,6 +98,8 @@ where
     /// ```
     pub fn range_for_each<Q: RangeBounds<K>>(&self, range: Q, mut f: impl FnMut(&K, &V)) {
         let _guard = self.reclaim.pin();
+        // Whole-call timing (one clock pair amortized over the scan).
+        let t = self.metrics.call_timer();
         // A routing key `nk` splits its node into: left = keys < nk,
         // right = keys ≥ nk.
         let may_go_left = |nk: &Key<K>| match range.start_bound() {
@@ -143,6 +145,7 @@ where
                 }
             }
         }
+        self.metrics.op_finish(crate::obs::OpClass::Range, t);
     }
 
     /// Collects the keys (and cloned values) inside `range`, ascending.

@@ -16,8 +16,11 @@ where
     pub fn contains(&self, key: &K) -> bool {
         let guard = self.reclaim.pin();
         self.metrics.note_search();
+        let t = self.metrics.op_timer();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call.
-        unsafe { self.contains_in(key, &guard) }
+        let found = unsafe { self.contains_in(key, &guard) };
+        self.metrics.op_finish(crate::obs::OpClass::Get, t);
+        found
     }
 
     /// [`contains`](Self::contains) against a caller-provided guard —
@@ -44,8 +47,11 @@ where
     pub fn with_value<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         let guard = self.reclaim.pin();
         self.metrics.note_search();
+        let t = self.metrics.op_timer();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call.
-        unsafe { self.with_value_in(key, f, &guard) }
+        let out = unsafe { self.with_value_in(key, f, &guard) };
+        self.metrics.op_finish(crate::obs::OpClass::Get, t);
+        out
     }
 
     /// [`with_value`](Self::with_value) against a caller-provided guard.

@@ -141,10 +141,12 @@ where
         let guard = self.reclaim.pin();
         let mut rec = SeekRecord::empty();
         let mut cache = self.node_cache();
+        let t = self.metrics.op_timer();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call;
         // `cache` serves this tree's pool.
         let added = unsafe { self.insert_in(key, value, &guard, &mut rec, &mut cache) };
         self.metrics.note_insert(added);
+        self.metrics.op_finish(crate::obs::OpClass::Insert, t);
         added
     }
 
@@ -323,7 +325,8 @@ where
                         obs::emit(EventKind::Help);
                         // SAFETY: record still refers to nodes protected
                         // by `guard`.
-                        let outcome = unsafe { self.cleanup(&pending.as_ref().unwrap().0, rec, guard) };
+                        let outcome =
+                            unsafe { self.cleanup(&pending.as_ref().unwrap().0, rec, guard) };
                         if outcome == CleanupOutcome::Abandoned {
                             return (false, hit); // pending entry dropped
                         }
@@ -360,10 +363,12 @@ where
         let guard = self.reclaim.pin();
         let mut rec = SeekRecord::empty();
         let mut cache = self.node_cache();
+        let t = self.metrics.op_timer();
         // SAFETY: `guard` pins this tree's reclaimer for the whole call;
         // `cache` serves this tree's pool.
         let removed = unsafe { self.remove_in(key, read, &guard, &mut rec, &mut cache) };
         self.metrics.note_remove(removed.is_some());
+        self.metrics.op_finish(crate::obs::OpClass::Remove, t);
         removed
     }
 
@@ -852,7 +857,11 @@ mod tests {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let key = (state >> 33) % 48;
                 match state % 3 {
-                    0 => assert_eq!(map.insert(key, ()), model.insert(key), "cap {cap} ins {key}"),
+                    0 => assert_eq!(
+                        map.insert(key, ()),
+                        model.insert(key),
+                        "cap {cap} ins {key}"
+                    ),
                     1 => assert_eq!(map.remove(&key), model.remove(&key), "cap {cap} rm {key}"),
                     _ => assert_eq!(
                         map.contains(&key),

@@ -2,8 +2,8 @@
 //! nothing (exact sums, not estimates), handle batching must flush on
 //! drop, and the exposition formats must carry every counter.
 
-use nmbst::obs::{MetricsSnapshot, DEPTH_BUCKETS};
-use nmbst::{NmTreeMap, NmTreeSet, TreeConfig};
+use nmbst::obs::{validate_prometheus, MetricsSnapshot, DEPTH_BUCKETS};
+use nmbst::{LatencyConfig, NmTreeMap, NmTreeSet, TreeConfig};
 use nmbst_reclaim::{Ebr, Leaky};
 use std::sync::Barrier;
 
@@ -233,10 +233,153 @@ fn exposition_formats_are_complete_and_consistent() {
     assert!(prom.contains("nmbst_descent_depth_bucket{le=\"+Inf\"} 6\n"));
     assert!(prom.contains("nmbst_descent_depth_count 6\n"));
 
-    // Snapshots are plain copyable values; Display goes through and the
-    // default snapshot is all zeros.
-    assert!(!m.to_string().is_empty());
+    // Latency histograms ride along in both formats (empty but present
+    // when `obs-latency` is off — the snapshot fields are
+    // unconditional, only recording is gated).
+    assert!(json.contains("\"latency\":{\"get\":{\"count\":"), "{json}");
+    assert!(json.contains("\"slow_ops\":"), "{json}");
+    assert!(prom.contains("# TYPE nmbst_op_latency_ns histogram"));
+    for op in ["get", "insert", "remove", "batch", "range"] {
+        assert!(
+            prom.contains(&format!("nmbst_op_latency_ns_count{{op=\"{op}\"}} ")),
+            "prometheus missing latency series for {op}"
+        );
+    }
+    assert!(prom.contains("nmbst_slow_ops_captured "));
+
+    // The real exposition output must pass the strict in-tree validator
+    // — the same check the server's scrape tests apply end to end.
+    validate_prometheus(&prom)
+        .unwrap_or_else(|e| panic!("to_prometheus fails its own validator: {e}\n{prom}"));
+
+    // Snapshots are plain clonable values (histograms make them too big
+    // to be `Copy`); Display goes through and the default snapshot is
+    // all zeros.
+    assert!(!m.clone().to_string().is_empty());
     assert_eq!(MetricsSnapshot::default().inserted, 0);
+}
+
+/// `merge` edge cases: the default snapshot is a two-sided identity,
+/// and merging two live snapshots adds every counter and histogram cell
+/// exactly while max-gauges take the max.
+#[test]
+fn snapshot_merge_identity_and_exactness() {
+    let mut empty = MetricsSnapshot::default();
+    empty.merge(&MetricsSnapshot::default());
+    assert_eq!(empty, MetricsSnapshot::default(), "empty ⊕ empty = empty");
+
+    // Latency disabled so the snapshots carry no timing-dependent state
+    // (slow_ops order is ns-sorted, which would not be identity-stable).
+    let quiet = TreeConfig::default().with_latency(LatencyConfig::disabled());
+    let set: NmTreeSet<u64, Ebr> = NmTreeSet::with_config(quiet);
+    for k in 0..32 {
+        set.insert(k);
+    }
+    set.remove(&0);
+    set.flush();
+    let a = set.metrics();
+    assert!(a.inserts > 0);
+
+    let mut left = a.clone();
+    left.merge(&MetricsSnapshot::default());
+    assert_eq!(left, a, "nonempty ⊕ empty = nonempty");
+    let mut right = MetricsSnapshot::default();
+    right.merge(&a);
+    assert_eq!(right, a, "empty ⊕ nonempty = nonempty");
+
+    // A second tree with thin leaves: same keys, deeper descents.
+    let deep: NmTreeSet<u64, Ebr> = NmTreeSet::with_config(
+        TreeConfig::default()
+            .with_leaf_cap(1)
+            .with_latency(LatencyConfig::disabled()),
+    );
+    for k in 0..256 {
+        deep.insert(k);
+    }
+    deep.flush();
+    let b = deep.metrics();
+    assert!(b.max_depth > a.max_depth, "thin leaves descend deeper");
+
+    let mut m = a.clone();
+    m.merge(&b);
+    assert_eq!(m.searches, a.searches + b.searches);
+    assert_eq!(m.inserts, a.inserts + b.inserts);
+    assert_eq!(m.inserted, a.inserted + b.inserted);
+    assert_eq!(m.removes, a.removes + b.removes);
+    assert_eq!(m.removed, a.removed + b.removed);
+    assert_eq!(m.size_estimate, a.size_estimate + b.size_estimate);
+    assert_eq!(m.depth_sum, a.depth_sum + b.depth_sum, "depth_sum adds");
+    assert_eq!(m.max_depth, a.max_depth.max(b.max_depth), "max_depth maxes");
+    for (i, cell) in m.depth_hist.iter().enumerate() {
+        assert_eq!(
+            *cell,
+            a.depth_hist[i] + b.depth_hist[i],
+            "depth_hist[{i}] adds cellwise"
+        );
+    }
+}
+
+/// With `sample_shift = 0` every point op is timed, so the per-op-type
+/// latency histograms count calls exactly — and merging two snapshots
+/// preserves counts and nanosecond sums to the bit.
+#[cfg(feature = "obs-latency")]
+#[test]
+fn latency_histograms_count_exactly_and_merge_exactly() {
+    let always = TreeConfig::default().with_latency(LatencyConfig::default().with_sample_shift(0));
+    let map: NmTreeMap<u64, u64, Ebr> = NmTreeMap::with_config(always);
+    for k in 0..10 {
+        map.insert(k, k);
+    }
+    for k in 0..5 {
+        map.contains(&k);
+    }
+    map.remove(&0);
+    let mut range_hits = 0;
+    map.range_for_each(2..=4, |_, _| range_hits += 1);
+    assert_eq!(range_hits, 3);
+    let a = map.metrics();
+    assert_eq!(a.latency.insert.len(), 10, "every insert timed");
+    assert_eq!(a.latency.get.len(), 5, "every contains timed");
+    assert_eq!(a.latency.remove.len(), 1);
+    assert_eq!(a.latency.range.len(), 1, "range timed per call");
+    assert!(a.latency.insert.sum() > 0, "real durations recorded");
+
+    // Handle ops buffer latency samples; drop flushes them, and batch
+    // calls are one sample per call regardless of key count.
+    let map2: NmTreeMap<u64, u64, Ebr> = NmTreeMap::with_config(always);
+    {
+        let mut h = map2.handle();
+        for k in 0..7 {
+            h.insert(k, k);
+        }
+        h.insert_batch((10..20).map(|k| (k, k)));
+        let hits = h.get_batch(0..4u64);
+        assert_eq!(hits.iter().filter(|v| v.is_some()).count(), 4);
+    }
+    let b = map2.metrics();
+    assert_eq!(b.latency.insert.len(), 7, "handle inserts flushed on drop");
+    assert_eq!(b.latency.batch.len(), 2, "one sample per batch call");
+
+    let mut m = a.clone();
+    m.merge(&b);
+    assert_eq!(m.latency.insert.len(), 17, "merge adds counts exactly");
+    assert_eq!(
+        m.latency.insert.sum(),
+        a.latency.insert.sum() + b.latency.insert.sum(),
+        "merge adds nanosecond sums exactly"
+    );
+    assert_eq!(
+        m.latency.insert.max(),
+        a.latency.insert.max().max(b.latency.insert.max())
+    );
+    assert_eq!(m.latency.len(), a.latency.len() + b.latency.len());
+
+    // Disabled recording stays empty even though the fields exist.
+    let off: NmTreeMap<u64, u64, Ebr> =
+        NmTreeMap::with_config(TreeConfig::default().with_latency(LatencyConfig::disabled()));
+    off.insert(1, 1);
+    off.contains(&1);
+    assert!(off.metrics().latency.is_empty());
 }
 
 /// Reclamation gauges surface through the tree-level snapshot: a pinned

@@ -1,203 +1,26 @@
-//! A log-bucketed latency histogram (HDR-style, fixed memory).
+//! The harness's latency histogram — now a re-export of the core
+//! implementation.
 //!
-//! Buckets are powers of two of nanoseconds, each split into 16 linear
-//! sub-buckets, giving ≤ 6.7% relative error per recorded value — ample
-//! for the percentile reporting benchmarks need, with zero allocation
-//! per record.
+//! This module originated the log-bucketed design (powers of two of
+//! nanoseconds, 16 linear sub-buckets each, ≤ 6.7% relative error,
+//! fixed memory); the core crate promoted it to `nmbst::obs::hist` so
+//! the tree, the server, and the harness all bucket identically — a
+//! server-reported percentile and a client-observed one land in the
+//! same slot for the same duration, which is what lets the replay
+//! bench cross-check them. The single-threaded `Histogram` lives there
+//! now; the harness keeps this alias so bench code keeps reading as
+//! before (the concurrent variant is `nmbst::obs::hist::ConcurrentHistogram`).
 
-/// Sub-buckets per power-of-two bucket.
-const SUBS: usize = 16;
-/// Covers 1 ns .. ~64 s.
-const BUCKETS: usize = 36;
-
-/// A fixed-size latency histogram in nanoseconds.
-#[derive(Clone)]
-pub struct Histogram {
-    counts: Box<[u64; BUCKETS * SUBS]>,
-    total: u64,
-    max: u64,
-    sum: u128,
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            counts: Box::new([0; BUCKETS * SUBS]),
-            total: 0,
-            max: 0,
-            sum: 0,
-        }
-    }
-
-    fn index(ns: u64) -> usize {
-        // Clamp into the representable range so the sub-bucket arithmetic
-        // below cannot overflow for absurd inputs.
-        let ns = ns.clamp(1, (1u64 << BUCKETS) - 1);
-        let bucket = (63 - ns.leading_zeros()) as usize;
-        // Position within the bucket, scaled to SUBS slots.
-        let base = 1u64 << bucket;
-        let sub = if bucket == 0 {
-            0
-        } else {
-            (((ns - base) * SUBS as u64) >> bucket) as usize
-        };
-        bucket * SUBS + sub.min(SUBS - 1)
-    }
-
-    /// Lower edge (ns) of the slot with the given flat index.
-    fn slot_value(idx: usize) -> u64 {
-        let bucket = idx / SUBS;
-        let sub = (idx % SUBS) as u64;
-        let base = 1u64 << bucket;
-        base + ((sub << bucket) / SUBS as u64)
-    }
-
-    /// Records one latency (nanoseconds).
-    #[inline]
-    pub fn record(&mut self, ns: u64) {
-        self.counts[Self::index(ns)] += 1;
-        self.total += 1;
-        self.max = self.max.max(ns);
-        self.sum += ns as u128;
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.max = self.max.max(other.max);
-        self.sum += other.sum;
-    }
-
-    /// Number of recorded values.
-    pub fn len(&self) -> u64 {
-        self.total
-    }
-
-    /// `true` if nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// The largest recorded value (exact).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean of recorded values (exact).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// Approximate `p`-th percentile (`0.0 ..= 100.0`), within one
-    /// sub-bucket of the true value.
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::slot_value(idx).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// One-line summary: `n, mean, p50, p99, p99.9, max` in µs.
-    pub fn summary(&self) -> String {
-        format!(
-            "n={} mean={:.2}us p50={:.2}us p99={:.2}us p99.9={:.2}us max={:.2}us",
-            self.total,
-            self.mean() / 1e3,
-            self.percentile(50.0) as f64 / 1e3,
-            self.percentile(99.0) as f64 / 1e3,
-            self.percentile(99.9) as f64 / 1e3,
-            self.max as f64 / 1e3,
-        )
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Histogram({})", self.summary())
-    }
-}
+pub use nmbst::obs::hist::Histogram;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::Histogram;
 
+    // The harness's original behavioral contract, kept here so a core
+    // refactor that breaks bench expectations fails in this crate too.
     #[test]
-    fn empty_histogram() {
-        let h = Histogram::new();
-        assert!(h.is_empty());
-        assert_eq!(h.percentile(99.0), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
-
-    #[test]
-    fn single_value() {
-        let mut h = Histogram::new();
-        h.record(1000);
-        assert_eq!(h.len(), 1);
-        assert_eq!(h.max(), 1000);
-        assert_eq!(h.mean(), 1000.0);
-        let p50 = h.percentile(50.0);
-        assert!((937..=1000).contains(&p50), "p50 = {p50}");
-    }
-
-    #[test]
-    fn percentiles_are_monotone_and_bounded() {
-        let mut h = Histogram::new();
-        for i in 1..=10_000u64 {
-            h.record(i);
-        }
-        let p50 = h.percentile(50.0);
-        let p90 = h.percentile(90.0);
-        let p99 = h.percentile(99.0);
-        assert!(p50 <= p90 && p90 <= p99);
-        assert!(p99 <= h.max());
-        // Within bucket resolution of the true values.
-        assert!((4500..=5100).contains(&p50), "p50 = {p50}");
-        assert!((8400..=9100).contains(&p90), "p90 = {p90}");
-    }
-
-    #[test]
-    fn relative_error_within_bucket_resolution() {
-        let mut h = Histogram::new();
-        for v in [3u64, 17, 129, 1023, 65_537, 1_000_000] {
-            h.record(v);
-        }
-        // Each recorded value's slot lower-edge is within 1/16 of it.
-        for v in [3u64, 17, 129, 1023, 65_537, 1_000_000] {
-            let idx = Histogram::index(v);
-            let edge = Histogram::slot_value(idx);
-            assert!(edge <= v, "edge {edge} above value {v}");
-            assert!(
-                (v - edge) as f64 <= v as f64 / 8.0,
-                "edge {edge} too far below {v}"
-            );
-        }
-    }
-
-    #[test]
-    fn merge_combines() {
+    fn harness_contract_percentiles_and_merge() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
         for i in 0..100 {
@@ -209,10 +32,14 @@ mod tests {
         assert_eq!(a.max(), 100_099);
         assert!(a.percentile(25.0) < 1_000);
         assert!(a.percentile(75.0) > 50_000);
+        let p50 = a.percentile(50.0);
+        let p99 = a.percentile(99.0);
+        assert!(p50 <= p99 && p99 <= a.max());
+        assert!(!a.summary().is_empty());
     }
 
     #[test]
-    fn zero_and_huge_values_clamp() {
+    fn harness_contract_extremes_clamp() {
         let mut h = Histogram::new();
         h.record(0); // clamped to 1 ns
         h.record(u64::MAX); // clamped to the last bucket

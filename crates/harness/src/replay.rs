@@ -112,6 +112,13 @@ pub struct ReplayReport {
     /// Per-session latency in nanoseconds, measured from *scheduled
     /// arrival* (not send time) to completion.
     pub latency: Histogram,
+    /// Per-bundle round-trip time in nanoseconds, measured from just
+    /// before [`SessionTarget::run`] to its return — send to receive,
+    /// excluding schedule-induced queueing. Against a wire target this
+    /// is exactly one frame's client-observed service time, the
+    /// population the server's own per-frame wire histogram times from
+    /// the other end (the replay bench cross-checks the two).
+    pub rtt: Histogram,
     /// Ops issued by each client thread.
     pub per_client_ops: Vec<u64>,
 }
@@ -186,7 +193,8 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
         }
     };
 
-    let mut per_client: Vec<(u64, Histogram, Duration)> = Vec::with_capacity(cfg.clients);
+    let mut per_client: Vec<(u64, Histogram, Histogram, Duration)> =
+        Vec::with_capacity(cfg.clients);
     std::thread::scope(|s| {
         let handles: Vec<_> = targets
             .into_iter()
@@ -197,6 +205,7 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
                 let arrival_ns = &arrival_ns;
                 s.spawn(move || {
                     let mut hist = Histogram::new();
+                    let mut rtt = Histogram::new();
                     let mut ops_issued = 0u64;
                     let mut bundle_ops: Vec<SessionOp> = Vec::new();
                     let mut bundle_arrivals: Vec<u64> = Vec::new();
@@ -226,16 +235,18 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
                                 _ => break,
                             }
                         }
+                        let sent = t0.elapsed().as_nanos() as u64;
                         target
                             .run(&bundle_ops)
                             .unwrap_or_else(|e| panic!("client {c}: target failed: {e}"));
                         ops_issued += bundle_ops.len() as u64;
                         let done = t0.elapsed().as_nanos() as u64;
+                        rtt.record(done.saturating_sub(sent));
                         for &arr in &bundle_arrivals {
                             hist.record(done.saturating_sub(arr));
                         }
                     }
-                    (ops_issued, hist, t0.elapsed())
+                    (ops_issued, hist, rtt, t0.elapsed())
                 })
             })
             .collect();
@@ -245,11 +256,13 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
     });
 
     let mut latency = Histogram::new();
+    let mut rtt = Histogram::new();
     let mut ops = 0;
     let mut elapsed = Duration::ZERO;
     let mut per_client_ops = Vec::with_capacity(cfg.clients);
-    for (client_ops, hist, client_elapsed) in per_client {
+    for (client_ops, hist, client_rtt, client_elapsed) in per_client {
         latency.merge(&hist);
+        rtt.merge(&client_rtt);
         ops += client_ops;
         elapsed = elapsed.max(client_elapsed);
         per_client_ops.push(client_ops);
@@ -259,6 +272,7 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
         ops,
         elapsed,
         latency,
+        rtt,
         per_client_ops,
     }
 }

@@ -297,11 +297,9 @@ impl NodePool {
         ) {
             Ok(_) => fresh,
             Err(winner) => {
-                let layout = Layout::from_size_align(
-                    segment_slots(seg) * self.stride,
-                    self.layout.align(),
-                )
-                .expect("segment layout");
+                let layout =
+                    Layout::from_size_align(segment_slots(seg) * self.stride, self.layout.align())
+                        .expect("segment layout");
                 // SAFETY: `fresh` is ours and was never published.
                 unsafe { std::alloc::dealloc(fresh, layout) };
                 winner
@@ -489,14 +487,17 @@ mod tests {
         assert_eq!(locate(S0), (1, 0));
         assert_eq!(locate(3 * S0 - 1), (1, 2 * SEG0_SLOTS - 1));
         assert_eq!(locate(3 * S0), (2, 0));
-        assert_eq!(locate(MAX_INDEX).0 < SEGMENTS, true);
+        assert!(locate(MAX_INDEX).0 < SEGMENTS);
     }
 
     #[test]
     fn typed_resolution_matches_untyped() {
         let pool = test_pool(0);
         let (idx, ptr) = pool.bump();
-        assert_eq!(pool.slot_ptr_typed::<[u64; 4]>(idx).cast::<u8>(), ptr.as_ptr());
+        assert_eq!(
+            pool.slot_ptr_typed::<[u64; 4]>(idx).cast::<u8>(),
+            ptr.as_ptr()
+        );
         assert_eq!(pool.slot_ptr(idx), ptr.as_ptr());
     }
 

@@ -116,6 +116,15 @@ impl Client {
             other => Err(Self::unexpected(other)),
         }
     }
+
+    /// Fetches the server's slow-op log: tree-origin and server-origin
+    /// records merged, slowest first, at most `max` (0 = all retained).
+    pub fn slowlog(&mut self, max: u32) -> io::Result<Vec<nmbst::obs::SlowOp>> {
+        match self.round_trip(&Request::SlowLog { max })? {
+            Response::SlowLog(records) => Ok(records),
+            other => Err(Self::unexpected(other)),
+        }
+    }
 }
 
 impl std::fmt::Debug for Client {

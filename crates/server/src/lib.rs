@@ -37,4 +37,4 @@ mod server;
 pub mod wire;
 
 pub use client::Client;
-pub use server::{Server, ServerConfig, ServerStats, Store};
+pub use server::{PhaseHists, Server, ServerConfig, ServerStats, Store};

@@ -23,15 +23,20 @@
 //! every `flush_every` ops, which is what keeps the METRICS verb's view
 //! of in-flight workers honest (the `flush_stats` bugfix this PR ships).
 
-use crate::wire::{read_frame, write_frame, BatchOp, BatchReply, MetricsFormat, Request, Response};
+use crate::wire::{
+    op_name, read_frame, write_frame, BatchOp, BatchReply, MetricsFormat, Request, Response,
+    OP_COUNT,
+};
+use nmbst::obs::slow::SlowRing;
+use nmbst::obs::{Histogram, SlowOp, SLOW_EVENTS};
 use nmbst::{Ebr, ShardedMap, ShardedMapHandle, TreeConfig};
 use nmbst_sync::CachePadded;
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The store the tier serves: `u64 → u64` over epoch-reclaimed sharded
 /// trees. Fixed-width keys keep the wire protocol trivial; richer
@@ -52,6 +57,11 @@ pub struct ServerConfig {
     pub tree: TreeConfig,
     /// Ops between a worker's `flush_stats` sampling ticks.
     pub flush_every: u32,
+    /// Frames whose full wire time (request read → response flushed)
+    /// meets this threshold deposit a server-origin [`SlowOp`] into the
+    /// server's slow ring (served by the SLOWLOG verb). `0` disables
+    /// capture. Default 1 ms.
+    pub slow_frame_ns: u64,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +72,64 @@ impl Default for ServerConfig {
             shards: 0,
             tree: TreeConfig::default(),
             flush_every: 1024,
+            slow_frame_ns: 1_000_000,
+        }
+    }
+}
+
+/// Records the server-level slow-frame ring retains.
+const SERVER_SLOW_CAP: usize = 128;
+
+/// Per-phase latency histograms for one request opcode: where a frame's
+/// wall time went. `wire` is the whole frame (request read → response
+/// flushed); `decode`/`execute`/`encode` partition its interior (encode
+/// includes the write and flush), so `wire ≈ decode + execute + encode`
+/// per frame — the breakdown that tells a slow-frame investigation
+/// whether the store or the socket is the problem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseHists {
+    /// Full frame: request read complete → response flushed.
+    pub wire: Histogram,
+    /// `Request::decode` time.
+    pub decode: Histogram,
+    /// Store execution time (the tree/batch/scan work).
+    pub execute: Histogram,
+    /// `Response::encode` + frame write + flush time.
+    pub encode: Histogram,
+}
+
+impl PhaseHists {
+    /// The phase histograms with their exposition labels, in fixed
+    /// order.
+    pub fn by_phase(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("wire", &self.wire),
+            ("decode", &self.decode),
+            ("execute", &self.execute),
+            ("encode", &self.encode),
+        ]
+    }
+
+    fn merge(&mut self, other: &PhaseHists) {
+        self.wire.merge(&other.wire);
+        self.decode.merge(&other.decode);
+        self.execute.merge(&other.execute);
+        self.encode.merge(&other.encode);
+    }
+}
+
+/// One worker's request timing: a [`PhaseHists`] per opcode, indexed by
+/// `opcode - 1`. Behind a per-worker mutex that only the owning worker
+/// (per frame) and scrapes (rarely) take — never contended on the
+/// serving path, so the lock costs an uncontended CAS per frame.
+struct WorkerTiming {
+    ops: [PhaseHists; OP_COUNT],
+}
+
+impl WorkerTiming {
+    fn new() -> Self {
+        WorkerTiming {
+            ops: std::array::from_fn(|_| PhaseHists::default()),
         }
     }
 }
@@ -75,10 +143,19 @@ pub struct ServerStats {
     connections: AtomicU64,
     frames: AtomicU64,
     wire_errors: AtomicU64,
+    timing: Box<[Mutex<WorkerTiming>]>,
+    slow: SlowRing,
+    slow_frame_ns: u64,
+}
+
+impl std::fmt::Debug for WorkerTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerTiming").finish_non_exhaustive()
+    }
 }
 
 impl ServerStats {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, slow_frame_ns: u64) -> Self {
         ServerStats {
             worker_ops: (0..workers)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
@@ -86,7 +163,85 @@ impl ServerStats {
             connections: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             wire_errors: AtomicU64::new(0),
+            timing: (0..workers)
+                .map(|_| Mutex::new(WorkerTiming::new()))
+                .collect(),
+            slow: SlowRing::new(SERVER_SLOW_CAP),
+            slow_frame_ns,
         }
+    }
+
+    /// One served frame's timing: records the four phase durations into
+    /// the worker's per-opcode histograms and deposits a slow-frame
+    /// record when the wire time crosses the configured threshold.
+    fn record_frame(&self, worker: usize, opcode: u8, key: u64, ns: [u64; 4]) {
+        let [wire, decode, execute, encode] = ns;
+        {
+            let mut t = self.timing[worker]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let p = &mut t.ops[usize::from(opcode - 1).min(OP_COUNT - 1)];
+            p.wire.record(wire);
+            p.decode.record(decode);
+            p.execute.record(execute);
+            p.encode.record(encode);
+        }
+        if self.slow_frame_ns != 0 && wire >= self.slow_frame_ns {
+            self.slow.push(SlowOp {
+                kind: opcode,
+                origin: 1,
+                n_events: 0,
+                key,
+                ns: wire,
+                events: [0; SLOW_EVENTS],
+            });
+        }
+    }
+
+    /// Per-opcode request timing merged across workers, labelled with
+    /// the opcode's exposition name, in opcode order. Opcodes that have
+    /// served no frames are included (empty histograms).
+    pub fn request_timing(&self) -> Vec<(&'static str, PhaseHists)> {
+        let mut merged: Vec<PhaseHists> = (0..OP_COUNT).map(|_| PhaseHists::default()).collect();
+        for w in self.timing.iter() {
+            let t = w.lock().unwrap_or_else(|e| e.into_inner());
+            for (dst, src) in merged.iter_mut().zip(t.ops.iter()) {
+                dst.merge(src);
+            }
+        }
+        merged
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (op_name(i as u8 + 1), p))
+            .collect()
+    }
+
+    /// The full-frame (wire) latency histogram for one opcode, merged
+    /// across workers — e.g. `wire::OP_BATCH` for the replay bench's
+    /// server-vs-client percentile cross-check.
+    pub fn wire_hist(&self, opcode: u8) -> Histogram {
+        let mut h = Histogram::new();
+        if opcode == 0 || usize::from(opcode) > OP_COUNT {
+            return h;
+        }
+        for w in self.timing.iter() {
+            let t = w.lock().unwrap_or_else(|e| e.into_inner());
+            h.merge(&t.ops[usize::from(opcode - 1)].wire);
+        }
+        h
+    }
+
+    /// The server-origin slow-frame records currently retained, oldest
+    /// first (the SLOWLOG verb merges these with the store's
+    /// tree-origin records and sorts slowest-first).
+    pub fn slow_frames(&self) -> Vec<SlowOp> {
+        self.slow.snapshot()
+    }
+
+    /// Total slow frames ever deposited (including ones the ring has
+    /// since overwritten).
+    pub fn slow_frames_deposited(&self) -> u64 {
+        self.slow.deposited()
     }
 
     /// Tree operations each worker has routed through its pinned
@@ -154,7 +309,7 @@ impl Server {
         let listener = Arc::new(TcpListener::bind(&config.addr)?);
         let addr = listener.local_addr()?;
         let store = Arc::new(Store::with_config(shards, config.tree));
-        let stats = Arc::new(ServerStats::new(workers));
+        let stats = Arc::new(ServerStats::new(workers, config.slow_frame_ns));
         let stop = Arc::new(AtomicBool::new(false));
 
         let handles = (0..workers)
@@ -192,6 +347,13 @@ impl Server {
     /// Server-level counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// A shared handle to the counters that outlives the server — lets
+    /// a bench snapshot request timing *after* `shutdown` has joined
+    /// the workers, when every frame's record is certainly published.
+    pub fn stats_arc(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Aggregated store metrics — the same snapshot the METRICS verb
@@ -301,12 +463,36 @@ fn serve_conn(
         }
         stats.frames.fetch_add(1, Ordering::Relaxed);
 
-        let response = match Request::decode(&in_body) {
+        // Frame timing: t0 (request read) → decode → t1 → execute → t2
+        // → encode/write/flush → t3. Four Instant reads per frame is
+        // noise against a network round trip; recording happens once
+        // per frame under the worker's own uncontended timing lock.
+        let t0 = Instant::now();
+        let decoded = Request::decode(&in_body);
+        let t1 = Instant::now();
+        match decoded {
             Ok(req) => {
                 let ops = op_count(&req);
                 stats.worker_ops[idx].fetch_add(ops, Ordering::Relaxed);
                 ops_since_flush = ops_since_flush.saturating_add(ops as u32);
-                execute(&req, &mut handle, store, stats)
+                let response = execute(&req, &mut handle, store, stats);
+                let t2 = Instant::now();
+                out_body.clear();
+                response.encode(&mut out_body);
+                write_frame(&mut writer, &out_body)?;
+                writer.flush()?;
+                let t3 = Instant::now();
+                stats.record_frame(
+                    idx,
+                    req.opcode(),
+                    slow_key(&req),
+                    [
+                        (t3 - t0).as_nanos() as u64,
+                        (t1 - t0).as_nanos() as u64,
+                        (t2 - t1).as_nanos() as u64,
+                        (t3 - t2).as_nanos() as u64,
+                    ],
+                );
             }
             Err(e) => {
                 stats.wire_errors.fetch_add(1, Ordering::Relaxed);
@@ -318,12 +504,7 @@ fn serve_conn(
                 writer.flush()?;
                 break;
             }
-        };
-
-        out_body.clear();
-        response.encode(&mut out_body);
-        write_frame(&mut writer, &out_body)?;
-        writer.flush()?;
+        }
 
         if ops_since_flush >= flush_every {
             handle.flush_stats();
@@ -342,9 +523,25 @@ fn op_count(req: &Request) -> u64 {
     match req {
         Request::Get(_) | Request::Insert(..) | Request::Remove(_) => 1,
         Request::Batch(ops) => ops.len() as u64,
-        // SCAN/METRICS/PING read through the store front end, not the
-        // pinned handle; they don't count toward handle-routed ops.
-        Request::Scan { .. } | Request::Metrics(_) | Request::Ping => 0,
+        // SCAN/METRICS/PING/SLOWLOG read through the store front end,
+        // not the pinned handle; they don't count toward handle-routed
+        // ops.
+        Request::Scan { .. } | Request::Metrics(_) | Request::Ping | Request::SlowLog { .. } => 0,
+    }
+}
+
+/// The key a slow-frame record carries: the op's target when the
+/// request has one obvious key, else 0. A batch frame reports its first
+/// op's key — enough to find the offending trace in a replay log.
+fn slow_key(req: &Request) -> u64 {
+    match req {
+        Request::Get(k) | Request::Insert(k, _) | Request::Remove(k) => *k,
+        Request::Batch(ops) => match ops.first() {
+            Some(BatchOp::Get(k) | BatchOp::Insert(k, _) | BatchOp::Remove(k)) => *k,
+            None => 0,
+        },
+        Request::Scan { lo, .. } => *lo,
+        Request::Metrics(_) | Request::Ping | Request::SlowLog { .. } => 0,
     }
 }
 
@@ -385,6 +582,19 @@ fn execute(
         }
         Request::Metrics(fmt) => Response::Metrics(metrics_text(store, stats, *fmt)),
         Request::Ping => Response::Pong,
+        Request::SlowLog { max } => {
+            // Merge the two capture layers: the server's slow-frame
+            // ring (origin 1, whole frames) and the trees' slow-op
+            // rings (origin 0, already merged slowest-first by the
+            // store snapshot). Slowest first, like the snapshot.
+            let mut records = stats.slow_frames();
+            records.extend_from_slice(&store.metrics().slow_ops);
+            records.sort_by_key(|r| std::cmp::Reverse(r.ns));
+            if *max != 0 {
+                records.truncate(*max as usize);
+            }
+            Response::SlowLog(records)
+        }
     }
 }
 
@@ -395,14 +605,33 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
     match fmt {
         MetricsFormat::Json => {
             let ops: Vec<String> = stats.worker_ops().iter().map(u64::to_string).collect();
+            // Request timing: only opcodes that served frames, each as
+            // {"wire":{...},"decode":{...},"execute":{...},"encode":{...}}
+            // of compact histogram summaries.
+            let timing: Vec<String> = stats
+                .request_timing()
+                .iter()
+                .filter(|(_, p)| !p.wire.is_empty())
+                .map(|(op, p)| {
+                    let phases: Vec<String> = p
+                        .by_phase()
+                        .iter()
+                        .map(|(phase, h)| format!("\"{phase}\":{}", h.summary_json()))
+                        .collect();
+                    format!("\"{op}\":{{{}}}", phases.join(","))
+                })
+                .collect();
             format!(
                 "{{\"tree\":{},\"server\":{{\"connections\":{},\"frames\":{},\
-                 \"wire_errors\":{},\"worker_ops\":[{}]}}}}",
+                 \"wire_errors\":{},\"worker_ops\":[{}],\"timing\":{{{}}},\
+                 \"slow_frames\":{}}}}}",
                 snap.to_json(),
                 stats.connections(),
                 stats.frames(),
                 stats.wire_errors(),
-                ops.join(",")
+                ops.join(","),
+                timing.join(","),
+                stats.slow_frames_deposited(),
             )
         }
         MetricsFormat::Prometheus => {
@@ -431,6 +660,34 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
                     "nmbst_server_worker_ops_total{{worker=\"{w}\"}} {n}\n"
                 ));
             }
+            // Request timing histograms: one series per served opcode
+            // per phase. The HELP/TYPE header is emitted only when at
+            // least one series exists — a declared metric with no
+            // samples fails exposition validation.
+            let timing = stats.request_timing();
+            let served: Vec<_> = timing.iter().filter(|(_, p)| !p.wire.is_empty()).collect();
+            if !served.is_empty() {
+                out.push_str(
+                    "# HELP nmbst_server_request_ns Request latency by opcode and phase (ns); \
+                     phase=\"wire\" is the whole frame, decode/execute/encode partition it.\n",
+                );
+                out.push_str("# TYPE nmbst_server_request_ns histogram\n");
+                for (op, p) in served {
+                    for (phase, h) in p.by_phase() {
+                        h.fmt_prometheus_series(
+                            &mut out,
+                            "nmbst_server_request_ns",
+                            &format!("op=\"{op}\",phase=\"{phase}\""),
+                        );
+                    }
+                }
+            }
+            out.push_str("# HELP nmbst_server_slow_frames_total Frames over the slow threshold.\n");
+            out.push_str("# TYPE nmbst_server_slow_frames_total counter\n");
+            out.push_str(&format!(
+                "nmbst_server_slow_frames_total {}\n",
+                stats.slow_frames_deposited()
+            ));
             out
         }
     }

@@ -23,6 +23,7 @@
 //! SCAN    = [0x05][lo u64][hi u64][max u32]      (hi inclusive; max 0 = unlimited)
 //! METRICS = [0x06][format u8]                    (0 = JSON, 1 = Prometheus text)
 //! PING    = [0x07]
+//! SLOWLOG = [0x08][max u32]                      (newest-N slow ops; max 0 = all)
 //! ```
 //!
 //! `BATCH` kinds reuse the single-op opcodes (GET/INSERT/REMOVE).
@@ -40,21 +41,61 @@
 //! SCAN    → [n u32][truncated u8] then n × [key u64][val u64], ascending
 //! METRICS → UTF-8 text (rest of body)
 //! PING    → empty
+//! SLOWLOG → [n u32] then n × [kind u8][origin u8][n_events u8][key u64][ns u64][events 12 × u8]
 //! ```
+//!
+//! SLOWLOG records are [`SlowOp`]s verbatim (31 bytes each), slowest
+//! first; `origin` distinguishes tree-deposited records from
+//! server-frame ones, and `kind` is an `OpClass` discriminant for the
+//! former, a wire opcode for the latter.
 
+use nmbst::obs::{SlowOp, SLOW_EVENTS};
 use std::io::{self, Read, Write};
 
 /// Hard cap on a frame body. Large enough for a ~1M-entry SCAN reply,
 /// small enough that a corrupt length prefix cannot OOM the peer.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
-pub(crate) const OP_GET: u8 = 0x01;
-pub(crate) const OP_INSERT: u8 = 0x02;
-pub(crate) const OP_REMOVE: u8 = 0x03;
-pub(crate) const OP_BATCH: u8 = 0x04;
-pub(crate) const OP_SCAN: u8 = 0x05;
-pub(crate) const OP_METRICS: u8 = 0x06;
-pub(crate) const OP_PING: u8 = 0x07;
+/// GET opcode (also the `kind` of server-origin [`SlowOp`] records and
+/// the `op` dimension of the server's per-request timing histograms).
+pub const OP_GET: u8 = 0x01;
+/// INSERT opcode.
+pub const OP_INSERT: u8 = 0x02;
+/// REMOVE opcode.
+pub const OP_REMOVE: u8 = 0x03;
+/// BATCH opcode — the replay tier's unit of work, and the opcode whose
+/// server-side wire histogram the bench cross-checks against
+/// client-observed round-trip latency.
+pub const OP_BATCH: u8 = 0x04;
+/// SCAN opcode.
+pub const OP_SCAN: u8 = 0x05;
+/// METRICS opcode.
+pub const OP_METRICS: u8 = 0x06;
+/// PING opcode.
+pub const OP_PING: u8 = 0x07;
+/// SLOWLOG opcode.
+pub const OP_SLOWLOG: u8 = 0x08;
+
+/// Number of distinct request opcodes (`0x01..=OP_COUNT`); sizes the
+/// server's per-opcode timing arrays.
+pub const OP_COUNT: usize = 8;
+
+/// The exposition label for a request opcode (`op="..."` in Prometheus
+/// series, the key in METRICS JSON timing objects). `"?"` for values
+/// that are not opcodes.
+pub fn op_name(opcode: u8) -> &'static str {
+    match opcode {
+        OP_GET => "get",
+        OP_INSERT => "insert",
+        OP_REMOVE => "remove",
+        OP_BATCH => "batch",
+        OP_SCAN => "scan",
+        OP_METRICS => "metrics",
+        OP_PING => "ping",
+        OP_SLOWLOG => "slowlog",
+        _ => "?",
+    }
+}
 
 pub(crate) const STATUS_OK: u8 = 0x00;
 pub(crate) const STATUS_ERR: u8 = 0x01;
@@ -117,6 +158,11 @@ pub enum Request {
     Metrics(MetricsFormat),
     /// Liveness probe.
     Ping,
+    /// The newest slow-op records, up to `max` (`0` = all available).
+    SlowLog {
+        /// Record cap; 0 means no cap.
+        max: u32,
+    },
 }
 
 /// A decoded response frame.
@@ -141,6 +187,9 @@ pub enum Response {
     Metrics(String),
     /// PING acknowledged.
     Pong,
+    /// Slow-op records, slowest first (tree rings + server frame ring,
+    /// merged).
+    SlowLog(Vec<SlowOp>),
     /// Server-side failure; the connection stays usable.
     Err(String),
 }
@@ -217,6 +266,22 @@ impl<'a> Cur<'a> {
 }
 
 impl Request {
+    /// The wire opcode this request encodes as — the index of the
+    /// server's per-opcode timing histograms and the `kind` of
+    /// server-origin slow-frame records.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Get(_) => OP_GET,
+            Request::Insert(..) => OP_INSERT,
+            Request::Remove(_) => OP_REMOVE,
+            Request::Batch(_) => OP_BATCH,
+            Request::Scan { .. } => OP_SCAN,
+            Request::Metrics(_) => OP_METRICS,
+            Request::Ping => OP_PING,
+            Request::SlowLog { .. } => OP_SLOWLOG,
+        }
+    }
+
     /// Appends this request's body (no length prefix) to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -268,6 +333,10 @@ impl Request {
                 });
             }
             Request::Ping => out.push(OP_PING),
+            Request::SlowLog { max } => {
+                out.push(OP_SLOWLOG);
+                out.extend_from_slice(&max.to_le_bytes());
+            }
         }
     }
 
@@ -307,6 +376,7 @@ impl Request {
                 f => return Err(WireError(format!("bad metrics format {f:#x}"))),
             }),
             OP_PING => Request::Ping,
+            OP_SLOWLOG => Request::SlowLog { max: c.u32()? },
             op => return Err(WireError(format!("bad opcode {op:#x}"))),
         };
         c.finish()?;
@@ -360,6 +430,17 @@ impl Response {
             }
             Response::Metrics(text) => out.extend_from_slice(text.as_bytes()),
             Response::Pong => {}
+            Response::SlowLog(records) => {
+                out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+                for r in records {
+                    out.push(r.kind);
+                    out.push(r.origin);
+                    out.push(r.n_events);
+                    out.extend_from_slice(&r.key.to_le_bytes());
+                    out.extend_from_slice(&r.ns.to_le_bytes());
+                    out.extend_from_slice(&r.events);
+                }
+            }
             Response::Err(_) => unreachable!("handled above"),
         }
     }
@@ -416,6 +497,33 @@ impl Response {
             }
             OP_METRICS => Response::Metrics(String::from_utf8_lossy(c.rest()).into_owned()),
             OP_PING => Response::Pong,
+            OP_SLOWLOG => {
+                let n = c.u32()? as usize;
+                // 31 bytes per record; pre-reject counts the frame
+                // cannot possibly satisfy.
+                if n > body.len() / 31 + 1 {
+                    return Err(WireError(format!("slowlog count {n} exceeds frame")));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let kind = c.u8()?;
+                    let origin = c.u8()?;
+                    let n_events = c.u8()?;
+                    let key = c.u64()?;
+                    let ns = c.u64()?;
+                    let mut events = [0u8; SLOW_EVENTS];
+                    events.copy_from_slice(c.take(SLOW_EVENTS)?);
+                    records.push(SlowOp {
+                        kind,
+                        origin,
+                        n_events,
+                        key,
+                        ns,
+                        events,
+                    });
+                }
+                Response::SlowLog(records)
+            }
             op => return Err(WireError(format!("bad request opcode {op:#x}"))),
         };
         c.finish()?;
@@ -525,6 +633,8 @@ mod tests {
         round_trip_request(Request::Metrics(MetricsFormat::Json));
         round_trip_request(Request::Metrics(MetricsFormat::Prometheus));
         round_trip_request(Request::Ping);
+        round_trip_request(Request::SlowLog { max: 0 });
+        round_trip_request(Request::SlowLog { max: 128 });
     }
 
     #[test]
@@ -553,6 +663,32 @@ mod tests {
         round_trip_response(OP_METRICS, Response::Metrics("x y z".into()));
         round_trip_response(OP_PING, Response::Pong);
         round_trip_response(OP_GET, Response::Err("boom".into()));
+        round_trip_response(OP_SLOWLOG, Response::SlowLog(Vec::new()));
+        let mut events = [0u8; SLOW_EVENTS];
+        for (i, e) in events.iter_mut().enumerate() {
+            *e = i as u8;
+        }
+        round_trip_response(
+            OP_SLOWLOG,
+            Response::SlowLog(vec![
+                SlowOp {
+                    kind: OP_BATCH,
+                    origin: 1,
+                    n_events: 0,
+                    key: 42,
+                    ns: 2_000_000,
+                    events: [0; SLOW_EVENTS],
+                },
+                SlowOp {
+                    kind: 1,
+                    origin: 0,
+                    n_events: 12,
+                    key: u64::MAX,
+                    ns: 1_500_000,
+                    events,
+                },
+            ]),
+        );
     }
 
     #[test]
@@ -586,7 +722,7 @@ mod tests {
             let len = (next() % 64) as usize;
             let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
             let _ = Request::decode(&bytes); // must not panic
-            let _ = Response::decode((next() % 9) as u8, &bytes);
+            let _ = Response::decode((next() % 10) as u8, &bytes);
         }
     }
 

@@ -182,6 +182,144 @@ fn live_metrics_see_in_flight_worker() {
     server.shutdown();
 }
 
+/// After exactly-known traffic on one worker, every server counter in
+/// the METRICS payload is exact — connections, frames, wire errors,
+/// per-worker ops — and the per-opcode timing histograms count each
+/// served frame exactly once. The whole Prometheus payload (tree +
+/// server sections) must pass the strict exposition validator.
+#[test]
+fn metrics_scrape_is_exact_and_exposition_valid() {
+    let server = start(1);
+    let mut c = Client::connect(server.addr()).unwrap();
+    for k in 0..10u64 {
+        assert!(c.insert(k, k * 7).unwrap());
+    }
+    for k in 0..5u64 {
+        assert_eq!(c.get(&k).unwrap(), Some(k * 7));
+    }
+    assert!(c.remove(&9).unwrap());
+    c.batch(&[
+        BatchOp::Get(0),
+        BatchOp::Insert(100, 1),
+        BatchOp::Remove(100),
+    ])
+    .unwrap();
+
+    // 17 frames served so far; the scrape below is frame 18 and counts
+    // itself (the frame counter bumps before execution).
+    let json = c.metrics(MetricsFormat::Json).unwrap();
+    assert!(json.contains("\"connections\":1"), "{json}");
+    assert!(json.contains("\"frames\":18"), "{json}");
+    assert!(json.contains("\"wire_errors\":0"), "{json}");
+    // 10 inserts + 5 gets + 1 remove + 3 batched ops, all through the
+    // one worker's pinned handle.
+    assert!(json.contains("\"worker_ops\":[19]"), "{json}");
+    // Per-opcode timing: a frame is recorded after its response is
+    // flushed and before the worker reads the next request, so on one
+    // connection the scrape sees every earlier frame exactly once.
+    for (op, frames) in [("get", 5), ("insert", 10), ("remove", 1), ("batch", 1)] {
+        assert!(
+            json.contains(&format!("\"{op}\":{{\"wire\":{{\"count\":{frames},")),
+            "timing for {op} should count {frames} frames: {json}"
+        );
+    }
+    assert!(json.contains("\"slow_frames\":"), "{json}");
+
+    // The stats API agrees with the wire payload.
+    let stats = server.stats();
+    assert_eq!(stats.wire_hist(nmbst_server::wire::OP_INSERT).len(), 10);
+    assert_eq!(stats.wire_hist(nmbst_server::wire::OP_BATCH).len(), 1);
+    for (op, p) in stats.request_timing() {
+        let n = p.wire.len();
+        assert_eq!(p.decode.len(), n, "{op}: every phase counts every frame");
+        assert_eq!(p.execute.len(), n, "{op}");
+        assert_eq!(p.encode.len(), n, "{op}");
+        let interior = p.decode.sum() + p.execute.sum() + p.encode.sum();
+        assert!(
+            interior <= p.wire.sum(),
+            "{op}: phases partition the frame (interior {interior} > wire {})",
+            p.wire.sum()
+        );
+    }
+
+    let prom = c.metrics(MetricsFormat::Prometheus).unwrap();
+    assert!(prom.contains("nmbst_server_frames_total 19"), "{prom}");
+    assert!(
+        prom.contains("nmbst_server_request_ns_count{op=\"insert\",phase=\"wire\"} 10"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(
+            "nmbst_server_request_ns_bucket{op=\"batch\",phase=\"execute\",le=\"+Inf\"} 1"
+        ),
+        "{prom}"
+    );
+    assert!(prom.contains("nmbst_server_slow_frames_total"), "{prom}");
+    nmbst::obs::validate_prometheus(&prom)
+        .unwrap_or_else(|e| panic!("server scrape fails exposition validation: {e}\n{prom}"));
+    drop(c);
+    server.shutdown();
+}
+
+/// With a 1 ns slow-frame threshold every frame is "slow": SLOWLOG must
+/// return server-origin records for each opcode served, slowest first,
+/// and honor its cap. With the tree's slow-op threshold also floored,
+/// tree-origin records (sampled point ops) show up in the same log.
+#[test]
+fn slowlog_serves_merged_slow_records() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        slow_frame_ns: 1,
+        tree: nmbst::TreeConfig::default()
+            .with_latency(nmbst::LatencyConfig::default().with_slow_op_ns(1)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for k in 0..64u64 {
+        assert!(c.insert(k, k).unwrap());
+    }
+    let gets: Vec<BatchOp> = (0..64).map(BatchOp::Get).collect();
+    c.batch(&gets).unwrap();
+
+    let log = c.slowlog(0).unwrap();
+    assert!(!log.is_empty());
+    assert!(
+        log.windows(2).all(|w| w[0].ns >= w[1].ns),
+        "slowest first: {log:?}"
+    );
+    let server_kinds: Vec<u8> = log
+        .iter()
+        .filter(|r| r.origin == 1)
+        .map(|r| r.kind)
+        .collect();
+    assert!(
+        server_kinds.contains(&nmbst_server::wire::OP_INSERT),
+        "{log:?}"
+    );
+    assert!(
+        server_kinds.contains(&nmbst_server::wire::OP_BATCH),
+        "{log:?}"
+    );
+    // Point-op frames carry their target key.
+    assert!(
+        log.iter()
+            .any(|r| r.origin == 1 && r.kind == nmbst_server::wire::OP_INSERT && r.key == 63),
+        "{log:?}"
+    );
+    // the unsampled whole-batch call timer guarantees tree-origin records
+    // (their `kind` is an OpClass discriminant, not an opcode).
+    assert!(log.iter().any(|r| r.origin == 0), "{log:?}");
+
+    // The first SLOWLOG frame was itself slow (1 ns threshold), so the
+    // set only grew between the calls; the capped head is the slowest.
+    let capped = c.slowlog(3).unwrap();
+    assert_eq!(capped.len(), 3);
+    assert!(capped[0].ns >= log[0].ns, "cap keeps the slowest");
+    drop(c);
+    server.shutdown();
+}
+
 /// Malformed frames get an error response and a dropped connection;
 /// the server survives and keeps serving new clients.
 #[test]

@@ -98,8 +98,7 @@ fn recorder_captures_tree_operations_directly() {
     // leaf_cap = 1: the remove must take the structural
     // flag/tag/splice path for its protocol events to appear (a fat-leaf
     // COW remove publishes a new block and emits no helping events).
-    let set: NmTreeSet<u64, Leaky> =
-        NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     {
         let _attached = flight.attach(0);
         for k in [10, 5, 15, 3, 7] {

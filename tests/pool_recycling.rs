@@ -103,7 +103,10 @@ fn pool_off_is_a_true_ablation() {
     // recycle deferral finds a zero-capacity list and abandons its slot
     // in place (dropped). What must be dead is reuse.
     assert_eq!(stats.hits, 0, "no free list, no reuse ({stats:?})");
-    assert_eq!(stats.recycled, 0, "nothing enters a capacity-0 list ({stats:?})");
+    assert_eq!(
+        stats.recycled, 0,
+        "nothing enters a capacity-0 list ({stats:?})"
+    );
     assert_eq!(stats.len, 0, "{stats:?}");
     assert_eq!(stats.capacity, 0, "{stats:?}");
     // Every insert/remove pair costs exactly 2 slots at any leaf_cap

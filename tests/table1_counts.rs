@@ -66,8 +66,7 @@ fn nm_delete_breakdown_is_one_cas_one_bts_one_cas() {
     // {injection CAS, sibling BTS, splice CAS}. Like `measure_nm`, this
     // pins `leaf_cap = 1` — the paper's costs are stated for one-key
     // leaves; a multi-entry block would COW (1 alloc, 1 CAS) instead.
-    let set: NmTreeSet<u64, Leaky> =
-        NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
+    let set: NmTreeSet<u64, Leaky> = NmTreeSet::with_config(TreeConfig::default().with_leaf_cap(1));
     for k in [10, 5, 15, 3, 7] {
         set.insert(k);
     }
