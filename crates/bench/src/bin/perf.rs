@@ -1,12 +1,13 @@
 //! The hot-path perf harness: machine-readable before/after cells for
 //! the PR 2 optimizations, the PR 4 node-recycling pool, the PR 5
 //! locality work (bulk-load + finger-anchored batches), the PR 6
-//! sharded serving tier, the PR 7 fat-leaf blocks, and the PR 8
-//! latency-observability layer, written as `BENCH_PR8.json` (override
-//! the path with `NMBST_BENCH_JSON`).
+//! sharded serving tier, the PR 7 fat-leaf blocks, the PR 8
+//! latency-observability layer, and the PR 9 reactor serving model,
+//! written as `BENCH_PR9.json` (override the path with
+//! `NMBST_BENCH_JSON`).
 //!
-//! Ten benches, each emitting `{bench, config, metrics}` cells in the
-//! `nmbst-bench-v1` schema shared with criterion-lite:
+//! Twelve benches, each emitting `{bench, config, metrics}` cells in
+//! the `nmbst-bench-v1` schema shared with criterion-lite:
 //!
 //! * `single_thread_throughput` — one thread, read-heavy / mixed /
 //!   write-heavy mixes, plain per-op-pin API vs a pin-amortizing
@@ -91,6 +92,28 @@
 //!   ratio trails 1.0 by more than `NMBST_OBS_TOLERANCE`**
 //!   (relative, default 0.03 — the issue's ≤3% observability budget,
 //!   now enforced rather than asserted).
+//! * `serving_churn` — the PR 9 connection-churn cell: the same
+//!   open-loop replay, but every client redials a fresh connection
+//!   every `sessions_per_conn` sessions through the pipelined client,
+//!   with concurrent connections ≥ 8× the worker count (16 conns / 2
+//!   workers) — the shape the pre-reactor one-connection-per-worker
+//!   server provably could not serve without backlog collapse.
+//!   Calibrated then paced at `NMBST_SERVE_UTIL`, median of three by
+//!   p999. **The process exits non-zero if any worker routed zero
+//!   ops**, **if the run did not actually churn** (connections opened
+//!   must exceed the concurrent fleet), **if any connection is stuck
+//!   open after the replay drains**, or **if the paced run overran its
+//!   own schedule by more than `NMBST_CHURN_SLACK`** (relative,
+//!   default 1.0 — a collapsed server drains at capacity, not at the
+//!   offered rate, and blows straight through the slack).
+//! * `pipelining` — the PR 9 client A/B: one client, the same seeded
+//!   uniform GET stream, blocking one-at-a-time vs pipelined with a
+//!   bounded in-flight window, run as interleaved pairs and compared
+//!   on median Mops/s. **The process exits non-zero if the pipelined
+//!   arm is not at least `NMBST_PIPELINE_MIN_SPEEDUP`× the blocking
+//!   arm** (default 2.0 — the win is one RTT per window instead of
+//!   one per request; if it can't clear 2× over loopback the window
+//!   is not actually in flight).
 //!
 //! On any gate failure the harness writes the slow-op records captured
 //! during the serving replay (server slow-frame ring + tree rings,
@@ -112,12 +135,14 @@ use criterion::json::{self, Json};
 use nmbst::obs::{MetricsSnapshot, SlowOp};
 use nmbst::{LatencyConfig, NmTreeSet, PoolConfig, RestartPolicy, SetHandle, TagMode, TreeConfig};
 use nmbst_bench::SweepConfig;
-use nmbst_harness::replay::{run_replay, ReplayConfig, ReplayReport, SessionOp, SessionTarget};
+use nmbst_harness::replay::{
+    run_replay, run_replay_churn, ReplayConfig, ReplayReport, SessionOp, SessionTarget,
+};
 use nmbst_harness::rng::XorShift64Star;
 use nmbst_harness::workload::OpKind;
 use nmbst_harness::{Histogram, SortedBatchGen, Workload};
 use nmbst_reclaim::{Ebr, Leaky, Reclaim};
-use nmbst_server::wire::BatchOp;
+use nmbst_server::wire::{BatchOp, Request, Response};
 use nmbst_server::{Client, Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
@@ -463,7 +488,7 @@ fn main() {
     let out_path = std::env::var(criterion::BENCH_JSON_ENV)
         .ok()
         .filter(|p| !p.is_empty())
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
 
     let mut cells: Vec<Json> = Vec::new();
 
@@ -1012,6 +1037,185 @@ fn main() {
     let serving_gate_ok = check_serving_gate(max_mops, worker_ops);
     let agreement_ok = check_latency_agreement(&report.rtt, &run.batch_wire);
 
+    // The PR 9 churn cell: same replay engine, but every client redials
+    // a fresh connection every `sessions_per_conn` sessions and ships
+    // its bundles as pipelined per-session BATCH frames. 16 concurrent
+    // connections against 2 workers: the pre-reactor server (one
+    // connection served to completion per worker) could not serve this
+    // shape at all.
+    let churn_workers = 2;
+    let churn_clients = churn_workers * 8;
+    let churn_sessions = (sessions / 4).max(1_000);
+    let churn_cfg = ReplayConfig {
+        sessions: churn_sessions,
+        clients: churn_clients,
+        sessions_per_conn: 32,
+        seed,
+        ..ReplayConfig::default()
+    };
+    println!(
+        "== serving churn ({churn_sessions} sessions, {churn_workers} workers, {churn_clients} conns redialing every {} sessions, util {util:.2}, median of {REPEATS}) ==",
+        churn_cfg.sessions_per_conn
+    );
+    let churn_calib_cfg = ReplayConfig {
+        arrival_rate: f64::INFINITY,
+        ..churn_cfg.clone()
+    };
+    let churn_calib = serving_churn_run(&churn_calib_cfg, churn_workers);
+    let churn_peak = churn_calib.report.sessions_per_sec();
+    println!(
+        "  peak capacity      {churn_peak:.0} sessions/s  ({:.3} Mops/s, {} conns opened)",
+        churn_calib.report.mops(),
+        churn_calib.report.conns
+    );
+    let churn_paced_cfg = ReplayConfig {
+        arrival_rate: churn_peak * util,
+        ..churn_cfg.clone()
+    };
+    let churn_sched_secs = churn_sessions as f64 / churn_paced_cfg.arrival_rate;
+    let mut churn_runs: Vec<ChurnRun> = (0..REPEATS)
+        .map(|_| serving_churn_run(&churn_paced_cfg, churn_workers))
+        .collect();
+    churn_runs.sort_by_key(|r| r.report.percentile_ns(99.9));
+    let churn_run = &churn_runs[REPEATS / 2];
+    println!(
+        "  paced @ {:.0}/s      {:.3} Mops/s  p50 {}µs  p99 {}µs  p999 {}µs  ({} conns, backpressure events {})",
+        churn_paced_cfg.arrival_rate,
+        churn_run.report.mops(),
+        churn_run.report.percentile_ns(50.0) / 1_000,
+        churn_run.report.percentile_ns(99.0) / 1_000,
+        churn_run.report.percentile_ns(99.9) / 1_000,
+        churn_run.report.conns,
+        churn_run.backpressure_events,
+    );
+    cells.push(json::cell(
+        "serving_churn",
+        Json::obj([
+            ("workload", Json::from(churn_paced_cfg.workload.name)),
+            ("sessions", Json::from(churn_sessions)),
+            (
+                "ops_per_session",
+                Json::from(u64::from(churn_paced_cfg.ops_per_session)),
+            ),
+            ("workers", Json::from(churn_workers)),
+            ("clients", Json::from(churn_paced_cfg.clients)),
+            (
+                "sessions_per_conn",
+                Json::from(churn_paced_cfg.sessions_per_conn),
+            ),
+            ("key_range", Json::from(churn_paced_cfg.key_range)),
+            ("zipf_theta", Json::Num(churn_paced_cfg.zipf_theta)),
+            ("util", Json::Num(util)),
+            ("arrival_rate", Json::Num(churn_paced_cfg.arrival_rate)),
+            ("seed", Json::from(seed)),
+            ("repeats", Json::from(REPEATS)),
+        ]),
+        Json::obj([
+            ("max_sessions_per_sec", Json::Num(churn_peak)),
+            ("max_mops", Json::Num(churn_calib.report.mops())),
+            ("mops", Json::Num(churn_run.report.mops())),
+            (
+                "sessions_per_sec",
+                Json::Num(churn_run.report.sessions_per_sec()),
+            ),
+            ("ops", Json::from(churn_run.report.ops)),
+            ("conns", Json::from(churn_run.report.conns)),
+            ("p50_ns", Json::from(churn_run.report.percentile_ns(50.0))),
+            ("p99_ns", Json::from(churn_run.report.percentile_ns(99.0))),
+            ("p999_ns", Json::from(churn_run.report.percentile_ns(99.9))),
+            (
+                "backpressure_events",
+                Json::from(churn_run.backpressure_events),
+            ),
+            ("drained", Json::from(u64::from(churn_run.drained))),
+            (
+                "worker_ops",
+                Json::Arr(
+                    churn_run
+                        .worker_ops
+                        .iter()
+                        .map(|&o| Json::from(o))
+                        .collect(),
+                ),
+            ),
+            ("obs", snapshot_json(&churn_run.snap)),
+        ]),
+    ));
+    let churn_gate_ok = check_churn_gate(churn_run, churn_clients, churn_workers, churn_sched_secs);
+
+    // The PR 9 pipelining A/B: identical seeded uniform GET streams on
+    // one client, blocking one-at-a-time vs pipelined, as interleaved
+    // pairs against one long-lived server so machine drift cancels.
+    let pipe_range = key_range.min(1 << 18);
+    println!(
+        "== pipelining (1 client GETs over {pipe_range} keys, window {}, {secs:.2}s/arm, median of {REPEATS} interleaved pairs) ==",
+        Client::PIPELINE_WINDOW
+    );
+    let pipe_server = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    {
+        // Preload every other key so GETs split hit/miss.
+        let mut c = Client::connect(pipe_server.addr()).expect("connect to server");
+        let mut ops = Vec::with_capacity(1024);
+        for chunk_start in (0..pipe_range).step_by(2 * 1024) {
+            ops.clear();
+            ops.extend(
+                (chunk_start..)
+                    .step_by(2)
+                    .take(1024)
+                    .take_while(|&k| k < pipe_range)
+                    .map(|k| BatchOp::Insert(k, k)),
+            );
+            c.batch(&ops).expect("preload batch");
+        }
+    }
+    let mut arm_mops: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for rep in 0..REPEATS {
+        for pipelined in [false, true] {
+            let mops = pipeline_arm_mops(
+                pipe_server.addr(),
+                pipelined,
+                pipe_range,
+                secs,
+                seed ^ rep as u64,
+            );
+            arm_mops[pipelined as usize].push(mops);
+        }
+    }
+    pipe_server.shutdown();
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let serial_mops = median(&mut arm_mops[0]);
+    let pipelined_mops = median(&mut arm_mops[1]);
+    println!(
+        "  blocking  {serial_mops:.3} Mops/s\n  pipelined {pipelined_mops:.3} Mops/s  ({:.1}x)",
+        pipelined_mops / serial_mops
+    );
+    cells.push(json::cell(
+        "pipelining",
+        Json::obj([
+            ("workload", Json::from("uniform_get")),
+            ("window", Json::from(Client::PIPELINE_WINDOW)),
+            ("threads", Json::Int(1)),
+            ("workers", Json::Int(2)),
+            ("key_range", Json::from(pipe_range)),
+            ("secs", Json::Num(secs)),
+            ("seed", Json::from(seed)),
+            ("repeats", Json::from(REPEATS)),
+        ]),
+        Json::obj([
+            ("serial_mops", Json::Num(serial_mops)),
+            ("pipelined_mops", Json::Num(pipelined_mops)),
+            ("speedup", Json::Num(pipelined_mops / serial_mops)),
+        ]),
+    ));
+    let pipeline_gate_ok = check_pipeline_gate(serial_mops, pipelined_mops);
+
     let path = std::path::Path::new(&out_path);
     json::write_bench_file(path, &cells).expect("write bench json");
     println!("wrote {} cells to {}", cells.len(), path.display());
@@ -1044,6 +1248,12 @@ fn main() {
     }
     if !agreement_ok {
         failures.push("client/server latency agreement gate failed");
+    }
+    if !churn_gate_ok {
+        failures.push("serving churn gate failed");
+    }
+    if !pipeline_gate_ok {
+        failures.push("pipelining gate failed");
     }
     if !baseline_ok {
         failures.push("baseline throughput gate failed");
@@ -1250,6 +1460,212 @@ fn serving_replay_run(cfg: &ReplayConfig, workers: usize) -> ServeRun {
         batch_wire,
         slow,
     }
+}
+
+fn to_batch_op(op: SessionOp) -> BatchOp {
+    match op {
+        SessionOp::Get(k) => BatchOp::Get(k),
+        SessionOp::Insert(k, v) => BatchOp::Insert(k, v),
+        SessionOp::Remove(k) => BatchOp::Remove(k),
+    }
+}
+
+/// The churn replay's per-connection target: one BATCH frame per
+/// *session* (not per bundle), shipped pipelined — several frames in
+/// flight on the connection, responses drained in order. Dropped and
+/// reopened by the replay engine every `sessions_per_conn` sessions.
+struct ChurnTarget {
+    client: Client,
+    per_session: usize,
+    reqs: Vec<Request>,
+}
+
+impl SessionTarget for ChurnTarget {
+    fn run(&mut self, ops: &[SessionOp]) -> std::io::Result<()> {
+        self.reqs.clear();
+        self.reqs.extend(
+            ops.chunks(self.per_session)
+                .map(|chunk| Request::Batch(chunk.iter().copied().map(to_batch_op).collect())),
+        );
+        for resp in self.client.pipeline(&self.reqs)? {
+            if let Response::Err(msg) = resp {
+                return Err(std::io::Error::other(format!("server error: {msg}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything one churn replay run produces. No wire histogram here —
+/// pipelined frames share socket flushes, so there is no per-frame
+/// client RTT population to cross-check against (the agreement gate
+/// stays on the `serving_replay` cell, whose target is strictly one
+/// frame in flight).
+struct ChurnRun {
+    report: ReplayReport,
+    snap: MetricsSnapshot,
+    worker_ops: Vec<u64>,
+    backpressure_events: u64,
+    /// Every reactor noticed every close: `open_connections` reached 0
+    /// after the last client hung up (2 s grace).
+    drained: bool,
+}
+
+/// One fresh-server churn run: clients open and close their own
+/// connections via a redialing factory, bundles go out pipelined.
+fn serving_churn_run(cfg: &ReplayConfig, workers: usize) -> ChurnRun {
+    let server = Server::start(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let store = Arc::clone(server.store());
+    let stats = server.stats_arc();
+    let addr = server.addr();
+    let per_session = cfg.ops_per_session as usize;
+    let factories: Vec<_> = (0..cfg.clients)
+        .map(|_| {
+            move || {
+                Ok(ChurnTarget {
+                    client: Client::connect(addr)?,
+                    per_session,
+                    reqs: Vec::new(),
+                })
+            }
+        })
+        .collect();
+    let report = run_replay_churn(cfg, factories);
+    // All clients have hung up; stuck connections are reactor bugs.
+    let t0 = Instant::now();
+    let mut drained = false;
+    while t0.elapsed() < Duration::from_secs(2) {
+        if stats.serve_gauges().open_connections == 0 {
+            drained = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let worker_ops = stats.worker_ops();
+    let backpressure_events = stats.serve_gauges().backpressure_events;
+    server.shutdown();
+    let snap = store.metrics();
+    ChurnRun {
+        report,
+        snap,
+        worker_ops,
+        backpressure_events,
+        drained,
+    }
+}
+
+/// The churn gate: per-worker ops all nonzero (hard fail — churned
+/// connections still must reach every reactor's pinned handles), the
+/// run actually churned (connections opened exceed the concurrent
+/// fleet, which itself is ≥ 8× workers), every connection closed when
+/// the clients left, and the paced run finished within
+/// `NMBST_CHURN_SLACK` (relative, default 1.0) of its own schedule — a
+/// server that can't sustain the offered load drains at capacity
+/// instead and overshoots immediately.
+fn check_churn_gate(run: &ChurnRun, clients: usize, workers: usize, sched_secs: f64) -> bool {
+    let slack = std::env::var("NMBST_CHURN_SLACK")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let mut pass = true;
+    for (w, &ops) in run.worker_ops.iter().enumerate() {
+        if ops == 0 {
+            eprintln!("error: churn worker {w} routed zero ops through its pinned handles");
+            pass = false;
+        }
+    }
+    if clients < 8 * workers {
+        eprintln!("error: churn fleet of {clients} conns is under 8x the {workers} workers");
+        pass = false;
+    }
+    if run.report.conns <= clients as u64 {
+        eprintln!(
+            "error: churn run opened only {} connections for {clients} clients — nothing redialed",
+            run.report.conns
+        );
+        pass = false;
+    }
+    if !run.drained {
+        eprintln!("error: connections stuck open after every churn client hung up");
+        pass = false;
+    }
+    let elapsed = run.report.elapsed.as_secs_f64();
+    let ceiling = sched_secs * (1.0 + slack);
+    if elapsed > ceiling {
+        eprintln!(
+            "error: paced churn run took {elapsed:.2}s against a {sched_secs:.2}s schedule \
+             (ceiling {ceiling:.2}s) — the offered load was not sustained"
+        );
+        pass = false;
+    }
+    println!(
+        "  churn gate: {} — {} conns over {clients} clients, drained={}, {elapsed:.2}s vs {sched_secs:.2}s schedule",
+        if pass { "ok" } else { "FAIL" },
+        run.report.conns,
+        run.drained,
+    );
+    pass
+}
+
+/// One pipelining arm: `secs` of the seeded uniform GET stream, either
+/// blocking one-at-a-time or pipelined in bursts of 8 windows (the
+/// window itself still bounds frames in flight). Returns Mops/s.
+fn pipeline_arm_mops(
+    addr: std::net::SocketAddr,
+    pipelined: bool,
+    key_range: u64,
+    secs: f64,
+    seed: u64,
+) -> f64 {
+    let mut client = Client::connect(addr).expect("connect to server");
+    let mut rng = XorShift64Star::from_stream(seed, 0x919);
+    let burst = Client::PIPELINE_WINDOW * 8;
+    let mut reqs = Vec::with_capacity(burst);
+    let mut ops = 0u64;
+    let t0 = Instant::now();
+    let deadline = Duration::from_secs_f64(secs);
+    while t0.elapsed() < deadline {
+        if pipelined {
+            reqs.clear();
+            reqs.extend((0..burst).map(|_| Request::Get(rng.next_bounded(key_range))));
+            let responses = client.pipeline(&reqs).expect("pipelined gets");
+            assert_eq!(responses.len(), reqs.len());
+            ops += responses.len() as u64;
+        } else {
+            let key = rng.next_bounded(key_range);
+            std::hint::black_box(client.get(&key).expect("blocking get"));
+            ops += 1;
+        }
+    }
+    ops as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// The pipelining gate: the pipelined arm must clear
+/// `NMBST_PIPELINE_MIN_SPEEDUP`× the blocking arm (default 2.0). The
+/// blocking client pays a full RTT per request; the pipelined client
+/// pays one per window — anything under 2× means the window is not
+/// actually keeping frames in flight.
+fn check_pipeline_gate(serial_mops: f64, pipelined_mops: f64) -> bool {
+    let min_speedup = std::env::var("NMBST_PIPELINE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.0);
+    let speedup = pipelined_mops / serial_mops;
+    let pass = speedup >= min_speedup;
+    println!(
+        "  pipeline gate: {speedup:.1}x over blocking (floor {min_speedup:.1}x)  [{}]",
+        if pass { "ok" } else { "FAIL" }
+    );
+    if !pass {
+        eprintln!(
+            "error: pipelined client only {speedup:.2}x the blocking client (need {min_speedup:.1}x)"
+        );
+    }
+    pass
 }
 
 /// The serving gate. Hard-fails if any worker routed zero ops through

@@ -12,7 +12,7 @@
 //!
 //! Recording is allocation-free and branch-light: one `leading_zeros`,
 //! one shift, three counter bumps. The concurrent form stripes its
-//! slots across [`LAT_SHARDS`] shards indexed by the same thread-local
+//! slots across `LAT_SHARDS` shards indexed by the same thread-local
 //! shard assignment the operation counters use, so a recording thread
 //! bumps lines it already owns; snapshots sum the shards (racy but
 //! monotonic, the usual scrape contract).

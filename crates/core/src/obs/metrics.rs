@@ -606,6 +606,32 @@ impl PendingOps {
     }
 }
 
+/// Serving-tier connection gauges, folded into a [`MetricsSnapshot`] by
+/// front ends that own connections (the TCP server's per-worker
+/// reactors). Trees themselves never set these — they default to zero —
+/// but carrying them on the snapshot lets the server reuse the metrics
+/// merge/exposition pipeline (JSON + Prometheus + validator) instead of
+/// inventing a parallel one.
+///
+/// `open_connections`, `read_paused_connections`, and
+/// `write_buffered_bytes` are point-in-time gauges;
+/// `backpressure_events` is a monotonic counter of read-pause
+/// transitions (a connection entering the paused state counts once per
+/// entry, not per byte). All four are *summed* by
+/// [`MetricsSnapshot::merge`]: each worker owns disjoint connections, so
+/// the aggregate is the fleet total.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeGauges {
+    /// Connections currently registered with a reactor.
+    pub open_connections: u64,
+    /// Connections whose reads are paused by write-buffer backpressure.
+    pub read_paused_connections: u64,
+    /// Bytes sitting in not-yet-flushed per-connection write buffers.
+    pub write_buffered_bytes: u64,
+    /// Times any connection transitioned into the read-paused state.
+    pub backpressure_events: u64,
+}
+
 /// A point-in-time view of one tree's metrics, produced by
 /// [`NmTreeMap::metrics`](crate::NmTreeMap::metrics).
 ///
@@ -684,6 +710,10 @@ pub struct MetricsSnapshot {
     /// disabled. `hits`/`misses` are flushed from handles on re-pin and
     /// drop, so mid-loop snapshots may lag a handle's batched counts.
     pub pool: PoolStats,
+    /// Serving-tier connection/backpressure gauges (see
+    /// [`ServeGauges`]); all zeros on snapshots taken from a bare tree —
+    /// only connection-owning front ends populate them.
+    pub serve: ServeGauges,
 }
 
 impl MetricsSnapshot {
@@ -691,9 +721,9 @@ impl MetricsSnapshot {
     /// a sharded front end (e.g. `ShardedMap::metrics`) reports for N
     /// independent trees.
     ///
-    /// Operation counters, `size_estimate`, pool counters, the latency
-    /// histograms (slot counts and sums add exactly), and the retired
-    /// backlog are *sums*; `max_depth`, per-histogram maxima, the
+    /// Operation counters, `size_estimate`, pool counters, serve gauges
+    /// (workers own disjoint connections), the latency histograms (slot
+    /// counts and sums add exactly), and the retired backlog are *sums*; `max_depth`, per-histogram maxima, the
     /// reclaim epoch, and the epoch lag are *maxima* (each shard owns an
     /// independent reclaimer, so the worst shard is the health signal).
     /// `pinned_threads` is summed per shard — a thread pinned in several
@@ -728,6 +758,10 @@ impl MetricsSnapshot {
         self.pool.dropped += other.pool.dropped;
         self.pool.len += other.pool.len;
         self.pool.capacity += other.pool.capacity;
+        self.serve.open_connections += other.serve.open_connections;
+        self.serve.read_paused_connections += other.serve.read_paused_connections;
+        self.serve.write_buffered_bytes += other.serve.write_buffered_bytes;
+        self.serve.backpressure_events += other.serve.backpressure_events;
     }
 
     /// The snapshot as one flat JSON object (fixed key order, no
@@ -760,7 +794,9 @@ impl MetricsSnapshot {
                 "\"reclaim_epoch\":{},\"reclaim_epoch_lag\":{},",
                 "\"reclaim_pinned_threads\":{},\"reclaim_retired_backlog\":{},",
                 "\"pool_hits\":{},\"pool_misses\":{},",
-                "\"pool_recycled\":{},\"pool_len\":{}}}"
+                "\"pool_recycled\":{},\"pool_len\":{},",
+                "\"open_connections\":{},\"read_paused_connections\":{},",
+                "\"write_buffered_bytes\":{},\"backpressure_events\":{}}}"
             ),
             self.searches,
             self.inserts,
@@ -784,6 +820,10 @@ impl MetricsSnapshot {
             self.pool.misses,
             self.pool.recycled,
             self.pool.len,
+            self.serve.open_connections,
+            self.serve.read_paused_connections,
+            self.serve.write_buffered_bytes,
+            self.serve.backpressure_events,
         )
     }
 
@@ -975,6 +1015,34 @@ impl MetricsSnapshot {
             "Free blocks currently in the shared pool.",
             self.pool.len as i128,
         );
+        metric(
+            &mut out,
+            "nmbst_serve_open_connections",
+            "gauge",
+            "Connections currently registered with serving reactors.",
+            self.serve.open_connections as i128,
+        );
+        metric(
+            &mut out,
+            "nmbst_serve_read_paused_connections",
+            "gauge",
+            "Connections read-paused by write-buffer backpressure.",
+            self.serve.read_paused_connections as i128,
+        );
+        metric(
+            &mut out,
+            "nmbst_serve_write_buffered_bytes",
+            "gauge",
+            "Bytes in not-yet-flushed per-connection write buffers.",
+            self.serve.write_buffered_bytes as i128,
+        );
+        metric(
+            &mut out,
+            "nmbst_serve_backpressure_events_total",
+            "counter",
+            "Connections that transitioned into the read-paused state.",
+            self.serve.backpressure_events as i128,
+        );
         out
     }
 }
@@ -986,7 +1054,8 @@ impl std::fmt::Display for MetricsSnapshot {
             "searches={} inserts={}/{} removes={}/{} helps={} finger={}/{} size≈{} \
              max_depth={} mean_depth≈{:.1} lat_samples={} slow_ops={} \
              epoch={} lag={} pinned={} backlog={} \
-             pool_hits={} pool_misses={} pool_recycled={} pool_len={}",
+             pool_hits={} pool_misses={} pool_recycled={} pool_len={} \
+             conns={} read_paused={} wbuf_bytes={} backpressure={}",
             self.searches,
             self.inserted,
             self.inserts,
@@ -1008,6 +1077,10 @@ impl std::fmt::Display for MetricsSnapshot {
             self.pool.misses,
             self.pool.recycled,
             self.pool.len,
+            self.serve.open_connections,
+            self.serve.read_paused_connections,
+            self.serve.write_buffered_bytes,
+            self.serve.backpressure_events,
         )
     }
 }

@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 
 /// Validates `text` against the exposition contract described in the
-/// [module docs](self). Returns the first violation found, prefixed
+/// module docs above. Returns the first violation found, prefixed
 /// with its 1-based line number.
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
     let mut help: Vec<String> = Vec::new();

@@ -2,7 +2,7 @@
 //! nothing (exact sums, not estimates), handle batching must flush on
 //! drop, and the exposition formats must carry every counter.
 
-use nmbst::obs::{validate_prometheus, MetricsSnapshot, DEPTH_BUCKETS};
+use nmbst::obs::{validate_prometheus, MetricsSnapshot, ServeGauges, DEPTH_BUCKETS};
 use nmbst::{LatencyConfig, NmTreeMap, NmTreeSet, TreeConfig};
 use nmbst_reclaim::{Ebr, Leaky};
 use std::sync::Barrier;
@@ -317,6 +317,70 @@ fn snapshot_merge_identity_and_exactness() {
             "depth_hist[{i}] adds cellwise"
         );
     }
+}
+
+/// The serving-tier gauges ride the same snapshot: zero-defaulted (so a
+/// bare tree's snapshot is unchanged and the merge identity holds),
+/// summed cell-by-cell on merge (workers own disjoint connections), and
+/// present in both exposition formats — with the backpressure counter
+/// named `*_total` so the strict validator accepts it.
+#[test]
+fn serve_gauges_merge_and_expose() {
+    // Defaults are all-zero, so a tree snapshot (which never sets them)
+    // keeps the identity property the previous test established.
+    assert_eq!(ServeGauges::default().open_connections, 0);
+    assert_eq!(MetricsSnapshot::default().serve, ServeGauges::default());
+
+    let a = MetricsSnapshot {
+        serve: ServeGauges {
+            open_connections: 3,
+            read_paused_connections: 1,
+            write_buffered_bytes: 4096,
+            backpressure_events: 7,
+        },
+        ..MetricsSnapshot::default()
+    };
+    let b = MetricsSnapshot {
+        serve: ServeGauges {
+            open_connections: 5,
+            read_paused_connections: 0,
+            write_buffered_bytes: 100,
+            backpressure_events: 2,
+        },
+        ..MetricsSnapshot::default()
+    };
+
+    // Identity on both sides.
+    let mut left = a.clone();
+    left.merge(&MetricsSnapshot::default());
+    assert_eq!(left, a, "serve ⊕ empty = serve");
+    let mut right = MetricsSnapshot::default();
+    right.merge(&a);
+    assert_eq!(right, a, "empty ⊕ serve = serve");
+
+    // Exact sums across workers.
+    let mut m = a.clone();
+    m.merge(&b);
+    assert_eq!(m.serve.open_connections, 8);
+    assert_eq!(m.serve.read_paused_connections, 1);
+    assert_eq!(m.serve.write_buffered_bytes, 4196);
+    assert_eq!(m.serve.backpressure_events, 9);
+
+    // Both exposition formats carry the gauges with the merged values.
+    let json = m.to_json();
+    assert!(json.contains("\"open_connections\":8"), "{json}");
+    assert!(json.contains("\"read_paused_connections\":1"), "{json}");
+    assert!(json.contains("\"write_buffered_bytes\":4196"), "{json}");
+    assert!(json.contains("\"backpressure_events\":9"), "{json}");
+
+    let prom = m.to_prometheus();
+    assert!(prom.contains("nmbst_serve_open_connections 8\n"));
+    assert!(prom.contains("nmbst_serve_read_paused_connections 1\n"));
+    assert!(prom.contains("nmbst_serve_write_buffered_bytes 4196\n"));
+    assert!(prom.contains("nmbst_serve_backpressure_events_total 9\n"));
+    assert!(prom.contains("# TYPE nmbst_serve_open_connections gauge"));
+    assert!(prom.contains("# TYPE nmbst_serve_backpressure_events_total counter"));
+    validate_prometheus(&prom).unwrap_or_else(|e| panic!("serve gauges break the validator: {e}"));
 }
 
 /// With `sample_shift = 0` every point op is timed, so the per-op-type

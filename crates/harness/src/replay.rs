@@ -18,6 +18,15 @@
 //! the wire), which is how a blocking per-connection client sustains
 //! millions of scheduled sessions over loopback without a reactor.
 //!
+//! Two fleet shapes: [`run_replay`] drives a *pinned* fleet (each
+//! client keeps one pre-opened connection for the whole run), while
+//! [`run_replay_churn`] adds *connection churn* — each client redials
+//! through a [`TargetFactory`] every
+//! [`ReplayConfig::sessions_per_conn`] sessions, closing the old
+//! connection first, so the server continuously sees arrivals and
+//! departures (the shape a blocking one-connection-per-worker server
+//! provably cannot absorb once connections outnumber workers).
+//!
 //! Everything is seeded: session `s` always issues the same ops drawn
 //! from `XorShift64Star::from_stream(seed, s)`, independent of which
 //! client executes it or when.
@@ -57,6 +66,43 @@ impl<F: FnMut(&[SessionOp]) -> io::Result<()>> SessionTarget for F {
     }
 }
 
+/// Opens connections for the churn replay mode ([`run_replay_churn`]):
+/// each client thread holds one factory and calls [`connect`] whenever
+/// it needs a fresh connection — at startup, and again every
+/// [`ReplayConfig::sessions_per_conn`] sessions after dropping the old
+/// one. Against a TCP server this is real connection churn: the old
+/// socket closes, the new one lands on a (round-robin) possibly
+/// different worker.
+///
+/// [`connect`]: TargetFactory::connect
+pub trait TargetFactory {
+    /// The connection type this factory opens.
+    type Target: SessionTarget;
+    /// Opens a fresh connection. An `Err` aborts the replay.
+    fn connect(&mut self) -> io::Result<Self::Target>;
+}
+
+impl<T: SessionTarget, F: FnMut() -> io::Result<T>> TargetFactory for F {
+    type Target = T;
+    fn connect(&mut self) -> io::Result<T> {
+        self()
+    }
+}
+
+/// Adapts a pre-opened target into a [`TargetFactory`] that yields it
+/// exactly once — how [`run_replay`] reuses the churn engine for the
+/// classic pinned-fleet mode.
+struct Pinned<T>(Option<T>);
+
+impl<T: SessionTarget> TargetFactory for Pinned<T> {
+    type Target = T;
+    fn connect(&mut self) -> io::Result<T> {
+        self.0
+            .take()
+            .ok_or_else(|| io::Error::other("pinned target cannot reconnect"))
+    }
+}
+
 /// The replay schedule and workload shape.
 #[derive(Debug, Clone)]
 pub struct ReplayConfig {
@@ -77,6 +123,14 @@ pub struct ReplayConfig {
     pub arrival_rate: f64,
     /// Max sessions coalesced into one [`SessionTarget::run`] call.
     pub coalesce: usize,
+    /// Connection churn ([`run_replay_churn`] only): after this many
+    /// sessions a client drops its connection and opens a fresh one
+    /// from its [`TargetFactory`]. Churn happens at bundle boundaries —
+    /// a coalesced bundle never splits across connections — so the
+    /// effective count can overshoot by up to `coalesce - 1`. `0`
+    /// pins one connection per client for the whole run (and is forced
+    /// by [`run_replay`], whose targets cannot reconnect).
+    pub sessions_per_conn: u64,
     /// Operation mix.
     pub workload: Workload,
     /// Master seed; session op streams derive from it.
@@ -93,6 +147,7 @@ impl Default for ReplayConfig {
             zipf_theta: 0.9,
             arrival_rate: f64::INFINITY,
             coalesce: 64,
+            sessions_per_conn: 0,
             workload: Workload::MIXED,
             seed: 42,
         }
@@ -121,6 +176,9 @@ pub struct ReplayReport {
     pub rtt: Histogram,
     /// Ops issued by each client thread.
     pub per_client_ops: Vec<u64>,
+    /// Connections opened across all clients: `clients` in the pinned
+    /// mode, more under churn ([`ReplayConfig::sessions_per_conn`]).
+    pub conns: u64,
 }
 
 impl ReplayReport {
@@ -166,13 +224,37 @@ pub fn session_ops(cfg: &ReplayConfig, zipf: &ZipfGenerator, sid: u64, out: &mut
     }
 }
 
-/// Runs the replay: one thread per target, open-loop arrivals, due
-/// sessions coalesced up to `config.coalesce` per bundle.
+/// Runs the replay over a fixed fleet: one thread per pre-opened
+/// target, open-loop arrivals, due sessions coalesced up to
+/// `config.coalesce` per bundle.
 ///
 /// `targets.len()` must equal `config.clients`. Panics if a target
 /// errors — a replay with missing sessions would report a lie.
+/// `config.sessions_per_conn` is ignored (pre-opened targets cannot
+/// reconnect); use [`run_replay_churn`] for churn.
 pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) -> ReplayReport {
     assert_eq!(targets.len(), cfg.clients, "one target per client");
+    let cfg = ReplayConfig {
+        sessions_per_conn: 0,
+        ..cfg.clone()
+    };
+    run_replay_churn(&cfg, targets.into_iter().map(|t| Pinned(Some(t))).collect())
+}
+
+/// Runs the replay with connection churn: one thread per factory, each
+/// opening its first connection at t=0 and a fresh one every
+/// [`ReplayConfig::sessions_per_conn`] sessions (the old connection is
+/// dropped — closed — first, so the server sees genuine connection
+/// arrival/departure under load, not a fixed fleet).
+///
+/// `factories.len()` must equal `config.clients`. Panics if a connect
+/// or a target errors — a replay with missing sessions would report a
+/// lie.
+pub fn run_replay_churn<F>(cfg: &ReplayConfig, factories: Vec<F>) -> ReplayReport
+where
+    F: TargetFactory + Send,
+{
+    assert_eq!(factories.len(), cfg.clients, "one target per client");
     assert!(cfg.clients > 0 && cfg.sessions > 0 && cfg.ops_per_session > 0);
     assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
 
@@ -193,13 +275,14 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
         }
     };
 
-    let mut per_client: Vec<(u64, Histogram, Histogram, Duration)> =
+    let churn = cfg.sessions_per_conn;
+    let mut per_client: Vec<(u64, Histogram, Histogram, Duration, u64)> =
         Vec::with_capacity(cfg.clients);
     std::thread::scope(|s| {
-        let handles: Vec<_> = targets
+        let handles: Vec<_> = factories
             .into_iter()
             .enumerate()
-            .map(|(c, mut target)| {
+            .map(|(c, mut factory)| {
                 let zipf = zipf.clone();
                 let start_gate = &start_gate;
                 let arrival_ns = &arrival_ns;
@@ -207,6 +290,9 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
                     let mut hist = Histogram::new();
                     let mut rtt = Histogram::new();
                     let mut ops_issued = 0u64;
+                    let mut conns = 0u64;
+                    let mut on_conn = 0u64;
+                    let mut target: Option<F::Target> = None;
                     let mut bundle_ops: Vec<SessionOp> = Vec::new();
                     let mut bundle_arrivals: Vec<u64> = Vec::new();
                     let mut owned = (c as u64..cfg.sessions).step_by(cfg.clients).peekable();
@@ -235,18 +321,36 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
                                 _ => break,
                             }
                         }
+                        // Churn at bundle boundaries: close (drop) the
+                        // old connection before dialing, so the server
+                        // sees departures, not just arrivals. The dial
+                        // itself is on the clock — connection setup is
+                        // part of what churn mode exists to measure.
+                        if target.is_none() || (churn > 0 && on_conn >= churn) {
+                            drop(target.take());
+                            target = Some(
+                                factory
+                                    .connect()
+                                    .unwrap_or_else(|e| panic!("client {c}: connect failed: {e}")),
+                            );
+                            conns += 1;
+                            on_conn = 0;
+                        }
                         let sent = t0.elapsed().as_nanos() as u64;
                         target
+                            .as_mut()
+                            .expect("connection just established")
                             .run(&bundle_ops)
                             .unwrap_or_else(|e| panic!("client {c}: target failed: {e}"));
                         ops_issued += bundle_ops.len() as u64;
+                        on_conn += bundle_arrivals.len() as u64;
                         let done = t0.elapsed().as_nanos() as u64;
                         rtt.record(done.saturating_sub(sent));
                         for &arr in &bundle_arrivals {
                             hist.record(done.saturating_sub(arr));
                         }
                     }
-                    (ops_issued, hist, rtt, t0.elapsed())
+                    (ops_issued, hist, rtt, t0.elapsed(), conns)
                 })
             })
             .collect();
@@ -259,12 +363,14 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
     let mut rtt = Histogram::new();
     let mut ops = 0;
     let mut elapsed = Duration::ZERO;
+    let mut conns = 0;
     let mut per_client_ops = Vec::with_capacity(cfg.clients);
-    for (client_ops, hist, client_rtt, client_elapsed) in per_client {
+    for (client_ops, hist, client_rtt, client_elapsed, client_conns) in per_client {
         latency.merge(&hist);
         rtt.merge(&client_rtt);
         ops += client_ops;
         elapsed = elapsed.max(client_elapsed);
+        conns += client_conns;
         per_client_ops.push(client_ops);
     }
     ReplayReport {
@@ -274,6 +380,7 @@ pub fn run_replay<T: SessionTarget + Send>(cfg: &ReplayConfig, targets: Vec<T>) 
         latency,
         rtt,
         per_client_ops,
+        conns,
     }
 }
 
@@ -329,6 +436,58 @@ mod tests {
         assert_eq!(report.per_client_ops.len(), 3);
         assert!(report.per_client_ops.iter().all(|&n| n > 0));
         assert!(report.percentile_ns(99.9) >= report.percentile_ns(50.0));
+        assert_eq!(report.conns, 3, "pinned mode opens one conn per client");
+    }
+
+    #[test]
+    fn churn_redials_at_bundle_boundaries() {
+        let mut c = cfg(1_000, 2);
+        c.coalesce = 4;
+        c.sessions_per_conn = 8;
+        let connects = AtomicU64::new(0);
+        let executed = AtomicU64::new(0);
+        let factories: Vec<_> = (0..2)
+            .map(|_| {
+                let connects = &connects;
+                let executed = &executed;
+                move || {
+                    connects.fetch_add(1, Ordering::Relaxed);
+                    Ok(move |ops: &[SessionOp]| {
+                        executed.fetch_add(ops.len() as u64, Ordering::Relaxed);
+                        Ok(())
+                    })
+                }
+            })
+            .collect();
+        let report = run_replay_churn(&c, factories);
+        assert_eq!(report.sessions, 1_000);
+        assert_eq!(report.ops, executed.load(Ordering::Relaxed));
+        assert_eq!(report.conns, connects.load(Ordering::Relaxed));
+        // 500 sessions per client, redial every 8 (= 2 bundles of 4):
+        // far more connections than clients, but never more than one
+        // per bundle.
+        assert!(report.conns > 2, "churn never redialed: {}", report.conns);
+        assert!(report.conns <= 2 * 500u64.div_ceil(8));
+    }
+
+    #[test]
+    fn churn_zero_pins_connections() {
+        let mut c = cfg(200, 2);
+        c.sessions_per_conn = 0;
+        let connects = AtomicU64::new(0);
+        let factories: Vec<_> = (0..2)
+            .map(|_| {
+                let connects = &connects;
+                move || {
+                    connects.fetch_add(1, Ordering::Relaxed);
+                    Ok(|_: &[SessionOp]| Ok(()))
+                }
+            })
+            .collect();
+        let report = run_replay_churn(&c, factories);
+        assert_eq!(report.sessions, 200);
+        assert_eq!(report.conns, 2);
+        assert_eq!(connects.load(Ordering::Relaxed), 2);
     }
 
     #[test]

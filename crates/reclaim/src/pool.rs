@@ -228,9 +228,9 @@ impl NodePool {
     /// Resolves a slot index to its address. The returned pointer is
     /// stable for the arena's lifetime.
     ///
-    /// The index must have been produced by this pool ([`acquire`]
-    /// (Self::acquire) or [`bump`](Self::bump)); index 0 (the null edge)
-    /// is not a slot.
+    /// The index must have been produced by this pool
+    /// ([`acquire`](Self::acquire) or [`bump`](Self::bump)); index 0
+    /// (the null edge) is not a slot.
     #[inline]
     pub fn slot_ptr(&self, idx: u32) -> *mut u8 {
         debug_assert!(idx != 0 && idx <= MAX_INDEX);

@@ -1,7 +1,9 @@
 //! A blocking client for the wire protocol — what the tests and the
-//! replay harness drive. One TCP connection, strict request/response
-//! (no pipelining), reused encode/decode buffers, no allocations per
-//! request beyond the reply's own payload.
+//! replay harness drive. One TCP connection; the single-op methods are
+//! strict request/response, while [`Client::pipeline`] keeps a bounded
+//! window of frames in flight and matches responses by order. Reused
+//! encode/decode buffers, no allocations per request beyond the reply's
+//! own payload.
 
 use crate::wire::{
     read_frame, write_frame, BatchOp, BatchReply, MetricsFormat, Request, Response, WireError,
@@ -124,6 +126,65 @@ impl Client {
             Response::SlowLog(records) => Ok(records),
             other => Err(Self::unexpected(other)),
         }
+    }
+
+    /// Default in-flight window for [`Client::pipeline`]: deep enough
+    /// to hide a round trip entirely, shallow enough that the client's
+    /// unread responses stay far below the server's write budget.
+    pub const PIPELINE_WINDOW: usize = 32;
+
+    /// Sends `reqs` pipelined — up to [`Client::PIPELINE_WINDOW`]
+    /// frames in flight — and returns the responses in request order.
+    ///
+    /// The protocol carries no request IDs; ordering is the contract
+    /// (the server executes and buffers responses strictly in arrival
+    /// order), so response `i` answers `reqs[i]`. Server-side `Err`
+    /// responses are returned in place, not raised — but an `Err`
+    /// response also closes the connection server-side, so a shorter
+    /// `Vec` than `reqs` is impossible: any frames after the fault
+    /// surface as an I/O error here.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        self.pipeline_with_window(reqs, Self::PIPELINE_WINDOW)
+    }
+
+    /// [`Client::pipeline`] with an explicit in-flight window (clamped
+    /// to at least 1; a window of 1 degenerates to the blocking
+    /// one-at-a-time path). The window bound is what makes pipelining
+    /// deadlock-free: the client never has more than `window` unread
+    /// responses outstanding, so it cannot fill its own receive buffer
+    /// (and the server's write budget) while still trying to write.
+    pub fn pipeline_with_window(
+        &mut self,
+        reqs: &[Request],
+        window: usize,
+    ) -> io::Result<Vec<Response>> {
+        let window = window.max(1);
+        let mut responses = Vec::with_capacity(reqs.len());
+        let mut sent = 0usize;
+        while responses.len() < reqs.len() {
+            // Top up the window, then flush so the server sees the
+            // whole burst in as few segments as possible.
+            if sent < reqs.len() && sent - responses.len() < window {
+                while sent < reqs.len() && sent - responses.len() < window {
+                    self.out.clear();
+                    reqs[sent].encode(&mut self.out);
+                    write_frame(&mut self.writer, &self.out)?;
+                    sent += 1;
+                }
+                self.writer.flush()?;
+            }
+            // Drain one response; its opcode is the oldest unanswered
+            // request's (in-order matching).
+            if !read_frame(&mut self.reader, &mut self.body)? {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-pipeline",
+                ));
+            }
+            let op = reqs[responses.len()].opcode();
+            responses.push(Response::decode(op, &self.body)?);
+        }
+        Ok(responses)
     }
 }
 

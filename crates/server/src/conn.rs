@@ -1,0 +1,323 @@
+//! Per-connection state machine for the epoll reactors: incremental
+//! frame assembly on the read side, a bounded buffered queue on the
+//! write side, and the backpressure valve between them.
+//!
+//! A [`Conn`] owns a non-blocking `TcpStream` and two byte buffers. The
+//! reactor drives it with three calls per readiness event:
+//!
+//! 1. [`Conn::fill`] — read until `WouldBlock`/EOF into the assembly
+//!    buffer.
+//! 2. [`Conn::next_frame`] — pop complete frames one at a time (the
+//!    pipelining loop: a single `fill` may have delivered many frames,
+//!    or the tail of one and the head of the next).
+//! 3. [`Conn::flush`] — push the write buffer out until `WouldBlock`
+//!    or empty.
+//!
+//! Responses are appended with [`Conn::queue_frame`] in the order their
+//! requests were parsed, which is what makes pipelining safe: the
+//! protocol has no request IDs, so FIFO execution + FIFO buffering *is*
+//! the ordering guarantee.
+//!
+//! ## Backpressure invariant
+//!
+//! The reactor stops parsing (and therefore executing) frames for a
+//! connection whose write buffer holds at least `write_budget` bytes —
+//! see [`Conn::should_pause`]. Reads pause with parsing, so a client
+//! that pipelines faster than it drains responses is throttled by its
+//! own TCP window instead of ballooning server memory. The buffer can
+//! still overshoot the budget by one response (a SCAN reply is checked
+//! *after* it is queued, not split), so the budget is a watermark, not
+//! a hard cap; `MAX_FRAME` bounds the overshoot.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::wire::{split_frame, FrameSplit};
+
+/// Read chunk size. One syscall per chunk; big enough that a burst of
+/// pipelined GETs (17-byte frames) arrives in one read.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// What [`Conn::fill`] observed on the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FillOutcome {
+    /// Socket drained to `WouldBlock`; connection still open.
+    Open,
+    /// Peer closed its write half (read returned 0). Any buffered bytes
+    /// are still parseable; no more will arrive.
+    Eof,
+}
+
+/// What [`Conn::next_frame`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum NextFrame {
+    /// A complete frame body (length prefix stripped).
+    Frame(Vec<u8>),
+    /// No complete frame buffered; wait for more bytes.
+    Pending,
+    /// The peer announced a frame above `MAX_FRAME`. Unrecoverable:
+    /// a length-prefixed stream cannot resync past a bad length, so
+    /// the connection must be closed without a reply.
+    Oversized,
+}
+
+/// One client connection owned by a reactor worker.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    /// Partial-frame assembly buffer: bytes read but not yet consumed
+    /// as frames. `rpos` is the parse cursor; consumed bytes are
+    /// compacted away between readiness events, not on every frame.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Not-yet-written response bytes. Frames are appended whole;
+    /// `flush` drains from the front.
+    wbuf: VecDeque<u8>,
+    /// Reads are paused by backpressure: the fd's epoll interest has
+    /// EPOLLIN removed until the write buffer drains below half budget.
+    pub(crate) read_paused: bool,
+    /// The peer sent EOF (or a fatal error): finish flushing `wbuf`,
+    /// then close. Set by ERR-and-close paths too.
+    pub(crate) close_after_flush: bool,
+    /// The epoll interest currently registered for this fd, so the
+    /// reactor only issues `EPOLL_CTL_MOD` on actual changes.
+    pub(crate) interest: u32,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: VecDeque::new(),
+            read_paused: false,
+            close_after_flush: false,
+            interest: 0,
+        }
+    }
+
+    /// Reads until `WouldBlock` or EOF. Returns `Err` only on fatal
+    /// socket errors (reset, etc.) — the caller drops the connection.
+    pub(crate) fn fill(&mut self) -> io::Result<FillOutcome> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(FillOutcome::Eof),
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    // A short read usually means the socket is drained;
+                    // loop anyway — the next read returns WouldBlock
+                    // and settles it (level-triggered epoll would also
+                    // re-report, but one extra read now saves a full
+                    // reactor turn).
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(FillOutcome::Open),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pops the next complete frame from the assembly buffer, if one is
+    /// fully buffered. Call in a loop after `fill` — pipelined peers
+    /// deliver many frames per readiness event.
+    pub(crate) fn next_frame(&mut self) -> NextFrame {
+        match split_frame(&self.rbuf[self.rpos..]) {
+            FrameSplit::Frame { body_len } => {
+                let start = self.rpos + 4;
+                let body = self.rbuf[start..start + body_len].to_vec();
+                self.rpos = start + body_len;
+                NextFrame::Frame(body)
+            }
+            FrameSplit::Incomplete(_) => {
+                self.compact();
+                NextFrame::Pending
+            }
+            FrameSplit::Oversized(_) => NextFrame::Oversized,
+        }
+    }
+
+    /// Drops consumed bytes from the front of the assembly buffer. Runs
+    /// when parsing pauses (no complete frame / backpressure), so the
+    /// common fast path — many whole frames in one buffer — pays one
+    /// memmove per readiness event, not per frame.
+    pub(crate) fn compact(&mut self) {
+        if self.rpos > 0 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+    }
+
+    /// Appends one response frame (length prefix + body) to the write
+    /// buffer. The caller queues responses in request order.
+    pub(crate) fn queue_frame(&mut self, body: &[u8]) {
+        self.wbuf.extend((body.len() as u32).to_le_bytes());
+        self.wbuf.extend(body.iter().copied());
+    }
+
+    /// Bytes queued but not yet accepted by the kernel.
+    pub(crate) fn buffered(&self) -> usize {
+        self.wbuf.len()
+    }
+
+    /// True when the write buffer has reached the backpressure budget:
+    /// the reactor stops reading (and executing) for this connection
+    /// until `flush` drains it below [`Conn::should_resume`]'s mark.
+    pub(crate) fn should_pause(&self, write_budget: usize) -> bool {
+        self.wbuf.len() >= write_budget
+    }
+
+    /// True when a paused connection has drained enough to resume
+    /// reading. Half the budget of hysteresis so a connection near the
+    /// boundary doesn't flap its epoll interest on every frame.
+    pub(crate) fn should_resume(&self, write_budget: usize) -> bool {
+        self.wbuf.len() < write_budget / 2
+    }
+
+    /// Writes buffered bytes until `WouldBlock` or the buffer empties.
+    /// `Ok(true)` = fully flushed. Fatal errors (peer reset mid-write)
+    /// surface as `Err`; the caller drops the connection — the peer is
+    /// gone, there is nobody left to desync.
+    pub(crate) fn flush(&mut self) -> io::Result<bool> {
+        while !self.wbuf.is_empty() {
+            let (front, _) = self.wbuf.as_slices();
+            match self.stream.write(front) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MAX_FRAME;
+    use std::net::TcpListener;
+    use std::os::fd::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (rx, _) = l.accept().unwrap();
+        (tx, rx)
+    }
+
+    /// A frame dribbled one byte at a time assembles exactly once, and
+    /// two frames in one read both pop.
+    #[test]
+    fn assembles_partial_and_pipelined_frames() {
+        let (mut tx, rx) = pair();
+        crate::sys::set_nonblocking(rx.as_raw_fd()).unwrap();
+        let mut conn = Conn::new(rx);
+
+        let mut wire = Vec::new();
+        crate::wire::write_frame(&mut wire, b"abc").unwrap();
+        for &b in &wire {
+            tx.write_all(&[b]).unwrap();
+            // Wait for the byte to land so each fill sees exactly one.
+            loop {
+                match conn.fill().unwrap() {
+                    FillOutcome::Open if conn.rbuf.len() > conn.rpos => break,
+                    FillOutcome::Open => std::thread::yield_now(),
+                    FillOutcome::Eof => panic!("peer alive"),
+                }
+            }
+            if conn.rbuf.len() - conn.rpos < wire.len() {
+                assert_eq!(conn.next_frame(), NextFrame::Pending);
+            }
+        }
+        assert_eq!(conn.next_frame(), NextFrame::Frame(b"abc".to_vec()));
+        assert_eq!(conn.next_frame(), NextFrame::Pending);
+
+        // Two pipelined frames delivered together both pop, in order.
+        let mut wire = Vec::new();
+        crate::wire::write_frame(&mut wire, b"first").unwrap();
+        crate::wire::write_frame(&mut wire, b"second").unwrap();
+        tx.write_all(&wire).unwrap();
+        loop {
+            conn.fill().unwrap();
+            if conn.rbuf.len() - conn.rpos >= wire.len() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(conn.next_frame(), NextFrame::Frame(b"first".to_vec()));
+        assert_eq!(conn.next_frame(), NextFrame::Frame(b"second".to_vec()));
+        assert_eq!(conn.next_frame(), NextFrame::Pending);
+    }
+
+    /// An oversized length prefix is detected from the prefix alone.
+    #[test]
+    fn oversized_prefix_is_fatal() {
+        let (mut tx, rx) = pair();
+        crate::sys::set_nonblocking(rx.as_raw_fd()).unwrap();
+        let mut conn = Conn::new(rx);
+        tx.write_all(&(MAX_FRAME as u32 + 1).to_le_bytes()).unwrap();
+        loop {
+            conn.fill().unwrap();
+            if conn.rbuf.len() >= 4 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(conn.next_frame(), NextFrame::Oversized);
+    }
+
+    /// The backpressure watermarks: pause at budget, resume below half.
+    #[test]
+    fn pause_resume_watermarks() {
+        let (_tx, rx) = pair();
+        let mut conn = Conn::new(rx);
+        assert!(!conn.should_pause(100));
+        conn.queue_frame(&[0u8; 96]); // 4-byte prefix + 96 = 100 buffered
+        assert_eq!(conn.buffered(), 100);
+        assert!(conn.should_pause(100));
+        assert!(!conn.should_resume(100));
+        conn.wbuf.drain(..51);
+        assert!(conn.should_resume(100), "49 < 50");
+    }
+
+    /// flush drains a nonblocking socket without losing or reordering
+    /// bytes, and reports completion.
+    #[test]
+    fn flush_preserves_order_across_wouldblock() {
+        let (tx, rx) = pair();
+        crate::sys::set_nonblocking(tx.as_raw_fd()).unwrap();
+        let mut conn = Conn::new(tx);
+        // Enough data to overrun the socket buffer and hit WouldBlock.
+        let body: Vec<u8> = (0..1_000_000u32).map(|i| i as u8).collect();
+        conn.queue_frame(&body);
+        let mut got = Vec::new();
+        let mut rx = rx;
+        rx.set_nonblocking(true).unwrap();
+        let mut done = false;
+        while !done || !got.is_empty() && got.len() < body.len() + 4 {
+            done = conn.flush().unwrap();
+            let mut chunk = [0u8; 65536];
+            match rx.read(&mut chunk) {
+                Ok(n) => got.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("{e}"),
+            }
+            if done && got.len() >= body.len() + 4 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), body.len() + 4);
+        assert_eq!(&got[..4], &(body.len() as u32).to_le_bytes());
+        assert_eq!(&got[4..], &body[..]);
+    }
+}

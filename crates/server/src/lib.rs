@@ -33,7 +33,9 @@
 #![deny(missing_docs)]
 
 mod client;
+mod conn;
 mod server;
+mod sys;
 pub mod wire;
 
 pub use client::Client;

@@ -1,39 +1,46 @@
-//! The serving loop: a std `TcpListener` shared by thread-per-core
-//! workers, each serving one connection at a time through a pinned
-//! per-shard [`ShardedMapHandle`].
+//! The serving loop: per-worker **epoll reactors** over one shared
+//! non-blocking `TcpListener`, each worker multiplexing many
+//! connections through a pinned per-shard [`ShardedMapHandle`].
 //!
 //! Worker/handle pinning is the design's point: a worker thread owns
-//! one `ShardedMapHandle` per *connection* — one pin-amortizing
-//! [`nmbst::MapHandle`] per shard — so every descent that worker makes
-//! into a given shard reuses that shard's guard, seek record, and node
-//! cache, all resident in the worker's core cache. There is no
-//! cross-worker handle sharing and therefore no handle synchronization.
+//! one `ShardedMapHandle` — one pin-amortizing [`nmbst::MapHandle`] per
+//! shard — so every descent that worker makes into a given shard reuses
+//! that shard's guard, seek record, and node cache, all resident in the
+//! worker's core cache. There is no cross-worker handle sharing and
+//! therefore no handle synchronization.
 //!
-//! Concurrency model: `workers` threads block in `accept()` on one
-//! shared listener (the kernel load-balances) and serve their accepted
-//! connection to completion before accepting again. Clients beyond the
-//! worker count wait in the accept backlog — the tier is sized for a
-//! small fixed fleet of long-lived connections (the replay harness and
-//! tests connect exactly `workers` clients), not for C10K fan-in.
+//! Concurrency model: every worker registers the shared listener in its
+//! own epoll instance (level-triggered). Whichever worker wakes first
+//! accepts, and each accepted connection is assigned **round-robin**
+//! across workers — a connection for another worker is handed off
+//! through that worker's inbox and an eventfd wake. Each worker drives
+//! its connections as non-blocking state machines ([`crate::conn`]):
+//! partial frames assemble incrementally, a connection may have many
+//! frames in flight (**pipelining** — responses are written in request
+//! order, which the FIFO parse→execute→buffer path guarantees), and a
+//! connection whose write buffer exceeds `write_budget` stops being
+//! read (**backpressure**) until it drains below half the budget.
 //!
-//! Shutdown: a stop flag plus self-connections to wake blocked
-//! `accept()`s, and a 100 ms read timeout so workers parked in an idle
-//! connection notice the flag. The read-timeout tick doubles as the
-//! stats sampling tick: workers `flush_stats()` their handles there and
-//! every `flush_every` ops, which is what keeps the METRICS verb's view
-//! of in-flight workers honest (the `flush_stats` bugfix this PR ships).
+//! Shutdown: a stop flag plus one eventfd signal per worker — the
+//! eventfd wake replaces the old dummy-`connect()` hack, which raced
+//! against real clients for the accept queue. The 100 ms `epoll_wait`
+//! timeout is the idle tick: workers `flush_stats()` their handles
+//! there (and every `flush_every` ops), which keeps the METRICS verb's
+//! view of in-flight workers honest.
 
-use crate::wire::{
-    op_name, read_frame, write_frame, BatchOp, BatchReply, MetricsFormat, Request, Response,
-    OP_COUNT,
+use crate::conn::{Conn, FillOutcome, NextFrame};
+use crate::sys::{
+    set_nonblocking, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
+use crate::wire::{op_name, BatchOp, BatchReply, MetricsFormat, Request, Response, OP_COUNT};
 use nmbst::obs::slow::SlowRing;
-use nmbst::obs::{Histogram, SlowOp, SLOW_EVENTS};
+use nmbst::obs::{Histogram, ServeGauges, SlowOp, SLOW_EVENTS};
 use nmbst::{Ebr, ShardedMap, ShardedMapHandle, TreeConfig};
 use nmbst_sync::CachePadded;
-use std::io::{self, BufWriter, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,8 +55,9 @@ pub type Store = ShardedMap<u64, u64, Ebr>;
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see [`Server::addr`]).
     pub addr: String,
-    /// Worker threads, each serving one connection at a time. Defaults
-    /// to the machine's available parallelism (thread-per-core).
+    /// Reactor worker threads, each multiplexing its share of the
+    /// connections. Defaults to the machine's available parallelism
+    /// (thread-per-core).
     pub workers: usize,
     /// Tree shards in the store; `0` (default) means one per worker.
     pub shards: usize,
@@ -57,11 +65,17 @@ pub struct ServerConfig {
     pub tree: TreeConfig,
     /// Ops between a worker's `flush_stats` sampling ticks.
     pub flush_every: u32,
-    /// Frames whose full wire time (request read → response flushed)
+    /// Frames whose wire time (request assembled → response buffered)
     /// meets this threshold deposit a server-origin [`SlowOp`] into the
     /// server's slow ring (served by the SLOWLOG verb). `0` disables
     /// capture. Default 1 ms.
     pub slow_frame_ns: u64,
+    /// Backpressure watermark: a connection whose buffered response
+    /// bytes reach this budget stops being read (and therefore stops
+    /// having requests executed) until the buffer drains below half.
+    /// The buffer may overshoot by one response (responses are queued
+    /// whole), so this is a watermark, not a hard cap. Default 256 KiB.
+    pub write_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +87,7 @@ impl Default for ServerConfig {
             tree: TreeConfig::default(),
             flush_every: 1024,
             slow_frame_ns: 1_000_000,
+            write_budget: 256 * 1024,
         }
     }
 }
@@ -80,21 +95,28 @@ impl Default for ServerConfig {
 /// Records the server-level slow-frame ring retains.
 const SERVER_SLOW_CAP: usize = 128;
 
+/// Epoll token for the worker's wake eventfd.
+const TOKEN_WAKE: u64 = u64::MAX;
+/// Epoll token for the shared listener.
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
+
 /// Per-phase latency histograms for one request opcode: where a frame's
-/// wall time went. `wire` is the whole frame (request read → response
-/// flushed); `decode`/`execute`/`encode` partition its interior (encode
-/// includes the write and flush), so `wire ≈ decode + execute + encode`
-/// per frame — the breakdown that tells a slow-frame investigation
-/// whether the store or the socket is the problem.
+/// time went. `wire` spans request-assembled → response-buffered;
+/// `decode`/`execute`/`encode` partition its interior (encode includes
+/// queuing the frame into the connection's write buffer), so
+/// `wire ≈ decode + execute + encode` per frame — the breakdown that
+/// tells a slow-frame investigation whether the store or the wire
+/// handling is the problem. Socket flush time is *not* attributed to
+/// individual frames: under pipelining many responses share one write.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseHists {
-    /// Full frame: request read complete → response flushed.
+    /// Full frame: request assembled → response buffered.
     pub wire: Histogram,
     /// `Request::decode` time.
     pub decode: Histogram,
     /// Store execution time (the tree/batch/scan work).
     pub execute: Histogram,
-    /// `Response::encode` + frame write + flush time.
+    /// `Response::encode` + write-buffer queue time.
     pub encode: Histogram,
 }
 
@@ -134,6 +156,18 @@ impl WorkerTiming {
     }
 }
 
+/// One worker's connection gauges, cache-padded like the op counters.
+/// `open`/`paused`/`wbuf_bytes` are gauges the owning reactor maintains
+/// (exact at its loop boundaries); `backpressure` counts pause
+/// transitions monotonically.
+#[derive(Debug, Default)]
+struct WorkerServe {
+    open: AtomicU64,
+    paused: AtomicU64,
+    wbuf_bytes: AtomicU64,
+    backpressure: AtomicU64,
+}
+
 /// Server-level counters, one step above the store's tree metrics.
 /// Worker op counts are cache-padded like the tree's own counter shards
 /// — workers must not ping-pong a stats line while serving.
@@ -144,6 +178,7 @@ pub struct ServerStats {
     frames: AtomicU64,
     wire_errors: AtomicU64,
     timing: Box<[Mutex<WorkerTiming>]>,
+    serve: Box<[CachePadded<WorkerServe>]>,
     slow: SlowRing,
     slow_frame_ns: u64,
 }
@@ -165,6 +200,9 @@ impl ServerStats {
             wire_errors: AtomicU64::new(0),
             timing: (0..workers)
                 .map(|_| Mutex::new(WorkerTiming::new()))
+                .collect(),
+            serve: (0..workers)
+                .map(|_| CachePadded::new(WorkerServe::default()))
                 .collect(),
             slow: SlowRing::new(SERVER_SLOW_CAP),
             slow_frame_ns,
@@ -269,6 +307,47 @@ impl ServerStats {
     pub fn wire_errors(&self) -> u64 {
         self.wire_errors.load(Ordering::Relaxed)
     }
+
+    /// This worker's connection gauges (racy point reads).
+    fn worker_gauges(&self, w: usize) -> ServeGauges {
+        let g = &self.serve[w];
+        ServeGauges {
+            open_connections: g.open.load(Ordering::Relaxed),
+            read_paused_connections: g.paused.load(Ordering::Relaxed),
+            write_buffered_bytes: g.wbuf_bytes.load(Ordering::Relaxed),
+            backpressure_events: g.backpressure.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-reactor connection/backpressure gauges, index-aligned with
+    /// worker threads.
+    pub fn worker_serve(&self) -> Vec<ServeGauges> {
+        (0..self.serve.len())
+            .map(|w| self.worker_gauges(w))
+            .collect()
+    }
+
+    /// Fleet-aggregate connection gauges — the values the METRICS verb
+    /// folds into the store snapshot's `serve` field.
+    pub fn serve_gauges(&self) -> ServeGauges {
+        let mut total = ServeGauges::default();
+        for w in 0..self.serve.len() {
+            let g = self.worker_gauges(w);
+            total.open_connections += g.open_connections;
+            total.read_paused_connections += g.read_paused_connections;
+            total.write_buffered_bytes += g.write_buffered_bytes;
+            total.backpressure_events += g.backpressure_events;
+        }
+        total
+    }
+}
+
+/// A worker's cross-thread mailbox: connections assigned to it by
+/// whichever worker ran the accept, plus the eventfd that wakes its
+/// `epoll_wait` (for handoffs and shutdown).
+struct WorkerShared {
+    inbox: Mutex<Vec<TcpStream>>,
+    wake: EventFd,
 }
 
 /// A running serving tier over one [`Store`].
@@ -294,6 +373,7 @@ pub struct Server {
     store: Arc<Store>,
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
+    shared: Vec<Arc<WorkerShared>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -306,22 +386,48 @@ impl Server {
         } else {
             config.shards
         };
-        let listener = Arc::new(TcpListener::bind(&config.addr)?);
+        let listener = TcpListener::bind(&config.addr)?;
+        set_nonblocking(listener.as_raw_fd())?;
         let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
         let store = Arc::new(Store::with_config(shards, config.tree));
         let stats = Arc::new(ServerStats::new(workers, config.slow_frame_ns));
         let stop = Arc::new(AtomicBool::new(false));
+        let rr = Arc::new(AtomicUsize::new(0));
+        let shared = (0..workers)
+            .map(|_| {
+                Ok(Arc::new(WorkerShared {
+                    inbox: Mutex::new(Vec::new()),
+                    wake: EventFd::new()?,
+                }))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
 
         let handles = (0..workers)
             .map(|w| {
                 let listener = Arc::clone(&listener);
+                let shared: Vec<_> = shared.iter().map(Arc::clone).collect();
                 let store = Arc::clone(&store);
                 let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
+                let rr = Arc::clone(&rr);
                 let flush_every = config.flush_every.max(1);
+                let write_budget = config.write_budget.max(1);
                 std::thread::Builder::new()
                     .name(format!("nmbst-worker-{w}"))
-                    .spawn(move || worker_loop(w, &listener, &store, &stats, &stop, flush_every))
+                    .spawn(move || {
+                        worker_loop(
+                            w,
+                            &listener,
+                            &shared,
+                            &rr,
+                            &store,
+                            &stats,
+                            &stop,
+                            flush_every,
+                            write_budget,
+                        )
+                    })
             })
             .collect::<io::Result<Vec<_>>>()?;
 
@@ -330,6 +436,7 @@ impl Server {
             store,
             stats,
             stop,
+            shared,
             workers: handles,
         })
     }
@@ -362,9 +469,10 @@ impl Server {
         self.store.metrics()
     }
 
-    /// Stops accepting, wakes every worker, and joins them. Established
-    /// connections are drained: a worker finishes its current request,
-    /// then notices the flag on its next read tick and closes.
+    /// Stops the reactors (eventfd wake, no dummy connections) and
+    /// joins them. Connections are closed where they stand; buffered
+    /// responses that have not reached the socket are dropped with
+    /// them.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -374,10 +482,8 @@ impl Server {
             return;
         }
         self.stop.store(true, Ordering::SeqCst);
-        // Wake workers blocked in accept(): each dummy connection
-        // unblocks exactly one accept, which then observes the flag.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
+        for sh in &self.shared {
+            sh.wake.signal();
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -391,99 +497,332 @@ impl Drop for Server {
     }
 }
 
+/// One worker's reactor state: its epoll instance, connection slab, and
+/// pinned store handle. Connections are identified by slab slot, which
+/// doubles as the epoll registration token; freed slots are reused only
+/// after the event batch that might still reference them has been fully
+/// processed (accepts and inbox handoffs are deferred to the end of
+/// each loop iteration for exactly this reason).
+struct Reactor<'a> {
+    idx: usize,
+    workers: usize,
+    epoll: Epoll,
+    listener: &'a TcpListener,
+    shared: &'a [Arc<WorkerShared>],
+    rr: &'a AtomicUsize,
+    store: &'a Store,
+    stats: &'a ServerStats,
+    stop: &'a AtomicBool,
+    handle: ShardedMapHandle<'a, u64, u64, Ebr>,
+    slab: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    write_budget: usize,
+    flush_every: u32,
+    ops_since_flush: u32,
+    out_body: Vec<u8>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     idx: usize,
     listener: &TcpListener,
+    shared: &[Arc<WorkerShared>],
+    rr: &AtomicUsize,
     store: &Store,
     stats: &ServerStats,
     stop: &AtomicBool,
     flush_every: u32,
+    write_budget: usize,
 ) {
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if stop.load(Ordering::SeqCst) {
-                    return; // the wake-up dummy connection
+    let epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    if epoll
+        .add(shared[idx].wake.fd(), EPOLLIN, TOKEN_WAKE)
+        .is_err()
+    {
+        return;
+    }
+    if epoll
+        .add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+        .is_err()
+    {
+        return;
+    }
+    let mut reactor = Reactor {
+        idx,
+        workers: shared.len(),
+        epoll,
+        listener,
+        shared,
+        rr,
+        store,
+        stats,
+        stop,
+        handle: store.handle(),
+        slab: Vec::new(),
+        free: Vec::new(),
+        write_budget,
+        flush_every,
+        ops_since_flush: 0,
+        out_body: Vec::new(),
+    };
+    reactor.run();
+}
+
+impl Reactor<'_> {
+    fn run(&mut self) {
+        let mut events = vec![EpollEvent::ZERO; 128];
+        loop {
+            let n = match self.epoll.wait(&mut events, 100) {
+                Ok(n) => n,
+                Err(_) => {
+                    // An epoll failure is unrecoverable for this worker,
+                    // but don't spin on it — check the flag and park.
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
                 }
-                stats.connections.fetch_add(1, Ordering::Relaxed);
-                // A broken connection only kills itself, not the worker.
-                let _ = serve_conn(idx, stream, store, stats, stop, flush_every);
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                // Listener failure: nothing to serve anymore.
-                if stop.load(Ordering::SeqCst) {
-                    return;
+            let mut accept_ready = false;
+            for ev in events.iter().take(n) {
+                let ev = *ev; // copy out of the packed buffer
+                match ev.data {
+                    TOKEN_WAKE => {
+                        self.shared[self.idx].wake.drain();
+                    }
+                    TOKEN_LISTENER => accept_ready = true,
+                    slot => self.drive(slot as usize, ev.events),
                 }
-                std::thread::sleep(Duration::from_millis(10));
+            }
+            // Accepts and handoffs run *after* the event batch: a slot
+            // freed while processing the batch must not be reused while
+            // stale events for it may remain in `events`.
+            if accept_ready {
+                self.accept_new();
+            }
+            self.drain_inbox();
+            if n == 0 {
+                // Idle tick: publish batched handle stats.
+                self.handle.flush_stats();
+                self.ops_since_flush = 0;
+            }
+            let buffered: u64 = self
+                .slab
+                .iter()
+                .flatten()
+                .map(|c| c.buffered() as u64)
+                .sum();
+            self.stats.serve[self.idx]
+                .wbuf_bytes
+                .store(buffered, Ordering::Relaxed);
+        }
+        self.handle.flush_stats();
+        // Dropping the slab closes every connection; zero the gauges so
+        // a post-shutdown scrape doesn't report ghosts.
+        let g = &self.stats.serve[self.idx];
+        g.open.store(0, Ordering::Relaxed);
+        g.paused.store(0, Ordering::Relaxed);
+        g.wbuf_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Accepts until `WouldBlock`, assigning each connection
+    /// round-robin across workers.
+    fn accept_new(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let target = self.rr.fetch_add(1, Ordering::Relaxed) % self.workers;
+                    if target == self.idx {
+                        self.register(stream);
+                    } else {
+                        let sh = &self.shared[target];
+                        sh.inbox
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(stream);
+                        sh.wake.signal();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
             }
         }
     }
-}
 
-fn serve_conn(
-    idx: usize,
-    stream: TcpStream,
-    store: &Store,
-    stats: &ServerStats,
-    stop: &AtomicBool,
-    flush_every: u32,
-) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = BufWriter::new(stream);
-    let mut handle = store.handle();
-    let mut in_body = Vec::new();
-    let mut out_body = Vec::new();
-    let mut ops_since_flush: u32 = 0;
-
-    loop {
-        match read_frame(&mut reader, &mut in_body) {
-            Ok(true) => {}
-            Ok(false) => break, // client closed
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle tick: publish batched stats, bail if shutting down.
-                handle.flush_stats();
-                ops_since_flush = 0;
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
+    /// Adopts connections other workers' accepts assigned to us.
+    fn drain_inbox(&mut self) {
+        let pending: Vec<TcpStream> = {
+            let mut inbox = self.shared[self.idx]
+                .inbox
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *inbox)
+        };
+        for stream in pending {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
             }
-            Err(_) => break, // desync/EOF mid-frame: drop the connection
+            self.register(stream);
         }
-        stats.frames.fetch_add(1, Ordering::Relaxed);
+    }
 
-        // Frame timing: t0 (request read) → decode → t1 → execute → t2
-        // → encode/write/flush → t3. Four Instant reads per frame is
-        // noise against a network round trip; recording happens once
-        // per frame under the worker's own uncontended timing lock.
+    /// Registers a new connection in the slab and this worker's epoll.
+    fn register(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if set_nonblocking(stream.as_raw_fd()).is_err() {
+            return;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slab.push(None);
+            self.slab.len() - 1
+        });
+        let mut conn = Conn::new(stream);
+        conn.interest = EPOLLIN | EPOLLRDHUP;
+        if self
+            .epoll
+            .add(conn.stream.as_raw_fd(), conn.interest, slot as u64)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.slab[slot] = Some(conn);
+        self.stats.serve[self.idx]
+            .open
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handles one readiness event for a connection slot.
+    fn drive(&mut self, slot: usize, ev: u32) {
+        let Some(mut conn) = self.slab.get_mut(slot).and_then(Option::take) else {
+            return; // stale event for an already-closed slot
+        };
+        if self.drive_conn(&mut conn, ev, slot) {
+            self.slab[slot] = Some(conn);
+        } else {
+            self.discard(slot, conn);
+        }
+    }
+
+    /// The per-event state machine. Returns false when the connection
+    /// is finished (dropped by the caller, which closes the fd).
+    fn drive_conn(&mut self, conn: &mut Conn, ev: u32, slot: usize) -> bool {
+        if ev & (EPOLLHUP | EPOLLERR) != 0 {
+            return false;
+        }
+        if ev & EPOLLOUT != 0 {
+            if conn.flush().is_err() {
+                return false;
+            }
+            if conn.read_paused && conn.should_resume(self.write_budget) {
+                self.unpause(conn);
+                // Bytes already sitting in the assembly buffer will not
+                // re-trigger EPOLLIN (epoll only sees the socket), so
+                // the parse loop must run again right here.
+                if !self.process(conn) {
+                    return false;
+                }
+            }
+            if conn.close_after_flush && conn.buffered() == 0 {
+                return false;
+            }
+        }
+        if ev & (EPOLLIN | EPOLLRDHUP) != 0 && !conn.read_paused && !conn.close_after_flush {
+            match conn.fill() {
+                Err(_) => return false,
+                Ok(outcome) => {
+                    if !self.process(conn) {
+                        return false;
+                    }
+                    if outcome == FillOutcome::Eof && !conn.close_after_flush {
+                        if conn.buffered() == 0 {
+                            return false;
+                        }
+                        // Responses are still queued: flush, then close.
+                        conn.close_after_flush = true;
+                    }
+                    if conn.close_after_flush && conn.buffered() == 0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        self.update_interest(conn, slot);
+        true
+    }
+
+    /// Parses and serves every complete frame buffered on `conn`,
+    /// pausing at the backpressure watermark. Returns false when the
+    /// connection is finished.
+    fn process(&mut self, conn: &mut Conn) -> bool {
+        loop {
+            if conn.close_after_flush {
+                break;
+            }
+            if conn.should_pause(self.write_budget) {
+                if !conn.read_paused {
+                    conn.read_paused = true;
+                    let g = &self.stats.serve[self.idx];
+                    g.paused.fetch_add(1, Ordering::Relaxed);
+                    g.backpressure.fetch_add(1, Ordering::Relaxed);
+                }
+                if conn.flush().is_err() {
+                    return false;
+                }
+                if conn.should_resume(self.write_budget) {
+                    self.unpause(conn);
+                    continue;
+                }
+                break;
+            }
+            match conn.next_frame() {
+                NextFrame::Pending => break,
+                // An oversized length prefix closes the connection with
+                // no reply — a length-prefixed stream cannot resync.
+                NextFrame::Oversized => return false,
+                NextFrame::Frame(body) => self.serve_frame(conn, &body),
+            }
+        }
+        conn.compact();
+        match conn.flush() {
+            Err(_) => false,
+            Ok(done) => !(conn.close_after_flush && done),
+        }
+    }
+
+    /// Serves one request frame: decode → execute through the pinned
+    /// handle → encode into the connection's write buffer, in arrival
+    /// order (the pipelining ordering guarantee).
+    fn serve_frame(&mut self, conn: &mut Conn, body: &[u8]) {
+        self.stats.frames.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
-        let decoded = Request::decode(&in_body);
+        let decoded = Request::decode(body);
         let t1 = Instant::now();
         match decoded {
             Ok(req) => {
                 let ops = op_count(&req);
-                stats.worker_ops[idx].fetch_add(ops, Ordering::Relaxed);
-                ops_since_flush = ops_since_flush.saturating_add(ops as u32);
-                let response = execute(&req, &mut handle, store, stats);
+                self.stats.worker_ops[self.idx].fetch_add(ops, Ordering::Relaxed);
+                self.ops_since_flush = self.ops_since_flush.saturating_add(ops as u32);
+                let response = execute(&req, &mut self.handle, self.store, self.stats);
                 let t2 = Instant::now();
-                out_body.clear();
-                response.encode(&mut out_body);
-                write_frame(&mut writer, &out_body)?;
-                writer.flush()?;
+                self.out_body.clear();
+                response.encode(&mut self.out_body);
+                conn.queue_frame(&self.out_body);
                 let t3 = Instant::now();
-                stats.record_frame(
-                    idx,
+                self.stats.record_frame(
+                    self.idx,
                     req.opcode(),
                     slow_key(&req),
                     [
@@ -493,29 +832,64 @@ fn serve_conn(
                         (t3 - t2).as_nanos() as u64,
                     ],
                 );
+                if self.ops_since_flush >= self.flush_every {
+                    self.handle.flush_stats();
+                    self.ops_since_flush = 0;
+                }
             }
             Err(e) => {
-                stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                // Answer, then drop the connection: after a framing
-                // error the stream cannot be trusted.
-                out_body.clear();
-                Response::Err(e.to_string()).encode(&mut out_body);
-                write_frame(&mut writer, &out_body)?;
-                writer.flush()?;
-                break;
+                self.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                // Answer, then close: after a framing error the stream
+                // cannot be trusted. Frames already parsed from this
+                // connection were served; frames still buffered behind
+                // the bad one are discarded with it.
+                self.out_body.clear();
+                Response::Err(e.to_string()).encode(&mut self.out_body);
+                conn.queue_frame(&self.out_body);
+                conn.close_after_flush = true;
             }
         }
+    }
 
-        if ops_since_flush >= flush_every {
-            handle.flush_stats();
-            ops_since_flush = 0;
+    fn unpause(&self, conn: &mut Conn) {
+        conn.read_paused = false;
+        self.stats.serve[self.idx]
+            .paused
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Re-registers the fd's epoll interest if it changed: EPOLLIN
+    /// while reads are allowed, EPOLLOUT while responses are buffered.
+    fn update_interest(&self, conn: &mut Conn, slot: usize) {
+        let mut want = 0u32;
+        if !conn.read_paused && !conn.close_after_flush {
+            want |= EPOLLIN | EPOLLRDHUP;
         }
-        if stop.load(Ordering::SeqCst) {
-            break;
+        if conn.buffered() > 0 {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest
+            && self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), want, slot as u64)
+                .is_ok()
+        {
+            conn.interest = want;
         }
     }
-    handle.flush_stats();
-    Ok(())
+
+    /// Closes a connection: epoll dereg (best-effort — closing the fd
+    /// deregisters anyway), gauge updates, slot back on the free list.
+    fn discard(&mut self, slot: usize, conn: Conn) {
+        let _ = self.epoll.del(conn.stream.as_raw_fd());
+        let g = &self.stats.serve[self.idx];
+        g.open.fetch_sub(1, Ordering::Relaxed);
+        if conn.read_paused {
+            g.paused.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.free.push(slot);
+        // `conn` drops here, closing the socket.
+    }
 }
 
 /// Tree operations a request will route through the worker's handle.
@@ -598,13 +972,23 @@ fn execute(
     }
 }
 
-/// The METRICS verb's payload: the aggregated tree snapshot plus the
-/// server counters, in the requested exposition format.
+/// The METRICS verb's payload: the aggregated tree snapshot (with the
+/// fleet's serve gauges folded in) plus the server counters, in the
+/// requested exposition format.
 fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> String {
-    let snap = store.metrics();
+    let mut snap = store.metrics();
+    snap.serve = stats.serve_gauges();
     match fmt {
         MetricsFormat::Json => {
             let ops: Vec<String> = stats.worker_ops().iter().map(u64::to_string).collect();
+            let per_worker = stats.worker_serve();
+            let col = |f: fn(&ServeGauges) -> u64| -> String {
+                per_worker
+                    .iter()
+                    .map(|g| f(g).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
             // Request timing: only opcodes that served frames, each as
             // {"wire":{...},"decode":{...},"execute":{...},"encode":{...}}
             // of compact histogram summaries.
@@ -624,7 +1008,9 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
             format!(
                 "{{\"tree\":{},\"server\":{{\"connections\":{},\"frames\":{},\
                  \"wire_errors\":{},\"worker_ops\":[{}],\"timing\":{{{}}},\
-                 \"slow_frames\":{}}}}}",
+                 \"slow_frames\":{},\"serve\":{{\"open_connections\":[{}],\
+                 \"read_paused_connections\":[{}],\"write_buffered_bytes\":[{}],\
+                 \"backpressure_events\":[{}]}}}}}}",
                 snap.to_json(),
                 stats.connections(),
                 stats.frames(),
@@ -632,6 +1018,10 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
                 ops.join(","),
                 timing.join(","),
                 stats.slow_frames_deposited(),
+                col(|g| g.open_connections),
+                col(|g| g.read_paused_connections),
+                col(|g| g.write_buffered_bytes),
+                col(|g| g.backpressure_events),
             )
         }
         MetricsFormat::Prometheus => {
@@ -660,6 +1050,40 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
                     "nmbst_server_worker_ops_total{{worker=\"{w}\"}} {n}\n"
                 ));
             }
+            // Per-reactor connection gauges, one labelled series per
+            // worker (the aggregate rides in the snapshot's
+            // nmbst_serve_* family above).
+            let per_worker = stats.worker_serve();
+            let mut series = |name: &str, kind: &str, help: &str, f: fn(&ServeGauges) -> u64| {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+                for (w, g) in per_worker.iter().enumerate() {
+                    out.push_str(&format!("{name}{{worker=\"{w}\"}} {}\n", f(g)));
+                }
+            };
+            series(
+                "nmbst_server_open_connections",
+                "gauge",
+                "Connections registered with each reactor worker.",
+                |g| g.open_connections,
+            );
+            series(
+                "nmbst_server_read_paused_connections",
+                "gauge",
+                "Connections read-paused by backpressure, per worker.",
+                |g| g.read_paused_connections,
+            );
+            series(
+                "nmbst_server_write_buffered_bytes",
+                "gauge",
+                "Buffered response bytes per worker.",
+                |g| g.write_buffered_bytes,
+            );
+            series(
+                "nmbst_server_backpressure_events_total",
+                "counter",
+                "Read-pause transitions per worker.",
+                |g| g.backpressure_events,
+            );
             // Request timing histograms: one series per served opcode
             // per phase. The HELP/TYPE header is emitted only when at
             // least one series exists — a declared metric with no

@@ -531,6 +531,47 @@ impl Response {
     }
 }
 
+/// What [`split_frame`] found at the front of a byte buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameSplit {
+    /// Not enough bytes for a complete frame yet; keep reading. Carries
+    /// the total prefix-plus-body size once the length prefix is known
+    /// (`0` while even the prefix is partial) so a reactor can pre-grow
+    /// its buffer.
+    Incomplete(usize),
+    /// A complete frame: the body is `buf[4 .. 4 + body_len]` and the
+    /// caller should consume `4 + body_len` bytes.
+    Frame {
+        /// Body length in bytes (the decoded u32 prefix).
+        body_len: usize,
+    },
+    /// The length prefix announces more than [`MAX_FRAME`]: the peer is
+    /// malformed (or hostile) and the connection must be dropped —
+    /// there is no way to resynchronize a length-prefixed stream.
+    Oversized(usize),
+}
+
+/// The incremental-decode entry point: inspects the front of `buf` (an
+/// arbitrary prefix of the byte stream, as assembled by a non-blocking
+/// reader) without consuming anything. This is [`read_frame`]'s logic
+/// factored out of the blocking-`Read` loop so a reactor can call it
+/// after every partial read: feed it one byte at a time and it returns
+/// [`FrameSplit::Incomplete`] until exactly the full frame is present.
+pub fn split_frame(buf: &[u8]) -> FrameSplit {
+    if buf.len() < 4 {
+        return FrameSplit::Incomplete(0);
+    }
+    let body_len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if body_len > MAX_FRAME {
+        return FrameSplit::Oversized(body_len);
+    }
+    if buf.len() < 4 + body_len {
+        FrameSplit::Incomplete(4 + body_len)
+    } else {
+        FrameSplit::Frame { body_len }
+    }
+}
+
 /// Writes `body` as one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     debug_assert!(body.len() <= MAX_FRAME);
@@ -723,6 +764,82 @@ mod tests {
             let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
             let _ = Request::decode(&bytes); // must not panic
             let _ = Response::decode((next() % 10) as u8, &bytes);
+            let _ = split_frame(&bytes); // arbitrary prefixes are fine too
+        }
+    }
+
+    /// The incremental splitter agrees with the blocking reader at every
+    /// possible prefix length: Incomplete until the exact boundary, then
+    /// a Frame whose body matches, with trailing bytes left alone.
+    #[test]
+    fn split_frame_finds_boundaries_incrementally() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        for cut in 0..wire.len() {
+            let got = split_frame(&wire[..cut]);
+            if cut < 4 {
+                assert_eq!(got, FrameSplit::Incomplete(0), "cut={cut}");
+            } else if cut < 9 {
+                assert_eq!(got, FrameSplit::Incomplete(9), "cut={cut}");
+            } else {
+                assert_eq!(got, FrameSplit::Frame { body_len: 5 }, "cut={cut}");
+            }
+        }
+        // Consume the first frame: the empty second frame is complete.
+        assert_eq!(split_frame(&wire[9..]), FrameSplit::Frame { body_len: 0 });
+        // An oversized prefix is flagged, not waited for.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert_eq!(split_frame(&huge), FrameSplit::Oversized(MAX_FRAME + 1));
+        // ... even with only the prefix present and no body at all.
+        assert_eq!(split_frame(&huge[..3]), FrameSplit::Incomplete(0));
+    }
+
+    /// Seeded fuzz for the reactor path: valid frames concatenated, then
+    /// delivered in chunks split at random byte boundaries — the
+    /// splitter must reassemble exactly the frames that were sent, in
+    /// order, regardless of how the stream was fragmented.
+    #[test]
+    fn split_frame_survives_random_fragmentation() {
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _round in 0..200 {
+            // A handful of frames with random small bodies (including
+            // empty ones, the hardest boundary case).
+            let mut sent: Vec<Vec<u8>> = Vec::new();
+            let mut wire = Vec::new();
+            for _ in 0..(next() % 6 + 1) {
+                let len = (next() % 40) as usize;
+                let body: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                write_frame(&mut wire, &body).unwrap();
+                sent.push(body);
+            }
+            // Deliver in random-sized chunks through a reassembly buffer.
+            let mut rbuf: Vec<u8> = Vec::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            let mut at = 0;
+            while at < wire.len() {
+                let chunk = ((next() % 7) as usize + 1).min(wire.len() - at);
+                rbuf.extend_from_slice(&wire[at..at + chunk]);
+                at += chunk;
+                loop {
+                    match split_frame(&rbuf) {
+                        FrameSplit::Frame { body_len } => {
+                            got.push(rbuf[4..4 + body_len].to_vec());
+                            rbuf.drain(..4 + body_len);
+                        }
+                        FrameSplit::Incomplete(_) => break,
+                        FrameSplit::Oversized(n) => panic!("bogus oversize {n}"),
+                    }
+                }
+            }
+            assert_eq!(got, sent, "fragmented reassembly must be exact");
+            assert!(rbuf.is_empty(), "no leftover bytes");
         }
     }
 

@@ -224,6 +224,13 @@ fn metrics_scrape_is_exact_and_exposition_valid() {
         );
     }
     assert!(json.contains("\"slow_frames\":"), "{json}");
+    // The reactor's per-worker serve gauges: this scrape rides the one
+    // open connection on the one worker.
+    assert!(
+        json.contains("\"serve\":{\"open_connections\":[1]"),
+        "{json}"
+    );
+    assert!(json.contains("\"backpressure_events\":[0]"), "{json}");
 
     // The stats API agrees with the wire payload.
     let stats = server.stats();
@@ -255,6 +262,14 @@ fn metrics_scrape_is_exact_and_exposition_valid() {
         "{prom}"
     );
     assert!(prom.contains("nmbst_server_slow_frames_total"), "{prom}");
+    assert!(
+        prom.contains("nmbst_server_open_connections{worker=\"0\"} 1"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("nmbst_server_backpressure_events_total{worker=\"0\"} 0"),
+        "{prom}"
+    );
     nmbst::obs::validate_prometheus(&prom)
         .unwrap_or_else(|e| panic!("server scrape fails exposition validation: {e}\n{prom}"));
     drop(c);
