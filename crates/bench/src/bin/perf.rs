@@ -2,11 +2,11 @@
 //! the PR 2 optimizations, the PR 4 node-recycling pool, the PR 5
 //! locality work (bulk-load + finger-anchored batches), the PR 6
 //! sharded serving tier, the PR 7 fat-leaf blocks, the PR 8
-//! latency-observability layer, and the PR 9 reactor serving model,
-//! written as `BENCH_PR9.json` (override the path with
-//! `NMBST_BENCH_JSON`).
+//! latency-observability layer, the PR 9 reactor serving model, and
+//! the PR 10 shard-fused batch execution, written as
+//! `BENCH_PR10.json` (override the path with `NMBST_BENCH_JSON`).
 //!
-//! Twelve benches, each emitting `{bench, config, metrics}` cells in
+//! Thirteen benches, each emitting `{bench, config, metrics}` cells in
 //! the `nmbst-bench-v1` schema shared with criterion-lite:
 //!
 //! * `single_thread_throughput` — one thread, read-heavy / mixed /
@@ -114,6 +114,22 @@
 //!   arm** (default 2.0 — the win is one RTT per window instead of
 //!   one per request; if it can't clear 2× over loopback the window
 //!   is not actually in flight).
+//! * `serving_batch_fusion` — the PR 10 one-flag A/B: identical
+//!   drain-rate replays against servers with `fuse_batches` on (BATCH
+//!   frames partitioned by shard, sorted, and executed through
+//!   `execute_batch`, so wire batches inherit the finger-anchored
+//!   descent) vs off (the same ops unrolled one at a time through the
+//!   per-shard handles), run as interleaved pairs and compared on
+//!   median Mops/s. The cell serves the BATCH shape fusion targets:
+//!   high-occupancy frames (the replay's `coalesce`/`coalesce_ops`
+//!   knobs fill and cap them at `NMBST_FUSION_OPS`, default 768
+//!   ops/frame) over a dense 2^14 key range, where sorted per-shard
+//!   runs actually land on adjacent leaves. **The process exits non-zero
+//!   if the fused arm trails the unrolled arm by more than
+//!   `NMBST_FUSION_TOLERANCE`** (relative, default 0.05), **or if the
+//!   fused servers recorded zero `finger_hits`** — the end-to-end
+//!   proof that sorted per-shard runs arriving over TCP actually
+//!   anchor on the finger, not just in-process batches.
 //!
 //! On any gate failure the harness writes the slow-op records captured
 //! during the serving replay (server slow-frame ring + tree rings,
@@ -488,7 +504,7 @@ fn main() {
     let out_path = std::env::var(criterion::BENCH_JSON_ENV)
         .ok()
         .filter(|p| !p.is_empty())
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
 
     let mut cells: Vec<Json> = Vec::new();
 
@@ -959,7 +975,7 @@ fn main() {
         arrival_rate: f64::INFINITY,
         ..replay_cfg.clone()
     };
-    let calib = serving_replay_run(&calib_cfg, serve_workers).report;
+    let calib = serving_replay_run(&calib_cfg, serve_workers, true).report;
     let max_rate = calib.sessions_per_sec();
     let max_mops = calib.mops();
     println!("  peak capacity      {max_rate:.0} sessions/s  ({max_mops:.3} Mops/s)");
@@ -968,7 +984,7 @@ fn main() {
         ..replay_cfg.clone()
     };
     let mut serve_runs: Vec<ServeRun> = (0..REPEATS)
-        .map(|_| serving_replay_run(&paced_cfg, serve_workers))
+        .map(|_| serving_replay_run(&paced_cfg, serve_workers, true))
         .collect();
     serve_runs.sort_by_key(|r| r.report.percentile_ns(99.9));
     let run = &serve_runs[REPEATS / 2];
@@ -1027,6 +1043,7 @@ fn main() {
             ),
             ("frames", Json::from(run.batch_wire.len())),
             ("slow_records", Json::from(run.slow.len())),
+            ("batch_fused_ops", Json::from(run.batch_fused_ops)),
             (
                 "worker_ops",
                 Json::Arr(worker_ops.iter().map(|&o| Json::from(o)).collect()),
@@ -1216,6 +1233,97 @@ fn main() {
     ));
     let pipeline_gate_ok = check_pipeline_gate(serial_mops, pipelined_mops);
 
+    // The PR 10 batch-fusion A/B: identical replay workloads at drain
+    // rate against fresh servers that differ in one flag —
+    // `fuse_batches` on (BATCH frames partitioned by shard, sorted,
+    // and run through `execute_batch`, inheriting the finger-anchored
+    // descent) vs off (the same ops unrolled one at a time through the
+    // per-shard handles). Interleaved pairs so machine drift cancels.
+    // The frame shape is the one fusion targets — high-occupancy BATCH
+    // frames (the `coalesce` / new `coalesce_ops` replay knobs fill
+    // and cap them) over a serving-resident key range dense enough
+    // that sorted per-shard runs land on adjacent leaves; the default
+    // replay shape (96–192-op frames over 2^20 keys) leaves the tree
+    // such a small slice of loopback wall time that the A/B measures
+    // syscall jitter, not execution strategy.
+    let fusion_workers = 2;
+    let fusion_sessions = (sessions / 4).max(1_000);
+    let fusion_ops_cap = std::env::var("NMBST_FUSION_OPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(768);
+    let fusion_cfg = ReplayConfig {
+        sessions: fusion_sessions,
+        clients: fusion_workers,
+        arrival_rate: f64::INFINITY,
+        key_range: 1 << 14,
+        coalesce: 256,
+        coalesce_ops: fusion_ops_cap,
+        seed,
+        ..ReplayConfig::default()
+    };
+    println!(
+        "== serving batch fusion ({fusion_sessions} sessions, {fusion_workers} workers, ≤{fusion_ops_cap} ops/frame, drain rate, median of {REPEATS} interleaved pairs) =="
+    );
+    let mut fusion_mops: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut fused_finger_hits = 0u64;
+    let mut fused_finger_misses = 0u64;
+    let mut fused_ops_total = 0u64;
+    let mut single_ops_total = 0u64;
+    for _ in 0..REPEATS {
+        for fused in [false, true] {
+            let run = serving_replay_run(&fusion_cfg, fusion_workers, fused);
+            fusion_mops[fused as usize].push(run.report.mops());
+            if fused {
+                fused_finger_hits += run.snap.finger_hits;
+                fused_finger_misses += run.snap.finger_misses;
+                fused_ops_total += run.batch_fused_ops;
+            } else {
+                single_ops_total += run.batch_single_ops;
+            }
+        }
+    }
+    let unfused_mops = median(&mut fusion_mops[0]);
+    let fused_mops = median(&mut fusion_mops[1]);
+    println!(
+        "  unrolled {unfused_mops:.3} Mops/s\n  fused    {fused_mops:.3} Mops/s  ({:.2}x)  finger hits {fused_finger_hits} / misses {fused_finger_misses}",
+        fused_mops / unfused_mops
+    );
+    cells.push(json::cell(
+        "serving_batch_fusion",
+        Json::obj([
+            ("workload", Json::from(fusion_cfg.workload.name)),
+            ("sessions", Json::from(fusion_sessions)),
+            (
+                "ops_per_session",
+                Json::from(u64::from(fusion_cfg.ops_per_session)),
+            ),
+            ("workers", Json::from(fusion_workers)),
+            ("clients", Json::from(fusion_cfg.clients)),
+            ("coalesce_ops", Json::from(fusion_ops_cap as u64)),
+            ("key_range", Json::from(fusion_cfg.key_range)),
+            ("zipf_theta", Json::Num(fusion_cfg.zipf_theta)),
+            ("seed", Json::from(seed)),
+            ("repeats", Json::from(REPEATS)),
+        ]),
+        Json::obj([
+            ("unfused_mops", Json::Num(unfused_mops)),
+            ("fused_mops", Json::Num(fused_mops)),
+            ("speedup", Json::Num(fused_mops / unfused_mops)),
+            ("fused_finger_hits", Json::from(fused_finger_hits)),
+            ("fused_finger_misses", Json::from(fused_finger_misses)),
+            ("batch_fused_ops", Json::from(fused_ops_total)),
+            ("batch_single_ops", Json::from(single_ops_total)),
+        ]),
+    ));
+    let fusion_gate_ok = check_fusion_gate(
+        unfused_mops,
+        fused_mops,
+        fused_finger_hits,
+        fused_ops_total,
+        single_ops_total,
+    );
+
     let path = std::path::Path::new(&out_path);
     json::write_bench_file(path, &cells).expect("write bench json");
     println!("wrote {} cells to {}", cells.len(), path.display());
@@ -1254,6 +1362,9 @@ fn main() {
     }
     if !pipeline_gate_ok {
         failures.push("pipelining gate failed");
+    }
+    if !fusion_gate_ok {
+        failures.push("serving batch fusion gate failed");
     }
     if !baseline_ok {
         failures.push("baseline throughput gate failed");
@@ -1424,6 +1535,10 @@ struct ServeRun {
     worker_ops: Vec<u64>,
     batch_wire: Histogram,
     slow: Vec<SlowOp>,
+    /// BATCH ops executed shard-fused through `execute_batch` vs
+    /// unrolled one at a time — the fusion cell's attribution pair.
+    batch_fused_ops: u64,
+    batch_single_ops: u64,
 }
 
 /// One fresh-server replay run: bind on loopback, connect one client
@@ -1431,9 +1546,13 @@ struct ServeRun {
 /// workers flushes every pinned handle) before snapshotting metrics.
 /// Request timing is read through [`Server::stats_arc`] *after*
 /// `shutdown` so every frame's record is certainly published.
-fn serving_replay_run(cfg: &ReplayConfig, workers: usize) -> ServeRun {
+/// `fuse_batches: false` is the fusion cell's control arm: the same
+/// server unrolls each BATCH op through the per-shard handles instead
+/// of routing it through `execute_batch`.
+fn serving_replay_run(cfg: &ReplayConfig, workers: usize, fuse_batches: bool) -> ServeRun {
     let server = Server::start(ServerConfig {
         workers,
+        fuse_batches,
         ..ServerConfig::default()
     })
     .expect("bind loopback server");
@@ -1459,6 +1578,8 @@ fn serving_replay_run(cfg: &ReplayConfig, workers: usize) -> ServeRun {
         worker_ops,
         batch_wire,
         slow,
+        batch_fused_ops: stats.batch_fused_ops(),
+        batch_single_ops: stats.batch_single_ops(),
     }
 }
 
@@ -1666,6 +1787,67 @@ fn check_pipeline_gate(serial_mops: f64, pipelined_mops: f64) -> bool {
         );
     }
     pass
+}
+
+/// The batch-fusion gate. The fused arm must not trail the unrolled
+/// arm by more than `NMBST_FUSION_TOLERANCE` (relative, default 0.05 —
+/// fusion exists to *win* on sorted same-shard runs, but on one core
+/// the A/B mostly measures the shared decode/encode path, so the gate
+/// is a no-regression floor, not a speedup demand). Hard-fails if the
+/// fused servers recorded **zero finger hits** (the sorted per-shard
+/// runs never anchored — fusion silently degraded to root descents),
+/// if the fused arm executed zero ops through `execute_batch` (the
+/// flag is not reaching the engine), or if the control arm leaked ops
+/// into the fused counter's path (the A/B is not actually an A/B).
+fn check_fusion_gate(
+    unfused_mops: f64,
+    fused_mops: f64,
+    fused_finger_hits: u64,
+    fused_ops: u64,
+    single_ops: u64,
+) -> bool {
+    let tolerance = std::env::var("NMBST_FUSION_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.05);
+    let mut ok = true;
+    if fused_ops == 0 {
+        eprintln!(
+            "error: fused arm executed zero ops through execute_batch — \
+             fuse_batches is not reaching the serve engine"
+        );
+        ok = false;
+    }
+    if single_ops == 0 {
+        eprintln!(
+            "error: control arm executed zero unrolled ops — \
+             the fusion A/B has no working control"
+        );
+        ok = false;
+    }
+    if fused_finger_hits == 0 {
+        eprintln!(
+            "error: fused serving runs recorded zero finger hits — \
+             sorted per-shard runs never anchored, wire batches have \
+             silently degraded to root descents"
+        );
+        ok = false;
+    }
+    let floor = unfused_mops * (1.0 - tolerance);
+    let pass = fused_mops >= floor;
+    println!(
+        "  fusion gate: fused {fused_mops:.3} vs unrolled {unfused_mops:.3} Mops/s (floor {floor:.3}), finger hits {fused_finger_hits}  [{}]",
+        if pass && ok { "ok" } else { "FAIL" }
+    );
+    if !pass {
+        eprintln!(
+            "error: fused batch execution trails unrolled by more than {:.1}% \
+             ({fused_mops:.3} vs {unfused_mops:.3} Mops/s; NMBST_FUSION_TOLERANCE={tolerance})",
+            tolerance * 100.0
+        );
+        ok = false;
+    }
+    ok
 }
 
 /// The serving gate. Hard-fails if any worker routed zero ops through

@@ -364,6 +364,27 @@ where
         out
     }
 
+    /// Starts a mixed-op, finger-anchored batch run: a scoped cursor
+    /// whose `get`/`insert`/`remove` are the same finger-anchored loop
+    /// bodies the kind-homogeneous batch wrappers use, under one
+    /// whole-run [`OpClass::Batch`] latency sample (taken when the run
+    /// drops).
+    ///
+    /// Unlike [`insert_batch`](Self::insert_batch) and friends, a run
+    /// does **not** sort: the caller owns op order. Every op is a full
+    /// linearizable tree op regardless of order — ordering only decides
+    /// how often the finger anchor hits, so issue ops in key-sorted
+    /// order when you can (the serving tier's shard-fused executor
+    /// sorts each per-shard run before walking it; see
+    /// `ShardedMapHandle::execute_batch`).
+    pub fn batch_run(&mut self) -> BatchRun<'_, 't, K, V, R> {
+        let timer = self.tree.metrics.call_timer();
+        BatchRun {
+            handle: self,
+            timer,
+        }
+    }
+
     /// One finger-anchored lookup: the batch loop body.
     #[inline]
     fn get_fingered(&mut self, key: &K) -> Option<V>
@@ -435,6 +456,51 @@ impl<K, V, R: Reclaim> Drop for MapHandle<'_, K, V, R> {
         // unpin/repin must not lose its counts (or latency samples).
         self.tree.metrics.add_pending(&self.pending);
         self.tree.metrics.flush_pending_lat(&mut self.pending_lat);
+    }
+}
+
+/// A scoped mixed-op batch cursor over a [`MapHandle`]; see
+/// [`MapHandle::batch_run`]. Dropping the run records the whole-run
+/// [`OpClass::Batch`] latency sample.
+pub struct BatchRun<'h, 't, K, V, R: Reclaim = Ebr> {
+    handle: &'h mut MapHandle<'t, K, V, R>,
+    timer: obs::LatTimer,
+}
+
+impl<K, V, R> BatchRun<'_, '_, K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Finger-anchored [`MapHandle::get`].
+    #[inline]
+    pub fn get(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.handle.get_fingered(key)
+    }
+
+    /// Finger-anchored [`MapHandle::insert`].
+    #[inline]
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.handle.insert_fingered(key, value)
+    }
+
+    /// Finger-anchored [`MapHandle::remove`].
+    #[inline]
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.handle.remove_fingered(key)
+    }
+}
+
+impl<K, V, R: Reclaim> Drop for BatchRun<'_, '_, K, V, R> {
+    fn drop(&mut self) {
+        self.handle
+            .tree
+            .metrics
+            .op_finish(OpClass::Batch, self.timer);
     }
 }
 

@@ -76,14 +76,17 @@ mod shard;
 pub mod stats;
 mod tree;
 
-pub use handle::{MapHandle, SetHandle, DEFAULT_REPIN_EVERY};
+pub use handle::{BatchRun, MapHandle, SetHandle, DEFAULT_REPIN_EVERY};
 pub use key::Key;
 pub use node::LEAF_CAP;
 pub use obs::{LatencyConfig, OpClass};
 pub use packed::TagMode;
 pub use pool::{PoolConfig, DEFAULT_POOL_CAPACITY};
 pub use set::NmTreeSet;
-pub use shard::{ShardedMap, ShardedMapHandle, ShardedSet, ShardedSetHandle, DEFAULT_SHARD_COUNT};
+pub use shard::{
+    BatchCmd, BatchScratch, BatchVerdict, ShardedMap, ShardedMapHandle, ShardedSet,
+    ShardedSetHandle, DEFAULT_SHARD_COUNT,
+};
 pub use tree::{NmTreeMap, RestartPolicy, TreeConfig, TreeShape};
 
 // Re-export the reclamation entry points users need to name the tree's

@@ -171,20 +171,38 @@ impl<K, V> Node<K, V> {
     }
 
     /// Position of `key` in the block (`Ok`) or the sorted insertion
-    /// point (`Err`). A branchless rank scan: the block is at most one
-    /// cache line of keys, and counting `k < key` outcomes compiles to
-    /// compare/accumulate with no data-dependent branch — a random
-    /// probe into a sorted block mispredicts an early-exit scan (and a
-    /// binary search) on nearly every entry, which measured slower than
-    /// unconditionally touching all `len ≤ 8` keys.
+    /// point (`Err`). A chunked branchless rank scan: the block is at
+    /// most one cache line of keys, and counting `k < key` outcomes
+    /// compiles to compare/accumulate with no data-dependent branch — a
+    /// random probe into a sorted block mispredicts an early-exit scan
+    /// (and a binary search) on nearly every entry, which measured
+    /// slower than unconditionally touching all `len ≤ 8` keys.
+    ///
+    /// The scan walks half-`LEAF_CAP` chunks with four independent
+    /// accumulators (SIMD-shaped: the compiler is free to vectorize the
+    /// compares, and on scalar targets the four chains issue in
+    /// parallel instead of serializing on one `pos`). It cannot touch
+    /// the full fixed-size array unconditionally: only the first
+    /// `len` slots are initialized, and reading a `MaybeUninit` tail is
+    /// UB for a general `K` — so the tail (< 4 keys) falls through to
+    /// the scalar accumulate. Attribution: the `leaf_ablation` perf
+    /// cell (fat leaves vs. `leaf_cap = 1`) gates this path.
     #[inline]
     pub(crate) fn find(&self, key: &K) -> Result<usize, usize>
     where
         K: Ord,
     {
         let keys = self.entry_keys();
+        let mut chunks = keys.chunks_exact(4);
         let mut pos = 0usize;
-        for k in keys {
+        for c in chunks.by_ref() {
+            let r = usize::from(c[0] < *key)
+                + usize::from(c[1] < *key)
+                + usize::from(c[2] < *key)
+                + usize::from(c[3] < *key);
+            pos += r;
+        }
+        for k in chunks.remainder() {
             pos += usize::from(k < key);
         }
         match keys.get(pos) {

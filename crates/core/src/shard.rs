@@ -392,6 +392,67 @@ impl<K, V, R: Reclaim> std::fmt::Debug for ShardedMap<K, V, R> {
     }
 }
 
+/// One operation of a mixed batch, executed by
+/// [`ShardedMapHandle::execute_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchCmd<K, V> {
+    /// Look the key up.
+    Get(K),
+    /// Insert the pair (rejected if the key is present).
+    Insert(K, V),
+    /// Remove the key.
+    Remove(K),
+}
+
+impl<K, V> BatchCmd<K, V> {
+    /// The key this command operates on.
+    #[inline]
+    pub fn key(&self) -> &K {
+        match self {
+            BatchCmd::Get(k) | BatchCmd::Remove(k) => k,
+            BatchCmd::Insert(k, _) => k,
+        }
+    }
+}
+
+/// The result of one [`BatchCmd`], index-aligned with the command list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchVerdict<V> {
+    /// `Get` found the key, carrying its value.
+    Found(V),
+    /// `Get` did not find the key.
+    Missing,
+    /// `Insert` ran; `true` iff the key was newly added.
+    Added(bool),
+    /// `Remove` ran; `true` iff the key was present.
+    Removed(bool),
+}
+
+/// Reusable routing scratch for [`ShardedMapHandle::execute_batch`]:
+/// one position list per shard, capacity retained across calls so a
+/// steady-state caller never re-allocates.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    runs: Vec<Vec<u32>>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; sized lazily on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Clears every run and makes sure one exists per shard.
+    fn reset(&mut self, shards: usize) {
+        for run in self.runs.iter_mut() {
+            run.clear();
+        }
+        if self.runs.len() < shards {
+            self.runs.resize_with(shards, Vec::new);
+        }
+    }
+}
+
 /// A per-worker cursor over a [`ShardedMap`]: one pin-amortizing
 /// [`MapHandle`] per shard, so a worker's descents into any shard reuse
 /// that shard's guard, seek scratch, and node cache. Single-threaded
@@ -525,6 +586,66 @@ where
             }
         }
         out
+    }
+
+    /// Executes a mixed batch of commands shard-fused: partitions `cmds`
+    /// by shard, sorts each shard's run by key, walks it through that
+    /// shard's finger-anchored [`MapHandle::batch_run`] cursor, and
+    /// scatters the verdicts back into `out` at the command's input
+    /// position. All buffers are caller-owned and reused — a
+    /// steady-state caller allocates nothing beyond retained capacity.
+    ///
+    /// **Equivalence to input-order execution.** The replies (and the
+    /// final map state) are identical to running `cmds` one at a time in
+    /// input order: a map is a family of independent per-key registers,
+    /// so two commands on *distinct* keys commute, and commands on the
+    /// *same* key always land in the same shard's run where the sort key
+    /// `(key, input position)` keeps them in input order (positions are
+    /// unique, so the comparator is a total order and `sort_unstable_by`
+    /// is deterministic). The only freedom the fusion exploits is
+    /// reordering across distinct keys, which no reply can observe.
+    pub fn execute_batch(
+        &mut self,
+        cmds: &[BatchCmd<K, V>],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<BatchVerdict<V>>,
+    ) where
+        V: Clone,
+    {
+        assert!(
+            u32::try_from(cmds.len()).is_ok(),
+            "batch larger than u32 position space"
+        );
+        scratch.reset(self.handles.len());
+        for (pos, cmd) in cmds.iter().enumerate() {
+            scratch.runs[self.map.shard_of(cmd.key())].push(pos as u32);
+        }
+        out.clear();
+        out.resize(cmds.len(), BatchVerdict::Missing);
+        for (i, run) in scratch.runs.iter_mut().enumerate().take(self.handles.len()) {
+            if run.is_empty() {
+                continue;
+            }
+            run.sort_unstable_by(|&a, &b| {
+                cmds[a as usize]
+                    .key()
+                    .cmp(cmds[b as usize].key())
+                    .then(a.cmp(&b))
+            });
+            let mut cursor = self.handles[i].batch_run();
+            for &pos in run.iter() {
+                out[pos as usize] = match &cmds[pos as usize] {
+                    BatchCmd::Get(k) => match cursor.get(k) {
+                        Some(v) => BatchVerdict::Found(v),
+                        None => BatchVerdict::Missing,
+                    },
+                    BatchCmd::Insert(k, v) => {
+                        BatchVerdict::Added(cursor.insert(k.clone(), v.clone()))
+                    }
+                    BatchCmd::Remove(k) => BatchVerdict::Removed(cursor.remove(k)),
+                };
+            }
+        }
     }
 
     /// [`MapHandle::flush_stats`] on every shard handle — publishes all

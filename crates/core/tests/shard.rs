@@ -179,3 +179,92 @@ fn sharded_set_round_trip_and_merged_order() {
     set.clear();
     assert_eq!(set.len(), 0);
 }
+
+/// `execute_batch` against the sequential model: for every mixed batch,
+/// the fused result (partition by shard → sort each run by `(key,
+/// position)` → per-shard finger execution → scatter) must equal
+/// executing the same ops one at a time in request order. Duplicate
+/// keys inside one batch are the hard case — same-key ops land in the
+/// same shard and the position tiebreak keeps them in input order.
+#[test]
+fn execute_batch_matches_sequential_model() {
+    use nmbst::{BatchCmd, BatchScratch, BatchVerdict};
+    for shards in [1usize, 2, 7] {
+        let mut rng = Rng(0xBA7C + shards as u64);
+        let map: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(shards);
+        let model: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(shards);
+        let mut h = map.handle();
+        let mut mh = model.handle();
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        for round in 0..50 {
+            // Small key range → plenty of intra-batch duplicates.
+            let cmds: Vec<BatchCmd<u64, u64>> = (0..64)
+                .map(|_| {
+                    let r = rng.next();
+                    let k = r % 48;
+                    match r % 3 {
+                        0 => BatchCmd::Insert(k, r),
+                        1 => BatchCmd::Remove(k),
+                        _ => BatchCmd::Get(k),
+                    }
+                })
+                .collect();
+            let expect: Vec<BatchVerdict<u64>> = cmds
+                .iter()
+                .map(|cmd| match cmd {
+                    BatchCmd::Get(k) => match mh.get(k) {
+                        Some(v) => BatchVerdict::Found(v),
+                        None => BatchVerdict::Missing,
+                    },
+                    BatchCmd::Insert(k, v) => BatchVerdict::Added(mh.insert(*k, *v)),
+                    BatchCmd::Remove(k) => BatchVerdict::Removed(mh.remove(k)),
+                })
+                .collect();
+            h.execute_batch(&cmds, &mut scratch, &mut out);
+            assert_eq!(out, expect, "shards={shards} round={round}");
+        }
+        drop(h);
+        drop(mh);
+        // Final states agree too.
+        let mut a = Vec::new();
+        map.for_each(|k, v| a.push((*k, *v)));
+        let mut b = Vec::new();
+        model.for_each(|k, v| b.push((*k, *v)));
+        assert_eq!(a, b, "shards={shards}");
+    }
+}
+
+/// The scatter in isolation: a batch arranged so request order is
+/// maximally anti-correlated with shard order still replies in request
+/// order, and an empty batch is a no-op that clears stale output.
+#[test]
+fn execute_batch_scatters_and_handles_empty() {
+    use nmbst::{BatchCmd, BatchScratch, BatchVerdict};
+    let map: ShardedMap<u64, u64, Ebr> = ShardedMap::with_shards(4);
+    // One key per shard, ordered so consecutive requests alternate
+    // shards (found via the public router).
+    let mut per_shard: Vec<Option<u64>> = vec![None; 4];
+    let mut k = 0u64;
+    while per_shard.iter().any(Option::is_none) {
+        let s = map.shard_of(&k);
+        if per_shard[s].is_none() {
+            per_shard[s] = Some(k);
+        }
+        k += 1;
+    }
+    let keys: Vec<u64> = (0..4).rev().filter_map(|s| per_shard[s]).collect();
+    let mut h = map.handle();
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    let inserts: Vec<BatchCmd<u64, u64>> =
+        keys.iter().map(|&k| BatchCmd::Insert(k, k + 7)).collect();
+    h.execute_batch(&inserts, &mut scratch, &mut out);
+    assert_eq!(out, vec![BatchVerdict::Added(true); 4]);
+    let gets: Vec<BatchCmd<u64, u64>> = keys.iter().map(|&k| BatchCmd::Get(k)).collect();
+    h.execute_batch(&gets, &mut scratch, &mut out);
+    let want: Vec<BatchVerdict<u64>> = keys.iter().map(|&k| BatchVerdict::Found(k + 7)).collect();
+    assert_eq!(out, want, "reply i must carry request i's key");
+    h.execute_batch(&[], &mut scratch, &mut out);
+    assert!(out.is_empty(), "empty batch clears the output");
+}

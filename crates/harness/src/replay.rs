@@ -123,6 +123,14 @@ pub struct ReplayConfig {
     pub arrival_rate: f64,
     /// Max sessions coalesced into one [`SessionTarget::run`] call.
     pub coalesce: usize,
+    /// Max *ops* coalesced into one [`SessionTarget::run`] call; `0`
+    /// leaves the session cap alone. The first due session always
+    /// ships (a bundle is never empty), so the effective cap is
+    /// `max(coalesce_ops, ops_per_session)`. Against a wire target
+    /// this bounds the BATCH frame size — the knob the batch-fusion
+    /// perf cell sweeps to control how much per-frame sort/partition
+    /// work the server's fused execution gets to amortize.
+    pub coalesce_ops: usize,
     /// Connection churn ([`run_replay_churn`] only): after this many
     /// sessions a client drops its connection and opens a fresh one
     /// from its [`TargetFactory`]. Churn happens at bundle boundaries —
@@ -147,6 +155,7 @@ impl Default for ReplayConfig {
             zipf_theta: 0.9,
             arrival_rate: f64::INFINITY,
             coalesce: 64,
+            coalesce_ops: 0,
             sessions_per_conn: 0,
             workload: Workload::MIXED,
             seed: 42,
@@ -309,9 +318,14 @@ where
                         session_ops(cfg, &zipf, sid, &mut bundle_ops);
                         bundle_arrivals.push(due);
                         // Coalesce every already-due session into this
-                        // wire round trip.
+                        // wire round trip, bounded by both the session
+                        // cap and (when set) the op cap.
                         let now = t0.elapsed().as_nanos() as u64;
-                        while bundle_arrivals.len() < coalesce {
+                        while bundle_arrivals.len() < coalesce
+                            && (cfg.coalesce_ops == 0
+                                || bundle_ops.len() + cfg.ops_per_session as usize
+                                    <= cfg.coalesce_ops)
+                        {
                             match owned.peek() {
                                 Some(&next) if arrival_ns(next) <= now => {
                                     session_ops(cfg, &zipf, next, &mut bundle_ops);
@@ -515,6 +529,28 @@ mod tests {
             session_ops(&c, &zipf, sid, &mut expect);
         }
         assert_eq!(*keys_seen.lock().unwrap(), expect);
+    }
+
+    #[test]
+    fn coalesce_ops_caps_bundle_size() {
+        let mut c = cfg(1_000, 1);
+        c.coalesce = 64; // session cap alone would allow 192-op bundles
+        c.ops_per_session = 3;
+        c.coalesce_ops = 10; // ⇒ at most 3 sessions (9 ops) per bundle
+        let bundles: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let report = run_replay(
+            &c,
+            vec![|ops: &[SessionOp]| {
+                bundles.lock().unwrap().push(ops.len());
+                Ok(())
+            }],
+        );
+        assert_eq!(report.sessions, 1_000);
+        let bundles = bundles.into_inner().unwrap();
+        assert!(bundles.iter().all(|&n| n <= 9), "op cap held: {bundles:?}");
+        assert_eq!(bundles.iter().sum::<usize>() as u64, report.ops);
+        // The cap shrinks bundles but must not drop sessions.
+        assert_eq!(report.ops, 3_000);
     }
 
     #[test]

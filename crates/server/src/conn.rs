@@ -13,10 +13,14 @@
 //! 3. [`Conn::flush`] — push the write buffer out until `WouldBlock`
 //!    or empty.
 //!
-//! Responses are appended with [`Conn::queue_frame`] in the order their
-//! requests were parsed, which is what makes pipelining safe: the
-//! protocol has no request IDs, so FIFO execution + FIFO buffering *is*
-//! the ordering guarantee.
+//! Both directions are zero-copy past the socket: `next_frame` returns
+//! a *range* into the assembly buffer (no per-frame `Vec`), and
+//! responses are encoded straight into the write buffer behind a
+//! reserved length prefix (`wire::begin_frame`/`end_frame`) — borrow
+//! both sides at once with [`Conn::frame_and_wbuf`]. Responses are
+//! appended in the order their requests were parsed, which is what
+//! makes pipelining safe: the protocol has no request IDs, so FIFO
+//! execution + FIFO buffering *is* the ordering guarantee.
 //!
 //! ## Backpressure invariant
 //!
@@ -29,7 +33,6 @@
 //! *after* it is queued, not split), so the budget is a watermark, not
 //! a hard cap; `MAX_FRAME` bounds the overshoot.
 
-use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
@@ -50,10 +53,18 @@ pub(crate) enum FillOutcome {
 }
 
 /// What [`Conn::next_frame`] produced.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum NextFrame {
-    /// A complete frame body (length prefix stripped).
-    Frame(Vec<u8>),
+    /// A complete frame body at `rbuf[start .. start + len]` (length
+    /// prefix stripped) — borrow it with [`Conn::frame_and_wbuf`]. The
+    /// range stays valid until the next `fill`/`compact`; popping
+    /// further frames does not move it.
+    Frame {
+        /// Body offset inside the assembly buffer.
+        start: usize,
+        /// Body length in bytes.
+        len: usize,
+    },
     /// No complete frame buffered; wait for more bytes.
     Pending,
     /// The peer announced a frame above `MAX_FRAME`. Unrecoverable:
@@ -70,9 +81,12 @@ pub(crate) struct Conn {
     /// compacted away between readiness events, not on every frame.
     rbuf: Vec<u8>,
     rpos: usize,
-    /// Not-yet-written response bytes. Frames are appended whole;
-    /// `flush` drains from the front.
-    wbuf: VecDeque<u8>,
+    /// Not-yet-written response bytes: whole length-prefixed frames,
+    /// encoded in place. `wpos` is the flush cursor — `flush` advances
+    /// it instead of draining the front, and the buffer is reset (not
+    /// shrunk) once empty, so steady state re-uses one allocation.
+    wbuf: Vec<u8>,
+    wpos: usize,
     /// Reads are paused by backpressure: the fd's epoll interest has
     /// EPOLLIN removed until the write buffer drains below half budget.
     pub(crate) read_paused: bool,
@@ -90,7 +104,8 @@ impl Conn {
             stream,
             rbuf: Vec::new(),
             rpos: 0,
-            wbuf: VecDeque::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
             read_paused: false,
             close_after_flush: false,
             interest: 0,
@@ -120,15 +135,18 @@ impl Conn {
     }
 
     /// Pops the next complete frame from the assembly buffer, if one is
-    /// fully buffered. Call in a loop after `fill` — pipelined peers
-    /// deliver many frames per readiness event.
+    /// fully buffered, returning its body *range* (no copy). Call in a
+    /// loop after `fill` — pipelined peers deliver many frames per
+    /// readiness event.
     pub(crate) fn next_frame(&mut self) -> NextFrame {
         match split_frame(&self.rbuf[self.rpos..]) {
             FrameSplit::Frame { body_len } => {
                 let start = self.rpos + 4;
-                let body = self.rbuf[start..start + body_len].to_vec();
                 self.rpos = start + body_len;
-                NextFrame::Frame(body)
+                NextFrame::Frame {
+                    start,
+                    len: body_len,
+                }
             }
             FrameSplit::Incomplete(_) => {
                 self.compact();
@@ -136,6 +154,15 @@ impl Conn {
             }
             FrameSplit::Oversized(_) => NextFrame::Oversized,
         }
+    }
+
+    /// The split borrow of the zero-copy serve path: the frame body at
+    /// `start .. start + len` (as returned by [`Conn::next_frame`])
+    /// together with the write buffer the response is encoded into.
+    /// One method, so the compiler sees two disjoint field borrows —
+    /// the engine decodes from the first while appending to the second.
+    pub(crate) fn frame_and_wbuf(&mut self, start: usize, len: usize) -> (&[u8], &mut Vec<u8>) {
+        (&self.rbuf[start..start + len], &mut self.wbuf)
     }
 
     /// Drops consumed bytes from the front of the assembly buffer. Runs
@@ -149,30 +176,23 @@ impl Conn {
         }
     }
 
-    /// Appends one response frame (length prefix + body) to the write
-    /// buffer. The caller queues responses in request order.
-    pub(crate) fn queue_frame(&mut self, body: &[u8]) {
-        self.wbuf.extend((body.len() as u32).to_le_bytes());
-        self.wbuf.extend(body.iter().copied());
-    }
-
     /// Bytes queued but not yet accepted by the kernel.
     pub(crate) fn buffered(&self) -> usize {
-        self.wbuf.len()
+        self.wbuf.len() - self.wpos
     }
 
     /// True when the write buffer has reached the backpressure budget:
     /// the reactor stops reading (and executing) for this connection
     /// until `flush` drains it below [`Conn::should_resume`]'s mark.
     pub(crate) fn should_pause(&self, write_budget: usize) -> bool {
-        self.wbuf.len() >= write_budget
+        self.buffered() >= write_budget
     }
 
     /// True when a paused connection has drained enough to resume
     /// reading. Half the budget of hysteresis so a connection near the
     /// boundary doesn't flap its epoll interest on every frame.
     pub(crate) fn should_resume(&self, write_budget: usize) -> bool {
-        self.wbuf.len() < write_budget / 2
+        self.buffered() < write_budget / 2
     }
 
     /// Writes buffered bytes until `WouldBlock` or the buffer empties.
@@ -180,23 +200,34 @@ impl Conn {
     /// surface as `Err`; the caller drops the connection — the peer is
     /// gone, there is nobody left to desync.
     pub(crate) fn flush(&mut self) -> io::Result<bool> {
-        while !self.wbuf.is_empty() {
-            let (front, _) = self.wbuf.as_slices();
-            match self.stream.write(front) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
                         "peer stopped accepting bytes",
                     ));
                 }
-                Ok(n) => {
-                    self.wbuf.drain(..n);
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Shed the written prefix before parking on epoll:
+                    // the unwritten tail is bounded by the backpressure
+                    // budget (+ one frame), so the memmove is cheap and
+                    // keeps a long stall from pinning the buffer at its
+                    // high-water length while new frames append.
+                    if self.wpos > 0 {
+                        self.wbuf.drain(..self.wpos);
+                        self.wpos = 0;
+                    }
+                    return Ok(false);
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
+        // Fully drained: reset in place, keeping the allocation.
+        self.wbuf.clear();
+        self.wpos = 0;
         Ok(true)
     }
 }
@@ -213,6 +244,23 @@ mod tests {
         let tx = TcpStream::connect(l.local_addr().unwrap()).unwrap();
         let (rx, _) = l.accept().unwrap();
         (tx, rx)
+    }
+
+    /// Queues one response frame the way the engine does: length prefix
+    /// reserved, body appended, prefix backfilled.
+    fn queue_frame(conn: &mut Conn, body: &[u8]) {
+        let mark = crate::wire::begin_frame(&mut conn.wbuf);
+        conn.wbuf.extend_from_slice(body);
+        crate::wire::end_frame(&mut conn.wbuf, mark);
+    }
+
+    /// Pops the next frame and copies its body out (`None` = pending).
+    fn next_body(conn: &mut Conn) -> Option<Vec<u8>> {
+        match conn.next_frame() {
+            NextFrame::Frame { start, len } => Some(conn.frame_and_wbuf(start, len).0.to_vec()),
+            NextFrame::Pending => None,
+            NextFrame::Oversized => panic!("unexpected oversize"),
+        }
     }
 
     /// A frame dribbled one byte at a time assembles exactly once, and
@@ -236,13 +284,15 @@ mod tests {
                 }
             }
             if conn.rbuf.len() - conn.rpos < wire.len() {
-                assert_eq!(conn.next_frame(), NextFrame::Pending);
+                assert_eq!(next_body(&mut conn), None);
             }
         }
-        assert_eq!(conn.next_frame(), NextFrame::Frame(b"abc".to_vec()));
-        assert_eq!(conn.next_frame(), NextFrame::Pending);
+        assert_eq!(next_body(&mut conn).as_deref(), Some(&b"abc"[..]));
+        assert_eq!(next_body(&mut conn), None);
 
-        // Two pipelined frames delivered together both pop, in order.
+        // Two pipelined frames delivered together both pop, in order,
+        // and the first frame's range stays valid after the second pops
+        // (no compaction while frames are being consumed).
         let mut wire = Vec::new();
         crate::wire::write_frame(&mut wire, b"first").unwrap();
         crate::wire::write_frame(&mut wire, b"second").unwrap();
@@ -254,9 +304,12 @@ mod tests {
             }
             std::thread::yield_now();
         }
-        assert_eq!(conn.next_frame(), NextFrame::Frame(b"first".to_vec()));
-        assert_eq!(conn.next_frame(), NextFrame::Frame(b"second".to_vec()));
-        assert_eq!(conn.next_frame(), NextFrame::Pending);
+        let NextFrame::Frame { start, len } = conn.next_frame() else {
+            panic!("first frame must be complete");
+        };
+        assert_eq!(next_body(&mut conn).as_deref(), Some(&b"second"[..]));
+        assert_eq!(conn.frame_and_wbuf(start, len).0, b"first");
+        assert_eq!(next_body(&mut conn), None);
     }
 
     /// An oversized length prefix is detected from the prefix alone.
@@ -277,16 +330,19 @@ mod tests {
     }
 
     /// The backpressure watermarks: pause at budget, resume below half.
+    /// The flush cursor counts as drained — `buffered` is what is still
+    /// owed to the kernel, not the buffer's length.
     #[test]
     fn pause_resume_watermarks() {
         let (_tx, rx) = pair();
         let mut conn = Conn::new(rx);
         assert!(!conn.should_pause(100));
-        conn.queue_frame(&[0u8; 96]); // 4-byte prefix + 96 = 100 buffered
+        queue_frame(&mut conn, &[0u8; 96]); // 4-byte prefix + 96 = 100 buffered
         assert_eq!(conn.buffered(), 100);
         assert!(conn.should_pause(100));
         assert!(!conn.should_resume(100));
-        conn.wbuf.drain(..51);
+        conn.wpos = 51; // as if flush stopped mid-buffer
+        assert_eq!(conn.buffered(), 49);
         assert!(conn.should_resume(100), "49 < 50");
     }
 
@@ -299,7 +355,7 @@ mod tests {
         let mut conn = Conn::new(tx);
         // Enough data to overrun the socket buffer and hit WouldBlock.
         let body: Vec<u8> = (0..1_000_000u32).map(|i| i as u8).collect();
-        conn.queue_frame(&body);
+        queue_frame(&mut conn, &body);
         let mut got = Vec::new();
         let mut rx = rx;
         rx.set_nonblocking(true).unwrap();
@@ -319,5 +375,8 @@ mod tests {
         assert_eq!(got.len(), body.len() + 4);
         assert_eq!(&got[..4], &(body.len() as u32).to_le_bytes());
         assert_eq!(&got[4..], &body[..]);
+        // Fully flushed: the buffer reset in place.
+        assert_eq!(conn.buffered(), 0);
+        assert_eq!(conn.wbuf.len(), 0);
     }
 }

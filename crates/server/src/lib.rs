@@ -40,3 +40,6 @@ pub mod wire;
 
 pub use client::Client;
 pub use server::{PhaseHists, Server, ServerConfig, ServerStats, Store};
+
+#[doc(hidden)]
+pub use server::testing;

@@ -21,6 +21,31 @@
 //! connection whose write buffer exceeds `write_budget` stops being
 //! read (**backpressure**) until it drains below half the budget.
 //!
+//! ## Routing policy: connections round-robin, keys inside the worker
+//!
+//! Connection→worker assignment is deliberately **not** key-affine (no
+//! routing by a frame's first key, batch hash, or anything else derived
+//! from keys): every worker owns a pinned handle *per shard*, so any
+//! worker can serve any key at full handle speed, and a connection's
+//! mixed-key traffic never has to hop workers. Key locality is
+//! recovered one level down, per frame: the engine partitions each
+//! BATCH by `RouteHasher` shard, sorts each shard's run, executes it
+//! through that shard's finger-anchored handle
+//! ([`nmbst::ShardedMapHandle::execute_batch`]), and scatters replies
+//! back to request order — so wire batches inherit the finger-seek win
+//! regardless of which worker the connection landed on.
+//!
+//! ## Zero-copy serve path
+//!
+//! A steady-state point or BATCH frame is served without touching the
+//! heap: the frame body is a *range* into the connection's assembly
+//! buffer (never copied out), BATCH ops decode into a reusable
+//! per-reactor scratch, and the response is encoded directly into the
+//! connection's write buffer behind a reserved length prefix
+//! (`wire::begin_frame`/`end_frame`) — no staging `Vec`, no
+//! per-response memcpy. SCAN/METRICS/SLOWLOG still build owned
+//! payloads; their cost is the payload, not the framing.
+//!
 //! Shutdown: a stop flag plus one eventfd signal per worker — the
 //! eventfd wake replaces the old dummy-`connect()` hack, which raced
 //! against real clients for the accept queue. The 100 ms `epoll_wait`
@@ -32,10 +57,13 @@ use crate::conn::{Conn, FillOutcome, NextFrame};
 use crate::sys::{
     set_nonblocking, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
-use crate::wire::{op_name, BatchOp, BatchReply, MetricsFormat, Request, Response, OP_COUNT};
+use crate::wire::{
+    self, op_name, BatchOp, BatchReply, MetricsFormat, Request, Response, OP_BATCH, OP_COUNT,
+    STATUS_OK,
+};
 use nmbst::obs::slow::SlowRing;
 use nmbst::obs::{Histogram, ServeGauges, SlowOp, SLOW_EVENTS};
-use nmbst::{Ebr, ShardedMap, ShardedMapHandle, TreeConfig};
+use nmbst::{BatchCmd, BatchScratch, BatchVerdict, Ebr, ShardedMap, ShardedMapHandle, TreeConfig};
 use nmbst_sync::CachePadded;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +104,13 @@ pub struct ServerConfig {
     /// The buffer may overshoot by one response (responses are queued
     /// whole), so this is a watermark, not a hard cap. Default 256 KiB.
     pub write_budget: usize,
+    /// Execute BATCH frames shard-fused: partition by shard, sort each
+    /// shard's run by key, run it through that shard's finger-anchored
+    /// handle, and scatter replies back to request order (default).
+    /// `false` unrolls each batch op through the routing handle in
+    /// request order — the pre-fusion behaviour, kept for A/B
+    /// attribution (the `serving_batch_fusion` perf cell).
+    pub fuse_batches: bool,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +123,7 @@ impl Default for ServerConfig {
             flush_every: 1024,
             slow_frame_ns: 1_000_000,
             write_budget: 256 * 1024,
+            fuse_batches: true,
         }
     }
 }
@@ -177,6 +213,9 @@ pub struct ServerStats {
     connections: AtomicU64,
     frames: AtomicU64,
     wire_errors: AtomicU64,
+    batch_fused_ops: AtomicU64,
+    batch_single_ops: AtomicU64,
+    encode_bytes: Box<[AtomicU64]>,
     timing: Box<[Mutex<WorkerTiming>]>,
     serve: Box<[CachePadded<WorkerServe>]>,
     slow: SlowRing,
@@ -198,6 +237,9 @@ impl ServerStats {
             connections: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             wire_errors: AtomicU64::new(0),
+            batch_fused_ops: AtomicU64::new(0),
+            batch_single_ops: AtomicU64::new(0),
+            encode_bytes: (0..OP_COUNT).map(|_| AtomicU64::new(0)).collect(),
             timing: (0..workers)
                 .map(|_| Mutex::new(WorkerTiming::new()))
                 .collect(),
@@ -308,6 +350,37 @@ impl ServerStats {
         self.wire_errors.load(Ordering::Relaxed)
     }
 
+    /// BATCH ops executed shard-fused (partition → per-shard sorted run
+    /// through the finger-anchored handle → scatter). The fusion gate
+    /// hard-fails if a fused server serves a replay with this at zero.
+    pub fn batch_fused_ops(&self) -> u64 {
+        self.batch_fused_ops.load(Ordering::Relaxed)
+    }
+
+    /// BATCH ops executed unrolled in request order through the routing
+    /// handle (`fuse_batches: false`, the A/B control arm).
+    pub fn batch_single_ops(&self) -> u64 {
+        self.batch_single_ops.load(Ordering::Relaxed)
+    }
+
+    /// Response-frame bytes encoded per opcode (body + 4-byte length
+    /// prefix), labelled with the opcode's exposition name, in opcode
+    /// order. Error replies are not attributed (the opcode is what
+    /// failed to parse).
+    pub fn encode_bytes(&self) -> Vec<(&'static str, u64)> {
+        self.encode_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (op_name(i as u8 + 1), b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Attributes one encoded response frame's bytes to its opcode.
+    fn note_encode(&self, opcode: u8, bytes: u64) {
+        self.encode_bytes[usize::from(opcode - 1).min(OP_COUNT - 1)]
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// This worker's connection gauges (racy point reads).
     fn worker_gauges(&self, w: usize) -> ServeGauges {
         let g = &self.serve[w];
@@ -413,6 +486,7 @@ impl Server {
                 let rr = Arc::clone(&rr);
                 let flush_every = config.flush_every.max(1);
                 let write_budget = config.write_budget.max(1);
+                let fuse_batches = config.fuse_batches;
                 std::thread::Builder::new()
                     .name(format!("nmbst-worker-{w}"))
                     .spawn(move || {
@@ -426,6 +500,7 @@ impl Server {
                             &stop,
                             flush_every,
                             write_budget,
+                            fuse_batches,
                         )
                     })
             })
@@ -510,16 +585,12 @@ struct Reactor<'a> {
     listener: &'a TcpListener,
     shared: &'a [Arc<WorkerShared>],
     rr: &'a AtomicUsize,
-    store: &'a Store,
     stats: &'a ServerStats,
     stop: &'a AtomicBool,
-    handle: ShardedMapHandle<'a, u64, u64, Ebr>,
+    engine: Engine<'a>,
     slab: Vec<Option<Conn>>,
     free: Vec<usize>,
     write_budget: usize,
-    flush_every: u32,
-    ops_since_flush: u32,
-    out_body: Vec<u8>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -533,6 +604,7 @@ fn worker_loop(
     stop: &AtomicBool,
     flush_every: u32,
     write_budget: usize,
+    fuse_batches: bool,
 ) {
     let epoll = match Epoll::new() {
         Ok(e) => e,
@@ -557,16 +629,12 @@ fn worker_loop(
         listener,
         shared,
         rr,
-        store,
         stats,
         stop,
-        handle: store.handle(),
+        engine: Engine::new(idx, store, stats, fuse_batches, flush_every),
         slab: Vec::new(),
         free: Vec::new(),
         write_budget,
-        flush_every,
-        ops_since_flush: 0,
-        out_body: Vec::new(),
     };
     reactor.run();
 }
@@ -610,8 +678,7 @@ impl Reactor<'_> {
             self.drain_inbox();
             if n == 0 {
                 // Idle tick: publish batched handle stats.
-                self.handle.flush_stats();
-                self.ops_since_flush = 0;
+                self.engine.flush_stats();
             }
             let buffered: u64 = self
                 .slab
@@ -623,7 +690,7 @@ impl Reactor<'_> {
                 .wbuf_bytes
                 .store(buffered, Ordering::Relaxed);
         }
-        self.handle.flush_stats();
+        self.engine.flush_stats();
         // Dropping the slab closes every connection; zero the gauges so
         // a post-shutdown scrape doesn't report ghosts.
         let g = &self.stats.serve[self.idx];
@@ -792,62 +859,27 @@ impl Reactor<'_> {
                 // An oversized length prefix closes the connection with
                 // no reply — a length-prefixed stream cannot resync.
                 NextFrame::Oversized => return false,
-                NextFrame::Frame(body) => self.serve_frame(conn, &body),
+                NextFrame::Frame { start, len } => {
+                    // Zero-copy hand-off: the request body stays in the
+                    // assembly buffer and the response is encoded
+                    // straight into the write buffer — the split borrow
+                    // proves the two never alias.
+                    let (body, wbuf) = conn.frame_and_wbuf(start, len);
+                    if !self.engine.serve_frame(body, wbuf) {
+                        // Answer sent (an Err frame is already queued);
+                        // after a framing error the stream cannot be
+                        // trusted. Frames already parsed were served;
+                        // frames buffered behind the bad one are
+                        // discarded with it.
+                        conn.close_after_flush = true;
+                    }
+                }
             }
         }
         conn.compact();
         match conn.flush() {
             Err(_) => false,
             Ok(done) => !(conn.close_after_flush && done),
-        }
-    }
-
-    /// Serves one request frame: decode → execute through the pinned
-    /// handle → encode into the connection's write buffer, in arrival
-    /// order (the pipelining ordering guarantee).
-    fn serve_frame(&mut self, conn: &mut Conn, body: &[u8]) {
-        self.stats.frames.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        let decoded = Request::decode(body);
-        let t1 = Instant::now();
-        match decoded {
-            Ok(req) => {
-                let ops = op_count(&req);
-                self.stats.worker_ops[self.idx].fetch_add(ops, Ordering::Relaxed);
-                self.ops_since_flush = self.ops_since_flush.saturating_add(ops as u32);
-                let response = execute(&req, &mut self.handle, self.store, self.stats);
-                let t2 = Instant::now();
-                self.out_body.clear();
-                response.encode(&mut self.out_body);
-                conn.queue_frame(&self.out_body);
-                let t3 = Instant::now();
-                self.stats.record_frame(
-                    self.idx,
-                    req.opcode(),
-                    slow_key(&req),
-                    [
-                        (t3 - t0).as_nanos() as u64,
-                        (t1 - t0).as_nanos() as u64,
-                        (t2 - t1).as_nanos() as u64,
-                        (t3 - t2).as_nanos() as u64,
-                    ],
-                );
-                if self.ops_since_flush >= self.flush_every {
-                    self.handle.flush_stats();
-                    self.ops_since_flush = 0;
-                }
-            }
-            Err(e) => {
-                self.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                // Answer, then close: after a framing error the stream
-                // cannot be trusted. Frames already parsed from this
-                // connection were served; frames still buffered behind
-                // the bad one are discarded with it.
-                self.out_body.clear();
-                Response::Err(e.to_string()).encode(&mut self.out_body);
-                conn.queue_frame(&self.out_body);
-                conn.close_after_flush = true;
-            }
         }
     }
 
@@ -892,6 +924,202 @@ impl Reactor<'_> {
     }
 }
 
+/// One worker's request-execution engine: the pinned store handle plus
+/// every piece of reusable scratch a frame needs, factored out of the
+/// reactor so tests can drive the exact serving path in-process (see
+/// [`crate::testing`]) without sockets or epoll.
+///
+/// Steady-state point and BATCH frames run allocation-free: ops decode
+/// into `batch_cmds`, partition into `batch_scratch`, verdicts land in
+/// `batch_out`, and the response is encoded straight into the
+/// connection's write buffer behind a reserved length prefix. All three
+/// scratch vectors keep their capacity across frames.
+struct Engine<'a> {
+    worker: usize,
+    store: &'a Store,
+    stats: &'a ServerStats,
+    handle: ShardedMapHandle<'a, u64, u64, Ebr>,
+    fuse_batches: bool,
+    flush_every: u32,
+    ops_since_flush: u32,
+    batch_cmds: Vec<BatchCmd<u64, u64>>,
+    batch_scratch: BatchScratch,
+    batch_out: Vec<BatchVerdict<u64>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        worker: usize,
+        store: &'a Store,
+        stats: &'a ServerStats,
+        fuse_batches: bool,
+        flush_every: u32,
+    ) -> Engine<'a> {
+        Engine {
+            worker,
+            store,
+            stats,
+            handle: store.handle(),
+            fuse_batches,
+            flush_every: flush_every.max(1),
+            ops_since_flush: 0,
+            batch_cmds: Vec::new(),
+            batch_scratch: BatchScratch::new(),
+            batch_out: Vec::new(),
+        }
+    }
+
+    /// Publishes the handle's batched stats and resets the sampling
+    /// countdown (reactor idle tick / shutdown / test scrape).
+    fn flush_stats(&mut self) {
+        self.handle.flush_stats();
+        self.ops_since_flush = 0;
+    }
+
+    /// Serves one request frame: decode → execute through the pinned
+    /// handle → encode into `wbuf` behind a reserved length prefix, in
+    /// arrival order (the pipelining ordering guarantee). Returns false
+    /// on a malformed frame — an Err reply is queued and the caller
+    /// must close the connection after flushing it.
+    fn serve_frame(&mut self, body: &[u8], wbuf: &mut Vec<u8>) -> bool {
+        self.stats.frames.fetch_add(1, Ordering::Relaxed);
+        // BATCH frames take the fused fast path before a `Request` is
+        // ever materialised: ops decode straight into reusable scratch,
+        // skipping the per-frame `Vec<BatchOp>` the general path would
+        // allocate.
+        if body.first() == Some(&OP_BATCH) {
+            self.serve_batch(body, wbuf)
+        } else {
+            self.serve_plain(body, wbuf)
+        }
+    }
+
+    /// The BATCH fast path: decode into scratch, execute (fused or
+    /// unrolled per config), encode verdicts in request order.
+    fn serve_batch(&mut self, body: &[u8], wbuf: &mut Vec<u8>) -> bool {
+        let t0 = Instant::now();
+        self.batch_cmds.clear();
+        let cmds = &mut self.batch_cmds;
+        let decoded = wire::decode_batch_ops(body, |op| {
+            cmds.push(match op {
+                BatchOp::Get(k) => BatchCmd::Get(k),
+                BatchOp::Insert(k, v) => BatchCmd::Insert(k, v),
+                BatchOp::Remove(k) => BatchCmd::Remove(k),
+            })
+        });
+        let t1 = Instant::now();
+        if let Err(e) = decoded {
+            return self.wire_error(&e, wbuf);
+        }
+        let n_ops = self.batch_cmds.len() as u64;
+        self.stats.worker_ops[self.worker].fetch_add(n_ops, Ordering::Relaxed);
+        self.ops_since_flush = self.ops_since_flush.saturating_add(n_ops as u32);
+        if self.fuse_batches {
+            self.handle.execute_batch(
+                &self.batch_cmds,
+                &mut self.batch_scratch,
+                &mut self.batch_out,
+            );
+            self.stats
+                .batch_fused_ops
+                .fetch_add(n_ops, Ordering::Relaxed);
+        } else {
+            // A/B control arm: request order through the routing handle,
+            // exactly what `execute` did before fusion.
+            self.batch_out.clear();
+            for cmd in &self.batch_cmds {
+                self.batch_out.push(match cmd {
+                    BatchCmd::Get(k) => match self.handle.get(k) {
+                        Some(v) => BatchVerdict::Found(v),
+                        None => BatchVerdict::Missing,
+                    },
+                    BatchCmd::Insert(k, v) => BatchVerdict::Added(self.handle.insert(*k, *v)),
+                    BatchCmd::Remove(k) => BatchVerdict::Removed(self.handle.remove(k)),
+                });
+            }
+            self.stats
+                .batch_single_ops
+                .fetch_add(n_ops, Ordering::Relaxed);
+        }
+        let t2 = Instant::now();
+        let mark = wire::begin_frame(wbuf);
+        wbuf.push(STATUS_OK);
+        wbuf.extend_from_slice(&(self.batch_out.len() as u32).to_le_bytes());
+        for v in &self.batch_out {
+            wire::encode_batch_reply(
+                wbuf,
+                match *v {
+                    BatchVerdict::Found(x) => BatchReply::Found(x),
+                    BatchVerdict::Missing => BatchReply::Missing,
+                    BatchVerdict::Added(b) => BatchReply::Added(b),
+                    BatchVerdict::Removed(b) => BatchReply::Removed(b),
+                },
+            );
+        }
+        let frame_bytes = wire::end_frame(wbuf, mark) as u64 + 4;
+        self.stats.note_encode(OP_BATCH, frame_bytes);
+        let t3 = Instant::now();
+        let key = self.batch_cmds.first().map_or(0, |c| *c.key());
+        self.record(OP_BATCH, key, t0, t1, t2, t3);
+        true
+    }
+
+    /// Every non-BATCH opcode: the `Request`/`Response` path, with the
+    /// response encoded directly into `wbuf`.
+    fn serve_plain(&mut self, body: &[u8], wbuf: &mut Vec<u8>) -> bool {
+        let t0 = Instant::now();
+        let decoded = Request::decode(body);
+        let t1 = Instant::now();
+        let req = match decoded {
+            Ok(req) => req,
+            Err(e) => return self.wire_error(&e, wbuf),
+        };
+        let ops = op_count(&req);
+        self.stats.worker_ops[self.worker].fetch_add(ops, Ordering::Relaxed);
+        self.ops_since_flush = self.ops_since_flush.saturating_add(ops as u32);
+        let response = execute(&req, &mut self.handle, self.store, self.stats);
+        let t2 = Instant::now();
+        let mark = wire::begin_frame(wbuf);
+        response.encode(wbuf);
+        let frame_bytes = wire::end_frame(wbuf, mark) as u64 + 4;
+        self.stats.note_encode(req.opcode(), frame_bytes);
+        let t3 = Instant::now();
+        self.record(req.opcode(), slow_key(&req), t0, t1, t2, t3);
+        true
+    }
+
+    /// Queues an Err reply for a malformed frame and reports the
+    /// connection unservable. Error bytes are not attributed to an
+    /// opcode — the opcode is what failed to parse.
+    fn wire_error(&mut self, e: &wire::WireError, wbuf: &mut Vec<u8>) -> bool {
+        self.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+        let mark = wire::begin_frame(wbuf);
+        Response::Err(e.to_string()).encode(wbuf);
+        wire::end_frame(wbuf, mark);
+        false
+    }
+
+    /// Frame epilogue: phase timing, slow-frame capture, and the
+    /// sampled stats flush.
+    fn record(&mut self, opcode: u8, key: u64, t0: Instant, t1: Instant, t2: Instant, t3: Instant) {
+        self.stats.record_frame(
+            self.worker,
+            opcode,
+            key,
+            [
+                (t3 - t0).as_nanos() as u64,
+                (t1 - t0).as_nanos() as u64,
+                (t2 - t1).as_nanos() as u64,
+                (t3 - t2).as_nanos() as u64,
+            ],
+        );
+        if self.ops_since_flush >= self.flush_every {
+            self.handle.flush_stats();
+            self.ops_since_flush = 0;
+        }
+    }
+}
+
 /// Tree operations a request will route through the worker's handle.
 fn op_count(req: &Request) -> u64 {
     match req {
@@ -930,10 +1158,11 @@ fn execute(
         Request::Insert(k, v) => Response::Insert(handle.insert(*k, *v)),
         Request::Remove(k) => Response::Remove(handle.remove(k)),
         Request::Batch(ops) => {
-            // Executed in request order through the pinned handles —
-            // no shard-partitioned reordering, because the reply array
-            // must line up with the request and a client may care about
-            // op order within a session.
+            // Not reached from the reactor: BATCH frames are
+            // intercepted by first byte and served through the engine's
+            // fused scratch path before a `Request` is built. Kept so
+            // `execute` stays total over `Request` for any future
+            // non-reactor caller; executes in request order.
             let replies = ops
                 .iter()
                 .map(|op| match op {
@@ -1005,9 +1234,18 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
                     format!("\"{op}\":{{{}}}", phases.join(","))
                 })
                 .collect();
+            // Encode-bytes gauges: only opcodes that encoded anything,
+            // mirroring the timing filter.
+            let encoded: Vec<String> = stats
+                .encode_bytes()
+                .iter()
+                .filter(|(_, b)| *b != 0)
+                .map(|(op, b)| format!("\"{op}\":{b}"))
+                .collect();
             format!(
                 "{{\"tree\":{},\"server\":{{\"connections\":{},\"frames\":{},\
-                 \"wire_errors\":{},\"worker_ops\":[{}],\"timing\":{{{}}},\
+                 \"wire_errors\":{},\"batch_fused_ops\":{},\"batch_single_ops\":{},\
+                 \"worker_ops\":[{}],\"encode_bytes\":{{{}}},\"timing\":{{{}}},\
                  \"slow_frames\":{},\"serve\":{{\"open_connections\":[{}],\
                  \"read_paused_connections\":[{}],\"write_buffered_bytes\":[{}],\
                  \"backpressure_events\":[{}]}}}}}}",
@@ -1015,7 +1253,10 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
                 stats.connections(),
                 stats.frames(),
                 stats.wire_errors(),
+                stats.batch_fused_ops(),
+                stats.batch_single_ops(),
                 ops.join(","),
+                encoded.join(","),
                 timing.join(","),
                 stats.slow_frames_deposited(),
                 col(|g| g.open_connections),
@@ -1041,6 +1282,45 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
                 "nmbst_server_wire_errors_total {}\n",
                 stats.wire_errors()
             ));
+            out.push_str(
+                "# HELP nmbst_server_batch_fused_ops_total BATCH ops executed shard-fused \
+                 (partition, per-shard sorted run, scatter).\n",
+            );
+            out.push_str("# TYPE nmbst_server_batch_fused_ops_total counter\n");
+            out.push_str(&format!(
+                "nmbst_server_batch_fused_ops_total {}\n",
+                stats.batch_fused_ops()
+            ));
+            out.push_str(
+                "# HELP nmbst_server_batch_single_ops_total BATCH ops executed unrolled in \
+                 request order (fusion disabled).\n",
+            );
+            out.push_str("# TYPE nmbst_server_batch_single_ops_total counter\n");
+            out.push_str(&format!(
+                "nmbst_server_batch_single_ops_total {}\n",
+                stats.batch_single_ops()
+            ));
+            // Encode-bytes counters: one labelled series per opcode that
+            // has encoded a response; header only when at least one
+            // exists (a declared metric with no samples fails
+            // exposition validation).
+            let encoded: Vec<_> = stats
+                .encode_bytes()
+                .into_iter()
+                .filter(|(_, b)| *b != 0)
+                .collect();
+            if !encoded.is_empty() {
+                out.push_str(
+                    "# HELP nmbst_server_encode_bytes_total Response frame bytes encoded per \
+                     opcode (body plus length prefix).\n",
+                );
+                out.push_str("# TYPE nmbst_server_encode_bytes_total counter\n");
+                for (op, b) in encoded {
+                    out.push_str(&format!(
+                        "nmbst_server_encode_bytes_total{{op=\"{op}\"}} {b}\n"
+                    ));
+                }
+            }
             out.push_str(
                 "# HELP nmbst_server_worker_ops_total Tree ops routed through each worker's pinned handle.\n",
             );
@@ -1114,5 +1394,65 @@ fn metrics_text(store: &Store, stats: &ServerStats, fmt: MetricsFormat) -> Strin
             ));
             out
         }
+    }
+}
+
+/// In-process driver for the exact serving path the reactors run —
+/// frame bytes in, frame bytes out, through the same `Engine` —
+/// without sockets, epoll, or threads. Exists for tests that need the
+/// serve path on the *current* thread: chaos hooks are thread-local,
+/// and the zero-allocation gate must measure the engine without reactor
+/// noise. Not a public API; hidden from docs and exempt from semver.
+pub mod testing {
+    use super::*;
+
+    /// One worker's `Engine` over a private store, driven directly.
+    pub struct LocalEngine<'a> {
+        engine: Engine<'a>,
+    }
+
+    impl LocalEngine<'_> {
+        /// Serves one request body (no length prefix), appending the
+        /// length-prefixed response frame to `out` — exactly what the
+        /// reactor queues on the connection. Returns false on a wire
+        /// error (the reactor would close the connection after
+        /// flushing the Err frame this queued).
+        pub fn serve(&mut self, body: &[u8], out: &mut Vec<u8>) -> bool {
+            self.engine.serve_frame(body, out)
+        }
+
+        /// The engine's server counters.
+        pub fn stats(&self) -> &ServerStats {
+            self.engine.stats
+        }
+
+        /// The backing store (for out-of-band verification).
+        pub fn store(&self) -> &Store {
+            self.engine.store
+        }
+
+        /// Flushes the handle's batched stats and snapshots the store's
+        /// metrics — finger hits/misses included.
+        pub fn metrics(&mut self) -> nmbst::obs::MetricsSnapshot {
+            self.engine.flush_stats();
+            self.engine.store.metrics()
+        }
+    }
+
+    /// Runs `f` with a [`LocalEngine`] over a fresh `shards`-way store.
+    /// Slow-frame capture is disabled (threshold 0) and the stats flush
+    /// interval is effectively infinite, so `serve` does only what a
+    /// steady-state reactor frame does.
+    pub fn with_local_engine<T>(
+        shards: usize,
+        fuse_batches: bool,
+        f: impl FnOnce(&mut LocalEngine<'_>) -> T,
+    ) -> T {
+        let store = Store::with_config(shards.max(1), TreeConfig::default());
+        let stats = ServerStats::new(1, 0);
+        let mut local = LocalEngine {
+            engine: Engine::new(0, &store, &stats, fuse_batches, u32::MAX),
+        };
+        f(&mut local)
     }
 }

@@ -348,21 +348,8 @@ impl Request {
             OP_INSERT => Request::Insert(c.u64()?, c.u64()?),
             OP_REMOVE => Request::Remove(c.u64()?),
             OP_BATCH => {
-                let n = c.u32()? as usize;
-                // 9 bytes is the smallest record; pre-reject counts the
-                // remaining bytes cannot possibly satisfy.
-                if n > body.len() / 9 + 1 {
-                    return Err(WireError(format!("batch count {n} exceeds frame")));
-                }
-                let mut ops = Vec::with_capacity(n);
-                for _ in 0..n {
-                    ops.push(match c.u8()? {
-                        OP_GET => BatchOp::Get(c.u64()?),
-                        OP_INSERT => BatchOp::Insert(c.u64()?, c.u64()?),
-                        OP_REMOVE => BatchOp::Remove(c.u64()?),
-                        k => return Err(WireError(format!("bad batch kind {k:#x}"))),
-                    });
-                }
+                let mut ops = Vec::new();
+                decode_batch_payload(&mut c, &mut |op| ops.push(op))?;
                 Request::Batch(ops)
             }
             OP_SCAN => Request::Scan {
@@ -382,6 +369,87 @@ impl Request {
         c.finish()?;
         Ok(req)
     }
+}
+
+/// Decodes the records of a BATCH request with the cursor positioned
+/// just past the opcode byte, handing each op to `visit` in request
+/// order. Shared by [`Request::decode`] and the allocation-free
+/// [`decode_batch_ops`] so the two paths cannot diverge.
+fn decode_batch_payload(c: &mut Cur<'_>, visit: &mut dyn FnMut(BatchOp)) -> Result<(), WireError> {
+    let n = c.u32()? as usize;
+    // 9 bytes is the smallest record; pre-reject counts the remaining
+    // bytes cannot possibly satisfy.
+    if n > c.buf.len() / 9 + 1 {
+        return Err(WireError(format!("batch count {n} exceeds frame")));
+    }
+    for _ in 0..n {
+        visit(match c.u8()? {
+            OP_GET => BatchOp::Get(c.u64()?),
+            OP_INSERT => BatchOp::Insert(c.u64()?, c.u64()?),
+            OP_REMOVE => BatchOp::Remove(c.u64()?),
+            k => return Err(WireError(format!("bad batch kind {k:#x}"))),
+        });
+    }
+    Ok(())
+}
+
+/// Decodes one full BATCH request body (`body[0] == OP_BATCH`,
+/// trailing bytes rejected) without building a `Request`: each op is
+/// handed to `visit` in request order and the op count is returned.
+/// This is the serving tier's scratch-reuse entry point — the visitor
+/// pushes into a reusable per-reactor buffer, so a steady-state BATCH
+/// decode allocates nothing.
+pub fn decode_batch_ops(body: &[u8], mut visit: impl FnMut(BatchOp)) -> Result<usize, WireError> {
+    let mut c = Cur::new(body);
+    match c.u8()? {
+        OP_BATCH => {}
+        op => return Err(WireError(format!("expected BATCH, got opcode {op:#x}"))),
+    }
+    let mut n = 0usize;
+    decode_batch_payload(&mut c, &mut |op| {
+        n += 1;
+        visit(op);
+    })?;
+    c.finish()?;
+    Ok(n)
+}
+
+/// Appends one BATCH reply record (the single-op encoding inside a
+/// BATCH response body). Shared by [`Response::encode`] and the
+/// server's zero-copy path, which writes replies straight into the
+/// connection write buffer instead of staging a `Response::Batch`.
+#[inline]
+pub fn encode_batch_reply(out: &mut Vec<u8>, r: BatchReply) {
+    match r {
+        BatchReply::Found(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        BatchReply::Missing => out.push(0),
+        BatchReply::Added(b) => out.push(2 | (b as u8) << 4),
+        BatchReply::Removed(b) => out.push(3 | (b as u8) << 4),
+    }
+}
+
+/// Reserves a 4-byte length prefix at the tail of `out` and returns a
+/// mark for [`end_frame`]. Everything appended between the two calls
+/// becomes the frame body: the zero-copy alternative to staging a body
+/// in a side buffer and memcpy-ing it behind a prefix. Nesting is fine
+/// as long as frames close innermost-first.
+#[inline]
+pub fn begin_frame(out: &mut Vec<u8>) -> usize {
+    out.extend_from_slice(&[0u8; 4]);
+    out.len()
+}
+
+/// Backfills the length prefix reserved by [`begin_frame`] with the
+/// number of bytes appended since, and returns that body length.
+#[inline]
+pub fn end_frame(out: &mut [u8], mark: usize) -> usize {
+    let body_len = out.len() - mark;
+    debug_assert!(body_len <= MAX_FRAME, "encoded body exceeds MAX_FRAME");
+    out[mark - 4..mark].copy_from_slice(&(body_len as u32).to_le_bytes());
+    body_len
 }
 
 impl Response {
@@ -409,15 +477,7 @@ impl Response {
             Response::Batch(replies) => {
                 out.extend_from_slice(&(replies.len() as u32).to_le_bytes());
                 for r in replies {
-                    match r {
-                        BatchReply::Found(v) => {
-                            out.push(1);
-                            out.extend_from_slice(&v.to_le_bytes());
-                        }
-                        BatchReply::Missing => out.push(0),
-                        BatchReply::Added(b) => out.push(2 | (*b as u8) << 4),
-                        BatchReply::Removed(b) => out.push(3 | (*b as u8) << 4),
-                    }
+                    encode_batch_reply(out, *r);
                 }
             }
             Response::Scan { entries, truncated } => {
@@ -730,6 +790,57 @@ mod tests {
                 },
             ]),
         );
+    }
+
+    /// The visitor decode must agree byte-for-byte with `Request::decode`
+    /// on every valid BATCH body, and reject the same malformed ones.
+    #[test]
+    fn decode_batch_ops_agrees_with_request_decode() {
+        let ops = vec![
+            BatchOp::Get(1),
+            BatchOp::Insert(2, 20),
+            BatchOp::Remove(3),
+            BatchOp::Get(u64::MAX),
+        ];
+        let mut body = Vec::new();
+        Request::Batch(ops.clone()).encode(&mut body);
+        let mut seen = Vec::new();
+        let n = decode_batch_ops(&body, |op| seen.push(op)).unwrap();
+        assert_eq!(n, ops.len());
+        assert_eq!(seen, ops);
+        // Empty batch.
+        let mut body = Vec::new();
+        Request::Batch(Vec::new()).encode(&mut body);
+        assert_eq!(decode_batch_ops(&body, |_| panic!("no ops")).unwrap(), 0);
+        // Non-batch opcode is rejected outright.
+        let mut body = Vec::new();
+        Request::Ping.encode(&mut body);
+        assert!(decode_batch_ops(&body, |_| {}).is_err());
+        // Trailing garbage and bogus counts are rejected like decode.
+        let mut body = Vec::new();
+        Request::Batch(vec![BatchOp::Get(7)]).encode(&mut body);
+        body.push(0);
+        assert!(decode_batch_ops(&body, |_| {}).is_err());
+        let mut body = vec![OP_BATCH];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_batch_ops(&body, |_| {}).is_err());
+    }
+
+    /// `begin_frame`/`end_frame` produce exactly what `write_frame`
+    /// produces, including back-to-back frames in one buffer.
+    #[test]
+    fn reserve_backfill_frames_match_write_frame() {
+        let mut out = Vec::new();
+        let mark = begin_frame(&mut out);
+        out.extend_from_slice(b"hello");
+        assert_eq!(end_frame(&mut out, mark), 5);
+        let mark = begin_frame(&mut out);
+        assert_eq!(end_frame(&mut out, mark), 0);
+        let mut expect = Vec::new();
+        write_frame(&mut expect, b"hello").unwrap();
+        write_frame(&mut expect, b"").unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(split_frame(&out), FrameSplit::Frame { body_len: 5 });
     }
 
     #[test]

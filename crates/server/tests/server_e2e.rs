@@ -368,6 +368,115 @@ fn malformed_frame_drops_connection_not_server() {
     server.shutdown();
 }
 
+/// One BATCH frame whose keys land on every shard, with the shards
+/// deliberately interleaved in request order: the fused engine
+/// partitions by shard, sorts each run by key, executes per shard, and
+/// must scatter every reply back to its request slot — plus exact
+/// fused-counter accounting (every batched op counted fused, none
+/// unrolled).
+#[test]
+fn batch_spanning_all_shards_scatters_to_request_order() {
+    const SHARDS: usize = 4;
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        shards: SHARDS,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    // Pick three keys per shard with the store's own router, so the
+    // test tracks the hash function instead of hardcoding it.
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); SHARDS];
+    let mut k = 0u64;
+    while per_shard.iter().any(|v| v.len() < 3) {
+        let s = server.store().shard_of(&k);
+        if per_shard[s].len() < 3 {
+            per_shard[s].push(k);
+        }
+        k += 1;
+    }
+    // Request order cycles shard 0,1,2,3,0,1,… — maximally scattered,
+    // so an engine that forgot to un-permute would fail loudly.
+    let keys: Vec<u64> = (0..3)
+        .flat_map(|i| per_shard.iter().map(move |v| v[i]))
+        .collect();
+    let n = keys.len();
+    let mut ops: Vec<BatchOp> = keys.iter().map(|&k| BatchOp::Insert(k, k + 1000)).collect();
+    ops.extend(keys.iter().map(|&k| BatchOp::Get(k)));
+    ops.push(BatchOp::Get(u64::MAX)); // a miss, mid-frame
+    ops.extend(keys.iter().map(|&k| BatchOp::Remove(k)));
+
+    let mut c = Client::connect(server.addr()).unwrap();
+    let replies = c.batch(&ops).unwrap();
+    assert_eq!(replies.len(), ops.len());
+    for i in 0..n {
+        assert_eq!(replies[i], BatchReply::Added(true), "insert slot {i}");
+        assert_eq!(
+            replies[n + i],
+            BatchReply::Found(keys[i] + 1000),
+            "get slot {} must carry key {}'s value",
+            n + i,
+            keys[i]
+        );
+        assert_eq!(
+            replies[2 * n + 1 + i],
+            BatchReply::Removed(true),
+            "remove slot {}",
+            2 * n + 1 + i
+        );
+    }
+    assert_eq!(replies[2 * n], BatchReply::Missing);
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.batch_fused_ops(),
+        ops.len() as u64,
+        "every batched op accounted to the fused path"
+    );
+    assert_eq!(stats.batch_single_ops(), 0);
+    let encode = stats.encode_bytes();
+    let batch_bytes = encode.iter().find(|(op, _)| *op == "batch").unwrap().1;
+    // 1 status + 4 count + n inserts/removes at 1 byte + n gets at 9 +
+    // 1 miss at 1, plus the 4-byte length prefix.
+    assert_eq!(batch_bytes, (5 + 2 * n + (9 * n + 1) + 4) as u64);
+    drop(c);
+    server.shutdown();
+}
+
+/// `fuse_batches: false` — the A/B control arm — serves identical
+/// replies through the unrolled request-order path and accounts them
+/// to `batch_single_ops`.
+#[test]
+fn unfused_batches_account_single_ops() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        fuse_batches: false,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let replies = c
+        .batch(&[
+            BatchOp::Insert(1, 10),
+            BatchOp::Get(1),
+            BatchOp::Remove(1),
+            BatchOp::Get(1),
+        ])
+        .unwrap();
+    assert_eq!(
+        replies,
+        vec![
+            BatchReply::Added(true),
+            BatchReply::Found(10),
+            BatchReply::Removed(true),
+            BatchReply::Missing,
+        ]
+    );
+    assert_eq!(server.stats().batch_single_ops(), 4);
+    assert_eq!(server.stats().batch_fused_ops(), 0);
+    drop(c);
+    server.shutdown();
+}
+
 /// Shutdown with an idle connected client joins promptly (the read
 /// timeout tick notices the stop flag) and leaves the store intact.
 #[test]

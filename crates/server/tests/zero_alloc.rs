@@ -1,0 +1,99 @@
+//! Proves the PR 10 zero-copy claim at the allocator: a steady-state
+//! BATCH (or point-op) round trip through the serving engine performs
+//! **zero server-side heap allocations**. Ops decode into reusable
+//! scratch, execute through the pinned handles, and encode straight
+//! into the (warm) write buffer behind a reserved length prefix.
+//!
+//! Lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`, which must not taint other binaries'
+//! measurements. The workload avoids structural tree mutation (get
+//! hits/misses, duplicate inserts, removes of absent keys) so the
+//! node pool cannot legitimately grow mid-measurement — what's being
+//! measured is the serve path, not the tree's amortized pool growth.
+
+use nmbst_server::testing::with_local_engine;
+use nmbst_server::wire::{BatchOp, Request};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn encode_req(req: &Request) -> Vec<u8> {
+    let mut body = Vec::new();
+    req.encode(&mut body);
+    body
+}
+
+#[test]
+fn steady_state_batch_round_trip_allocates_nothing() {
+    with_local_engine(2, true, |eng| {
+        // Populate even keys 0..512 — outside the measured window.
+        let seed: Vec<BatchOp> = (0..256).map(|i| BatchOp::Insert(i * 2, i)).collect();
+        let mut out = Vec::new();
+        assert!(eng.serve(&encode_req(&Request::Batch(seed)), &mut out));
+
+        // The steady-state frames, pre-encoded: a mixed batch that
+        // mutates nothing (hits, misses, rejected duplicate inserts,
+        // removes of absent keys) and two point ops.
+        let mixed: Vec<BatchOp> = (0..128)
+            .map(|i| match i % 4 {
+                0 => BatchOp::Get(i * 2),           // hit
+                1 => BatchOp::Get(i * 2 + 1),       // miss
+                2 => BatchOp::Insert(i * 2, 9_999), // duplicate → rejected
+                _ => BatchOp::Remove(i * 2 + 1),    // absent → false
+            })
+            .collect();
+        let batch_frame = encode_req(&Request::Batch(mixed));
+        let get_hit = encode_req(&Request::Get(0));
+        let get_miss = encode_req(&Request::Get(1));
+
+        // Warm-up: sizes every piece of reusable scratch (decode vec,
+        // partition runs, verdict vec, write buffer) and any lazy
+        // per-thread reclaimer state behind the first pins.
+        for _ in 0..4 {
+            out.clear();
+            assert!(eng.serve(&batch_frame, &mut out));
+            assert!(eng.serve(&get_hit, &mut out));
+            assert!(eng.serve(&get_miss, &mut out));
+        }
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..32 {
+            out.clear();
+            assert!(eng.serve(&batch_frame, &mut out));
+            assert!(eng.serve(&get_hit, &mut out));
+            assert!(eng.serve(&get_miss, &mut out));
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state serve must not heap-allocate \
+             ({} allocations over 32 rounds)",
+            after - before
+        );
+        assert!(!out.is_empty(), "responses were actually produced");
+    });
+}
